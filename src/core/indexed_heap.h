@@ -1,0 +1,116 @@
+// Addressable binary min-heap keyed by dense integer ids, used by Dijkstra
+// and the skeleton-graph searches. Supports DecreaseKey in O(log n).
+#ifndef KSPDG_CORE_INDEXED_HEAP_H_
+#define KSPDG_CORE_INDEXED_HEAP_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace kspdg {
+
+/// Min-heap over ids in [0, capacity) with mutable priorities.
+/// Keys are doubles; ties are broken by id for determinism.
+class IndexedMinHeap {
+ public:
+  explicit IndexedMinHeap(size_t capacity)
+      : pos_(capacity, kAbsent) {}
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  bool Contains(uint32_t id) const {
+    return id < pos_.size() && pos_[id] != kAbsent;
+  }
+
+  double KeyOf(uint32_t id) const {
+    assert(Contains(id));
+    return heap_[pos_[id]].key;
+  }
+
+  /// Inserts `id` with `key`, or lowers its key if already present with a
+  /// larger key. Returns true if the entry was inserted or updated.
+  bool PushOrDecrease(uint32_t id, double key) {
+    assert(id < pos_.size());
+    if (pos_[id] == kAbsent) {
+      pos_[id] = heap_.size();
+      heap_.push_back({key, id});
+      SiftUp(heap_.size() - 1);
+      return true;
+    }
+    size_t i = pos_[id];
+    if (key < heap_[i].key) {
+      heap_[i].key = key;
+      SiftUp(i);
+      return true;
+    }
+    return false;
+  }
+
+  /// Removes and returns the id with the smallest key.
+  uint32_t PopMin(double* key_out = nullptr) {
+    assert(!heap_.empty());
+    uint32_t top = heap_[0].id;
+    if (key_out != nullptr) *key_out = heap_[0].key;
+    Swap(0, heap_.size() - 1);
+    pos_[top] = kAbsent;
+    heap_.pop_back();
+    if (!heap_.empty()) SiftDown(0);
+    return top;
+  }
+
+  void Clear() {
+    for (const Entry& e : heap_) pos_[e.id] = kAbsent;
+    heap_.clear();
+  }
+
+ private:
+  struct Entry {
+    double key;
+    uint32_t id;
+  };
+
+  static constexpr size_t kAbsent = static_cast<size_t>(-1);
+
+  bool Less(const Entry& a, const Entry& b) const {
+    if (a.key != b.key) return a.key < b.key;
+    return a.id < b.id;
+  }
+
+  void Swap(size_t i, size_t j) {
+    std::swap(heap_[i], heap_[j]);
+    pos_[heap_[i].id] = i;
+    pos_[heap_[j].id] = j;
+  }
+
+  void SiftUp(size_t i) {
+    while (i > 0) {
+      size_t parent = (i - 1) / 2;
+      if (!Less(heap_[i], heap_[parent])) break;
+      Swap(i, parent);
+      i = parent;
+    }
+  }
+
+  void SiftDown(size_t i) {
+    for (;;) {
+      size_t left = 2 * i + 1;
+      size_t right = left + 1;
+      size_t smallest = i;
+      if (left < heap_.size() && Less(heap_[left], heap_[smallest]))
+        smallest = left;
+      if (right < heap_.size() && Less(heap_[right], heap_[smallest]))
+        smallest = right;
+      if (smallest == i) break;
+      Swap(i, smallest);
+      i = smallest;
+    }
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<size_t> pos_;
+};
+
+}  // namespace kspdg
+
+#endif  // KSPDG_CORE_INDEXED_HEAP_H_

@@ -1,0 +1,41 @@
+// Minimal blocking parallel-for over an index range, used for the
+// embarrassingly parallel parts of index construction (per-subgraph work).
+#ifndef KSPDG_CORE_PARALLEL_FOR_H_
+#define KSPDG_CORE_PARALLEL_FOR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace kspdg {
+
+/// Runs fn(i) for every i in [0, count) using `num_threads` threads (1 means
+/// inline execution). Work is claimed dynamically in chunks so uneven
+/// per-item cost still balances.
+template <typename Fn>
+void ParallelFor(size_t count, unsigned num_threads, Fn&& fn) {
+  if (count == 0) return;
+  if (num_threads <= 1 || count == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  if (num_threads > count) num_threads = static_cast<unsigned>(count);
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads - 1);
+  for (unsigned t = 1; t < num_threads; ++t) threads.emplace_back(worker);
+  worker();
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace kspdg
+
+#endif  // KSPDG_CORE_PARALLEL_FOR_H_

@@ -1,0 +1,54 @@
+// Small helper containers used on query hot paths.
+#ifndef KSPDG_CORE_SMALL_SET_H_
+#define KSPDG_CORE_SMALL_SET_H_
+
+#include <algorithm>
+#include <vector>
+
+namespace kspdg {
+
+/// A set over small element counts backed by a sorted vector. Faster and more
+/// compact than std::set / unordered_set for the handful-of-elements case
+/// (boundary vertices of a subgraph, vertices of one path, ...).
+template <typename T>
+class SmallSortedSet {
+ public:
+  SmallSortedSet() = default;
+
+  void Reserve(size_t n) { items_.reserve(n); }
+
+  /// Inserts `v`; returns true if it was not already present.
+  bool Insert(const T& v) {
+    auto it = std::lower_bound(items_.begin(), items_.end(), v);
+    if (it != items_.end() && *it == v) return false;
+    items_.insert(it, v);
+    return true;
+  }
+
+  bool Contains(const T& v) const {
+    return std::binary_search(items_.begin(), items_.end(), v);
+  }
+
+  bool Erase(const T& v) {
+    auto it = std::lower_bound(items_.begin(), items_.end(), v);
+    if (it == items_.end() || *it != v) return false;
+    items_.erase(it);
+    return true;
+  }
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  void clear() { items_.clear(); }
+
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+
+  const std::vector<T>& items() const { return items_; }
+
+ private:
+  std::vector<T> items_;
+};
+
+}  // namespace kspdg
+
+#endif  // KSPDG_CORE_SMALL_SET_H_

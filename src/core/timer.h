@@ -1,0 +1,30 @@
+// Wall-clock timing helper used by the benchmark harnesses.
+#ifndef KSPDG_CORE_TIMER_H_
+#define KSPDG_CORE_TIMER_H_
+
+#include <chrono>
+
+namespace kspdg {
+
+/// Monotonic stopwatch. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace kspdg
+
+#endif  // KSPDG_CORE_TIMER_H_

@@ -1,0 +1,94 @@
+#include "dtlp/dtlp.h"
+
+#include <algorithm>
+
+#include "core/parallel_for.h"
+
+namespace kspdg {
+
+Result<std::unique_ptr<Dtlp>> Dtlp::Build(const Graph& g,
+                                          const DtlpOptions& options) {
+  Result<Partition> part = PartitionGraph(g, options.partition);
+  if (!part.ok()) return part.status();
+
+  std::unique_ptr<Dtlp> dtlp(new Dtlp(g, options));
+  dtlp->partition_ =
+      std::make_unique<Partition>(std::move(std::move(part).value()));
+  Partition& partition = *dtlp->partition_;
+
+  dtlp->indexes_.reserve(partition.subgraphs.size());
+  for (const Subgraph& sg : partition.subgraphs) {
+    dtlp->indexes_.emplace_back(&sg, options.index);
+  }
+  // Level 1: per-subgraph bounding paths; embarrassingly parallel across
+  // subgraphs (this is the distributed portion of Algorithm 1).
+  ParallelFor(dtlp->indexes_.size(), options.build_threads,
+              [&](size_t i) { dtlp->indexes_[i].Build(); });
+
+  // Level 2: skeleton graph over all boundary vertices.
+  dtlp->skeleton_ = SkeletonGraph(g.directed());
+  dtlp->skeleton_.SetVertices(partition.boundary_vertices);
+  for (SubgraphId sg = 0; sg < partition.subgraphs.size(); ++sg) {
+    dtlp->PushSubgraphBoundsToSkeleton(sg);
+  }
+  return dtlp;
+}
+
+void Dtlp::PushSubgraphBoundsToSkeleton(SubgraphId sgid) {
+  const SubgraphIndex& index = indexes_[sgid];
+  const Subgraph& sg = partition_->subgraphs[sgid];
+  for (const BoundaryPairEntry& pair : index.pairs()) {
+    VertexId a = sg.GlobalOf(pair.src);
+    VertexId b = sg.GlobalOf(pair.dst);
+    skeleton_.SetContribution(sgid, a, b, pair.lbd);
+  }
+}
+
+void Dtlp::ApplyUpdatesToSubgraph(SubgraphId sgid,
+                                  std::span<const WeightUpdate> updates) {
+  Subgraph& sg = partition_->subgraphs[sgid];
+  for (const WeightUpdate& upd : updates) {
+    EdgeId local = sg.LocalEdgeOf(upd.edge);
+    if (local == kInvalidEdge) continue;
+    Weight old_fwd = sg.local().ForwardWeight(local);
+    Weight old_bwd = sg.local().BackwardWeight(local);
+    sg.ApplyUpdate(upd);
+    indexes_[sgid].OnWeightChange(local, old_fwd, old_bwd);
+  }
+}
+
+DtlpUpdateStats Dtlp::ApplyUpdates(std::span<const WeightUpdate> updates) {
+  DtlpUpdateStats stats;
+  std::vector<SubgraphId> dirty;
+  for (const WeightUpdate& upd : updates) {
+    if (upd.edge >= partition_->subgraph_of_edge.size()) continue;
+    SubgraphId sgid = partition_->subgraph_of_edge[upd.edge];
+    if (sgid == kInvalidSubgraph) continue;
+    Subgraph& sg = partition_->subgraphs[sgid];
+    EdgeId local = sg.LocalEdgeOf(upd.edge);
+    Weight old_fwd = sg.local().ForwardWeight(local);
+    Weight old_bwd = sg.local().BackwardWeight(local);
+    sg.ApplyUpdate(upd);
+    indexes_[sgid].OnWeightChange(local, old_fwd, old_bwd);
+    ++stats.updates_applied;
+    if (dirty.empty() || dirty.back() != sgid) dirty.push_back(sgid);
+  }
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  for (SubgraphId sgid : dirty) {
+    if (indexes_[sgid].Refresh()) {
+      PushSubgraphBoundsToSkeleton(sgid);
+      stats.skeleton_pairs_refreshed += indexes_[sgid].pairs().size();
+    }
+  }
+  stats.subgraphs_touched = dirty.size();
+  return stats;
+}
+
+size_t Dtlp::EpIndexMemoryBytes() const {
+  size_t bytes = 0;
+  for (const SubgraphIndex& index : indexes_) bytes += index.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace kspdg

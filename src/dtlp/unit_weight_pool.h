@@ -1,0 +1,56 @@
+// Pool of virtual-fragment unit weights of one subgraph (§3.4).
+//
+// Every edge direction contributes `vfrags` fragments of unit weight
+// `current_weight / vfrags`. The bound distance of a bounding path with φ
+// vfrags is the sum of the φ smallest unit weights in its subgraph; this
+// class answers that query in O(log E) after an O(E log E) rebuild, which is
+// performed lazily after weight changes.
+#ifndef KSPDG_DTLP_UNIT_WEIGHT_POOL_H_
+#define KSPDG_DTLP_UNIT_WEIGHT_POOL_H_
+
+#include <vector>
+
+#include "core/types.h"
+#include "graph/graph.h"
+
+namespace kspdg {
+
+class UnitWeightPool {
+ public:
+  /// Binds the pool to a subgraph-local graph. In directed mode both
+  /// directions of every edge contribute fragments; in undirected mode each
+  /// edge contributes once.
+  explicit UnitWeightPool(const Graph* local) : local_(local) { MarkDirty(); }
+
+  void MarkDirty() { dirty_ = true; }
+  bool dirty() const { return dirty_; }
+
+  /// Sum of the m smallest unit weights (rebuilds if dirty). If m exceeds
+  /// the total number of fragments, the total weight is returned.
+  Weight SumOfSmallest(VfragCount m) const;
+
+  /// Total number of virtual fragments in the pool.
+  VfragCount TotalVfrags() const;
+
+  size_t MemoryBytes() const {
+    return sizeof(*this) + entries_.capacity() * sizeof(Entry);
+  }
+
+ private:
+  struct Entry {
+    Weight unit;            // weight per fragment
+    VfragCount count;       // number of fragments at this unit weight
+    VfragCount cum_count;   // fragments in this and all cheaper entries
+    Weight cum_weight;      // total weight of this and all cheaper entries
+  };
+
+  void Rebuild() const;
+
+  const Graph* local_;
+  mutable bool dirty_ = true;
+  mutable std::vector<Entry> entries_;  // sorted by unit ascending
+};
+
+}  // namespace kspdg
+
+#endif  // KSPDG_DTLP_UNIT_WEIGHT_POOL_H_

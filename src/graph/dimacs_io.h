@@ -1,0 +1,35 @@
+// Reader/writer for the 9th DIMACS Implementation Challenge shortest-path
+// format (`.gr`), the format of the NY/COL/FLA/CUSA road networks the paper
+// evaluates on. When the real files are available they can be loaded
+// directly; otherwise the synthetic generators in generators.h stand in.
+#ifndef KSPDG_GRAPH_DIMACS_IO_H_
+#define KSPDG_GRAPH_DIMACS_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "core/status.h"
+#include "graph/graph.h"
+
+namespace kspdg {
+
+/// Parses a DIMACS `.gr` stream:
+///   c <comment>
+///   p sp <num_vertices> <num_arcs>
+///   a <u> <v> <weight>        (1-based vertex ids, integer weights)
+/// DIMACS lists each road as two arcs. With `directed == false`, arc pairs
+/// (u,v)/(v,u) are merged into one undirected edge (the first weight seen
+/// wins; road travel times are symmetric in these files). With
+/// `directed == true`, pairs are merged into one road with per-direction
+/// weights, and one-way arcs get both directions set to the single weight.
+Result<Graph> ReadDimacs(std::istream& in, bool directed);
+
+/// Convenience file wrapper around ReadDimacs.
+Result<Graph> ReadDimacsFile(const std::string& path, bool directed);
+
+/// Writes `g` in DIMACS `.gr` format (current weights, rounded to integers).
+Status WriteDimacs(const Graph& g, std::ostream& out);
+
+}  // namespace kspdg
+
+#endif  // KSPDG_GRAPH_DIMACS_IO_H_

@@ -1,0 +1,176 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace kspdg {
+
+namespace {
+
+/// Disjoint-set forest used to keep thinning connectivity-safe.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool Union(size_t a, size_t b) {
+    size_t ra = Find(a), rb = Find(b);
+    if (ra == rb) return false;
+    parent_[ra] = rb;
+    return true;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+struct CandidateEdge {
+  VertexId u, v;
+};
+
+}  // namespace
+
+Graph MakeRoadNetwork(const RoadNetworkOptions& options) {
+  assert(options.rows >= 2 && options.cols >= 2);
+  assert(options.min_weight >= 1 && options.max_weight >= options.min_weight);
+  Rng rng(options.seed);
+  const uint32_t rows = options.rows;
+  const uint32_t cols = options.cols;
+  const size_t n = static_cast<size_t>(rows) * cols;
+  auto vertex_at = [cols](uint32_t r, uint32_t c) -> VertexId {
+    return static_cast<VertexId>(r) * cols + c;
+  };
+
+  // 1. Enumerate the grid edges (plus optional diagonals), shuffled.
+  std::vector<CandidateEdge> candidates;
+  candidates.reserve(2 * n);
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) candidates.push_back({vertex_at(r, c), vertex_at(r, c + 1)});
+      if (r + 1 < rows) candidates.push_back({vertex_at(r, c), vertex_at(r + 1, c)});
+      if (r + 1 < rows && c + 1 < cols && rng.NextBool(options.diagonal_prob)) {
+        candidates.push_back({vertex_at(r, c), vertex_at(r + 1, c + 1)});
+      }
+    }
+  }
+  for (size_t i = candidates.size(); i > 1; --i) {
+    std::swap(candidates[i - 1], candidates[rng.NextBounded(i)]);
+  }
+
+  // 2. Pick a random spanning tree first (guaranteed connectivity), then
+  //    keep each remaining edge with probability (1 - thinning).
+  UnionFind uf(n);
+  std::vector<CandidateEdge> kept;
+  std::vector<CandidateEdge> extras;
+  kept.reserve(candidates.size());
+  for (const CandidateEdge& e : candidates) {
+    if (uf.Union(e.u, e.v)) {
+      kept.push_back(e);
+    } else {
+      extras.push_back(e);
+    }
+  }
+  for (const CandidateEdge& e : extras) {
+    if (!rng.NextBool(options.thinning)) kept.push_back(e);
+  }
+
+  // 3. Materialise the graph with random integer travel times.
+  Graph g(n, options.directed);
+  const uint64_t weight_span =
+      options.max_weight - options.min_weight + uint64_t{1};
+  for (const CandidateEdge& e : kept) {
+    VfragCount w_fwd = options.min_weight + rng.NextBounded(weight_span);
+    VfragCount w_bwd = w_fwd;
+    if (options.directed && rng.NextBool(options.asymmetric_prob)) {
+      w_bwd = options.min_weight + rng.NextBounded(weight_span);
+    }
+    g.AddEdge(e.u, e.v, w_fwd, w_bwd);
+  }
+  return g;
+}
+
+Graph MakeRandomConnected(size_t num_vertices, size_t extra_edges,
+                          uint32_t min_w, uint32_t max_w, uint64_t seed,
+                          bool directed) {
+  assert(num_vertices >= 2);
+  assert(min_w >= 1 && max_w >= min_w);
+  Rng rng(seed);
+  Graph g(num_vertices, directed);
+  const uint64_t span = max_w - min_w + uint64_t{1};
+  auto random_weight = [&] {
+    return static_cast<VfragCount>(min_w + rng.NextBounded(span));
+  };
+  // Random attachment tree: connect vertex i to a random earlier vertex.
+  for (VertexId v = 1; v < num_vertices; ++v) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(v));
+    VfragCount w = random_weight();
+    g.AddEdge(u, v, w,
+              directed ? random_weight() : w);
+  }
+  size_t added = 0;
+  size_t attempts = 0;
+  const size_t max_attempts = 20 * (extra_edges + 1);
+  while (added < extra_edges && attempts++ < max_attempts) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    if (u == v || g.FindEdge(u, v) != kInvalidEdge) continue;
+    VfragCount w = random_weight();
+    g.AddEdge(u, v, w, directed ? random_weight() : w);
+    ++added;
+  }
+  return g;
+}
+
+Graph MakePaperFigure3Graph() {
+  // Reconstruction of Figure 3 consistent with the per-subgraph edge-weight
+  // lists of Figure 4 and (approximately) Example 8. The figure has no v15;
+  // internal ids: v1..v14 -> 0..13, v16..v19 -> 14..17.
+  Graph g(18, /*directed=*/false);
+  auto v = [](int paper_id) -> VertexId {
+    assert(paper_id >= 1 && paper_id <= 19 && paper_id != 15);
+    return static_cast<VertexId>(paper_id <= 14 ? paper_id - 1 : paper_id - 2);
+  };
+  // SG1: v1..v6 (weights 3 3 6 3 2 4 4).
+  g.AddEdge(v(1), v(2), 3);
+  g.AddEdge(v(1), v(3), 3);
+  g.AddEdge(v(2), v(3), 6);
+  g.AddEdge(v(2), v(4), 3);
+  g.AddEdge(v(3), v(5), 2);
+  g.AddEdge(v(4), v(5), 4);
+  g.AddEdge(v(5), v(6), 4);
+  // SG2: v4, v6, v7, v8, v9, v10.
+  g.AddEdge(v(4), v(7), 3);
+  g.AddEdge(v(7), v(8), 3);
+  g.AddEdge(v(8), v(9), 5);
+  g.AddEdge(v(6), v(9), 4);
+  g.AddEdge(v(4), v(6), 6);
+  g.AddEdge(v(9), v(10), 6);
+  // SG3: v9, v10, v11, v12, v13, v14 (weights 5 7 5 3 3 6).
+  g.AddEdge(v(9), v(11), 5);
+  g.AddEdge(v(11), v(12), 3);
+  g.AddEdge(v(12), v(13), 3);
+  g.AddEdge(v(10), v(11), 7);
+  g.AddEdge(v(10), v(14), 5);
+  g.AddEdge(v(13), v(14), 6);
+  // SG4: v13, v14, v16, v17, v18, v19 (weights 3 5 2 2 3 3).
+  g.AddEdge(v(13), v(16), 5);
+  g.AddEdge(v(16), v(14), 3);
+  g.AddEdge(v(13), v(18), 3);
+  g.AddEdge(v(18), v(17), 2);
+  g.AddEdge(v(17), v(16), 2);
+  g.AddEdge(v(17), v(19), 3);
+  return g;
+}
+
+}  // namespace kspdg

@@ -1,0 +1,53 @@
+// Synthetic road-network generators.
+//
+// The paper evaluates on DIMACS road networks (NY, COL, FLA, CUSA). Those
+// public files are not bundled here, so the benchmarks run on synthetic
+// networks with the structural properties that drive the experiments: near-
+// planar topology, small average degree (~2.5-3), positive integer travel
+// times, and strong locality. `RoadNetwork` builds a jittered grid, thins it
+// toward road-like degree while preserving connectivity, and adds a few
+// diagonal "highway" shortcuts. `RandomConnected` provides small arbitrary
+// graphs for tests.
+#ifndef KSPDG_GRAPH_GENERATORS_H_
+#define KSPDG_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace kspdg {
+
+struct RoadNetworkOptions {
+  uint32_t rows = 32;
+  uint32_t cols = 32;
+  /// Fraction of non-tree grid edges removed to thin degree toward road-like
+  /// values. 0 keeps the full grid (avg degree ~4); 0.45 yields ~2.2-2.8.
+  double thinning = 0.35;
+  /// Probability of adding a diagonal shortcut at a grid cell.
+  double diagonal_prob = 0.05;
+  /// Initial integer weights drawn uniformly from [min_weight, max_weight].
+  uint32_t min_weight = 3;
+  uint32_t max_weight = 20;
+  bool directed = false;
+  /// In directed mode, probability that the two directions get independently
+  /// drawn initial weights (otherwise symmetric).
+  double asymmetric_prob = 0.0;
+  uint64_t seed = 42;
+};
+
+/// Generates a connected synthetic road network of rows*cols vertices.
+Graph MakeRoadNetwork(const RoadNetworkOptions& options);
+
+/// Generates a connected random graph: a random spanning tree plus
+/// `extra_edges` random non-parallel edges, weights in [min_w, max_w].
+Graph MakeRandomConnected(size_t num_vertices, size_t extra_edges,
+                          uint32_t min_w, uint32_t max_w, uint64_t seed,
+                          bool directed = false);
+
+/// Builds the example graph G of Figure 3 in the paper (19 vertices,
+/// 24 edges); vertex ids are the paper's v1..v19 minus one.
+Graph MakePaperFigure3Graph();
+
+}  // namespace kspdg
+
+#endif  // KSPDG_GRAPH_GENERATORS_H_

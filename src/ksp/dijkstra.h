@@ -1,0 +1,170 @@
+// Dijkstra single-source / point-to-point search over any SearchGraph.
+//
+// Designed for heavy reuse inside Yen's algorithm: internal arrays are
+// invalidated with an epoch counter instead of being cleared, bans are
+// expressed through cheap lookup structures, and an optional admissible
+// heuristic turns the search into A*.
+#ifndef KSPDG_KSP_DIJKSTRA_H_
+#define KSPDG_KSP_DIJKSTRA_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/indexed_heap.h"
+#include "core/types.h"
+#include "ksp/path.h"
+#include "ksp/search_graph.h"
+
+namespace kspdg {
+
+/// Ban sets for constrained searches (Yen spur computations).
+struct SearchBans {
+  /// Vertices that may not be visited. Entry values compare against
+  /// `vertex_epoch`: banned iff banned_vertices[v] == vertex_epoch. This lets
+  /// Yen re-stamp bans without clearing the array.
+  const std::vector<uint32_t>* banned_vertices = nullptr;
+  uint32_t vertex_epoch = 0;
+  /// Edges that may not be traversed (same epoch trick).
+  const std::vector<uint32_t>* banned_edges = nullptr;
+  uint32_t edge_epoch = 0;
+
+  bool VertexBanned(VertexId v) const {
+    return banned_vertices != nullptr && (*banned_vertices)[v] == vertex_epoch;
+  }
+  bool EdgeBanned(EdgeId e) const {
+    return banned_edges != nullptr && (*banned_edges)[e] == edge_epoch;
+  }
+};
+
+template <typename SearchGraph>
+class DijkstraSearch {
+ public:
+  explicit DijkstraSearch(const SearchGraph& g)
+      : g_(&g),
+        heap_(g.NumVertices()),
+        dist_(g.NumVertices(), kInfiniteWeight),
+        parent_vertex_(g.NumVertices(), kInvalidVertex),
+        epoch_of_(g.NumVertices(), 0),
+        settled_(g.NumVertices(), 0) {}
+
+  /// Point-to-point shortest path. Returns std::nullopt if t is unreachable
+  /// under the bans. `heuristic` (if given) must be an admissible
+  /// lower bound on the remaining distance to `t` (size NumVertices,
+  /// kInfiniteWeight allowed for unreachable vertices).
+  std::optional<Path> ShortestPath(VertexId s, VertexId t,
+                                   const SearchBans& bans = {},
+                                   const std::vector<Weight>* heuristic =
+                                       nullptr) {
+    if (s == t) return Path{{s}, 0};
+    if (bans.VertexBanned(s) || bans.VertexBanned(t)) return std::nullopt;
+    BeginSearch();
+    Relax(s, 0, kInvalidVertex);
+    while (!heap_.empty()) {
+      VertexId u = heap_.PopMin();
+      settled_[u] = epoch_;
+      if (u == t) break;
+      ExpandVertex(u, bans, heuristic, t);
+    }
+    if (!Settled(t)) return std::nullopt;
+    return ExtractPath(s, t);
+  }
+
+  /// Full single-source tree under the current costs (no bans). If
+  /// `reverse` is true, arc costs are taken in the direction *into* the
+  /// source, producing distances suitable as A* heuristics toward `source`.
+  void ComputeTree(VertexId source, bool reverse, std::vector<Weight>* dist,
+                   std::vector<VertexId>* parent = nullptr) {
+    BeginSearch();
+    reverse_ = reverse;
+    Relax(source, 0, kInvalidVertex);
+    while (!heap_.empty()) {
+      VertexId u = heap_.PopMin();
+      settled_[u] = epoch_;
+      ExpandVertex(u, SearchBans{}, nullptr, kInvalidVertex);
+    }
+    reverse_ = false;
+    dist->assign(g_->NumVertices(), kInfiniteWeight);
+    if (parent != nullptr) parent->assign(g_->NumVertices(), kInvalidVertex);
+    for (VertexId v = 0; v < g_->NumVertices(); ++v) {
+      if (Settled(v)) {
+        (*dist)[v] = dist_[v];
+        if (parent != nullptr) (*parent)[v] = parent_vertex_[v];
+      }
+    }
+  }
+
+  /// Distance of the last search to `v` (kInfiniteWeight if unreached).
+  Weight DistanceTo(VertexId v) const {
+    return Reached(v) ? dist_[v] : kInfiniteWeight;
+  }
+
+ private:
+  bool Reached(VertexId v) const { return epoch_of_[v] == epoch_; }
+  bool Settled(VertexId v) const { return settled_[v] == epoch_; }
+
+  void BeginSearch() {
+    ++epoch_;
+    heap_.Clear();
+    if (epoch_ == 0) {  // counter wrapped: hard reset
+      std::fill(epoch_of_.begin(), epoch_of_.end(), 0);
+      std::fill(settled_.begin(), settled_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  void Relax(VertexId v, Weight d, VertexId from,
+             const std::vector<Weight>* heuristic = nullptr) {
+    if (!Reached(v) || d < dist_[v]) {
+      epoch_of_[v] = epoch_;
+      dist_[v] = d;
+      parent_vertex_[v] = from;
+      Weight key = d;
+      if (heuristic != nullptr) {
+        Weight h = (*heuristic)[v];
+        if (h == kInfiniteWeight) return;  // provably cannot reach target
+        key += h;
+      }
+      heap_.PushOrDecrease(v, key);
+    }
+  }
+
+  void ExpandVertex(VertexId u, const SearchBans& bans,
+                    const std::vector<Weight>* heuristic, VertexId target) {
+    (void)target;
+    for (const Arc& a : g_->Neighbors(u)) {
+      if (bans.EdgeBanned(a.edge) || bans.VertexBanned(a.to)) continue;
+      if (Settled(a.to)) continue;
+      Weight w = reverse_ ? g_->CostFrom(a.edge, a.to)
+                          : g_->CostFrom(a.edge, u);
+      Relax(a.to, dist_[u] + w, u, heuristic);
+    }
+  }
+
+  Path ExtractPath(VertexId s, VertexId t) const {
+    Path p;
+    p.distance = dist_[t];
+    for (VertexId v = t; v != kInvalidVertex; v = parent_vertex_[v]) {
+      p.vertices.push_back(v);
+      if (v == s) break;
+    }
+    std::reverse(p.vertices.begin(), p.vertices.end());
+    return p;
+  }
+
+  const SearchGraph* g_;
+  IndexedMinHeap heap_;
+  std::vector<Weight> dist_;
+  std::vector<VertexId> parent_vertex_;
+  std::vector<uint32_t> epoch_of_;
+  std::vector<uint32_t> settled_;
+  uint32_t epoch_ = 0;
+  bool reverse_ = false;
+};
+
+/// Convenience wrapper: shortest path in `g` under current weights.
+std::optional<Path> ShortestPathInGraph(const Graph& g, VertexId s, VertexId t);
+
+}  // namespace kspdg
+
+#endif  // KSPDG_KSP_DIJKSTRA_H_

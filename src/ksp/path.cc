@@ -1,0 +1,57 @@
+#include "ksp/path.h"
+
+#include <unordered_set>
+
+namespace kspdg {
+
+Weight RouteDistance(const Graph& g, const std::vector<VertexId>& vertices) {
+  Weight total = 0;
+  for (size_t i = 1; i < vertices.size(); ++i) {
+    EdgeId e = g.FindEdge(vertices[i - 1], vertices[i]);
+    if (e == kInvalidEdge) return kInfiniteWeight;
+    total += g.WeightFrom(e, vertices[i - 1]);
+  }
+  return total;
+}
+
+bool IsSimpleRoute(const std::vector<VertexId>& vertices) {
+  std::unordered_set<VertexId> seen;
+  seen.reserve(vertices.size());
+  for (VertexId v : vertices) {
+    if (!seen.insert(v).second) return false;
+  }
+  return true;
+}
+
+bool IsValidRoute(const Graph& g, const std::vector<VertexId>& vertices) {
+  for (size_t i = 1; i < vertices.size(); ++i) {
+    if (g.FindEdge(vertices[i - 1], vertices[i]) == kInvalidEdge) return false;
+  }
+  return true;
+}
+
+std::string PathToString(const Path& p) {
+  std::string out;
+  for (size_t i = 0; i < p.vertices.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += 'v';
+    out += std::to_string(p.vertices[i]);
+  }
+  out += " (d=";
+  out += std::to_string(p.distance);
+  out += ')';
+  return out;
+}
+
+bool InsertTopK(std::vector<Path>& top, Path p, size_t k) {
+  for (const Path& existing : top) {
+    if (SameRoute(existing, p)) return false;
+  }
+  auto it = std::lower_bound(top.begin(), top.end(), p, PathLess);
+  if (top.size() >= k && it == top.end()) return false;
+  top.insert(it, std::move(p));
+  if (top.size() > k) top.pop_back();
+  return true;
+}
+
+}  // namespace kspdg

@@ -1,0 +1,58 @@
+// Path value type (Definition 3) and helpers shared by all KSP algorithms.
+#ifndef KSPDG_KSP_PATH_H_
+#define KSPDG_KSP_PATH_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "graph/graph.h"
+
+namespace kspdg {
+
+/// A simple (loop-free) path with its cached distance under the weights it
+/// was computed with.
+struct Path {
+  std::vector<VertexId> vertices;
+  Weight distance = 0;
+
+  bool empty() const { return vertices.empty(); }
+  size_t NumEdges() const {
+    return vertices.empty() ? 0 : vertices.size() - 1;
+  }
+  VertexId Source() const { return vertices.front(); }
+  VertexId Target() const { return vertices.back(); }
+};
+
+/// Equality of routes (ignores cached distance).
+inline bool SameRoute(const Path& a, const Path& b) {
+  return a.vertices == b.vertices;
+}
+
+/// Deterministic ordering: by distance, then lexicographically by route.
+inline bool PathLess(const Path& a, const Path& b) {
+  if (!WeightsEqual(a.distance, b.distance)) return a.distance < b.distance;
+  return a.vertices < b.vertices;
+}
+
+/// Recomputes the distance of `vertices` under the current weights of `g`.
+/// Returns kInfiniteWeight if some consecutive pair is not connected.
+Weight RouteDistance(const Graph& g, const std::vector<VertexId>& vertices);
+
+/// True if the route visits no vertex twice.
+bool IsSimpleRoute(const std::vector<VertexId>& vertices);
+
+/// True if every consecutive pair is an edge of `g`.
+bool IsValidRoute(const Graph& g, const std::vector<VertexId>& vertices);
+
+/// "v0 -> v1 -> ... (d=12.5)" rendering for logs and examples.
+std::string PathToString(const Path& p);
+
+/// Inserts `p` into the list `top` kept sorted by PathLess, deduplicating by
+/// route and truncating to `k` entries. Returns true if the list changed.
+bool InsertTopK(std::vector<Path>& top, Path p, size_t k);
+
+}  // namespace kspdg
+
+#endif  // KSPDG_KSP_PATH_H_

@@ -1,0 +1,53 @@
+// The search-graph concept shared by Dijkstra/Yen and their adapters.
+//
+// All path-search algorithms in this library are templates over a
+// `SearchGraph`: any type providing
+//
+//   size_t  NumVertices() const;
+//   <range of Arc> Neighbors(VertexId v) const;   // Arc = {to, edge}
+//   Weight  CostFrom(EdgeId e, VertexId from) const;
+//
+// This lets the same Dijkstra/Yen implementation run over (1) the original
+// graph under current weights, (2) the original graph under vfrag counts
+// (bounding-path computation, §3.4), and (3) the skeleton graph Gλ with a
+// per-query source/target overlay (§5.2-5.3).
+#ifndef KSPDG_KSP_SEARCH_GRAPH_H_
+#define KSPDG_KSP_SEARCH_GRAPH_H_
+
+#include "core/types.h"
+#include "graph/graph.h"
+
+namespace kspdg {
+
+/// Which per-edge cost a search over the original graph uses.
+enum class CostKind {
+  kCurrentWeight,  // dynamic travel time
+  kVfrags,         // static initial weight = number of virtual fragments
+};
+
+/// Adapts a Graph to the SearchGraph concept with a chosen cost.
+class GraphCostView {
+ public:
+  GraphCostView(const Graph& g, CostKind kind) : g_(&g), kind_(kind) {}
+
+  size_t NumVertices() const { return g_->NumVertices(); }
+  size_t NumEdges() const { return g_->NumEdges(); }
+
+  std::span<const Arc> Neighbors(VertexId v) const { return g_->Neighbors(v); }
+
+  Weight CostFrom(EdgeId e, VertexId from) const {
+    return kind_ == CostKind::kCurrentWeight
+               ? g_->WeightFrom(e, from)
+               : static_cast<Weight>(g_->VfragsFrom(e, from));
+  }
+
+  const Graph& graph() const { return *g_; }
+
+ private:
+  const Graph* g_;
+  CostKind kind_;
+};
+
+}  // namespace kspdg
+
+#endif  // KSPDG_KSP_SEARCH_GRAPH_H_

@@ -1,0 +1,19 @@
+#include "kspdg/ksp_dg.h"
+
+#include "kspdg/partial_provider.h"
+#include "kspdg/query_context.h"
+
+namespace kspdg {
+
+Result<KspQueryResult> KspDgEngine::Query(VertexId s, VertexId t,
+                                          const KspDgOptions& options) const {
+  const Graph& g = dtlp_->graph();
+  if (s >= g.NumVertices() || t >= g.NumVertices()) {
+    return Status::InvalidArgument("query vertex out of range");
+  }
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  LocalPartialProvider provider(*dtlp_);
+  return RunKspDgQuery(*dtlp_, &provider, s, t, options);
+}
+
+}  // namespace kspdg

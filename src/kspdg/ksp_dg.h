@@ -1,0 +1,43 @@
+// KSP-DG (§5): iterative filter-and-refine identification of the k shortest
+// loopless paths over a DTLP-indexed dynamic graph.
+//
+// Each iteration draws the next-shortest *reference path* from the skeleton
+// graph (filter), computes partial k-shortest paths between every adjacent
+// boundary pair of the reference path inside the subgraphs containing the
+// pair (refine, Algorithm 4), joins the partials into candidate paths, and
+// folds them into the running top-k list L. The loop ends when the k-th
+// distance in L no longer exceeds the distance of the next unseen reference
+// path (Theorem 3), which guarantees exactness.
+//
+// This class is the single-node computational core; src/dist wraps the same
+// driver (RunKspDgQuery) in the Storm-style master/worker runtime.
+#ifndef KSPDG_KSPDG_KSP_DG_H_
+#define KSPDG_KSPDG_KSP_DG_H_
+
+#include "core/status.h"
+#include "core/types.h"
+#include "dtlp/dtlp.h"
+#include "kspdg/ksp_dg_options.h"
+
+namespace kspdg {
+
+class KspDgEngine {
+ public:
+  /// The engine reads (and never writes) the DTLP: subgraph weight copies,
+  /// level-1 indexes and the skeleton graph. Safe to share across query
+  /// threads as long as no update is applied concurrently.
+  explicit KspDgEngine(const Dtlp& dtlp) : dtlp_(&dtlp) {}
+
+  /// Answers q(s, t) with the current snapshot of weights.
+  Result<KspQueryResult> Query(VertexId s, VertexId t,
+                               const KspDgOptions& options) const;
+
+  const Dtlp& dtlp() const { return *dtlp_; }
+
+ private:
+  const Dtlp* dtlp_;
+};
+
+}  // namespace kspdg
+
+#endif  // KSPDG_KSPDG_KSP_DG_H_

@@ -1,0 +1,42 @@
+// Options and result types of the KSP-DG algorithm, shared by the
+// single-node engine and the distributed deployment.
+#ifndef KSPDG_KSPDG_KSP_DG_OPTIONS_H_
+#define KSPDG_KSPDG_KSP_DG_OPTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ksp/path.h"
+
+namespace kspdg {
+
+struct KspDgOptions {
+  uint32_t k = 2;
+  /// Hard cap on filter/refine iterations (safety valve; §5.5 argues ~k
+  /// iterations in practice).
+  uint32_t max_iterations = 1000;
+  /// §5.2 optimisation: cache partial k-shortest paths across iterations of
+  /// one query.
+  bool reuse_partials = true;
+  /// When joins reject non-simple combinations and the candidate list comes
+  /// up short, partial lists are re-fetched with doubled depth up to this
+  /// many times (0 reproduces the paper's plain Algorithm 4).
+  uint32_t join_refetch_rounds = 2;
+};
+
+struct KspDgQueryStats {
+  uint32_t iterations = 0;
+  size_t partial_ksp_computations = 0;  // Yen runs on subgraphs
+  size_t partial_cache_hits = 0;
+  size_t subgraphs_examined = 0;
+  size_t candidates_generated = 0;
+};
+
+struct KspQueryResult {
+  std::vector<Path> paths;  // ascending distance; at most k
+  KspDgQueryStats stats;
+};
+
+}  // namespace kspdg
+
+#endif  // KSPDG_KSPDG_KSP_DG_OPTIONS_H_

@@ -1,0 +1,36 @@
+#include "kspdg/partial_provider.h"
+
+#include "ksp/yen.h"
+
+namespace kspdg {
+
+std::vector<Path> LocalPartialProvider::PartialsInSubgraph(const Subgraph& sg,
+                                                           VertexId x,
+                                                           VertexId y,
+                                                           size_t depth) {
+  VertexId lx = sg.LocalOf(x);
+  VertexId ly = sg.LocalOf(y);
+  std::vector<Path> paths = YenKspInGraph(sg.local(), lx, ly, depth);
+  for (Path& p : paths) {
+    for (VertexId& v : p.vertices) v = sg.GlobalOf(v);
+  }
+  return paths;
+}
+
+PartialResult LocalPartialProvider::ComputePartials(VertexId x, VertexId y,
+                                                    size_t depth) {
+  PartialResult result;
+  size_t max_fetched = 0;
+  const Partition& partition = dtlp_->partition();
+  for (SubgraphId sgid : partition.SubgraphsContainingBoth(x, y)) {
+    const Subgraph& sg = partition.subgraphs[sgid];
+    ++result.yen_runs;
+    std::vector<Path> local = PartialsInSubgraph(sg, x, y, depth);
+    max_fetched = std::max(max_fetched, local.size());
+    for (Path& p : local) InsertTopK(result.paths, std::move(p), depth);
+  }
+  result.exhausted = max_fetched < depth;
+  return result;
+}
+
+}  // namespace kspdg

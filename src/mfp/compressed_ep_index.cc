@@ -1,0 +1,66 @@
+#include "mfp/compressed_ep_index.h"
+
+#include <algorithm>
+
+namespace kspdg {
+
+CompressedEpIndex::CompressedEpIndex(const SubgraphIndex& index,
+                                     const LshOptions& options) {
+  const size_t num_edges = index.subgraph().local().NumEdges();
+  // Column sets of the PE-Matrix: per edge, the crossing path ids.
+  std::vector<std::vector<uint32_t>> columns(num_edges);
+  // Global occurrence count of each path across all columns (for the
+  // frequency-descending insertion order of §4.2).
+  std::vector<uint32_t> frequency(index.paths().size(), 0);
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    columns[e] = index.PathsThroughEdge(e);
+    raw_entries_ += columns[e].size();
+    for (uint32_t pid : columns[e]) ++frequency[pid];
+  }
+
+  std::vector<std::vector<uint64_t>> signatures =
+      ComputeMinHashSignatures(columns, options);
+  group_of_edge_ = LshGroupColumns(signatures, options);
+  uint32_t num_groups = 0;
+  for (uint32_t gid : group_of_edge_) num_groups = std::max(num_groups, gid + 1);
+  trees_.resize(num_groups);
+
+  // Insert edges group by group; within a group, denser path sets first so
+  // later sets find long prefixes.
+  std::vector<EdgeId> order(num_edges);
+  for (EdgeId e = 0; e < num_edges; ++e) order[e] = e;
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    if (group_of_edge_[a] != group_of_edge_[b])
+      return group_of_edge_[a] < group_of_edge_[b];
+    if (columns[a].size() != columns[b].size())
+      return columns[a].size() > columns[b].size();
+    return a < b;
+  });
+  for (EdgeId e : order) {
+    std::vector<uint32_t> sorted = columns[e];
+    std::sort(sorted.begin(), sorted.end(), [&](uint32_t a, uint32_t b) {
+      if (frequency[a] != frequency[b]) return frequency[a] > frequency[b];
+      return a < b;
+    });
+    trees_[group_of_edge_[e]].InsertEdge(e, sorted);
+  }
+}
+
+std::vector<uint32_t> CompressedEpIndex::PathsOfEdge(EdgeId local_edge) const {
+  return trees_[group_of_edge_[local_edge]].PathsOfEdge(local_edge);
+}
+
+size_t CompressedEpIndex::CompressedEntries() const {
+  size_t total = 0;
+  for (const MfpTree& tree : trees_) total += tree.NumPathNodes();
+  return total;
+}
+
+size_t CompressedEpIndex::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  bytes += group_of_edge_.capacity() * sizeof(uint32_t);
+  for (const MfpTree& tree : trees_) bytes += tree.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace kspdg

@@ -1,0 +1,44 @@
+// Compressed EP-Index (§4): LSH-groups the edges of one subgraph by the
+// similarity of their bounding-path sets and compacts each group into an
+// MFP-tree. Functionally equivalent to the raw EP-Index lookup
+// (SubgraphIndex::PathsThroughEdge) at a fraction of the memory.
+#ifndef KSPDG_MFP_COMPRESSED_EP_INDEX_H_
+#define KSPDG_MFP_COMPRESSED_EP_INDEX_H_
+
+#include <vector>
+
+#include "dtlp/subgraph_index.h"
+#include "mfp/mfp_tree.h"
+#include "mfp/minhash_lsh.h"
+
+namespace kspdg {
+
+class CompressedEpIndex {
+ public:
+  /// Builds the compressed index from a built SubgraphIndex.
+  CompressedEpIndex(const SubgraphIndex& index, const LshOptions& options);
+
+  /// Path ids crossing `local_edge` (set-equal to the raw EP-Index entry).
+  std::vector<uint32_t> PathsOfEdge(EdgeId local_edge) const;
+
+  size_t NumGroups() const { return trees_.size(); }
+  uint32_t GroupOfEdge(EdgeId local_edge) const {
+    return group_of_edge_[local_edge];
+  }
+
+  /// Total (path, edge) incidences in the raw EP-Index vs. path nodes kept
+  /// by the trees; ratio < 1 means compression.
+  size_t RawEntries() const { return raw_entries_; }
+  size_t CompressedEntries() const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<uint32_t> group_of_edge_;
+  std::vector<MfpTree> trees_;
+  size_t raw_entries_ = 0;
+};
+
+}  // namespace kspdg
+
+#endif  // KSPDG_MFP_COMPRESSED_EP_INDEX_H_

@@ -1,0 +1,98 @@
+#include "mfp/mfp_tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kspdg {
+
+MfpTree::MfpTree() {
+  nodes_.push_back(Node{0, false, kRoot, 0, {}});  // empty root
+}
+
+uint32_t MfpTree::AddNode(uint32_t parent, uint32_t item, bool is_tail) {
+  uint32_t id = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(Node{item, is_tail, parent, 0, {}});
+  nodes_[parent].children.push_back(id);
+  if (!is_tail) {
+    nodes_of_path_[item].push_back(id);
+    ++num_path_nodes_;
+  }
+  return id;
+}
+
+std::pair<uint32_t, size_t> MfpTree::LongestMatchingPrefix(
+    const std::vector<uint32_t>& items) const {
+  if (items.empty()) return {kRoot, 0};
+  auto starts = nodes_of_path_.find(items[0]);
+  if (starts == nodes_of_path_.end()) return {kRoot, 0};
+  uint32_t best_node = kRoot;
+  size_t best_len = 0;
+  for (uint32_t start : starts->second) {
+    uint32_t node = start;
+    size_t len = 1;
+    // Extend the match downwards through children.
+    while (len < items.size()) {
+      uint32_t next = kRoot;
+      for (uint32_t child : nodes_[node].children) {
+        if (!nodes_[child].is_tail && nodes_[child].item == items[len]) {
+          next = child;
+          break;
+        }
+      }
+      if (next == kRoot) break;
+      node = next;
+      ++len;
+    }
+    if (len > best_len) {
+      best_len = len;
+      best_node = node;
+      if (best_len == items.size()) break;
+    }
+  }
+  return {best_node, best_len};
+}
+
+void MfpTree::InsertEdge(EdgeId edge_id,
+                         const std::vector<uint32_t>& sorted_paths) {
+  assert(tail_of_edge_.count(edge_id) == 0 && "edge inserted twice");
+  auto [attach, matched] = LongestMatchingPrefix(sorted_paths);
+  uint32_t node = attach;
+  for (size_t i = matched; i < sorted_paths.size(); ++i) {
+    node = AddNode(node, sorted_paths[i], /*is_tail=*/false);
+  }
+  uint32_t tail = AddNode(node, edge_id, /*is_tail=*/true);
+  nodes_[tail].set_size = static_cast<uint32_t>(sorted_paths.size());
+  tail_of_edge_.emplace(edge_id, tail);
+}
+
+std::vector<uint32_t> MfpTree::PathsOfEdge(EdgeId edge_id) const {
+  std::vector<uint32_t> out;
+  auto it = tail_of_edge_.find(edge_id);
+  if (it == tail_of_edge_.end()) return out;
+  const Node& tail = nodes_[it->second];
+  out.reserve(tail.set_size);
+  uint32_t node = tail.parent;
+  for (uint32_t step = 0; step < tail.set_size; ++step) {
+    assert(node != kRoot);
+    out.push_back(nodes_[node].item);
+    node = nodes_[node].parent;
+  }
+  // Walking up yields reverse insertion order; restore it.
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+size_t MfpTree::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const Node& n : nodes_) {
+    bytes += sizeof(Node) + n.children.capacity() * sizeof(uint32_t);
+  }
+  bytes += nodes_of_path_.size() * 48;
+  for (const auto& [path, list] : nodes_of_path_) {
+    bytes += list.capacity() * sizeof(uint32_t);
+  }
+  bytes += tail_of_edge_.size() * 24;
+  return bytes;
+}
+
+}  // namespace kspdg

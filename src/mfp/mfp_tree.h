@@ -1,0 +1,72 @@
+// MFP-tree (§4.2): a modified FP-tree that compacts the duplicated bounding-
+// path lists of the EP-Index within one LSH group of edges.
+//
+// Each edge contributes the sequence S = {p0, ..., pl, e} where the path ids
+// are sorted by global occurrence count (descending) and e is the *tail
+// node* recording |P(e)|. Unlike a classic FP-tree, the longest matching
+// prefix of S may start at ANY node, not just the root. Recovering the path
+// set of an edge walks |P(e)| steps up from its tail node.
+#ifndef KSPDG_MFP_MFP_TREE_H_
+#define KSPDG_MFP_MFP_TREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+
+namespace kspdg {
+
+class MfpTree {
+ public:
+  static constexpr uint32_t kRoot = 0;
+
+  MfpTree();
+
+  /// Inserts edge `edge_id` with its frequency-sorted path list.
+  void InsertEdge(EdgeId edge_id, const std::vector<uint32_t>& sorted_paths);
+
+  /// Recovers the path ids of `edge_id` (in insertion-sequence order:
+  /// closest ancestor last). Returns empty if the edge is unknown.
+  std::vector<uint32_t> PathsOfEdge(EdgeId edge_id) const;
+
+  bool ContainsEdge(EdgeId edge_id) const {
+    return tail_of_edge_.count(edge_id) > 0;
+  }
+
+  /// Number of *normal* (path) nodes — the compression metric: the raw
+  /// EP-Index stores sum(|P(e)|) path references, the tree stores
+  /// NumPathNodes() <= that.
+  size_t NumPathNodes() const { return num_path_nodes_; }
+  size_t NumNodes() const { return nodes_.size() - 1; }  // excl. root
+
+  size_t MemoryBytes() const;
+
+ private:
+  struct Node {
+    uint32_t item;       // path id, or edge id for tail nodes
+    bool is_tail;
+    uint32_t parent;
+    uint32_t set_size;   // tails only: |P(e)|
+    std::vector<uint32_t> children;
+  };
+
+  /// Finds the deepest node chain matching a prefix of `items` starting at
+  /// any node; returns (last matched node or kRoot, matched length).
+  std::pair<uint32_t, size_t> LongestMatchingPrefix(
+      const std::vector<uint32_t>& items) const;
+
+  uint32_t AddNode(uint32_t parent, uint32_t item, bool is_tail);
+
+  std::vector<Node> nodes_;  // nodes_[0] is the empty root
+  /// All non-tail nodes holding a given path id (prefix-match entry points).
+  std::unordered_map<uint32_t, std::vector<uint32_t>> nodes_of_path_;
+  std::unordered_map<EdgeId, uint32_t> tail_of_edge_;
+  size_t num_path_nodes_ = 0;
+};
+
+}  // namespace kspdg
+
+#endif  // KSPDG_MFP_MFP_TREE_H_

@@ -1,0 +1,107 @@
+#include "mfp/minhash_lsh.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "core/rng.h"
+
+namespace kspdg {
+
+namespace {
+
+/// Disjoint-set for merging columns that collide in some band.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(uint32_t a, uint32_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<uint32_t> parent_;
+};
+
+}  // namespace
+
+std::vector<std::vector<uint64_t>> ComputeMinHashSignatures(
+    const std::vector<std::vector<uint32_t>>& column_sets,
+    const LshOptions& options) {
+  // Derive per-function salts deterministically from the seed.
+  std::vector<uint64_t> salts(options.num_hashes);
+  uint64_t sm = options.seed;
+  for (uint64_t& salt : salts) salt = SplitMix64(sm);
+
+  std::vector<std::vector<uint64_t>> signatures(column_sets.size());
+  for (size_t c = 0; c < column_sets.size(); ++c) {
+    std::vector<uint64_t>& sig = signatures[c];
+    sig.assign(options.num_hashes, ~uint64_t{0});
+    for (uint32_t row : column_sets[c]) {
+      for (uint32_t i = 0; i < options.num_hashes; ++i) {
+        uint64_t h = Mix64(salts[i] ^ (uint64_t{row} + 1));
+        if (h < sig[i]) sig[i] = h;
+      }
+    }
+  }
+  return signatures;
+}
+
+std::vector<uint32_t> LshGroupColumns(
+    const std::vector<std::vector<uint64_t>>& signatures,
+    const LshOptions& options) {
+  const size_t m = signatures.size();
+  std::vector<uint32_t> groups(m, 0);
+  if (m == 0) return groups;
+  const uint32_t rows_per_band = options.num_hashes / options.num_bands;
+  UnionFind uf(m);
+  for (uint32_t band = 0; band < options.num_bands; ++band) {
+    std::unordered_map<uint64_t, uint32_t> bucket_rep;
+    bucket_rep.reserve(m);
+    for (uint32_t c = 0; c < m; ++c) {
+      uint64_t key = 0xcbf29ce484222325ULL ^ band;
+      for (uint32_t r = 0; r < rows_per_band; ++r) {
+        key = Mix64(key ^ signatures[c][band * rows_per_band + r]);
+      }
+      auto [it, inserted] = bucket_rep.try_emplace(key, c);
+      if (!inserted) uf.Union(c, it->second);
+    }
+  }
+  // Densify group ids.
+  std::unordered_map<uint32_t, uint32_t> dense;
+  uint32_t next = 0;
+  for (uint32_t c = 0; c < m; ++c) {
+    uint32_t root = uf.Find(c);
+    auto [it, inserted] = dense.try_emplace(root, next);
+    if (inserted) ++next;
+    groups[c] = it->second;
+  }
+  return groups;
+}
+
+double JaccardSimilarity(const std::vector<uint32_t>& a,
+                         const std::vector<uint32_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace kspdg

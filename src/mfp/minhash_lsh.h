@@ -1,0 +1,44 @@
+// MinHash signatures + LSH banding over the PE-Matrix (§4.1).
+//
+// The EP-Index stores, per edge, the set of bounding paths crossing it; sets
+// of nearby edges overlap heavily. MinHash estimates the Jaccard similarity
+// of these path sets cheaply, and LSH banding groups edges that are likely
+// similar; each group is then compressed with one MFP-tree (§4.2).
+#ifndef KSPDG_MFP_MINHASH_LSH_H_
+#define KSPDG_MFP_MINHASH_LSH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace kspdg {
+
+struct LshOptions {
+  /// h: number of MinHash functions per column (edge).
+  uint32_t num_hashes = 8;
+  /// b: number of LSH bands; num_hashes must be divisible by num_bands.
+  uint32_t num_bands = 4;
+  uint64_t seed = 1234;
+};
+
+/// Column-major MinHash signature matrix ("Sig-Matrix", Figure 11):
+/// signatures[c][i] = min over rows r in column c of hash_i(r).
+std::vector<std::vector<uint64_t>> ComputeMinHashSignatures(
+    const std::vector<std::vector<uint32_t>>& column_sets,
+    const LshOptions& options);
+
+/// LSH banding (§4.1): hashes each column's band slices into buckets and
+/// merges columns sharing any bucket. Returns group index per column;
+/// groups are numbered densely from 0.
+std::vector<uint32_t> LshGroupColumns(
+    const std::vector<std::vector<uint64_t>>& signatures,
+    const LshOptions& options);
+
+/// Exact Jaccard similarity of two sorted id sets (for tests / diagnostics).
+double JaccardSimilarity(const std::vector<uint32_t>& a,
+                         const std::vector<uint32_t>& b);
+
+}  // namespace kspdg
+
+#endif  // KSPDG_MFP_MINHASH_LSH_H_

@@ -1,0 +1,135 @@
+#include "partition/partitioner.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace kspdg {
+
+std::vector<SubgraphId> Partition::SubgraphsContainingBoth(
+    VertexId a, VertexId b) const {
+  const std::vector<SubgraphId>& la = subgraphs_of_vertex[a];
+  const std::vector<SubgraphId>& lb = subgraphs_of_vertex[b];
+  std::vector<SubgraphId> out;
+  std::set_intersection(la.begin(), la.end(), lb.begin(), lb.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+size_t Partition::CountSubgraphsWithBoundaryAbove(size_t threshold) const {
+  size_t count = 0;
+  for (const Subgraph& sg : subgraphs) {
+    if (sg.boundary_local().size() > threshold) ++count;
+  }
+  return count;
+}
+
+Result<Partition> PartitionGraph(const Graph& g,
+                                 const PartitionOptions& options) {
+  if (options.max_vertices < 2) {
+    return Status::InvalidArgument("max_vertices (z) must be >= 2");
+  }
+  const size_t n = g.NumVertices();
+  const uint32_t z = options.max_vertices;
+
+  Partition part;
+  part.subgraphs_of_vertex.assign(n, {});
+  part.subgraph_of_edge.assign(g.NumEdges(), kInvalidSubgraph);
+  part.is_boundary.assign(n, 0);
+
+  std::vector<char> edge_assigned(g.NumEdges(), 0);
+  // Per-vertex count of incident unassigned edges, so the seed loop can skip
+  // exhausted vertices in O(1).
+  std::vector<uint32_t> unassigned_degree(n, 0);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    ++unassigned_degree[g.EdgeU(e)];
+    ++unassigned_degree[g.EdgeV(e)];
+  }
+
+  std::vector<uint32_t> in_component(n, 0);  // epoch-stamped membership
+  uint32_t epoch = 0;
+  std::vector<VertexId> component;
+  std::deque<VertexId> queue;
+
+  auto grow_from = [&](VertexId seed) {
+    ++epoch;
+    component.clear();
+    queue.clear();
+    queue.push_back(seed);
+    in_component[seed] = epoch;
+    // BFS over *unassigned* edges only, capped at z vertices.
+    while (!queue.empty() && component.size() < z) {
+      VertexId u = queue.front();
+      queue.pop_front();
+      component.push_back(u);
+      if (component.size() == z) break;
+      for (const Arc& a : g.Neighbors(u)) {
+        if (edge_assigned[a.edge]) continue;
+        if (in_component[a.to] == epoch) continue;
+        if (component.size() + queue.size() >= z) break;
+        in_component[a.to] = epoch;
+        queue.push_back(a.to);
+      }
+    }
+    // Queue leftovers were stamped but not admitted; un-stamp them.
+    for (VertexId v : queue) in_component[v] = 0;
+
+    SubgraphId sid = static_cast<SubgraphId>(part.subgraphs.size());
+    Subgraph sg(sid, g.directed());
+    for (VertexId v : component) sg.AddVertex(v);
+    sg.FreezeVertices();
+    size_t edges_added = 0;
+    for (VertexId u : component) {
+      for (const Arc& a : g.Neighbors(u)) {
+        if (edge_assigned[a.edge]) continue;
+        if (in_component[a.to] != epoch || a.to < u) continue;  // visit once
+        edge_assigned[a.edge] = 1;
+        part.subgraph_of_edge[a.edge] = sid;
+        --unassigned_degree[g.EdgeU(a.edge)];
+        --unassigned_degree[g.EdgeV(a.edge)];
+        sg.AddGlobalEdge(g, a.edge);
+        ++edges_added;
+      }
+    }
+    if (edges_added == 0) {
+      // Can happen only for an isolated seed; keep the singleton so the
+      // vertex-coverage invariant (V1 u ... u Vn = V) holds.
+      part.subgraphs.push_back(std::move(sg));
+      for (VertexId v : component) part.subgraphs_of_vertex[v].push_back(sid);
+      return;
+    }
+    // Drop vertices that ended up with no incident edge in this subgraph?
+    // They were reachable only through edges assigned here, so every
+    // non-seed component vertex has at least one (see partitioner notes);
+    // keep the full component for simplicity and correctness.
+    part.subgraphs.push_back(std::move(sg));
+    for (VertexId v : component) part.subgraphs_of_vertex[v].push_back(sid);
+  };
+
+  for (VertexId seed = 0; seed < n; ++seed) {
+    while (unassigned_degree[seed] > 0) grow_from(seed);
+  }
+  // Isolated vertices (degree 0) that are in no subgraph yet.
+  for (VertexId v = 0; v < n; ++v) {
+    if (part.subgraphs_of_vertex[v].empty()) grow_from(v);
+  }
+
+  // Boundary detection + per-subgraph boundary lists.
+  for (VertexId v = 0; v < n; ++v) {
+    std::vector<SubgraphId>& list = part.subgraphs_of_vertex[v];
+    std::sort(list.begin(), list.end());
+    if (list.size() >= 2) {
+      part.is_boundary[v] = 1;
+      part.boundary_vertices.push_back(v);
+    }
+  }
+  for (Subgraph& sg : part.subgraphs) {
+    std::vector<VertexId> boundary;
+    for (VertexId local = 0; local < sg.NumVertices(); ++local) {
+      if (part.is_boundary[sg.GlobalOf(local)]) boundary.push_back(local);
+    }
+    sg.SetBoundaryLocal(std::move(boundary));
+  }
+  return part;
+}
+
+}  // namespace kspdg

@@ -1,0 +1,50 @@
+// BFS graph partitioning (§3.3): the graph is cut into subgraphs of at most
+// z vertices that cover every vertex and every edge; subgraphs may share
+// vertices (the *boundary vertices*) but never edges.
+#ifndef KSPDG_PARTITION_PARTITIONER_H_
+#define KSPDG_PARTITION_PARTITIONER_H_
+
+#include <vector>
+
+#include "core/status.h"
+#include "core/types.h"
+#include "graph/graph.h"
+#include "partition/subgraph.h"
+
+namespace kspdg {
+
+struct PartitionOptions {
+  /// z: maximum number of vertices per subgraph (must be >= 2).
+  uint32_t max_vertices = 200;
+};
+
+/// The partition of a graph plus the derived boundary-vertex structures.
+struct Partition {
+  std::vector<Subgraph> subgraphs;
+  /// For each global vertex, the (sorted) ids of subgraphs containing it.
+  std::vector<std::vector<SubgraphId>> subgraphs_of_vertex;
+  /// Owner subgraph of each global edge.
+  std::vector<SubgraphId> subgraph_of_edge;
+  /// All boundary vertices (global ids, sorted ascending).
+  std::vector<VertexId> boundary_vertices;
+  /// is_boundary[v] != 0 iff v appears in >= 2 subgraphs.
+  std::vector<char> is_boundary;
+
+  /// Subgraphs containing both a and b (intersection of membership lists).
+  std::vector<SubgraphId> SubgraphsContainingBoth(VertexId a,
+                                                  VertexId b) const;
+
+  /// Number of subgraphs with more than `threshold` boundary vertices
+  /// (the "(nb > 5)" column of Table 1).
+  size_t CountSubgraphsWithBoundaryAbove(size_t threshold) const;
+};
+
+/// Partitions `g`. Requires options.max_vertices >= 2. Every vertex of `g`
+/// (including isolated ones) lands in at least one subgraph and every edge
+/// in exactly one.
+Result<Partition> PartitionGraph(const Graph& g,
+                                 const PartitionOptions& options);
+
+}  // namespace kspdg
+
+#endif  // KSPDG_PARTITION_PARTITIONER_H_

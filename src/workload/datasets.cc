@@ -1,0 +1,82 @@
+#include "workload/datasets.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+
+#include "graph/dimacs_io.h"
+
+namespace kspdg {
+
+const std::vector<DatasetSpec>& StandardDatasets() {
+  static const std::vector<DatasetSpec>* kDatasets = [] {
+    auto* v = new std::vector<DatasetSpec>;
+    RoadNetworkOptions base;
+    base.thinning = 0.35;
+    base.diagonal_prob = 0.05;
+    base.min_weight = 3;
+    base.max_weight = 20;
+
+    DatasetSpec ny{"NY-S", "USA-road-t.NY.gr", base, 100};
+    ny.road.rows = 128;
+    ny.road.cols = 128;
+    ny.road.seed = 1001;
+    v->push_back(ny);
+
+    DatasetSpec col{"COL-S", "USA-road-t.COL.gr", base, 100};
+    col.road.rows = 160;
+    col.road.cols = 160;
+    col.road.seed = 1002;
+    v->push_back(col);
+
+    DatasetSpec fla{"FLA-S", "USA-road-t.FLA.gr", base, 150};
+    fla.road.rows = 200;
+    fla.road.cols = 200;
+    fla.road.seed = 1003;
+    v->push_back(fla);
+
+    DatasetSpec cusa{"CUSA-S", "USA-road-t.CTR.gr", base, 200};
+    cusa.road.rows = 300;
+    cusa.road.cols = 300;
+    cusa.road.seed = 1004;
+    v->push_back(cusa);
+    return v;
+  }();
+  return *kDatasets;
+}
+
+const DatasetSpec& DatasetByName(const std::string& name) {
+  for (const DatasetSpec& spec : StandardDatasets()) {
+    if (spec.name == name) return spec;
+  }
+  std::fprintf(stderr, "unknown dataset: %s\n", name.c_str());
+  std::abort();
+}
+
+Graph LoadDataset(const DatasetSpec& spec, bool directed) {
+  const char* dir = std::getenv("KSPDG_DATA_DIR");
+  if (dir != nullptr && !spec.dimacs_file.empty()) {
+    std::string path = std::string(dir) + "/" + spec.dimacs_file;
+    if (std::ifstream(path).good()) {
+      Result<Graph> g = ReadDimacsFile(path, directed);
+      if (g.ok()) return std::move(g).value();
+      std::fprintf(stderr, "failed to read %s: %s — using synthetic\n",
+                   path.c_str(), g.status().ToString().c_str());
+    }
+  }
+  RoadNetworkOptions options = spec.road;
+  options.directed = directed;
+  return MakeRoadNetwork(options);
+}
+
+Graph LoadScaledDataset(const DatasetSpec& spec, size_t target_vertices,
+                        bool directed) {
+  RoadNetworkOptions options = spec.road;
+  options.directed = directed;
+  double side = std::sqrt(static_cast<double>(target_vertices));
+  options.rows = static_cast<uint32_t>(std::max(2.0, side));
+  options.cols = options.rows;
+  return MakeRoadNetwork(options);
+}
+
+}  // namespace kspdg

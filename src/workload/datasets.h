@@ -1,0 +1,44 @@
+// Named benchmark datasets.
+//
+// The paper evaluates on the DIMACS road networks NY, COL, FLA and CUSA.
+// Those public files are not bundled offline, so the registry provides
+// scaled-down synthetic stand-ins (NY-S, COL-S, FLA-S, CUSA-S) with the same
+// relative size ordering and road-like structure (see DESIGN.md's
+// substitution table). Set the environment variable KSPDG_DATA_DIR to a
+// directory containing USA-road-d.NY.gr etc. to run on the real networks.
+#ifndef KSPDG_WORKLOAD_DATASETS_H_
+#define KSPDG_WORKLOAD_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace kspdg {
+
+struct DatasetSpec {
+  std::string name;          // "NY-S", ...
+  std::string dimacs_file;   // file name under KSPDG_DATA_DIR, if available
+  RoadNetworkOptions road;   // synthetic fallback parameters
+  uint32_t default_z;        // default subgraph size for this dataset
+};
+
+/// The four standard datasets, smallest to largest.
+const std::vector<DatasetSpec>& StandardDatasets();
+
+/// Spec by name ("NY-S", "COL-S", "FLA-S", "CUSA-S"); aborts on unknown name.
+const DatasetSpec& DatasetByName(const std::string& name);
+
+/// Loads the dataset: the real DIMACS file when KSPDG_DATA_DIR is set and
+/// the file exists, otherwise the synthetic stand-in.
+Graph LoadDataset(const DatasetSpec& spec, bool directed = false);
+
+/// A smaller instance of the same family, scaled to ~`target_vertices`
+/// (used by the graph-size sweeps of Figures 20-21).
+Graph LoadScaledDataset(const DatasetSpec& spec, size_t target_vertices,
+                        bool directed = false);
+
+}  // namespace kspdg
+
+#endif  // KSPDG_WORKLOAD_DATASETS_H_

@@ -1,0 +1,221 @@
+// Unit tests for src/core: Status/Result, Rng, IndexedMinHeap, SmallSortedSet,
+// ParallelFor.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <queue>
+#include <vector>
+
+#include "core/indexed_heap.h"
+#include "core/parallel_for.h"
+#include "core/rng.h"
+#include "core/small_set.h"
+#include "core/status.h"
+#include "core/types.h"
+
+namespace kspdg {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("k must be >= 1");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "k must be >= 1");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: k must be >= 1");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_EQ(Status::NotFound("x").ToString(), "NotFound: x");
+  EXPECT_EQ(Status::OutOfRange("x").ToString(), "OutOfRange: x");
+  EXPECT_EQ(Status::FailedPrecondition("x").ToString(),
+            "FailedPrecondition: x");
+  EXPECT_EQ(Status::Internal("x").ToString(), "Internal: x");
+  EXPECT_EQ(Status::IOError("x").ToString(), "IOError: x");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(WeightsTest, EqualityTolerance) {
+  EXPECT_TRUE(WeightsEqual(1.0, 1.0));
+  EXPECT_TRUE(WeightsEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(WeightsEqual(1.0, 1.001));
+  EXPECT_TRUE(WeightLess(1.0, 2.0));
+  EXPECT_FALSE(WeightLess(1.0, 1.0 + 1e-12));
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(7), b(8);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.Next() != b.Next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedStaysInBound) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBounded(17), 17u);
+}
+
+TEST(RngTest, RangeDouble) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble(-0.3, 0.3);
+    EXPECT_GE(d, -0.3);
+    EXPECT_LT(d, 0.3);
+  }
+}
+
+TEST(IndexedHeapTest, PushPopOrdered) {
+  IndexedMinHeap heap(10);
+  heap.PushOrDecrease(3, 5.0);
+  heap.PushOrDecrease(1, 2.0);
+  heap.PushOrDecrease(7, 9.0);
+  heap.PushOrDecrease(2, 3.0);
+  double key;
+  EXPECT_EQ(heap.PopMin(&key), 1u);
+  EXPECT_DOUBLE_EQ(key, 2.0);
+  EXPECT_EQ(heap.PopMin(&key), 2u);
+  EXPECT_EQ(heap.PopMin(&key), 3u);
+  EXPECT_EQ(heap.PopMin(&key), 7u);
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(IndexedHeapTest, DecreaseKeyReordersEntry) {
+  IndexedMinHeap heap(10);
+  heap.PushOrDecrease(0, 10.0);
+  heap.PushOrDecrease(1, 20.0);
+  EXPECT_TRUE(heap.PushOrDecrease(1, 5.0));
+  EXPECT_EQ(heap.PopMin(), 1u);
+  EXPECT_EQ(heap.PopMin(), 0u);
+}
+
+TEST(IndexedHeapTest, IncreaseIsIgnored) {
+  IndexedMinHeap heap(4);
+  heap.PushOrDecrease(0, 1.0);
+  EXPECT_FALSE(heap.PushOrDecrease(0, 9.0));
+  EXPECT_DOUBLE_EQ(heap.KeyOf(0), 1.0);
+}
+
+TEST(IndexedHeapTest, TieBrokenById) {
+  IndexedMinHeap heap(10);
+  heap.PushOrDecrease(5, 1.0);
+  heap.PushOrDecrease(2, 1.0);
+  heap.PushOrDecrease(8, 1.0);
+  EXPECT_EQ(heap.PopMin(), 2u);
+  EXPECT_EQ(heap.PopMin(), 5u);
+  EXPECT_EQ(heap.PopMin(), 8u);
+}
+
+TEST(IndexedHeapTest, MatchesStdPriorityQueueOnRandomWorkload) {
+  Rng rng(11);
+  const size_t n = 500;
+  IndexedMinHeap heap(n);
+  std::vector<double> best(n, kInfiniteWeight);
+  for (int round = 0; round < 2000; ++round) {
+    uint32_t id = static_cast<uint32_t>(rng.NextBounded(n));
+    double key = rng.NextDouble() * 100;
+    if (key < best[id]) best[id] = key;
+    heap.PushOrDecrease(id, key);
+  }
+  double prev = -1;
+  while (!heap.empty()) {
+    double key;
+    uint32_t id = heap.PopMin(&key);
+    EXPECT_DOUBLE_EQ(key, best[id]);
+    EXPECT_GE(key, prev);
+    prev = key;
+  }
+}
+
+TEST(IndexedHeapTest, ClearResets) {
+  IndexedMinHeap heap(4);
+  heap.PushOrDecrease(1, 1.0);
+  heap.PushOrDecrease(2, 2.0);
+  heap.Clear();
+  EXPECT_TRUE(heap.empty());
+  EXPECT_FALSE(heap.Contains(1));
+  heap.PushOrDecrease(1, 3.0);
+  EXPECT_DOUBLE_EQ(heap.KeyOf(1), 3.0);
+}
+
+TEST(SmallSortedSetTest, InsertContainsErase) {
+  SmallSortedSet<int> set;
+  EXPECT_TRUE(set.Insert(5));
+  EXPECT_TRUE(set.Insert(1));
+  EXPECT_FALSE(set.Insert(5));
+  EXPECT_TRUE(set.Contains(1));
+  EXPECT_FALSE(set.Contains(2));
+  EXPECT_TRUE(set.Erase(1));
+  EXPECT_FALSE(set.Erase(1));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(SmallSortedSetTest, IteratesSorted) {
+  SmallSortedSet<int> set;
+  for (int v : {9, 3, 7, 1}) set.Insert(v);
+  std::vector<int> got(set.begin(), set.end());
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+  EXPECT_EQ(got.size(), 4u);
+}
+
+TEST(ParallelForTest, CoversAllIndices) {
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(hits.size(), 4, [&](size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, SingleThreadInline) {
+  std::vector<int> hits(100, 0);
+  ParallelFor(hits.size(), 1, [&](size_t i) { hits[i]++; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, MoreThreadsThanItems) {
+  std::atomic<int> sum{0};
+  ParallelFor(3, 16, [&](size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(ParallelForTest, ZeroItemsIsNoOp) {
+  ParallelFor(0, 4, [](size_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace kspdg

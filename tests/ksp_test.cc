@@ -1,0 +1,312 @@
+// Unit + property tests for src/ksp: Dijkstra, Yen, FindKSP, Path helpers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+#include "graph/generators.h"
+#include "ksp/dijkstra.h"
+#include "ksp/findksp.h"
+#include "ksp/path.h"
+#include "ksp/search_graph.h"
+#include "ksp/yen.h"
+
+namespace kspdg {
+namespace {
+
+/// Reference implementation: enumerate ALL simple paths s->t by DFS and keep
+/// the k shortest. Exponential; only for tiny graphs.
+std::vector<Path> BruteForceKsp(const Graph& g, VertexId s, VertexId t,
+                                size_t k) {
+  std::vector<Path> all;
+  std::vector<VertexId> current = {s};
+  std::vector<char> used(g.NumVertices(), 0);
+  used[s] = 1;
+  Weight dist = 0;
+  std::function<void(VertexId)> dfs = [&](VertexId u) {
+    if (u == t) {
+      all.push_back({current, dist});
+      return;
+    }
+    for (const Arc& a : g.Neighbors(u)) {
+      if (used[a.to]) continue;
+      used[a.to] = 1;
+      current.push_back(a.to);
+      Weight w = g.WeightFrom(a.edge, u);
+      dist += w;
+      dfs(a.to);
+      dist -= w;
+      current.pop_back();
+      used[a.to] = 0;
+    }
+  };
+  dfs(s);
+  std::sort(all.begin(), all.end(), PathLess);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+void ExpectSameDistances(const std::vector<Path>& got,
+                         const std::vector<Path>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].distance, want[i].distance, 1e-7)
+        << "rank " << i << ": " << PathToString(got[i]) << " vs "
+        << PathToString(want[i]);
+  }
+}
+
+TEST(PathTest, RouteDistance) {
+  Graph g = Graph::Undirected(3);
+  g.AddEdge(0, 1, 4);
+  g.AddEdge(1, 2, 6);
+  EXPECT_DOUBLE_EQ(RouteDistance(g, {0, 1, 2}), 10.0);
+  EXPECT_EQ(RouteDistance(g, {0, 2}), kInfiniteWeight);
+}
+
+TEST(PathTest, SimpleRouteCheck) {
+  EXPECT_TRUE(IsSimpleRoute({0, 1, 2}));
+  EXPECT_FALSE(IsSimpleRoute({0, 1, 0}));
+  EXPECT_TRUE(IsSimpleRoute({}));
+}
+
+TEST(PathTest, InsertTopKKeepsSortedUnique) {
+  std::vector<Path> top;
+  EXPECT_TRUE(InsertTopK(top, {{0, 1}, 5.0}, 2));
+  EXPECT_TRUE(InsertTopK(top, {{0, 2, 1}, 3.0}, 2));
+  EXPECT_FALSE(InsertTopK(top, {{0, 2, 1}, 3.0}, 2));  // duplicate route
+  EXPECT_TRUE(InsertTopK(top, {{0, 3, 1}, 4.0}, 2));   // evicts 5.0
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_DOUBLE_EQ(top[0].distance, 3.0);
+  EXPECT_DOUBLE_EQ(top[1].distance, 4.0);
+  EXPECT_FALSE(InsertTopK(top, {{0, 4, 1}, 9.0}, 2));  // too long, full list
+}
+
+TEST(DijkstraTest, SimpleShortestPath) {
+  Graph g = Graph::Undirected(4);
+  g.AddEdge(0, 1, 1);
+  g.AddEdge(1, 3, 1);
+  g.AddEdge(0, 2, 1);
+  g.AddEdge(2, 3, 5);
+  GraphCostView view(g, CostKind::kCurrentWeight);
+  DijkstraSearch<GraphCostView> search(view);
+  std::optional<Path> p = search.ShortestPath(0, 3);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->distance, 2.0);
+  EXPECT_EQ(p->vertices, (std::vector<VertexId>{0, 1, 3}));
+}
+
+TEST(DijkstraTest, UnreachableReturnsNullopt) {
+  Graph g = Graph::Undirected(4);
+  g.AddEdge(0, 1, 1);
+  g.AddEdge(2, 3, 1);
+  GraphCostView view(g, CostKind::kCurrentWeight);
+  DijkstraSearch<GraphCostView> search(view);
+  EXPECT_FALSE(search.ShortestPath(0, 3).has_value());
+}
+
+TEST(DijkstraTest, SourceEqualsTarget) {
+  Graph g = Graph::Undirected(2);
+  g.AddEdge(0, 1, 1);
+  GraphCostView view(g, CostKind::kCurrentWeight);
+  DijkstraSearch<GraphCostView> search(view);
+  std::optional<Path> p = search.ShortestPath(1, 1);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->distance, 0.0);
+  EXPECT_EQ(p->vertices.size(), 1u);
+}
+
+TEST(DijkstraTest, RespectsDynamicWeights) {
+  Graph g = Graph::Undirected(3);
+  EdgeId direct = g.AddEdge(0, 2, 3);
+  g.AddEdge(0, 1, 1);
+  g.AddEdge(1, 2, 1);
+  GraphCostView view(g, CostKind::kCurrentWeight);
+  DijkstraSearch<GraphCostView> search(view);
+  EXPECT_DOUBLE_EQ(search.ShortestPath(0, 2)->distance, 2.0);
+  g.SetWeight(direct, 1.5);
+  EXPECT_DOUBLE_EQ(search.ShortestPath(0, 2)->distance, 1.5);
+}
+
+TEST(DijkstraTest, VfragCostIgnoresDynamicWeights) {
+  Graph g = Graph::Undirected(3);
+  EdgeId direct = g.AddEdge(0, 2, 3);
+  g.AddEdge(0, 1, 1);
+  g.AddEdge(1, 2, 1);
+  g.SetWeight(direct, 0.5);  // current weight cheap, vfrags still 3
+  GraphCostView view(g, CostKind::kVfrags);
+  DijkstraSearch<GraphCostView> search(view);
+  std::optional<Path> p = search.ShortestPath(0, 2);
+  EXPECT_DOUBLE_EQ(p->distance, 2.0);  // via vertex 1
+}
+
+TEST(DijkstraTest, DirectedWeights) {
+  Graph g = Graph::Directed(2);
+  g.AddEdge(0, 1, 2, 7);
+  GraphCostView view(g, CostKind::kCurrentWeight);
+  DijkstraSearch<GraphCostView> search(view);
+  EXPECT_DOUBLE_EQ(search.ShortestPath(0, 1)->distance, 2.0);
+  EXPECT_DOUBLE_EQ(search.ShortestPath(1, 0)->distance, 7.0);
+}
+
+TEST(DijkstraTest, BannedVertexForcesDetour) {
+  Graph g = Graph::Undirected(4);
+  g.AddEdge(0, 1, 1);
+  g.AddEdge(1, 3, 1);
+  g.AddEdge(0, 2, 2);
+  g.AddEdge(2, 3, 2);
+  GraphCostView view(g, CostKind::kCurrentWeight);
+  DijkstraSearch<GraphCostView> search(view);
+  std::vector<uint32_t> banned(4, 0);
+  banned[1] = 1;
+  SearchBans bans;
+  bans.banned_vertices = &banned;
+  bans.vertex_epoch = 1;
+  std::optional<Path> p = search.ShortestPath(0, 3, bans);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->distance, 4.0);
+}
+
+TEST(DijkstraTest, BannedEdgeForcesDetour) {
+  Graph g = Graph::Undirected(3);
+  EdgeId fast = g.AddEdge(0, 2, 1);
+  g.AddEdge(0, 1, 1);
+  g.AddEdge(1, 2, 1);
+  GraphCostView view(g, CostKind::kCurrentWeight);
+  DijkstraSearch<GraphCostView> search(view);
+  std::vector<uint32_t> banned(g.NumEdges(), 0);
+  banned[fast] = 3;
+  SearchBans bans;
+  bans.banned_edges = &banned;
+  bans.edge_epoch = 3;
+  EXPECT_DOUBLE_EQ(search.ShortestPath(0, 2, bans)->distance, 2.0);
+}
+
+TEST(DijkstraTest, ReverseTreeOnDirectedGraph) {
+  Graph g = Graph::Directed(3);
+  g.AddEdge(0, 1, 2, 10);
+  g.AddEdge(1, 2, 3, 20);
+  GraphCostView view(g, CostKind::kCurrentWeight);
+  DijkstraSearch<GraphCostView> search(view);
+  std::vector<Weight> dist;
+  search.ComputeTree(2, /*reverse=*/true, &dist);
+  // dist[v] = shortest distance from v TO vertex 2.
+  EXPECT_DOUBLE_EQ(dist[2], 0.0);
+  EXPECT_DOUBLE_EQ(dist[1], 3.0);
+  EXPECT_DOUBLE_EQ(dist[0], 5.0);
+}
+
+TEST(DijkstraTest, MatchesBruteForceOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Graph g = MakeRandomConnected(12, 10, 1, 9, seed);
+    GraphCostView view(g, CostKind::kCurrentWeight);
+    DijkstraSearch<GraphCostView> search(view);
+    for (VertexId t = 1; t < 6; ++t) {
+      std::optional<Path> p = search.ShortestPath(0, t);
+      std::vector<Path> brute = BruteForceKsp(g, 0, t, 1);
+      ASSERT_TRUE(p.has_value());
+      ASSERT_FALSE(brute.empty());
+      EXPECT_NEAR(p->distance, brute[0].distance, 1e-9);
+    }
+  }
+}
+
+TEST(YenTest, PaperExampleSmall) {
+  // Classic diamond: two disjoint routes plus a mixed one.
+  Graph g = Graph::Undirected(4);
+  g.AddEdge(0, 1, 1);
+  g.AddEdge(1, 3, 1);
+  g.AddEdge(0, 2, 2);
+  g.AddEdge(2, 3, 2);
+  g.AddEdge(1, 2, 1);
+  std::vector<Path> ksp = YenKspInGraph(g, 0, 3, 4);
+  ASSERT_EQ(ksp.size(), 4u);
+  EXPECT_DOUBLE_EQ(ksp[0].distance, 2.0);  // 0-1-3
+  EXPECT_DOUBLE_EQ(ksp[1].distance, 4.0);  // 0-1-2-3, 0-2-3, 0-2-1-3
+  EXPECT_DOUBLE_EQ(ksp[2].distance, 4.0);
+  EXPECT_DOUBLE_EQ(ksp[3].distance, 4.0);
+}
+
+TEST(YenTest, PathsAreSimpleSortedDistinct) {
+  Graph g = MakeRandomConnected(25, 35, 1, 9, 21);
+  std::vector<Path> ksp = YenKspInGraph(g, 0, 24, 12);
+  for (size_t i = 0; i < ksp.size(); ++i) {
+    EXPECT_TRUE(IsSimpleRoute(ksp[i].vertices));
+    EXPECT_TRUE(IsValidRoute(g, ksp[i].vertices));
+    EXPECT_NEAR(RouteDistance(g, ksp[i].vertices), ksp[i].distance, 1e-9);
+    if (i > 0) EXPECT_GE(ksp[i].distance, ksp[i - 1].distance - 1e-9);
+    for (size_t j = 0; j < i; ++j) {
+      EXPECT_FALSE(SameRoute(ksp[i], ksp[j]));
+    }
+  }
+}
+
+TEST(YenTest, ExhaustsAllSimplePaths) {
+  Graph g = Graph::Undirected(3);
+  g.AddEdge(0, 1, 1);
+  g.AddEdge(1, 2, 1);
+  g.AddEdge(0, 2, 3);
+  // Exactly 2 simple paths 0->2.
+  std::vector<Path> ksp = YenKspInGraph(g, 0, 2, 10);
+  EXPECT_EQ(ksp.size(), 2u);
+}
+
+TEST(YenTest, MatchesBruteForceOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    Graph g = MakeRandomConnected(10, 8, 1, 9, seed * 31 + 1);
+    std::vector<Path> got = YenKspInGraph(g, 0, 9, 6);
+    std::vector<Path> want = BruteForceKsp(g, 0, 9, 6);
+    ExpectSameDistances(got, want);
+  }
+}
+
+TEST(YenTest, DirectedMatchesBruteForce) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Graph g = MakeRandomConnected(9, 8, 1, 9, seed + 100, /*directed=*/true);
+    std::vector<Path> got = YenKspInGraph(g, 0, 8, 5);
+    std::vector<Path> want = BruteForceKsp(g, 0, 8, 5);
+    ExpectSameDistances(got, want);
+  }
+}
+
+TEST(YenTest, LazyEnumeratorProducesAscendingStream) {
+  Graph g = MakeRandomConnected(20, 25, 1, 9, 77);
+  GraphCostView view(g, CostKind::kCurrentWeight);
+  YenEnumerator<GraphCostView> yen(view, 0, 19);
+  Weight prev = 0;
+  for (int i = 0; i < 8; ++i) {
+    std::optional<Path> p = yen.NextPath();
+    if (!p.has_value()) break;
+    EXPECT_GE(p->distance, prev - 1e-9);
+    prev = p->distance;
+  }
+}
+
+TEST(FindKspTest, MatchesYenDistances) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Graph g = MakeRandomConnected(30, 40, 1, 15, seed * 7 + 3);
+    std::vector<Path> yen = YenKspInGraph(g, 2, 27, 8);
+    std::vector<Path> fks = FindKsp(g, 2, 27, 8);
+    ExpectSameDistances(fks, yen);
+  }
+}
+
+TEST(FindKspTest, DisconnectedReturnsEmpty) {
+  Graph g = Graph::Undirected(4);
+  g.AddEdge(0, 1, 1);
+  g.AddEdge(2, 3, 1);
+  EXPECT_TRUE(FindKsp(g, 0, 3, 4).empty());
+}
+
+TEST(FindKspTest, WorksAfterWeightChanges) {
+  Graph g = MakeRandomConnected(25, 30, 2, 12, 55);
+  for (EdgeId e = 0; e < g.NumEdges(); e += 3) {
+    g.SetWeight(e, g.ForwardWeight(e) * 0.4);
+  }
+  std::vector<Path> yen = YenKspInGraph(g, 1, 20, 6);
+  std::vector<Path> fks = FindKsp(g, 1, 20, 6);
+  ExpectSameDistances(fks, yen);
+}
+
+}  // namespace
+}  // namespace kspdg

@@ -1,0 +1,195 @@
+// Unit + property tests for the BFS partitioner (§3.3): coverage of vertices
+// and edges, the z cap, edge-disjointness, boundary detection.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.h"
+#include "partition/partitioner.h"
+
+namespace kspdg {
+namespace {
+
+Partition MustPartition(const Graph& g, uint32_t z) {
+  PartitionOptions opt;
+  opt.max_vertices = z;
+  Result<Partition> part = PartitionGraph(g, opt);
+  EXPECT_TRUE(part.ok()) << part.status().ToString();
+  return std::move(part).value();
+}
+
+/// Checks the three §3.3 invariants plus structural consistency.
+void CheckPartitionInvariants(const Graph& g, const Partition& part,
+                              uint32_t z) {
+  // (1) V1 u ... u Vn = V.
+  std::vector<int> vertex_cover(g.NumVertices(), 0);
+  for (const Subgraph& sg : part.subgraphs) {
+    EXPECT_LE(sg.NumVertices(), z);
+    for (VertexId local = 0; local < sg.NumVertices(); ++local) {
+      vertex_cover[sg.GlobalOf(local)]++;
+      EXPECT_EQ(sg.LocalOf(sg.GlobalOf(local)), local);
+    }
+  }
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_GE(vertex_cover[v], 1) << "vertex " << v << " uncovered";
+  }
+  // (2) E1 u ... u En = E, and subgraphs share no edges.
+  std::vector<int> edge_cover(g.NumEdges(), 0);
+  for (const Subgraph& sg : part.subgraphs) {
+    for (EdgeId le = 0; le < sg.NumEdges(); ++le) {
+      EdgeId ge = sg.GlobalEdgeOf(le);
+      edge_cover[ge]++;
+      // Weights and vfrags must mirror the global edge.
+      EXPECT_EQ(sg.local().ForwardVfrags(le), g.ForwardVfrags(ge));
+      EXPECT_DOUBLE_EQ(sg.local().ForwardWeight(le), g.ForwardWeight(ge));
+      // Orientation preserved.
+      EXPECT_EQ(sg.GlobalOf(sg.local().EdgeU(le)), g.EdgeU(ge));
+      EXPECT_EQ(sg.GlobalOf(sg.local().EdgeV(le)), g.EdgeV(ge));
+    }
+  }
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_EQ(edge_cover[e], 1) << "edge " << e << " covered "
+                                << edge_cover[e] << " times";
+    EXPECT_NE(part.subgraph_of_edge[e], kInvalidSubgraph);
+  }
+  // Boundary = membership in >= 2 subgraphs.
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(part.is_boundary[v] != 0, part.subgraphs_of_vertex[v].size() >= 2);
+  }
+  // Per-subgraph boundary lists agree with the global flags.
+  for (const Subgraph& sg : part.subgraphs) {
+    std::set<VertexId> listed(sg.boundary_local().begin(),
+                              sg.boundary_local().end());
+    for (VertexId local = 0; local < sg.NumVertices(); ++local) {
+      EXPECT_EQ(listed.count(local) > 0,
+                part.is_boundary[sg.GlobalOf(local)] != 0);
+    }
+  }
+}
+
+TEST(PartitionerTest, RejectsTinyZ) {
+  Graph g = MakeRandomConnected(10, 5, 1, 5, 1);
+  PartitionOptions opt;
+  opt.max_vertices = 1;
+  EXPECT_FALSE(PartitionGraph(g, opt).ok());
+}
+
+TEST(PartitionerTest, SingleSubgraphWhenZLarge) {
+  Graph g = MakeRandomConnected(20, 10, 1, 5, 2);
+  Partition part = MustPartition(g, 100);
+  EXPECT_EQ(part.subgraphs.size(), 1u);
+  EXPECT_TRUE(part.boundary_vertices.empty());
+  CheckPartitionInvariants(g, part, 100);
+}
+
+TEST(PartitionerTest, InvariantsOnRoadNetwork) {
+  RoadNetworkOptions opt;
+  opt.rows = 20;
+  opt.cols = 20;
+  opt.seed = 3;
+  Graph g = MakeRoadNetwork(opt);
+  for (uint32_t z : {8u, 20u, 50u, 200u}) {
+    Partition part = MustPartition(g, z);
+    CheckPartitionInvariants(g, part, z);
+    if (z < g.NumVertices()) {
+      EXPECT_GT(part.subgraphs.size(), 1u);
+      EXPECT_FALSE(part.boundary_vertices.empty());
+    }
+  }
+}
+
+TEST(PartitionerTest, InvariantsOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Graph g = MakeRandomConnected(120, 90, 1, 12, seed);
+    Partition part = MustPartition(g, 16);
+    CheckPartitionInvariants(g, part, 16);
+  }
+}
+
+TEST(PartitionerTest, HandlesIsolatedVertices) {
+  Graph g(5);
+  g.AddEdge(0, 1, 2);  // vertices 2, 3, 4 isolated
+  Partition part = MustPartition(g, 4);
+  CheckPartitionInvariants(g, part, 4);
+}
+
+TEST(PartitionerTest, HandlesStarGraphSmallZ) {
+  // A star forces repeated growth from the hub.
+  Graph g(10);
+  for (VertexId v = 1; v < 10; ++v) g.AddEdge(0, v, 1);
+  Partition part = MustPartition(g, 3);
+  CheckPartitionInvariants(g, part, 3);
+  // The hub belongs to several subgraphs, hence is a boundary vertex.
+  EXPECT_GE(part.subgraphs_of_vertex[0].size(), 2u);
+  EXPECT_TRUE(part.is_boundary[0]);
+}
+
+TEST(PartitionerTest, DirectedGraphPreservesPerDirectionWeights) {
+  RoadNetworkOptions opt;
+  opt.rows = 8;
+  opt.cols = 8;
+  opt.directed = true;
+  opt.asymmetric_prob = 1.0;
+  opt.seed = 9;
+  Graph g = MakeRoadNetwork(opt);
+  Partition part = MustPartition(g, 12);
+  for (const Subgraph& sg : part.subgraphs) {
+    EXPECT_TRUE(sg.local().directed());
+    for (EdgeId le = 0; le < sg.NumEdges(); ++le) {
+      EdgeId ge = sg.GlobalEdgeOf(le);
+      EXPECT_EQ(sg.local().BackwardVfrags(le), g.BackwardVfrags(ge));
+      EXPECT_DOUBLE_EQ(sg.local().BackwardWeight(le), g.BackwardWeight(ge));
+    }
+  }
+}
+
+TEST(PartitionerTest, SubgraphsContainingBoth) {
+  RoadNetworkOptions opt;
+  opt.rows = 10;
+  opt.cols = 10;
+  opt.seed = 11;
+  Graph g = MakeRoadNetwork(opt);
+  Partition part = MustPartition(g, 12);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    // The endpoints of any edge co-occur at least in the owning subgraph.
+    std::vector<SubgraphId> both =
+        part.SubgraphsContainingBoth(g.EdgeU(e), g.EdgeV(e));
+    EXPECT_FALSE(both.empty());
+    bool owner_found = false;
+    for (SubgraphId s : both) owner_found |= (s == part.subgraph_of_edge[e]);
+    EXPECT_TRUE(owner_found);
+  }
+}
+
+TEST(PartitionerTest, ApplyUpdatePropagatesToSubgraph) {
+  Graph g = MakeRandomConnected(40, 30, 2, 9, 12);
+  Partition part = MustPartition(g, 10);
+  WeightUpdate upd{0, 3.5, 3.5};
+  SubgraphId owner = part.subgraph_of_edge[0];
+  EXPECT_TRUE(part.subgraphs[owner].ApplyUpdate(upd));
+  EdgeId local = part.subgraphs[owner].LocalEdgeOf(0);
+  EXPECT_DOUBLE_EQ(part.subgraphs[owner].local().ForwardWeight(local), 3.5);
+  // Subgraphs not containing the edge refuse it.
+  for (const Subgraph& sg : part.subgraphs) {
+    if (sg.id() != owner) {
+      Subgraph& mutable_sg = const_cast<Subgraph&>(sg);
+      EXPECT_FALSE(mutable_sg.ApplyUpdate(upd));
+    }
+  }
+}
+
+TEST(PartitionerTest, BoundaryCountStatistic) {
+  RoadNetworkOptions opt;
+  opt.rows = 16;
+  opt.cols = 16;
+  opt.seed = 13;
+  Graph g = MakeRoadNetwork(opt);
+  Partition part = MustPartition(g, 20);
+  size_t above0 = part.CountSubgraphsWithBoundaryAbove(0);
+  size_t above5 = part.CountSubgraphsWithBoundaryAbove(5);
+  EXPECT_GE(above0, above5);
+  EXPECT_GT(above0, 0u);
+}
+
+}  // namespace
+}  // namespace kspdg

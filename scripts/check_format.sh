@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# clang-format dry run over the first-party sources. Exits non-zero if any
+# file needs reformatting; prints the offending files. Skipped (exit 0,
+# with a notice) when clang-format is not installed.
+set -u
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not found; skipping" >&2
+  exit 0
+fi
+
+mapfile -t files < <(find src tests tools -name '*.cc' -o -name '*.h' | sort)
+
+bad=0
+for f in "${files[@]}"; do
+  if ! clang-format --dry-run --Werror --style=Google "$f" >/dev/null 2>&1; then
+    echo "needs format: $f"
+    bad=1
+  fi
+done
+
+if [ "$bad" -ne 0 ]; then
+  echo "run: clang-format -i --style=Google <files>" >&2
+fi
+exit "$bad"

@@ -1,0 +1,77 @@
+// The pluggable solver interface behind RoutingService.
+//
+// A KspSolver answers one query against an immutable weight snapshot: the
+// service holds its reader lock for the whole Solve() call, so backends may
+// freely read the graph and the DTLP without further synchronisation, and
+// must not retain pointers past the call. All backends produce the same
+// KspQueryResult shape (paths ascending by distance, plus engine stats), so
+// callers can switch backends per request without changing response handling.
+#ifndef KSPDG_API_KSP_SOLVER_H_
+#define KSPDG_API_KSP_SOLVER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/routing_options.h"
+#include "core/status.h"
+#include "core/types.h"
+#include "dtlp/dtlp.h"
+#include "graph/graph.h"
+#include "kspdg/ksp_dg_options.h"
+
+namespace kspdg {
+
+/// Everything a backend may look at while solving. `options` has been merged
+/// with the service defaults and validated; `graph` and `dtlp` stay frozen
+/// for the duration of Solve().
+struct SolverInput {
+  const Graph* graph = nullptr;
+  const Dtlp* dtlp = nullptr;
+  VertexId source = kInvalidVertex;
+  VertexId target = kInvalidVertex;
+  RoutingOptions options;
+};
+
+class KspSolver {
+ public:
+  virtual ~KspSolver() = default;
+
+  /// Registry key, e.g. "kspdg". Must be stable for the solver's lifetime.
+  virtual std::string_view name() const = 0;
+
+  /// Computes up to options.k shortest loopless paths source -> target.
+  /// Returning fewer (or zero) paths is not an error; Status is reserved for
+  /// requests the backend cannot serve (e.g. unsupported k).
+  virtual Result<KspQueryResult> Solve(const SolverInput& input) const = 0;
+};
+
+/// Name -> solver map owned by the service. Not thread-safe for writes;
+/// register all backends before serving queries.
+class SolverRegistry {
+ public:
+  /// Registry preloaded with the four standard backends: "kspdg" (DTLP
+  /// filter-and-refine), "yen", "findksp", and "dijkstra" (k=1 degenerate
+  /// case).
+  static SolverRegistry Default();
+
+  /// Fails with kInvalidArgument on empty names and kFailedPrecondition on
+  /// duplicates.
+  Status Register(std::unique_ptr<KspSolver> solver);
+
+  /// nullptr when no solver has the name.
+  const KspSolver* Find(std::string_view name) const;
+
+  /// Registered names, sorted ascending (for error messages and tooling).
+  std::vector<std::string> Names() const;
+
+  size_t size() const { return solvers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<KspSolver>> solvers_;
+};
+
+}  // namespace kspdg
+
+#endif  // KSPDG_API_KSP_SOLVER_H_

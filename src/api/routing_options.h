@@ -1,0 +1,100 @@
+// Request/response value types and the layered option model of the routing
+// API (the only public surface for k-shortest-path queries).
+//
+// Options come in two layers: a RoutingService is created with a
+// RoutingOptions holding the service-wide defaults, and every KspRequest may
+// override any subset of those knobs through RoutingOverrides. The merged
+// result is validated once per request; solver backends receive an options
+// struct that is guaranteed well-formed.
+#ifndef KSPDG_API_ROUTING_OPTIONS_H_
+#define KSPDG_API_ROUTING_OPTIONS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/types.h"
+#include "ksp/path.h"
+#include "kspdg/ksp_dg_options.h"
+
+namespace kspdg {
+
+/// Well-known backend names registered by SolverRegistry::Default().
+inline constexpr const char* kBackendKspDg = "kspdg";
+inline constexpr const char* kBackendYen = "yen";
+inline constexpr const char* kBackendFindKsp = "findksp";
+inline constexpr const char* kBackendDijkstra = "dijkstra";
+
+/// Service-level option set; every knob can be overridden per request.
+/// Folds the former KspDgOptions engine knobs into the public API surface.
+struct RoutingOptions {
+  /// Number of shortest loopless paths to return.
+  uint32_t k = 2;
+  /// Solver backend answering the query (a SolverRegistry name).
+  std::string backend = kBackendKspDg;
+  /// Hard cap on KSP-DG filter/refine iterations (safety valve; §5.5 argues
+  /// ~k iterations in practice). Ignored by the baseline backends.
+  uint32_t max_iterations = 1000;
+  /// §5.2 optimisation: cache partial k-shortest paths across iterations of
+  /// one query. Ignored by the baseline backends.
+  bool reuse_partials = true;
+  /// When joins reject non-simple combinations and the candidate list comes
+  /// up short, partial lists are re-fetched with doubled depth up to this
+  /// many times (0 reproduces the paper's plain Algorithm 4).
+  uint32_t join_refetch_rounds = 2;
+
+  /// Checks the invariants every solver relies on.
+  Status Validate() const;
+
+  /// Projection onto the internal KSP-DG engine knobs.
+  KspDgOptions ToEngineOptions() const;
+};
+
+/// Per-request overrides; unset fields fall back to the service defaults.
+struct RoutingOverrides {
+  std::optional<uint32_t> k;
+  std::optional<std::string> backend;
+  std::optional<uint32_t> max_iterations;
+  std::optional<bool> reuse_partials;
+  std::optional<uint32_t> join_refetch_rounds;
+};
+
+/// Layers `overrides` on top of `defaults` (no validation).
+RoutingOptions MergeOptions(const RoutingOptions& defaults,
+                            const RoutingOverrides& overrides);
+
+/// One k-shortest-paths query q(s, t).
+struct KspRequest {
+  VertexId source = kInvalidVertex;
+  VertexId target = kInvalidVertex;
+  RoutingOverrides options;
+};
+
+/// Per-query measurements, filled by every backend.
+struct QueryStats {
+  /// Wall time spent inside the solver (excludes lock wait).
+  double solve_micros = 0;
+  /// KSP-DG internals; zero for the baseline backends.
+  KspDgQueryStats engine;
+};
+
+struct KspResponse {
+  /// Ascending by distance; fewer than k entries when the graph does not
+  /// contain k simple s-t paths.
+  std::vector<Path> paths;
+  /// Weight-snapshot epoch this answer was computed at. The service bumps
+  /// the epoch on every applied traffic batch, so two responses with equal
+  /// epochs saw identical weights.
+  uint64_t epoch = 0;
+  /// Effective k after merging overrides.
+  uint32_t k = 0;
+  /// Name of the backend that produced the answer.
+  std::string backend;
+  QueryStats stats;
+};
+
+}  // namespace kspdg
+
+#endif  // KSPDG_API_ROUTING_OPTIONS_H_

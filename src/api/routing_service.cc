@@ -1,0 +1,118 @@
+#include "api/routing_service.h"
+
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+
+#include "core/strings.h"
+#include "core/timer.h"
+
+namespace kspdg {
+
+Result<std::unique_ptr<RoutingService>> RoutingService::Create(
+    Graph graph, RoutingServiceOptions options) {
+  KSPDG_RETURN_NOT_OK(options.defaults.Validate());
+  // The service must be heap-allocated before the DTLP is built: the index
+  // keeps a pointer to the service-owned graph.
+  std::unique_ptr<RoutingService> service(
+      new RoutingService(std::move(graph), std::move(options)));
+  Result<std::unique_ptr<Dtlp>> dtlp =
+      Dtlp::Build(service->graph_, service->options_.dtlp);
+  if (!dtlp.ok()) return dtlp.status();
+  service->dtlp_ = std::move(dtlp).value();
+  service->registry_ = SolverRegistry::Default();
+  return service;
+}
+
+Result<KspResponse> RoutingService::Query(const KspRequest& request) const {
+  RoutingOptions merged = MergeOptions(options_.defaults, request.options);
+  Status valid = merged.Validate();
+  if (!valid.ok()) {
+    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return valid;
+  }
+  const KspSolver* solver = registry_.Find(merged.backend);
+  if (solver == nullptr) {
+    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::NotFound("unknown backend '" + merged.backend +
+                            "' (registered: " + JoinNames(registry_.Names()) +
+                            ")");
+  }
+  if (request.source >= graph_.NumVertices() ||
+      request.target >= graph_.NumVertices()) {
+    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument("query vertex out of range");
+  }
+  if (request.source == request.target) {
+    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument("source equals target");
+  }
+
+  SolverInput input;
+  input.graph = &graph_;
+  input.dtlp = dtlp_.get();
+  input.source = request.source;
+  input.target = request.target;
+  input.options = merged;
+
+  // Snapshot section: weights and DTLP are frozen until the lock drops, so
+  // the whole solve sees one consistent epoch.
+  std::shared_lock<EpochLock> lock(mu_);
+  WallTimer timer;
+  Result<KspQueryResult> solved = solver->Solve(input);
+  if (!solved.ok()) {
+    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return solved.status();
+  }
+  KspResponse response;
+  response.paths = std::move(solved.value().paths);
+  response.stats.engine = solved.value().stats;
+  response.stats.solve_micros = timer.ElapsedMicros();
+  response.epoch = epoch_;
+  response.k = merged.k;
+  response.backend = merged.backend;
+  queries_ok_.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+Result<TrafficBatchResult> RoutingService::ApplyTrafficBatch(
+    std::span<const WeightUpdate> updates) {
+  // Validate before taking the writer lock: a rejected batch must leave the
+  // snapshot untouched (and NumEdges is immutable, so no lock is needed).
+  for (const WeightUpdate& update : updates) {
+    if (update.edge >= graph_.NumEdges()) {
+      return Status::InvalidArgument(
+          "update references edge " + std::to_string(update.edge) +
+          " out of range (graph has " + std::to_string(graph_.NumEdges()) +
+          " edges)");
+    }
+    if (!(update.new_forward > 0) || !(update.new_backward > 0)) {
+      return Status::InvalidArgument("updated weights must be positive");
+    }
+  }
+  std::unique_lock<EpochLock> lock(mu_);
+  for (const WeightUpdate& update : updates) graph_.SetWeight(update);
+  TrafficBatchResult result;
+  result.dtlp = dtlp_->ApplyUpdates(updates);
+  result.epoch = ++epoch_;
+  batches_applied_.fetch_add(1, std::memory_order_relaxed);
+  updates_applied_.fetch_add(updates.size(), std::memory_order_relaxed);
+  return result;
+}
+
+uint64_t RoutingService::CurrentEpoch() const {
+  std::shared_lock<EpochLock> lock(mu_);
+  return epoch_;
+}
+
+ServiceCounters RoutingService::counters() const {
+  ServiceCounters counters;
+  counters.queries_ok = queries_ok_.load(std::memory_order_relaxed);
+  counters.queries_rejected = queries_rejected_.load(std::memory_order_relaxed);
+  counters.batches_applied = batches_applied_.load(std::memory_order_relaxed);
+  counters.updates_applied = updates_applied_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+}  // namespace kspdg

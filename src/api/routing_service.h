@@ -1,0 +1,122 @@
+// RoutingService: the single public facade over the KSP machinery.
+//
+// One instance owns the dynamic graph, the DTLP index built over it, and the
+// registry of solver backends, and serves the paper's workload (§1, §5):
+// KSP queries streaming in *while* traffic updates stream in. Concurrency is
+// epoch-based snapshotting on a reader/writer lock:
+//
+//   Query(request)            shared lock   — any number run concurrently
+//   ApplyTrafficBatch(batch)  unique lock   — drains readers, applies
+//                                             Algorithm 2, bumps the epoch
+//
+// Every response carries the epoch it was answered at, so clients can detect
+// staleness and tests can assert that no query ever observed a half-applied
+// batch. This turns the old "safe to share across query threads as long as
+// no update is applied concurrently" comment on the engine into an enforced
+// invariant.
+#ifndef KSPDG_API_ROUTING_SERVICE_H_
+#define KSPDG_API_ROUTING_SERVICE_H_
+
+#include <atomic>
+#include <memory>
+#include <span>
+
+#include "api/ksp_solver.h"
+#include "api/routing_options.h"
+#include "core/epoch_lock.h"
+#include "core/status.h"
+#include "dtlp/dtlp.h"
+#include "graph/graph.h"
+
+namespace kspdg {
+
+struct RoutingServiceOptions {
+  /// Service-wide defaults; any field can be overridden per request.
+  RoutingOptions defaults;
+  /// DTLP construction knobs (partition size z, level-1 ξ, build threads).
+  DtlpOptions dtlp;
+};
+
+/// Result of one applied traffic batch.
+struct TrafficBatchResult {
+  /// Epoch the service entered by applying this batch; responses computed
+  /// after this batch carry an epoch >= this value.
+  uint64_t epoch = 0;
+  /// Algorithm 2 maintenance counters.
+  DtlpUpdateStats dtlp;
+};
+
+/// Running totals for monitoring (snapshot, not transactional).
+struct ServiceCounters {
+  uint64_t queries_ok = 0;
+  uint64_t queries_rejected = 0;
+  uint64_t batches_applied = 0;
+  uint64_t updates_applied = 0;
+};
+
+class RoutingService {
+ public:
+  /// Takes ownership of `graph`, partitions it and builds the DTLP
+  /// (Algorithm 1), and loads the default backends. Fails if the service
+  /// defaults are invalid or the partitioner rejects the graph.
+  static Result<std::unique_ptr<RoutingService>> Create(
+      Graph graph, RoutingServiceOptions options = {});
+
+  RoutingService(const RoutingService&) = delete;
+  RoutingService& operator=(const RoutingService&) = delete;
+
+  /// Answers q(source, target) on the current weight snapshot with the
+  /// backend named by the merged options. Thread-safe; runs concurrently
+  /// with other queries and serialises against ApplyTrafficBatch.
+  Result<KspResponse> Query(const KspRequest& request) const;
+
+  /// Applies one batch of weight updates atomically: the graph's current
+  /// weights and the DTLP (Algorithm 2) move to the next epoch together,
+  /// with all concurrent queries drained. The batch is validated up front
+  /// and rejected as a whole on any bad entry. Thread-safe.
+  Result<TrafficBatchResult> ApplyTrafficBatch(
+      std::span<const WeightUpdate> updates);
+
+  /// Adds a custom backend (before serving traffic; not thread-safe against
+  /// in-flight queries).
+  Status RegisterSolver(std::unique_ptr<KspSolver> solver) {
+    return registry_.Register(std::move(solver));
+  }
+
+  /// Epoch of the current weight snapshot (0 until the first batch).
+  uint64_t CurrentEpoch() const;
+
+  /// Registered backend names, sorted.
+  std::vector<std::string> BackendNames() const { return registry_.Names(); }
+
+  ServiceCounters counters() const;
+
+  /// Read-only views for tooling; do not mutate through aliases while the
+  /// service is live, all writes must go through ApplyTrafficBatch.
+  const Graph& graph() const { return graph_; }
+  const Dtlp& dtlp() const { return *dtlp_; }
+  const RoutingOptions& defaults() const { return options_.defaults; }
+
+ private:
+  RoutingService(Graph graph, RoutingServiceOptions options)
+      : graph_(std::move(graph)), options_(std::move(options)) {}
+
+  Graph graph_;
+  RoutingServiceOptions options_;
+  std::unique_ptr<Dtlp> dtlp_;
+  SolverRegistry registry_;
+
+  /// Guards graph_ weights, the DTLP, and epoch_ (readers shared, updates
+  /// exclusive; write-preferring so traffic batches cannot starve).
+  mutable EpochLock mu_;
+  uint64_t epoch_ = 0;
+
+  mutable std::atomic<uint64_t> queries_ok_{0};
+  mutable std::atomic<uint64_t> queries_rejected_{0};
+  std::atomic<uint64_t> batches_applied_{0};
+  std::atomic<uint64_t> updates_applied_{0};
+};
+
+}  // namespace kspdg
+
+#endif  // KSPDG_API_ROUTING_SERVICE_H_

@@ -1,0 +1,159 @@
+// The four standard KspSolver backends and the default registry, plus
+// option merging/validation. Everything here is an internal adapter: the
+// algorithms themselves live in src/kspdg and src/ksp.
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "api/ksp_solver.h"
+#include "api/routing_options.h"
+#include "ksp/dijkstra.h"
+#include "ksp/findksp.h"
+#include "ksp/yen.h"
+#include "kspdg/partial_provider.h"
+#include "kspdg/query_context.h"
+
+namespace kspdg {
+
+Status RoutingOptions::Validate() const {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (backend.empty()) return Status::InvalidArgument("backend must be named");
+  if (max_iterations == 0) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+  return Status::OK();
+}
+
+KspDgOptions RoutingOptions::ToEngineOptions() const {
+  KspDgOptions engine;
+  engine.k = k;
+  engine.max_iterations = max_iterations;
+  engine.reuse_partials = reuse_partials;
+  engine.join_refetch_rounds = join_refetch_rounds;
+  return engine;
+}
+
+RoutingOptions MergeOptions(const RoutingOptions& defaults,
+                            const RoutingOverrides& overrides) {
+  RoutingOptions merged = defaults;
+  if (overrides.k.has_value()) merged.k = *overrides.k;
+  if (overrides.backend.has_value()) merged.backend = *overrides.backend;
+  if (overrides.max_iterations.has_value()) {
+    merged.max_iterations = *overrides.max_iterations;
+  }
+  if (overrides.reuse_partials.has_value()) {
+    merged.reuse_partials = *overrides.reuse_partials;
+  }
+  if (overrides.join_refetch_rounds.has_value()) {
+    merged.join_refetch_rounds = *overrides.join_refetch_rounds;
+  }
+  return merged;
+}
+
+namespace {
+
+/// DTLP filter-and-refine (Algorithms 3 + 4); the paper's KSP-DG.
+class KspDgSolver : public KspSolver {
+ public:
+  std::string_view name() const override { return kBackendKspDg; }
+
+  Result<KspQueryResult> Solve(const SolverInput& input) const override {
+    if (input.dtlp == nullptr) {
+      return Status::FailedPrecondition("kspdg backend requires a DTLP index");
+    }
+    LocalPartialProvider provider(*input.dtlp);
+    return RunKspDgQuery(*input.dtlp, &provider, input.source, input.target,
+                         input.options.ToEngineOptions());
+  }
+};
+
+/// Yen/Lawler over the flat graph under current weights.
+class YenSolver : public KspSolver {
+ public:
+  std::string_view name() const override { return kBackendYen; }
+
+  Result<KspQueryResult> Solve(const SolverInput& input) const override {
+    KspQueryResult result;
+    result.paths = YenKspInGraph(*input.graph, input.source, input.target,
+                                 input.options.k);
+    return result;
+  }
+};
+
+/// SPT-guided deviation search (FindKSP baseline, reference [21]).
+class FindKspSolver : public KspSolver {
+ public:
+  std::string_view name() const override { return kBackendFindKsp; }
+
+  Result<KspQueryResult> Solve(const SolverInput& input) const override {
+    KspQueryResult result;
+    result.paths =
+        FindKsp(*input.graph, input.source, input.target, input.options.k);
+    return result;
+  }
+};
+
+/// Plain point-to-point Dijkstra; serves only the k=1 degenerate case so a
+/// mistaken k>1 request fails loudly instead of silently truncating.
+class DijkstraSolver : public KspSolver {
+ public:
+  std::string_view name() const override { return kBackendDijkstra; }
+
+  Result<KspQueryResult> Solve(const SolverInput& input) const override {
+    if (input.options.k != 1) {
+      return Status::InvalidArgument(
+          "dijkstra backend serves only k=1 (got k=" +
+          std::to_string(input.options.k) + ")");
+    }
+    KspQueryResult result;
+    std::optional<Path> p =
+        ShortestPathInGraph(*input.graph, input.source, input.target);
+    if (p.has_value()) result.paths.push_back(std::move(*p));
+    return result;
+  }
+};
+
+}  // namespace
+
+SolverRegistry SolverRegistry::Default() {
+  SolverRegistry registry;
+  Status st = registry.Register(std::make_unique<KspDgSolver>());
+  if (st.ok()) st = registry.Register(std::make_unique<YenSolver>());
+  if (st.ok()) st = registry.Register(std::make_unique<FindKspSolver>());
+  if (st.ok()) st = registry.Register(std::make_unique<DijkstraSolver>());
+  assert(st.ok() && "default backends must register cleanly");
+  (void)st;
+  return registry;
+}
+
+Status SolverRegistry::Register(std::unique_ptr<KspSolver> solver) {
+  if (solver == nullptr || solver->name().empty()) {
+    return Status::InvalidArgument("solver must have a non-empty name");
+  }
+  if (Find(solver->name()) != nullptr) {
+    return Status::FailedPrecondition("backend '" +
+                                      std::string(solver->name()) +
+                                      "' is already registered");
+  }
+  solvers_.push_back(std::move(solver));
+  return Status::OK();
+}
+
+const KspSolver* SolverRegistry::Find(std::string_view name) const {
+  for (const std::unique_ptr<KspSolver>& solver : solvers_) {
+    if (solver->name() == name) return solver.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> SolverRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(solvers_.size());
+  for (const std::unique_ptr<KspSolver>& solver : solvers_) {
+    names.emplace_back(solver->name());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace kspdg

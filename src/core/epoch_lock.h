@@ -1,0 +1,89 @@
+// Write-preferring reader/writer lock for epoch-snapshot services.
+//
+// std::shared_mutex (pthread rwlock) may starve writers indefinitely under
+// continuous reader churn — on a loaded query service the weight-update
+// path would never run. EpochLock gives writers strict preference: once a
+// writer is waiting, new readers queue behind it, the writer drains the
+// active readers, applies its batch, and readers resume. This is the
+// "drain readers, apply, bump epoch" discipline RoutingService relies on.
+//
+// Meets the SharedMutex named requirements, so it drops into
+// std::shared_lock / std::unique_lock.
+#ifndef KSPDG_CORE_EPOCH_LOCK_H_
+#define KSPDG_CORE_EPOCH_LOCK_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace kspdg {
+
+class EpochLock {
+ public:
+  EpochLock() = default;
+  EpochLock(const EpochLock&) = delete;
+  EpochLock& operator=(const EpochLock&) = delete;
+
+  // --- exclusive (writer) ---------------------------------------------------
+  void lock() {
+    std::unique_lock<std::mutex> guard(mu_);
+    ++waiting_writers_;
+    cv_writers_.wait(guard,
+                     [&] { return !writer_active_ && active_readers_ == 0; });
+    --waiting_writers_;
+    writer_active_ = true;
+  }
+
+  bool try_lock() {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (writer_active_ || active_readers_ != 0) return false;
+    writer_active_ = true;
+    return true;
+  }
+
+  void unlock() {
+    std::lock_guard<std::mutex> guard(mu_);
+    writer_active_ = false;
+    // Wake a queued writer first; readers get the gap only when no writer
+    // is waiting.
+    if (waiting_writers_ > 0) {
+      cv_writers_.notify_one();
+    } else {
+      cv_readers_.notify_all();
+    }
+  }
+
+  // --- shared (readers) -----------------------------------------------------
+  void lock_shared() {
+    std::unique_lock<std::mutex> guard(mu_);
+    cv_readers_.wait(
+        guard, [&] { return !writer_active_ && waiting_writers_ == 0; });
+    ++active_readers_;
+  }
+
+  bool try_lock_shared() {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (writer_active_ || waiting_writers_ > 0) return false;
+    ++active_readers_;
+    return true;
+  }
+
+  void unlock_shared() {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (--active_readers_ == 0 && waiting_writers_ > 0) {
+      cv_writers_.notify_one();
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_readers_;
+  std::condition_variable cv_writers_;
+  uint32_t active_readers_ = 0;
+  uint32_t waiting_writers_ = 0;
+  bool writer_active_ = false;
+};
+
+}  // namespace kspdg
+
+#endif  // KSPDG_CORE_EPOCH_LOCK_H_

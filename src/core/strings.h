@@ -1,0 +1,21 @@
+// Tiny string helpers shared by error-message formatting.
+#ifndef KSPDG_CORE_STRINGS_H_
+#define KSPDG_CORE_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace kspdg {
+
+/// "a, b, c" — for listing known names in error messages.
+inline std::string JoinNames(const std::vector<std::string>& names) {
+  std::string joined;
+  for (const std::string& name : names) {
+    joined += joined.empty() ? name : ", " + name;
+  }
+  return joined;
+}
+
+}  // namespace kspdg
+
+#endif  // KSPDG_CORE_STRINGS_H_

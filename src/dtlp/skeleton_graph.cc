@@ -22,7 +22,7 @@ void SkeletonGraph::SetContribution(SubgraphId sg, VertexId a_global,
   SkeletonId a = IdOfGlobal(a_global);
   SkeletonId b = IdOfGlobal(b_global);
   assert(a != kInvalidVertex && b != kInvalidVertex && a != b);
-  uint64_t key = PairKey(a, b);
+  uint64_t key = SkeletonPairKey(a, b);
   auto [it, inserted] = edge_of_pair_.try_emplace(
       key, static_cast<EdgeId>(edges_.size()));
   if (inserted) {
@@ -94,6 +94,21 @@ SkeletonId SkeletonOverlay::AddTempVertex(VertexId global) {
 void SkeletonOverlay::AddTempEdge(SkeletonId a, SkeletonId b, Weight w_ab,
                                   Weight w_ba) {
   assert(a != b);
+  // Merge parallel contributions (min per direction, matching the MBD
+  // semantics of base skeleton edges). The overlay must stay a simple
+  // graph: Yen's deviation bans are per-arc, and a duplicate parallel arc
+  // would let the spur search rediscover a banned route and kill the
+  // deviation branch.
+  auto [it, inserted] =
+      temp_edge_of_pair_.try_emplace(SkeletonPairKey(a, b),
+                                     temp_edges_.size());
+  if (!inserted) {
+    TempEdge& te = temp_edges_[it->second];
+    bool same_orientation = (te.a == a);
+    te.w_ab = std::min(te.w_ab, same_orientation ? w_ab : w_ba);
+    te.w_ba = std::min(te.w_ba, same_orientation ? w_ba : w_ab);
+    return;
+  }
   EdgeId id = static_cast<EdgeId>(base_->NumEdges() + temp_edges_.size());
   temp_edges_.push_back({a, b, w_ab, w_ba});
   extra_arcs_[a].push_back({b, id});

@@ -24,6 +24,14 @@ namespace kspdg {
 /// Dense id of a vertex within the skeleton graph (or an overlay).
 using SkeletonId = uint32_t;
 
+/// Order-independent key of a skeleton vertex pair (shared by the base
+/// graph's edge map and the overlay's temp-edge map).
+inline uint64_t SkeletonPairKey(SkeletonId a, SkeletonId b) {
+  SkeletonId lo = a < b ? a : b;
+  SkeletonId hi = a < b ? b : a;
+  return (static_cast<uint64_t>(lo) << 32) | hi;
+}
+
 class SkeletonGraph {
  public:
   explicit SkeletonGraph(bool directed = false) : directed_(directed) {}
@@ -74,12 +82,6 @@ class SkeletonGraph {
   };
 
   void RecomputeEdgeWeight(EdgeRec& rec);
-
-  static uint64_t PairKey(SkeletonId a, SkeletonId b) {
-    SkeletonId lo = a < b ? a : b;
-    SkeletonId hi = a < b ? b : a;
-    return (static_cast<uint64_t>(lo) << 32) | hi;
-  }
 
   bool directed_;
   std::vector<VertexId> global_of_;
@@ -132,6 +134,9 @@ class SkeletonOverlay {
   const SkeletonGraph* base_;
   std::vector<VertexId> temp_global_;
   std::unordered_map<VertexId, SkeletonId> temp_id_of_global_;
+  /// Unordered overlay-id pair -> index into temp_edges_, so repeated
+  /// contributions to the same pair merge in O(1).
+  std::unordered_map<uint64_t, size_t> temp_edge_of_pair_;
   /// Extra arcs per overlay vertex (sparse map: only endpoints of temp
   /// edges appear).
   std::unordered_map<SkeletonId, std::vector<Arc>> extra_arcs_;

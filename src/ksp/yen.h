@@ -7,6 +7,7 @@
 #ifndef KSPDG_KSP_YEN_H_
 #define KSPDG_KSP_YEN_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <set>
@@ -136,20 +137,22 @@ class YenEnumerator {
     for (size_t i = 0; i <= j; ++i) {
       if (known[i] != verts[i]) return;
     }
-    EdgeId e = FindArcEdge(known[j], known[j + 1]);
-    if (e != kInvalidEdge) banned_edges_[e] = edge_epoch_;
-  }
-
-  EdgeId FindArcEdge(VertexId u, VertexId v) const {
-    for (const Arc& a : g_->Neighbors(u)) {
-      if (a.to == v) return a.edge;
+    // Ban every parallel arc known[j] -> known[j+1]: paths are vertex
+    // sequences here, so a deviation must leave through a different
+    // *vertex*; leaving through a parallel edge would reproduce the same
+    // route and dead-end the branch.
+    for (const Arc& a : g_->Neighbors(known[j])) {
+      if (a.to == known[j + 1]) banned_edges_[a.edge] = edge_epoch_;
     }
-    return kInvalidEdge;
   }
 
+  /// Cheapest arc u -> v (multigraph-safe).
   Weight CostBetween(VertexId u, VertexId v) const {
-    EdgeId e = FindArcEdge(u, v);
-    return e == kInvalidEdge ? kInfiniteWeight : g_->CostFrom(e, u);
+    Weight best = kInfiniteWeight;
+    for (const Arc& a : g_->Neighbors(u)) {
+      if (a.to == v) best = std::min(best, g_->CostFrom(a.edge, u));
+    }
+    return best;
   }
 
   const SearchGraph* g_;

@@ -1,5 +1,7 @@
-// Options and result types of the KSP-DG algorithm, shared by the
-// single-node engine and the distributed deployment.
+// Internal option and result types of the KSP-DG algorithm. Public callers
+// configure queries through api/routing_options.h (RoutingOptions folds
+// these knobs); this struct is what RunKspDgQuery consumes after the API
+// layer merges and validates.
 #ifndef KSPDG_KSPDG_KSP_DG_OPTIONS_H_
 #define KSPDG_KSPDG_KSP_DG_OPTIONS_H_
 

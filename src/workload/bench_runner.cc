@@ -1,0 +1,245 @@
+#include "workload/bench_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "api/routing_service.h"
+#include "core/strings.h"
+#include "core/timer.h"
+#include "graph/traffic_model.h"
+#include "workload/datasets.h"
+#include "workload/query_gen.h"
+
+namespace kspdg {
+namespace {
+
+struct WorkItem {
+  VertexId source = kInvalidVertex;
+  VertexId target = kInvalidVertex;
+  size_t backend_index = 0;
+};
+
+void AppendJsonKey(std::ostringstream& out, const char* key,
+                   const std::string& indent) {
+  out << indent << '"' << key << "\": ";
+}
+
+}  // namespace
+
+std::string BenchReport::ToJson() const {
+  std::ostringstream out;
+  out.precision(3);
+  out << std::fixed;
+  out << "{\n";
+  AppendJsonKey(out, "dataset", "  ");
+  out << '"' << dataset << "\",\n";
+  AppendJsonKey(out, "num_vertices", "  ");
+  out << num_vertices << ",\n";
+  AppendJsonKey(out, "num_edges", "  ");
+  out << num_edges << ",\n";
+  AppendJsonKey(out, "num_subgraphs", "  ");
+  out << num_subgraphs << ",\n";
+  AppendJsonKey(out, "k", "  ");
+  out << k << ",\n";
+  AppendJsonKey(out, "index_build_micros", "  ");
+  out << index_build_micros << ",\n";
+  AppendJsonKey(out, "batches_applied", "  ");
+  out << batches_applied << ",\n";
+  AppendJsonKey(out, "batch_errors", "  ");
+  out << batch_errors << ",\n";
+  AppendJsonKey(out, "updates_applied", "  ");
+  out << updates_applied << ",\n";
+  AppendJsonKey(out, "update_total_micros", "  ");
+  out << update_total_micros << ",\n";
+  AppendJsonKey(out, "final_epoch", "  ");
+  out << final_epoch << ",\n";
+  AppendJsonKey(out, "backends", "  ");
+  out << "[\n";
+  for (size_t i = 0; i < backends.size(); ++i) {
+    const BackendBenchStats& b = backends[i];
+    out << "    {\n";
+    AppendJsonKey(out, "backend", "      ");
+    out << '"' << b.backend << "\",\n";
+    AppendJsonKey(out, "queries", "      ");
+    out << b.queries << ",\n";
+    AppendJsonKey(out, "errors", "      ");
+    out << b.errors << ",\n";
+    AppendJsonKey(out, "paths_returned", "      ");
+    out << b.paths_returned << ",\n";
+    AppendJsonKey(out, "total_micros", "      ");
+    out << b.total_micros << ",\n";
+    AppendJsonKey(out, "mean_micros", "      ");
+    out << b.mean_micros << ",\n";
+    AppendJsonKey(out, "max_micros", "      ");
+    out << b.max_micros << ",\n";
+    AppendJsonKey(out, "min_epoch", "      ");
+    out << b.min_epoch << ",\n";
+    AppendJsonKey(out, "max_epoch", "      ");
+    out << b.max_epoch << ",\n";
+    AppendJsonKey(out, "engine_iterations", "      ");
+    out << b.engine_iterations << "\n";
+    out << "    }" << (i + 1 < backends.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+Result<BenchReport> RunMixedBench(const BenchOptions& options) {
+  if (options.backends.empty()) {
+    return Status::InvalidArgument("at least one backend required");
+  }
+  if (options.queries_per_backend == 0) {
+    return Status::InvalidArgument("queries_per_backend must be >= 1");
+  }
+  const DatasetSpec* spec = FindDataset(options.dataset);
+  if (spec == nullptr) {
+    std::vector<std::string> known;
+    for (const DatasetSpec& s : StandardDatasets()) known.push_back(s.name);
+    return Status::NotFound("unknown dataset '" + options.dataset +
+                            "' (known: " + JoinNames(known) + ")");
+  }
+  Graph graph = options.target_vertices == 0
+                    ? LoadDataset(*spec)
+                    : LoadScaledDataset(*spec, options.target_vertices);
+
+  RoutingServiceOptions service_options;
+  service_options.defaults.k = options.k;
+  service_options.dtlp.partition.max_vertices =
+      options.z != 0 ? options.z : spec->default_z;
+
+  BenchReport report;
+  report.dataset = options.dataset;
+  report.num_vertices = graph.NumVertices();
+  report.num_edges = graph.NumEdges();
+  report.k = options.k;
+
+  WallTimer build_timer;
+  Result<std::unique_ptr<RoutingService>> service_or =
+      RoutingService::Create(std::move(graph), service_options);
+  if (!service_or.ok()) return service_or.status();
+  std::unique_ptr<RoutingService> service = std::move(service_or).value();
+  report.index_build_micros = build_timer.ElapsedMicros();
+  report.num_subgraphs = service->dtlp().NumSubgraphs();
+
+  // Fail fast on typoed backend names instead of producing a report whose
+  // stats are all errors.
+  std::vector<std::string> registered = service->BackendNames();
+  for (const std::string& backend : options.backends) {
+    if (std::find(registered.begin(), registered.end(), backend) ==
+        registered.end()) {
+      return Status::NotFound("unknown backend '" + backend +
+                              "' (registered: " + JoinNames(registered) +
+                              ")");
+    }
+  }
+
+  TrafficModelOptions traffic_options;
+  traffic_options.alpha = options.alpha;
+  traffic_options.tau = options.tau;
+  traffic_options.seed = options.seed + 1;
+  TrafficModel traffic(service->graph(), traffic_options);
+
+  // Interleave the backends in one flat work list so every backend sees the
+  // same mixture of fresh and already-updated epochs.
+  std::vector<std::pair<VertexId, VertexId>> endpoints = MakeRandomQueries(
+      service->graph(), options.queries_per_backend, options.seed);
+  std::vector<WorkItem> work;
+  work.reserve(endpoints.size() * options.backends.size());
+  for (const auto& [s, t] : endpoints) {
+    for (size_t b = 0; b < options.backends.size(); ++b) {
+      work.push_back({s, t, b});
+    }
+  }
+
+  std::vector<BackendBenchStats> stats(options.backends.size());
+  for (size_t b = 0; b < options.backends.size(); ++b) {
+    stats[b].backend = options.backends[b];
+    stats[b].min_epoch = std::numeric_limits<uint64_t>::max();
+  }
+  std::mutex stats_mu;
+  std::atomic<size_t> next_item{0};
+
+  auto reader = [&]() {
+    for (;;) {
+      size_t i = next_item.fetch_add(1, std::memory_order_relaxed);
+      if (i >= work.size()) return;
+      const WorkItem& item = work[i];
+      KspRequest request;
+      request.source = item.source;
+      request.target = item.target;
+      request.options.backend = options.backends[item.backend_index];
+      Result<KspResponse> response = service->Query(request);
+      std::lock_guard<std::mutex> guard(stats_mu);
+      BackendBenchStats& s = stats[item.backend_index];
+      ++s.queries;
+      if (!response.ok()) {
+        ++s.errors;
+        continue;
+      }
+      const KspResponse& r = response.value();
+      s.paths_returned += r.paths.size();
+      s.total_micros += r.stats.solve_micros;
+      s.max_micros = std::max(s.max_micros, r.stats.solve_micros);
+      s.min_epoch = std::min(s.min_epoch, r.epoch);
+      s.max_epoch = std::max(s.max_epoch, r.epoch);
+      s.engine_iterations += r.stats.engine.iterations;
+    }
+  };
+
+  // Writer: spread the batches across the reader phase so early and late
+  // queries land on different epochs.
+  double update_micros = 0;
+  size_t updates_applied = 0;
+  size_t batches_applied = 0;
+  size_t batch_errors = 0;
+  std::thread writer([&]() {
+    for (size_t batch = 0; batch < options.num_batches; ++batch) {
+      while (next_item.load(std::memory_order_relaxed) <
+             (batch + 1) * work.size() / (options.num_batches + 1)) {
+        // Coarse pacing only: sleep rather than spin so the waiting writer
+        // does not steal cycles from the reader latencies being measured.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      std::vector<WeightUpdate> updates = traffic.NextBatch();
+      WallTimer timer;
+      Result<TrafficBatchResult> applied =
+          service->ApplyTrafficBatch(updates);
+      if (applied.ok()) {
+        update_micros += timer.ElapsedMicros();
+        ++batches_applied;
+        updates_applied += applied.value().dtlp.updates_applied;
+      } else {
+        ++batch_errors;
+      }
+    }
+  });
+
+  std::vector<std::thread> readers;
+  size_t num_threads = std::max<size_t>(1, options.query_threads);
+  readers.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) readers.emplace_back(reader);
+  for (std::thread& t : readers) t.join();
+  writer.join();
+
+  report.batches_applied = batches_applied;
+  report.batch_errors = batch_errors;
+  report.updates_applied = updates_applied;
+  report.update_total_micros = update_micros;
+  report.final_epoch = service->CurrentEpoch();
+  for (BackendBenchStats& s : stats) {
+    if (s.queries > s.errors) {
+      s.mean_micros = s.total_micros / static_cast<double>(s.queries - s.errors);
+    }
+    if (s.min_epoch == std::numeric_limits<uint64_t>::max()) s.min_epoch = 0;
+  }
+  report.backends = std::move(stats);
+  return report;
+}
+
+}  // namespace kspdg

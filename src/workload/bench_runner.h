@@ -1,0 +1,85 @@
+// Mixed query/update benchmark harness over RoutingService.
+//
+// Reproduces the paper's serving scenario (§6.4): a batch of KSP queries is
+// answered by concurrent reader threads while a traffic generator applies
+// weight batches through the service's writer path. Results are grouped per
+// backend so the DTLP-backed solver can be compared against the baselines
+// under identical load, and serialised to JSON for the BENCH_* artefacts.
+#ifndef KSPDG_WORKLOAD_BENCH_RUNNER_H_
+#define KSPDG_WORKLOAD_BENCH_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/routing_options.h"
+#include "core/status.h"
+
+namespace kspdg {
+
+struct BenchOptions {
+  /// Dataset registry name ("NY-S", "COL-S", "FLA-S", "CUSA-S").
+  std::string dataset = "NY-S";
+  /// Scale the dataset down to ~this many vertices (0 = full size).
+  size_t target_vertices = 4096;
+  /// Paths per query.
+  uint32_t k = 4;
+  /// Queries issued per backend.
+  size_t queries_per_backend = 48;
+  /// Traffic batches applied while queries are in flight.
+  size_t num_batches = 6;
+  /// Concurrent reader threads.
+  size_t query_threads = 4;
+  /// Traffic model: fraction of edges per batch and variation range.
+  double alpha = 0.35;
+  double tau = 0.30;
+  /// Subgraph size cap z (0 = dataset default).
+  uint32_t z = 0;
+  uint64_t seed = 42;
+  /// Backends exercised; must all be registered.
+  std::vector<std::string> backends = {kBackendKspDg, kBackendYen,
+                                       kBackendFindKsp};
+};
+
+struct BackendBenchStats {
+  std::string backend;
+  size_t queries = 0;
+  size_t errors = 0;
+  size_t paths_returned = 0;
+  double total_micros = 0;
+  double mean_micros = 0;
+  double max_micros = 0;
+  /// Epoch range observed in responses (shows the query/update interleave).
+  uint64_t min_epoch = 0;
+  uint64_t max_epoch = 0;
+  /// Summed KSP-DG iteration counts (0 for baselines).
+  uint64_t engine_iterations = 0;
+};
+
+struct BenchReport {
+  std::string dataset;
+  size_t num_vertices = 0;
+  size_t num_edges = 0;
+  size_t num_subgraphs = 0;
+  uint32_t k = 0;
+  double index_build_micros = 0;
+  size_t batches_applied = 0;
+  /// Batches the service rejected (should be 0; nonzero means the traffic
+  /// model and the service disagree about the graph).
+  size_t batch_errors = 0;
+  size_t updates_applied = 0;
+  /// Wall time of *successful* batch applications only.
+  double update_total_micros = 0;
+  uint64_t final_epoch = 0;
+  std::vector<BackendBenchStats> backends;
+
+  /// Pretty-printed JSON object (stable key order).
+  std::string ToJson() const;
+};
+
+/// Builds the service for `options.dataset` and drives the mixed workload.
+Result<BenchReport> RunMixedBench(const BenchOptions& options);
+
+}  // namespace kspdg
+
+#endif  // KSPDG_WORKLOAD_BENCH_RUNNER_H_

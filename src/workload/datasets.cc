@@ -45,10 +45,16 @@ const std::vector<DatasetSpec>& StandardDatasets() {
   return *kDatasets;
 }
 
-const DatasetSpec& DatasetByName(const std::string& name) {
+const DatasetSpec* FindDataset(const std::string& name) {
   for (const DatasetSpec& spec : StandardDatasets()) {
-    if (spec.name == name) return spec;
+    if (spec.name == name) return &spec;
   }
+  return nullptr;
+}
+
+const DatasetSpec& DatasetByName(const std::string& name) {
+  const DatasetSpec* spec = FindDataset(name);
+  if (spec != nullptr) return *spec;
   std::fprintf(stderr, "unknown dataset: %s\n", name.c_str());
   std::abort();
 }

@@ -27,7 +27,10 @@ struct DatasetSpec {
 /// The four standard datasets, smallest to largest.
 const std::vector<DatasetSpec>& StandardDatasets();
 
-/// Spec by name ("NY-S", "COL-S", "FLA-S", "CUSA-S"); aborts on unknown name.
+/// Spec by name ("NY-S", "COL-S", "FLA-S", "CUSA-S"), or nullptr.
+const DatasetSpec* FindDataset(const std::string& name);
+
+/// Spec by name; aborts on unknown name (prefer FindDataset in services).
 const DatasetSpec& DatasetByName(const std::string& name);
 
 /// Loads the dataset: the real DIMACS file when KSPDG_DATA_DIR is set and

@@ -1,0 +1,360 @@
+// Tests for the RoutingService facade (src/api): backend parity, layered
+// option validation, the solver registry, and snapshot-safe query/update
+// interleaving with epoch monotonicity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/ksp_solver.h"
+#include "api/routing_options.h"
+#include "api/routing_service.h"
+#include "graph/generators.h"
+#include "graph/traffic_model.h"
+#include "ksp/path.h"
+#include "workload/bench_runner.h"
+
+namespace kspdg {
+namespace {
+
+std::unique_ptr<RoutingService> MustCreate(Graph g, uint32_t z = 0,
+                                           RoutingOptions defaults = {}) {
+  RoutingServiceOptions options;
+  options.defaults = std::move(defaults);
+  if (z != 0) options.dtlp.partition.max_vertices = z;
+  Result<std::unique_ptr<RoutingService>> service =
+      RoutingService::Create(std::move(g), std::move(options));
+  if (!service.ok()) {
+    ADD_FAILURE() << service.status().ToString();
+    return nullptr;
+  }
+  return std::move(service).value();
+}
+
+KspRequest MakeRequest(VertexId s, VertexId t, const std::string& backend,
+                       uint32_t k) {
+  KspRequest request;
+  request.source = s;
+  request.target = t;
+  request.options.backend = backend;
+  request.options.k = k;
+  return request;
+}
+
+std::vector<Path> MustSolve(const RoutingService& service, VertexId s,
+                            VertexId t, const std::string& backend,
+                            uint32_t k) {
+  Result<KspResponse> response =
+      service.Query(MakeRequest(s, t, backend, k));
+  if (!response.ok()) {
+    ADD_FAILURE() << response.status().ToString();
+    return {};
+  }
+  EXPECT_EQ(response.value().backend, backend);
+  EXPECT_EQ(response.value().k, k);
+  return std::move(response).value().paths;
+}
+
+void ExpectSameDistances(const std::vector<Path>& got,
+                         const std::vector<Path>& want,
+                         const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].distance, want[i].distance, 1e-7)
+        << label << " rank " << i;
+  }
+}
+
+TEST(RoutingServiceTest, BackendParityOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Graph g = MakeRandomConnected(26, 30, 1, 9, seed * 13 + 1);
+    std::unique_ptr<RoutingService> service =
+        MustCreate(std::move(g), /*z=*/8);
+    ASSERT_TRUE(service != nullptr);
+    VertexId s = 0, t = 25;
+    std::vector<Path> yen = MustSolve(*service, s, t, kBackendYen, 6);
+    std::vector<Path> kspdg = MustSolve(*service, s, t, kBackendKspDg, 6);
+    std::vector<Path> findksp = MustSolve(*service, s, t, kBackendFindKsp, 6);
+    ASSERT_FALSE(yen.empty());
+    ExpectSameDistances(kspdg, yen, "kspdg vs yen seed " +
+                                        std::to_string(seed));
+    ExpectSameDistances(findksp, yen, "findksp vs yen seed " +
+                                          std::to_string(seed));
+    std::vector<Path> dijkstra =
+        MustSolve(*service, s, t, kBackendDijkstra, 1);
+    ASSERT_EQ(dijkstra.size(), 1u);
+    EXPECT_NEAR(dijkstra[0].distance, yen[0].distance, 1e-9);
+  }
+}
+
+TEST(RoutingServiceTest, BackendParityAfterTrafficBatches) {
+  Graph g = MakeRandomConnected(30, 36, 2, 12, 99);
+  std::unique_ptr<RoutingService> service = MustCreate(std::move(g), /*z=*/10);
+  ASSERT_TRUE(service != nullptr);
+  TrafficModelOptions traffic_options;
+  traffic_options.alpha = 0.5;
+  traffic_options.seed = 5;
+  TrafficModel traffic(service->graph(), traffic_options);
+  for (int step = 0; step < 4; ++step) {
+    std::vector<WeightUpdate> batch = traffic.NextBatch();
+    Result<TrafficBatchResult> applied = service->ApplyTrafficBatch(batch);
+    ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+    EXPECT_EQ(applied.value().epoch, static_cast<uint64_t>(step + 1));
+    std::vector<Path> yen = MustSolve(*service, 1, 28, kBackendYen, 5);
+    std::vector<Path> kspdg = MustSolve(*service, 1, 28, kBackendKspDg, 5);
+    ExpectSameDistances(kspdg, yen, "step " + std::to_string(step));
+    // Distances must reflect the *current* snapshot exactly.
+    for (const Path& p : yen) {
+      EXPECT_NEAR(RouteDistance(service->graph(), p.vertices), p.distance,
+                  1e-9);
+    }
+  }
+  EXPECT_EQ(service->CurrentEpoch(), 4u);
+}
+
+TEST(RoutingServiceTest, InvalidRequestsAreRejected) {
+  Graph g = MakeRandomConnected(12, 10, 1, 9, 3);
+  std::unique_ptr<RoutingService> service = MustCreate(std::move(g));
+  ASSERT_TRUE(service != nullptr);
+
+  EXPECT_EQ(service->Query(MakeRequest(0, 5, kBackendYen, 0)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service->Query(MakeRequest(0, 99, kBackendYen, 2)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service->Query(MakeRequest(99, 0, kBackendYen, 2)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service->Query(MakeRequest(4, 4, kBackendYen, 2)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service->Query(MakeRequest(0, 5, "no-such-backend", 2))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  // The dijkstra backend serves only the k=1 degenerate case.
+  EXPECT_EQ(
+      service->Query(MakeRequest(0, 5, kBackendDijkstra, 3)).status().code(),
+      StatusCode::kInvalidArgument);
+  KspRequest bad_iters = MakeRequest(0, 5, kBackendKspDg, 2);
+  bad_iters.options.max_iterations = 0;
+  EXPECT_EQ(service->Query(bad_iters).status().code(),
+            StatusCode::kInvalidArgument);
+
+  ServiceCounters counters = service->counters();
+  EXPECT_EQ(counters.queries_ok, 0u);
+  EXPECT_EQ(counters.queries_rejected, 7u);
+}
+
+TEST(RoutingServiceTest, TrafficBatchValidationIsAtomic) {
+  Graph g = MakeRandomConnected(12, 10, 2, 9, 4);
+  std::unique_ptr<RoutingService> service = MustCreate(std::move(g));
+  ASSERT_TRUE(service != nullptr);
+  Weight before = service->graph().ForwardWeight(0);
+
+  std::vector<WeightUpdate> bad_edge = {{0, 5.0, 5.0},
+                                        {kInvalidEdge, 5.0, 5.0}};
+  EXPECT_EQ(service->ApplyTrafficBatch(bad_edge).status().code(),
+            StatusCode::kInvalidArgument);
+  std::vector<WeightUpdate> bad_weight = {{0, -1.0, 5.0}};
+  EXPECT_EQ(service->ApplyTrafficBatch(bad_weight).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Nothing was applied: weights and epoch are untouched.
+  EXPECT_DOUBLE_EQ(service->graph().ForwardWeight(0), before);
+  EXPECT_EQ(service->CurrentEpoch(), 0u);
+}
+
+TEST(RoutingServiceTest, DefaultsAndOverridesLayer) {
+  Graph g = MakeRandomConnected(20, 24, 1, 9, 7);
+  RoutingOptions defaults;
+  defaults.k = 3;
+  defaults.backend = kBackendYen;
+  std::unique_ptr<RoutingService> service =
+      MustCreate(std::move(g), /*z=*/0, defaults);
+  ASSERT_TRUE(service != nullptr);
+
+  // No overrides: service defaults apply.
+  KspRequest plain;
+  plain.source = 0;
+  plain.target = 19;
+  Result<KspResponse> response = service->Query(plain);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.value().backend, kBackendYen);
+  EXPECT_EQ(response.value().k, 3u);
+  EXPECT_LE(response.value().paths.size(), 3u);
+
+  // Per-request override wins without disturbing the defaults.
+  KspRequest override_request = plain;
+  override_request.options.k = 1;
+  override_request.options.backend = kBackendDijkstra;
+  Result<KspResponse> overridden = service->Query(override_request);
+  ASSERT_TRUE(overridden.ok()) << overridden.status().ToString();
+  EXPECT_EQ(overridden.value().backend, kBackendDijkstra);
+  EXPECT_EQ(overridden.value().k, 1u);
+  EXPECT_EQ(service->defaults().k, 3u);
+}
+
+TEST(RoutingServiceTest, ResponsesAreSortedSimpleValidPaths) {
+  Graph g = MakeRandomConnected(24, 30, 1, 9, 17);
+  std::unique_ptr<RoutingService> service = MustCreate(std::move(g), /*z=*/8);
+  ASSERT_TRUE(service != nullptr);
+  for (const char* backend : {kBackendKspDg, kBackendYen, kBackendFindKsp}) {
+    std::vector<Path> paths = MustSolve(*service, 2, 21, backend, 8);
+    for (size_t i = 0; i < paths.size(); ++i) {
+      EXPECT_TRUE(IsSimpleRoute(paths[i].vertices)) << backend;
+      EXPECT_TRUE(IsValidRoute(service->graph(), paths[i].vertices))
+          << backend;
+      if (i > 0) {
+        EXPECT_GE(paths[i].distance, paths[i - 1].distance - 1e-9) << backend;
+      }
+    }
+  }
+}
+
+// A trivial backend that returns no paths, to exercise registration.
+class NullSolver : public KspSolver {
+ public:
+  std::string_view name() const override { return "null"; }
+  Result<KspQueryResult> Solve(const SolverInput&) const override {
+    return KspQueryResult{};
+  }
+};
+
+TEST(SolverRegistryTest, RegistrationRules) {
+  SolverRegistry registry = SolverRegistry::Default();
+  EXPECT_EQ(registry.size(), 4u);
+  EXPECT_NE(registry.Find(kBackendKspDg), nullptr);
+  EXPECT_EQ(registry.Find("nope"), nullptr);
+  EXPECT_TRUE(registry.Register(std::make_unique<NullSolver>()).ok());
+  // Duplicate names are rejected.
+  EXPECT_EQ(registry.Register(std::make_unique<NullSolver>()).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(registry.Register(nullptr).code(), StatusCode::kInvalidArgument);
+  std::vector<std::string> names = registry.Names();
+  EXPECT_EQ(names.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(RoutingServiceTest, CustomSolverServesQueries) {
+  Graph g = MakeRandomConnected(10, 8, 1, 9, 23);
+  std::unique_ptr<RoutingService> service = MustCreate(std::move(g));
+  ASSERT_TRUE(service != nullptr);
+  ASSERT_TRUE(service->RegisterSolver(std::make_unique<NullSolver>()).ok());
+  Result<KspResponse> response = service->Query(MakeRequest(0, 9, "null", 2));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response.value().paths.empty());
+  EXPECT_EQ(response.value().backend, "null");
+}
+
+// The enforced-invariant test: queries run concurrently with traffic batches
+// and must never observe a half-applied batch. Every edge starts at weight 1
+// and batch b sets *all* edges to 1 + b/4, so any path of L edges answered
+// at epoch e must have distance exactly L * (1 + e/4); a torn read would mix
+// two uniform levels and break the identity. Also asserts per-thread epoch
+// monotonicity.
+TEST(RoutingServiceTest, ConcurrentQueriesAndUpdatesSeeConsistentEpochs) {
+  Graph g = MakeRandomConnected(40, 50, 1, 1, 31);  // all weights 1
+  const size_t num_edges = g.NumEdges();
+  std::unique_ptr<RoutingService> service = MustCreate(std::move(g), /*z=*/12);
+  ASSERT_TRUE(service != nullptr);
+
+  constexpr uint64_t kBatches = 12;
+  auto level = [](uint64_t epoch) {
+    return 1.0 + 0.25 * static_cast<double>(epoch);
+  };
+
+  std::atomic<bool> done{false};
+  std::atomic<size_t> checks{0};
+  std::atomic<size_t> failures{0};
+
+  auto reader = [&](unsigned thread_seed) {
+    const char* backends[] = {kBackendKspDg, kBackendYen, kBackendFindKsp};
+    uint64_t last_epoch = 0;
+    size_t i = thread_seed;
+    while (!done.load(std::memory_order_acquire)) {
+      VertexId s = static_cast<VertexId>(i * 7 % 40);
+      VertexId t = static_cast<VertexId>((i * 13 + 19) % 40);
+      ++i;
+      if (s == t) continue;
+      Result<KspResponse> response =
+          service->Query(MakeRequest(s, t, backends[i % 3], 4));
+      if (!response.ok()) {
+        failures.fetch_add(1);
+        continue;
+      }
+      const KspResponse& r = response.value();
+      if (r.epoch < last_epoch) failures.fetch_add(1);  // must be monotone
+      last_epoch = r.epoch;
+      if (r.epoch > kBatches) failures.fetch_add(1);
+      const double w = level(r.epoch);
+      for (const Path& p : r.paths) {
+        const double want = w * static_cast<double>(p.NumEdges());
+        if (std::abs(p.distance - want) > 1e-6 * (1.0 + want)) {
+          failures.fetch_add(1);
+        }
+        checks.fetch_add(1);
+      }
+    }
+  };
+
+  std::vector<std::thread> readers;
+  for (unsigned r = 0; r < 3; ++r) readers.emplace_back(reader, r + 1);
+
+  for (uint64_t batch = 1; batch <= kBatches; ++batch) {
+    std::vector<WeightUpdate> updates;
+    updates.reserve(num_edges);
+    const double w = level(batch);
+    for (EdgeId e = 0; e < num_edges; ++e) updates.push_back({e, w, w});
+    Result<TrafficBatchResult> applied = service->ApplyTrafficBatch(updates);
+    ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+    EXPECT_EQ(applied.value().epoch, batch);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GT(checks.load(), 0u) << "readers never overlapped the updates";
+  EXPECT_EQ(service->CurrentEpoch(), kBatches);
+  ServiceCounters counters = service->counters();
+  EXPECT_EQ(counters.batches_applied, kBatches);
+  EXPECT_EQ(counters.updates_applied, kBatches * num_edges);
+}
+
+TEST(BenchRunnerTest, MixedBenchSmoke) {
+  BenchOptions options;
+  options.dataset = "NY-S";
+  options.target_vertices = 256;
+  options.queries_per_backend = 6;
+  options.num_batches = 2;
+  options.query_threads = 2;
+  options.k = 3;
+  options.z = 32;
+  Result<BenchReport> report = RunMixedBench(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const BenchReport& r = report.value();
+  EXPECT_EQ(r.num_vertices, 256u);
+  EXPECT_EQ(r.batches_applied, 2u);
+  EXPECT_EQ(r.batch_errors, 0u);
+  EXPECT_EQ(r.final_epoch, 2u);
+  ASSERT_EQ(r.backends.size(), 3u);
+  for (const BackendBenchStats& b : r.backends) {
+    EXPECT_EQ(b.queries, 6u) << b.backend;
+    EXPECT_EQ(b.errors, 0u) << b.backend;
+    EXPECT_GT(b.paths_returned, 0u) << b.backend;
+  }
+  std::string json = r.ToJson();
+  EXPECT_NE(json.find("\"dataset\": \"NY-S\""), std::string::npos);
+  EXPECT_NE(json.find("\"backend\": \"kspdg\""), std::string::npos);
+  BenchOptions bad = options;
+  bad.backends = {};
+  EXPECT_FALSE(RunMixedBench(bad).ok());
+}
+
+}  // namespace
+}  // namespace kspdg

@@ -5,8 +5,10 @@
 #include <algorithm>
 #include <atomic>
 #include <queue>
+#include <thread>
 #include <vector>
 
+#include "core/epoch_lock.h"
 #include "core/indexed_heap.h"
 #include "core/parallel_for.h"
 #include "core/rng.h"
@@ -215,6 +217,48 @@ TEST(ParallelForTest, MoreThreadsThanItems) {
 
 TEST(ParallelForTest, ZeroItemsIsNoOp) {
   ParallelFor(0, 4, [](size_t) { FAIL(); });
+}
+
+TEST(EpochLockTest, ExclusiveAndSharedBasics) {
+  EpochLock lock;
+  lock.lock_shared();
+  EXPECT_TRUE(lock.try_lock_shared());  // readers may share
+  EXPECT_FALSE(lock.try_lock());        // writer excluded by readers
+  lock.unlock_shared();
+  lock.unlock_shared();
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock_shared());  // reader excluded by writer
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+}
+
+// The property std::shared_mutex does not give us: a writer must get in
+// even while readers continuously re-acquire the shared lock (this is what
+// lets ApplyTrafficBatch drain queries on a saturated service).
+TEST(EpochLockTest, WriterIsNotStarvedByReaderChurn) {
+  EpochLock lock;
+  std::atomic<bool> stop{false};
+  std::atomic<int> writes{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        lock.lock_shared();
+        lock.unlock_shared();
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (int i = 0; i < 50; ++i) {
+      lock.lock();
+      writes.fetch_add(1);
+      lock.unlock();
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(writes.load(), 50);
 }
 
 }  // namespace

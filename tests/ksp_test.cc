@@ -1,18 +1,48 @@
 // Unit + property tests for src/ksp: Dijkstra, Yen, FindKSP, Path helpers.
+//
+// The Dijkstra and YenEnumerator sections exercise the low-level search
+// primitives directly (they are the internals KSP-DG builds on); every
+// one-shot k-shortest-paths computation goes through the RoutingService
+// facade, selecting the backend under test per request.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <functional>
+#include <memory>
+#include <string>
+#include <utility>
 
+#include "api/routing_service.h"
 #include "graph/generators.h"
 #include "ksp/dijkstra.h"
-#include "ksp/findksp.h"
 #include "ksp/path.h"
 #include "ksp/search_graph.h"
 #include "ksp/yen.h"
 
 namespace kspdg {
 namespace {
+
+/// Builds a throwaway service around `g` and solves q(s, t) with `backend`.
+std::vector<Path> SolveViaService(Graph g, VertexId s, VertexId t, size_t k,
+                                  const std::string& backend) {
+  Result<std::unique_ptr<RoutingService>> service =
+      RoutingService::Create(std::move(g));
+  if (!service.ok()) {
+    ADD_FAILURE() << service.status().ToString();
+    return {};
+  }
+  KspRequest request;
+  request.source = s;
+  request.target = t;
+  request.options.k = static_cast<uint32_t>(k);
+  request.options.backend = backend;
+  Result<KspResponse> response = service.value()->Query(request);
+  if (!response.ok()) {
+    ADD_FAILURE() << response.status().ToString();
+    return {};
+  }
+  return std::move(response).value().paths;
+}
 
 /// Reference implementation: enumerate ALL simple paths s->t by DFS and keep
 /// the k shortest. Exponential; only for tiny graphs.
@@ -219,7 +249,7 @@ TEST(YenTest, PaperExampleSmall) {
   g.AddEdge(0, 2, 2);
   g.AddEdge(2, 3, 2);
   g.AddEdge(1, 2, 1);
-  std::vector<Path> ksp = YenKspInGraph(g, 0, 3, 4);
+  std::vector<Path> ksp = SolveViaService(std::move(g), 0, 3, 4, kBackendYen);
   ASSERT_EQ(ksp.size(), 4u);
   EXPECT_DOUBLE_EQ(ksp[0].distance, 2.0);  // 0-1-3
   EXPECT_DOUBLE_EQ(ksp[1].distance, 4.0);  // 0-1-2-3, 0-2-3, 0-2-1-3
@@ -229,12 +259,25 @@ TEST(YenTest, PaperExampleSmall) {
 
 TEST(YenTest, PathsAreSimpleSortedDistinct) {
   Graph g = MakeRandomConnected(25, 35, 1, 9, 21);
-  std::vector<Path> ksp = YenKspInGraph(g, 0, 24, 12);
+  Result<std::unique_ptr<RoutingService>> service =
+      RoutingService::Create(std::move(g));
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  KspRequest request;
+  request.source = 0;
+  request.target = 24;
+  request.options.k = 12;
+  request.options.backend = kBackendYen;
+  Result<KspResponse> response = service.value()->Query(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  const Graph& graph = service.value()->graph();
+  const std::vector<Path>& ksp = response.value().paths;
   for (size_t i = 0; i < ksp.size(); ++i) {
     EXPECT_TRUE(IsSimpleRoute(ksp[i].vertices));
-    EXPECT_TRUE(IsValidRoute(g, ksp[i].vertices));
-    EXPECT_NEAR(RouteDistance(g, ksp[i].vertices), ksp[i].distance, 1e-9);
-    if (i > 0) EXPECT_GE(ksp[i].distance, ksp[i - 1].distance - 1e-9);
+    EXPECT_TRUE(IsValidRoute(graph, ksp[i].vertices));
+    EXPECT_NEAR(RouteDistance(graph, ksp[i].vertices), ksp[i].distance, 1e-9);
+    if (i > 0) {
+      EXPECT_GE(ksp[i].distance, ksp[i - 1].distance - 1e-9);
+    }
     for (size_t j = 0; j < i; ++j) {
       EXPECT_FALSE(SameRoute(ksp[i], ksp[j]));
     }
@@ -247,15 +290,15 @@ TEST(YenTest, ExhaustsAllSimplePaths) {
   g.AddEdge(1, 2, 1);
   g.AddEdge(0, 2, 3);
   // Exactly 2 simple paths 0->2.
-  std::vector<Path> ksp = YenKspInGraph(g, 0, 2, 10);
+  std::vector<Path> ksp = SolveViaService(std::move(g), 0, 2, 10, kBackendYen);
   EXPECT_EQ(ksp.size(), 2u);
 }
 
 TEST(YenTest, MatchesBruteForceOnRandomGraphs) {
   for (uint64_t seed = 0; seed < 15; ++seed) {
     Graph g = MakeRandomConnected(10, 8, 1, 9, seed * 31 + 1);
-    std::vector<Path> got = YenKspInGraph(g, 0, 9, 6);
     std::vector<Path> want = BruteForceKsp(g, 0, 9, 6);
+    std::vector<Path> got = SolveViaService(std::move(g), 0, 9, 6, kBackendYen);
     ExpectSameDistances(got, want);
   }
 }
@@ -263,8 +306,8 @@ TEST(YenTest, MatchesBruteForceOnRandomGraphs) {
 TEST(YenTest, DirectedMatchesBruteForce) {
   for (uint64_t seed = 0; seed < 8; ++seed) {
     Graph g = MakeRandomConnected(9, 8, 1, 9, seed + 100, /*directed=*/true);
-    std::vector<Path> got = YenKspInGraph(g, 0, 8, 5);
     std::vector<Path> want = BruteForceKsp(g, 0, 8, 5);
+    std::vector<Path> got = SolveViaService(std::move(g), 0, 8, 5, kBackendYen);
     ExpectSameDistances(got, want);
   }
 }
@@ -285,9 +328,19 @@ TEST(YenTest, LazyEnumeratorProducesAscendingStream) {
 TEST(FindKspTest, MatchesYenDistances) {
   for (uint64_t seed = 0; seed < 10; ++seed) {
     Graph g = MakeRandomConnected(30, 40, 1, 15, seed * 7 + 3);
-    std::vector<Path> yen = YenKspInGraph(g, 2, 27, 8);
-    std::vector<Path> fks = FindKsp(g, 2, 27, 8);
-    ExpectSameDistances(fks, yen);
+    Result<std::unique_ptr<RoutingService>> service =
+        RoutingService::Create(std::move(g));
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    KspRequest request;
+    request.source = 2;
+    request.target = 27;
+    request.options.k = 8;
+    request.options.backend = kBackendYen;
+    Result<KspResponse> yen = service.value()->Query(request);
+    request.options.backend = kBackendFindKsp;
+    Result<KspResponse> fks = service.value()->Query(request);
+    ASSERT_TRUE(yen.ok() && fks.ok());
+    ExpectSameDistances(fks.value().paths, yen.value().paths);
   }
 }
 
@@ -295,17 +348,36 @@ TEST(FindKspTest, DisconnectedReturnsEmpty) {
   Graph g = Graph::Undirected(4);
   g.AddEdge(0, 1, 1);
   g.AddEdge(2, 3, 1);
-  EXPECT_TRUE(FindKsp(g, 0, 3, 4).empty());
+  EXPECT_TRUE(SolveViaService(std::move(g), 0, 3, 4, kBackendFindKsp).empty());
 }
 
 TEST(FindKspTest, WorksAfterWeightChanges) {
   Graph g = MakeRandomConnected(25, 30, 2, 12, 55);
-  for (EdgeId e = 0; e < g.NumEdges(); e += 3) {
-    g.SetWeight(e, g.ForwardWeight(e) * 0.4);
+  Result<std::unique_ptr<RoutingService>> service =
+      RoutingService::Create(std::move(g));
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  // Reweight a third of the edges through the facade's writer path.
+  const Graph& graph = service.value()->graph();
+  std::vector<WeightUpdate> updates;
+  for (EdgeId e = 0; e < graph.NumEdges(); e += 3) {
+    Weight w = graph.ForwardWeight(e) * 0.4;
+    updates.push_back({e, w, w});
   }
-  std::vector<Path> yen = YenKspInGraph(g, 1, 20, 6);
-  std::vector<Path> fks = FindKsp(g, 1, 20, 6);
-  ExpectSameDistances(fks, yen);
+  Result<TrafficBatchResult> applied =
+      service.value()->ApplyTrafficBatch(updates);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  KspRequest request;
+  request.source = 1;
+  request.target = 20;
+  request.options.k = 6;
+  request.options.backend = kBackendYen;
+  Result<KspResponse> yen = service.value()->Query(request);
+  request.options.backend = kBackendFindKsp;
+  Result<KspResponse> fks = service.value()->Query(request);
+  ASSERT_TRUE(yen.ok() && fks.ok());
+  EXPECT_EQ(yen.value().epoch, 1u);
+  EXPECT_EQ(fks.value().epoch, 1u);
+  ExpectSameDistances(fks.value().paths, yen.value().paths);
 }
 
 }  // namespace

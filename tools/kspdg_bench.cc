@@ -1,0 +1,113 @@
+// kspdg_bench: drive RoutingService with a mixed query/update workload
+// against a registry dataset and emit BENCH_*-style JSON.
+//
+// Usage:
+//   kspdg_bench [--dataset NY-S] [--vertices 4096] [--k 4] [--queries 48]
+//               [--batches 6] [--threads 4] [--alpha 0.35] [--tau 0.30]
+//               [--z 0] [--seed 42] [--backends kspdg,yen,findksp]
+//               [--out BENCH_service.json]
+//
+// Set KSPDG_DATA_DIR to run on real DIMACS files instead of the synthetic
+// stand-ins (see src/workload/datasets.h).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "workload/bench_runner.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--dataset NAME] [--vertices N] [--k K] "
+               "[--queries N] [--batches N] [--threads N] [--alpha F] "
+               "[--tau F] [--z N] [--seed N] [--backends a,b,c] "
+               "[--out FILE]\n",
+               argv0);
+}
+
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    if (comma > start) out.push_back(csv.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  kspdg::BenchOptions options;
+  std::string out_file;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--dataset") {
+      options.dataset = next();
+    } else if (arg == "--vertices") {
+      options.target_vertices = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--k") {
+      options.k = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--queries") {
+      options.queries_per_backend = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--batches") {
+      options.num_batches = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--threads") {
+      options.query_threads = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--alpha") {
+      options.alpha = std::strtod(next(), nullptr);
+    } else if (arg == "--tau") {
+      options.tau = std::strtod(next(), nullptr);
+    } else if (arg == "--z") {
+      options.z = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--backends") {
+      options.backends = SplitCsv(next());
+    } else if (arg == "--out") {
+      out_file = next();
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  kspdg::Result<kspdg::BenchReport> report =
+      kspdg::RunMixedBench(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "bench failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::string json = report.value().ToJson();
+  if (out_file.empty()) {
+    std::cout << json;
+  } else {
+    std::ofstream out(out_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_file.c_str());
+      return 1;
+    }
+    out << json;
+    std::fprintf(stderr, "wrote %s\n", out_file.c_str());
+  }
+  return 0;
+}

@@ -34,6 +34,23 @@ struct SolverInput {
   RoutingOptions options;
 };
 
+/// Opaque per-worker scratch state for a solver backend. The service keeps
+/// one scratch per (worker, backend) pair in an arena that outlives any
+/// single batch and hands it back on every Solve call that worker makes, so
+/// per-query allocations — Yen's ban buffers, KSP-DG partial-path caches —
+/// are pooled instead of rebuilt per request. A scratch is never used by
+/// two threads at once. Weight-dependent cached state is dropped through
+/// OnSnapshotChange() whenever the epoch moved since the arena's last use.
+class SolverScratch {
+ public:
+  virtual ~SolverScratch() = default;
+
+  /// The weight snapshot changed since this scratch was last used: discard
+  /// any cached state derived from edge weights. Buffers whose contents are
+  /// weight-independent (e.g. epoch-stamped ban arrays) may be kept.
+  virtual void OnSnapshotChange() {}
+};
+
 class KspSolver {
  public:
   virtual ~KspSolver() = default;
@@ -41,10 +58,18 @@ class KspSolver {
   /// Registry key, e.g. "kspdg". Must be stable for the solver's lifetime.
   virtual std::string_view name() const = 0;
 
+  /// Creates scratch state reusable across consecutive Solve calls on one
+  /// worker thread at a fixed weight snapshot. nullptr (the default) means
+  /// this backend keeps no reusable state.
+  virtual std::unique_ptr<SolverScratch> NewScratch() const { return nullptr; }
+
   /// Computes up to options.k shortest loopless paths source -> target.
   /// Returning fewer (or zero) paths is not an error; Status is reserved for
-  /// requests the backend cannot serve (e.g. unsupported k).
-  virtual Result<KspQueryResult> Solve(const SolverInput& input) const = 0;
+  /// requests the backend cannot serve (e.g. unsupported k). `scratch` is
+  /// either nullptr or an object this solver returned from NewScratch().
+  virtual Result<KspQueryResult> Solve(const SolverInput& input,
+                                       SolverScratch* scratch = nullptr)
+      const = 0;
 };
 
 /// Name -> solver map owned by the service. Not thread-safe for writes;

@@ -95,6 +95,27 @@ struct KspResponse {
   QueryStats stats;
 };
 
+/// Outcome of one request inside a batch. A bad request never fails its
+/// batch: it gets a non-OK status here while its neighbours are answered.
+struct KspBatchItem {
+  Status status;        // OK iff `response` holds an answer
+  KspResponse response; // meaningful only when status.ok()
+};
+
+/// Answer to RoutingService::QueryBatch. Items correspond 1:1 (same order)
+/// to the request span.
+struct KspBatchResponse {
+  std::vector<KspBatchItem> items;
+  /// Weight-snapshot epoch shared by *every* answered item: the service
+  /// holds its reader lock once across the whole batch, so no item can see
+  /// a different snapshot than its neighbours.
+  uint64_t epoch = 0;
+  size_t num_ok = 0;
+  size_t num_rejected = 0;
+  /// Wall time of the snapshot section (validation excluded).
+  double batch_micros = 0;
+};
+
 }  // namespace kspdg
 
 #endif  // KSPDG_API_ROUTING_OPTIONS_H_

@@ -1,14 +1,29 @@
 #include "api/routing_service.h"
 
+#include <algorithm>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "core/strings.h"
 #include "core/timer.h"
 
 namespace kspdg {
+
+namespace {
+
+/// How many threads one QueryBatch may use when the caller does not say.
+unsigned ResolveBatchThreads(unsigned requested) {
+  if (requested != 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return std::min(hw, 16u);
+}
+
+}  // namespace
 
 Result<std::unique_ptr<RoutingService>> RoutingService::Create(
     Graph graph, RoutingServiceOptions options) {
@@ -22,31 +37,40 @@ Result<std::unique_ptr<RoutingService>> RoutingService::Create(
   if (!dtlp.ok()) return dtlp.status();
   service->dtlp_ = std::move(dtlp).value();
   service->registry_ = SolverRegistry::Default();
+  service->pool_ = std::make_unique<ThreadPool>(
+      ResolveBatchThreads(service->options_.batch_threads));
+  service->arenas_.resize(service->pool_->num_threads());
   return service;
 }
 
-Result<KspResponse> RoutingService::Query(const KspRequest& request) const {
-  RoutingOptions merged = MergeOptions(options_.defaults, request.options);
-  Status valid = merged.Validate();
-  if (!valid.ok()) {
-    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
-    return valid;
-  }
-  const KspSolver* solver = registry_.Find(merged.backend);
-  if (solver == nullptr) {
-    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
-    return Status::NotFound("unknown backend '" + merged.backend +
+Status RoutingService::PrepareQuery(const KspRequest& request,
+                                    RoutingOptions* merged,
+                                    const KspSolver** solver) const {
+  *merged = MergeOptions(options_.defaults, request.options);
+  KSPDG_RETURN_NOT_OK(merged->Validate());
+  *solver = registry_.Find(merged->backend);
+  if (*solver == nullptr) {
+    return Status::NotFound("unknown backend '" + merged->backend +
                             "' (registered: " + JoinNames(registry_.Names()) +
                             ")");
   }
   if (request.source >= graph_.NumVertices() ||
       request.target >= graph_.NumVertices()) {
-    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
     return Status::InvalidArgument("query vertex out of range");
   }
   if (request.source == request.target) {
-    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
     return Status::InvalidArgument("source equals target");
+  }
+  return Status::OK();
+}
+
+Result<KspResponse> RoutingService::Query(const KspRequest& request) const {
+  RoutingOptions merged;
+  const KspSolver* solver = nullptr;
+  Status prepared = PrepareQuery(request, &merged, &solver);
+  if (!prepared.ok()) {
+    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return prepared;
   }
 
   SolverInput input;
@@ -74,6 +98,104 @@ Result<KspResponse> RoutingService::Query(const KspRequest& request) const {
   response.backend = merged.backend;
   queries_ok_.fetch_add(1, std::memory_order_relaxed);
   return response;
+}
+
+Result<KspBatchResponse> RoutingService::QueryBatch(
+    std::span<const KspRequest> requests) const {
+  KspBatchResponse batch;
+  batch.items.resize(requests.size());
+
+  // Phase 1 (outside the lock): validate every request and resolve its
+  // backend. Failures become per-item statuses, never a batch failure.
+  struct Prepared {
+    size_t index = 0;
+    const KspSolver* solver = nullptr;
+    RoutingOptions merged;
+  };
+  std::vector<Prepared> work;
+  work.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Prepared prepared;
+    prepared.index = i;
+    Status status =
+        PrepareQuery(requests[i], &prepared.merged, &prepared.solver);
+    if (!status.ok()) {
+      batch.items[i].status = std::move(status);
+      continue;
+    }
+    work.push_back(std::move(prepared));
+  }
+
+  // Phase 2: group by backend so the contiguous chunks a worker claims
+  // mostly share a solver and its scratch stays warm across them.
+  std::stable_sort(work.begin(), work.end(),
+                   [](const Prepared& a, const Prepared& b) {
+                     return a.solver->name() < b.solver->name();
+                   });
+
+  // Phase 3 (snapshot section): ONE reader-lock acquisition covers every
+  // solve, so the whole batch is answered at a single epoch. Each work item
+  // writes only its own response slot; no synchronisation needed. batch_mu_
+  // keeps the persistent arenas single-batch-at-a-time, and is taken BEFORE
+  // the reader lock so queued batches wait outside the snapshot section — a
+  // waiting traffic writer then drains at most one in-flight batch, not the
+  // whole queue.
+  std::lock_guard<std::mutex> batch_guard(batch_mu_);
+  std::shared_lock<EpochLock> lock(mu_);
+  WallTimer timer;
+  const uint64_t epoch = epoch_;
+  batch.epoch = epoch;
+  if (arena_epoch_ != epoch) {
+    // Weights moved since the arenas were last warm: weight-derived caches
+    // (KSP-DG partials) must not survive into this snapshot.
+    for (WorkerArena& arena : arenas_) {
+      for (auto& [solver, scratch] : arena.by_solver) {
+        if (scratch != nullptr) scratch->OnSnapshotChange();
+      }
+    }
+    arena_epoch_ = epoch;
+  }
+  // Chunks large enough to amortise claiming, small enough to balance the
+  // (highly skewed) per-query solve costs across workers.
+  size_t chunk =
+      std::max<size_t>(1, work.size() / (4 * size_t{pool_->num_threads()}));
+  pool_->ParallelFor(
+      work.size(), chunk, [&](unsigned worker, size_t j) {
+        Prepared& p = work[j];
+        SolverInput input;
+        input.graph = &graph_;
+        input.dtlp = dtlp_.get();
+        input.source = requests[p.index].source;
+        input.target = requests[p.index].target;
+        input.options = std::move(p.merged);  // each item runs exactly once
+        KspBatchItem& item = batch.items[p.index];
+        WallTimer solve_timer;
+        Result<KspQueryResult> solved =
+            p.solver->Solve(input, arenas_[worker].Get(p.solver));
+        if (!solved.ok()) {
+          item.status = solved.status();
+          return;
+        }
+        item.response.paths = std::move(solved.value().paths);
+        item.response.stats.engine = solved.value().stats;
+        item.response.stats.solve_micros = solve_timer.ElapsedMicros();
+        item.response.epoch = epoch;
+        item.response.k = input.options.k;
+        item.response.backend = std::move(input.options.backend);
+      });
+  lock.unlock();
+  batch.batch_micros = timer.ElapsedMicros();
+
+  for (const KspBatchItem& item : batch.items) {
+    if (item.status.ok()) {
+      ++batch.num_ok;
+    } else {
+      ++batch.num_rejected;
+    }
+  }
+  queries_ok_.fetch_add(batch.num_ok, std::memory_order_relaxed);
+  queries_rejected_.fetch_add(batch.num_rejected, std::memory_order_relaxed);
+  return batch;
 }
 
 Result<TrafficBatchResult> RoutingService::ApplyTrafficBatch(

@@ -6,6 +6,9 @@
 // epoch-based snapshotting on a reader/writer lock:
 //
 //   Query(request)            shared lock   — any number run concurrently
+//   QueryBatch(requests)      shared lock   — one acquisition for the whole
+//                                             batch, answered in parallel on
+//                                             the service-owned thread pool
 //   ApplyTrafficBatch(batch)  unique lock   — drains readers, applies
 //                                             Algorithm 2, bumps the epoch
 //
@@ -25,6 +28,7 @@
 #include "api/routing_options.h"
 #include "core/epoch_lock.h"
 #include "core/status.h"
+#include "core/thread_pool.h"
 #include "dtlp/dtlp.h"
 #include "graph/graph.h"
 
@@ -35,6 +39,10 @@ struct RoutingServiceOptions {
   RoutingOptions defaults;
   /// DTLP construction knobs (partition size z, level-1 ξ, build threads).
   DtlpOptions dtlp;
+  /// Threads answering one QueryBatch (0 = one per hardware thread, capped
+  /// at 16; 1 = batches execute inline on the caller). The pool is owned by
+  /// the service and shared by all batches.
+  unsigned batch_threads = 0;
 };
 
 /// Result of one applied traffic batch.
@@ -70,6 +78,18 @@ class RoutingService {
   /// with other queries and serialises against ApplyTrafficBatch.
   Result<KspResponse> Query(const KspRequest& request) const;
 
+  /// Answers a whole batch of queries on ONE weight snapshot: requests are
+  /// validated up front, the reader lock is acquired once, and the valid
+  /// requests are grouped by backend and executed on the service's thread
+  /// pool. Each worker draws solver scratch (pooled candidate heaps /
+  /// partial caches) from a persistent per-worker arena that stays warm
+  /// across batches until a traffic batch moves the epoch. Invalid requests
+  /// receive per-item statuses without failing the batch. Thread-safe;
+  /// concurrent batches and single queries run under the same reader lock
+  /// and serialise against ApplyTrafficBatch.
+  Result<KspBatchResponse> QueryBatch(
+      std::span<const KspRequest> requests) const;
+
   /// Applies one batch of weight updates atomically: the graph's current
   /// weights and the DTLP (Algorithm 2) move to the next epoch together,
   /// with all concurrent queries drained. The batch is validated up front
@@ -101,10 +121,44 @@ class RoutingService {
   RoutingService(Graph graph, RoutingServiceOptions options)
       : graph_(std::move(graph)), options_(std::move(options)) {}
 
+  /// Shared request validation: merges options, resolves the backend, and
+  /// range-checks the endpoints. Fills `merged` and `solver` on success.
+  /// Does not touch counters; callers account rejections themselves.
+  Status PrepareQuery(const KspRequest& request, RoutingOptions* merged,
+                      const KspSolver** solver) const;
+
+  /// Lazily populated scratch per (worker, backend); see SolverScratch for
+  /// the reuse contract. A handful of backends at most: linear scan beats
+  /// hashing.
+  struct WorkerArena {
+    std::vector<std::pair<const KspSolver*, std::unique_ptr<SolverScratch>>>
+        by_solver;
+
+    SolverScratch* Get(const KspSolver* solver) {
+      for (auto& [known, scratch] : by_solver) {
+        if (known == solver) return scratch.get();
+      }
+      by_solver.emplace_back(solver, solver->NewScratch());
+      return by_solver.back().second.get();
+    }
+  };
+
   Graph graph_;
   RoutingServiceOptions options_;
   std::unique_ptr<Dtlp> dtlp_;
   SolverRegistry registry_;
+  /// Executes QueryBatch work items; owned so batches reuse warm threads
+  /// instead of paying thread creation per call.
+  std::unique_ptr<ThreadPool> pool_;
+  /// Per-worker scratch arenas, persistent across batches so caches stay
+  /// warm while the epoch holds still. Guarded by batch_mu_, which also
+  /// serialises the parallel section of concurrent QueryBatch calls (the
+  /// pool would serialise them anyway).
+  mutable std::mutex batch_mu_;
+  mutable std::vector<WorkerArena> arenas_;
+  /// Epoch the arenas were last used at; a mismatch triggers
+  /// SolverScratch::OnSnapshotChange() before the batch runs.
+  mutable uint64_t arena_epoch_ = 0;
 
   /// Guards graph_ weights, the DTLP, and epoch_ (readers shared, updates
   /// exclusive; write-preferring so traffic batches cannot starve).

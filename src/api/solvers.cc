@@ -52,18 +52,44 @@ RoutingOptions MergeOptions(const RoutingOptions& defaults,
 
 namespace {
 
+/// Scratch shared by the deviation-search backends: pooled Yen ban buffers.
+struct YenBackendScratch : SolverScratch {
+  YenScratch yen;
+};
+
+/// KSP-DG scratch: a partial-path cache that stays warm across the queries
+/// one batch worker answers at a single snapshot — different (s, t) pairs
+/// share boundary-pair partials, so batch neighbours skip whole Yen runs.
+/// The cache is weight-derived, so it empties when the snapshot moves.
+struct KspDgScratch : SolverScratch {
+  PartialCacheStore partials;
+
+  void OnSnapshotChange() override { partials.entries.clear(); }
+};
+
 /// DTLP filter-and-refine (Algorithms 3 + 4); the paper's KSP-DG.
 class KspDgSolver : public KspSolver {
  public:
   std::string_view name() const override { return kBackendKspDg; }
 
-  Result<KspQueryResult> Solve(const SolverInput& input) const override {
+  std::unique_ptr<SolverScratch> NewScratch() const override {
+    return std::make_unique<KspDgScratch>();
+  }
+
+  Result<KspQueryResult> Solve(const SolverInput& input,
+                               SolverScratch* scratch) const override {
     if (input.dtlp == nullptr) {
       return Status::FailedPrecondition("kspdg backend requires a DTLP index");
     }
+    // The shared cache honours reuse_partials: when a request opts out of
+    // partial reuse it must not see (or pollute) warm cross-query entries.
+    PartialCacheStore* cache = nullptr;
+    if (scratch != nullptr && input.options.reuse_partials) {
+      cache = &static_cast<KspDgScratch*>(scratch)->partials;
+    }
     LocalPartialProvider provider(*input.dtlp);
     return RunKspDgQuery(*input.dtlp, &provider, input.source, input.target,
-                         input.options.ToEngineOptions());
+                         input.options.ToEngineOptions(), cache);
   }
 };
 
@@ -72,10 +98,18 @@ class YenSolver : public KspSolver {
  public:
   std::string_view name() const override { return kBackendYen; }
 
-  Result<KspQueryResult> Solve(const SolverInput& input) const override {
+  std::unique_ptr<SolverScratch> NewScratch() const override {
+    return std::make_unique<YenBackendScratch>();
+  }
+
+  Result<KspQueryResult> Solve(const SolverInput& input,
+                               SolverScratch* scratch) const override {
+    YenScratch* yen_scratch =
+        scratch != nullptr ? &static_cast<YenBackendScratch*>(scratch)->yen
+                           : nullptr;
     KspQueryResult result;
     result.paths = YenKspInGraph(*input.graph, input.source, input.target,
-                                 input.options.k);
+                                 input.options.k, yen_scratch);
     return result;
   }
 };
@@ -85,10 +119,18 @@ class FindKspSolver : public KspSolver {
  public:
   std::string_view name() const override { return kBackendFindKsp; }
 
-  Result<KspQueryResult> Solve(const SolverInput& input) const override {
+  std::unique_ptr<SolverScratch> NewScratch() const override {
+    return std::make_unique<YenBackendScratch>();
+  }
+
+  Result<KspQueryResult> Solve(const SolverInput& input,
+                               SolverScratch* scratch) const override {
+    YenScratch* yen_scratch =
+        scratch != nullptr ? &static_cast<YenBackendScratch*>(scratch)->yen
+                           : nullptr;
     KspQueryResult result;
-    result.paths =
-        FindKsp(*input.graph, input.source, input.target, input.options.k);
+    result.paths = FindKsp(*input.graph, input.source, input.target,
+                           input.options.k, yen_scratch);
     return result;
   }
 };
@@ -99,7 +141,8 @@ class DijkstraSolver : public KspSolver {
  public:
   std::string_view name() const override { return kBackendDijkstra; }
 
-  Result<KspQueryResult> Solve(const SolverInput& input) const override {
+  Result<KspQueryResult> Solve(const SolverInput& input,
+                               SolverScratch*) const override {
     if (input.options.k != 1) {
       return Status::InvalidArgument(
           "dijkstra backend serves only k=1 (got k=" +

@@ -1,0 +1,91 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+
+namespace kspdg {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads - 1);
+  for (unsigned w = 1; w < num_threads; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop(unsigned worker) {
+  uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> guard(mu_);
+      cv_start_.wait(guard, [&] {
+        return stop_ || (job_ != nullptr && generation_ != seen);
+      });
+      if (stop_) return;
+      job = job_;
+      seen = generation_;
+    }
+    RunChunks(*job, worker);
+  }
+}
+
+void ThreadPool::RunChunks(Job& job, unsigned worker) {
+  for (;;) {
+    size_t begin = job.next.fetch_add(job.chunk, std::memory_order_relaxed);
+    if (begin >= job.count) return;
+    size_t end = std::min(begin + job.chunk, job.count);
+    for (size_t i = begin; i < end; ++i) (*job.fn)(worker, i);
+    size_t finished = end - begin;
+    if (job.done.fetch_add(finished, std::memory_order_acq_rel) + finished ==
+        job.count) {
+      // Last chunk in the loop: wake the blocked caller. Taking the mutex
+      // keeps the notify from slipping between the caller's predicate check
+      // and its wait.
+      std::lock_guard<std::mutex> guard(mu_);
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t count, size_t chunk,
+    const std::function<void(unsigned, size_t)>& fn) {
+  if (count == 0) return;
+  if (chunk == 0) chunk = 1;
+  // Inline fast path: no workers, or everything fits in one chunk that a
+  // single thread would claim anyway — skip the publish/wake round-trip.
+  if (workers_.empty() || count <= chunk) {
+    for (size_t i = 0; i < count; ++i) fn(0, i);
+    return;
+  }
+  std::lock_guard<std::mutex> serialize(serialize_mu_);
+  std::shared_ptr<Job> job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->count = count;
+  job->chunk = chunk;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    job_ = job;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  RunChunks(*job, /*worker=*/0);
+  std::unique_lock<std::mutex> guard(mu_);
+  cv_done_.wait(guard, [&] {
+    return job->done.load(std::memory_order_acquire) == job->count;
+  });
+  // Unpublish so late-waking workers see no runnable job. Stragglers still
+  // holding the shared_ptr observe next >= count and touch fn no further.
+  job_ = nullptr;
+}
+
+}  // namespace kspdg

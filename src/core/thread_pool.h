@@ -1,0 +1,74 @@
+// Persistent worker pool for batch query execution.
+//
+// A RoutingService owns one ThreadPool and reuses it for every QueryBatch
+// instead of spawning threads per call: thread creation costs more than many
+// individual solves, and persistent workers give per-worker scratch state a
+// stable home (fn receives a worker index usable as an array slot). One
+// parallel loop runs at a time — concurrent callers serialise — which
+// matches the service's usage and keeps the wake/complete protocol simple.
+#ifndef KSPDG_CORE_THREAD_POOL_H_
+#define KSPDG_CORE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kspdg {
+
+class ThreadPool {
+ public:
+  /// A pool that executes loops on `num_threads` threads in total. The
+  /// caller of ParallelFor participates as worker 0, so num_threads - 1
+  /// threads are spawned; num_threads <= 1 means fully inline execution.
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Threads a loop runs on (spawned workers plus the calling thread).
+  unsigned num_threads() const {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Runs fn(worker, i) for every i in [0, count), blocking until every
+  /// invocation has finished. Indices are claimed in contiguous chunks of
+  /// `chunk` (0 is treated as 1) so consecutive items tend to stay on one
+  /// worker and its scratch state stays hot. `worker` < num_threads().
+  /// Thread-safe: concurrent ParallelFor calls execute one loop at a time.
+  void ParallelFor(size_t count, size_t chunk,
+                   const std::function<void(unsigned worker, size_t index)>& fn);
+
+ private:
+  /// One published loop. Workers keep a shared_ptr while executing, so the
+  /// caller can safely unpublish the job as soon as all items are done.
+  struct Job {
+    const std::function<void(unsigned, size_t)>* fn = nullptr;
+    size_t count = 0;
+    size_t chunk = 1;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+  };
+
+  void WorkerLoop(unsigned worker);
+  void RunChunks(Job& job, unsigned worker);
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::shared_ptr<Job> job_;  // non-null while a loop is being executed
+  uint64_t generation_ = 0;   // bumped per published job; workers join once
+  bool stop_ = false;
+  std::mutex serialize_mu_;   // admits one ParallelFor caller at a time
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace kspdg
+
+#endif  // KSPDG_CORE_THREAD_POOL_H_

@@ -6,20 +6,21 @@
 
 namespace kspdg {
 
-std::vector<Path> FindKsp(const Graph& g, VertexId s, VertexId t, size_t k) {
+std::vector<Path> FindKsp(const Graph& g, VertexId s, VertexId t, size_t k,
+                          YenScratch* scratch) {
   GraphCostView view(g, CostKind::kCurrentWeight);
   // Reverse SPT rooted at t: exact remaining-distance heuristic.
   DijkstraSearch<GraphCostView> search(view);
   std::vector<Weight> to_target;
   search.ComputeTree(t, /*reverse=*/true, &to_target);
   if (to_target[s] == kInfiniteWeight) return {};
-  return YenKsp(view, s, t, k, &to_target);
+  return YenKsp(view, s, t, k, &to_target, scratch);
 }
 
 std::vector<Path> YenKspInGraph(const Graph& g, VertexId s, VertexId t,
-                                size_t k) {
+                                size_t k, YenScratch* scratch) {
   GraphCostView view(g, CostKind::kCurrentWeight);
-  return YenKsp(view, s, t, k);
+  return YenKsp(view, s, t, k, nullptr, scratch);
 }
 
 std::optional<Path> ShortestPathInGraph(const Graph& g, VertexId s,

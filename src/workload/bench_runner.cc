@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <limits>
 #include <mutex>
+#include <span>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -28,6 +30,18 @@ struct WorkItem {
 void AppendJsonKey(std::ostringstream& out, const char* key,
                    const std::string& indent) {
   out << indent << '"' << key << "\": ";
+}
+
+/// Nearest-rank percentile (q in [0, 100]) over an unsorted sample set.
+/// Sorts in place; returns 0 for an empty sample.
+double Percentile(std::vector<double>& samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  size_t index =
+      static_cast<size_t>(std::ceil(q / 100.0 * samples.size()));
+  if (index > 0) --index;
+  if (index >= samples.size()) index = samples.size() - 1;
+  return samples[index];
 }
 
 }  // namespace
@@ -57,8 +71,35 @@ std::string BenchReport::ToJson() const {
   out << updates_applied << ",\n";
   AppendJsonKey(out, "update_total_micros", "  ");
   out << update_total_micros << ",\n";
+  AppendJsonKey(out, "update_p50_micros", "  ");
+  out << update_p50_micros << ",\n";
+  AppendJsonKey(out, "update_p95_micros", "  ");
+  out << update_p95_micros << ",\n";
+  AppendJsonKey(out, "update_p99_micros", "  ");
+  out << update_p99_micros << ",\n";
   AppendJsonKey(out, "final_epoch", "  ");
   out << final_epoch << ",\n";
+  AppendJsonKey(out, "batch", "  ");
+  out << "{\n";
+  AppendJsonKey(out, "batch_size", "    ");
+  out << batch.batch_size << ",\n";
+  AppendJsonKey(out, "requests", "    ");
+  out << batch.requests << ",\n";
+  AppendJsonKey(out, "errors", "    ");
+  out << batch.errors << ",\n";
+  AppendJsonKey(out, "non_uniform_batches", "    ");
+  out << batch.non_uniform_batches << ",\n";
+  AppendJsonKey(out, "sequential_micros", "    ");
+  out << batch.sequential_micros << ",\n";
+  AppendJsonKey(out, "batch_micros", "    ");
+  out << batch.batch_micros << ",\n";
+  AppendJsonKey(out, "sequential_qps", "    ");
+  out << batch.sequential_qps << ",\n";
+  AppendJsonKey(out, "batch_qps", "    ");
+  out << batch.batch_qps << ",\n";
+  AppendJsonKey(out, "speedup", "    ");
+  out << batch.speedup << "\n";
+  out << "  },\n";
   AppendJsonKey(out, "backends", "  ");
   out << "[\n";
   for (size_t i = 0; i < backends.size(); ++i) {
@@ -78,6 +119,12 @@ std::string BenchReport::ToJson() const {
     out << b.mean_micros << ",\n";
     AppendJsonKey(out, "max_micros", "      ");
     out << b.max_micros << ",\n";
+    AppendJsonKey(out, "p50_micros", "      ");
+    out << b.p50_micros << ",\n";
+    AppendJsonKey(out, "p95_micros", "      ");
+    out << b.p95_micros << ",\n";
+    AppendJsonKey(out, "p99_micros", "      ");
+    out << b.p99_micros << ",\n";
     AppendJsonKey(out, "min_epoch", "      ");
     out << b.min_epoch << ",\n";
     AppendJsonKey(out, "max_epoch", "      ");
@@ -112,6 +159,7 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
   service_options.defaults.k = options.k;
   service_options.dtlp.partition.max_vertices =
       options.z != 0 ? options.z : spec->default_z;
+  service_options.batch_threads = options.batch_threads;
 
   BenchReport report;
   report.dataset = options.dataset;
@@ -158,9 +206,11 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
   }
 
   std::vector<BackendBenchStats> stats(options.backends.size());
+  std::vector<std::vector<double>> latency_samples(options.backends.size());
   for (size_t b = 0; b < options.backends.size(); ++b) {
     stats[b].backend = options.backends[b];
     stats[b].min_epoch = std::numeric_limits<uint64_t>::max();
+    latency_samples[b].reserve(options.queries_per_backend);
   }
   std::mutex stats_mu;
   std::atomic<size_t> next_item{0};
@@ -184,6 +234,7 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
       }
       const KspResponse& r = response.value();
       s.paths_returned += r.paths.size();
+      latency_samples[item.backend_index].push_back(r.stats.solve_micros);
       s.total_micros += r.stats.solve_micros;
       s.max_micros = std::max(s.max_micros, r.stats.solve_micros);
       s.min_epoch = std::min(s.min_epoch, r.epoch);
@@ -195,6 +246,7 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
   // Writer: spread the batches across the reader phase so early and late
   // queries land on different epochs.
   double update_micros = 0;
+  std::vector<double> update_samples;
   size_t updates_applied = 0;
   size_t batches_applied = 0;
   size_t batch_errors = 0;
@@ -211,7 +263,9 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
       Result<TrafficBatchResult> applied =
           service->ApplyTrafficBatch(updates);
       if (applied.ok()) {
-        update_micros += timer.ElapsedMicros();
+        double micros = timer.ElapsedMicros();
+        update_micros += micros;
+        update_samples.push_back(micros);
         ++batches_applied;
         updates_applied += applied.value().dtlp.updates_applied;
       } else {
@@ -231,14 +285,77 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
   report.batch_errors = batch_errors;
   report.updates_applied = updates_applied;
   report.update_total_micros = update_micros;
+  report.update_p50_micros = Percentile(update_samples, 50);
+  report.update_p95_micros = Percentile(update_samples, 95);
+  report.update_p99_micros = Percentile(update_samples, 99);
   report.final_epoch = service->CurrentEpoch();
-  for (BackendBenchStats& s : stats) {
+  for (size_t b = 0; b < stats.size(); ++b) {
+    BackendBenchStats& s = stats[b];
     if (s.queries > s.errors) {
       s.mean_micros = s.total_micros / static_cast<double>(s.queries - s.errors);
     }
+    s.p50_micros = Percentile(latency_samples[b], 50);
+    s.p95_micros = Percentile(latency_samples[b], 95);
+    s.p99_micros = Percentile(latency_samples[b], 99);
     if (s.min_epoch == std::numeric_limits<uint64_t>::max()) s.min_epoch = 0;
   }
   report.backends = std::move(stats);
+
+  // Batch phase: answer one mixed request list twice — sequential Query
+  // calls vs QueryBatch — with no concurrent writer, so the wall-clock
+  // difference isolates what batching buys (single lock acquisition,
+  // pooled worker scratch, parallel execution).
+  if (options.batch_size > 0) {
+    std::vector<KspRequest> requests;
+    requests.reserve(work.size());
+    for (const WorkItem& item : work) {
+      KspRequest request;
+      request.source = item.source;
+      request.target = item.target;
+      request.options.backend = options.backends[item.backend_index];
+      requests.push_back(std::move(request));
+    }
+    BatchPhaseStats& phase = report.batch;
+    phase.batch_size = options.batch_size;
+    phase.requests = requests.size();
+
+    WallTimer sequential_timer;
+    for (const KspRequest& request : requests) {
+      if (!service->Query(request).ok()) ++phase.errors;
+    }
+    phase.sequential_micros = sequential_timer.ElapsedMicros();
+
+    WallTimer batch_timer;
+    for (size_t begin = 0; begin < requests.size();
+         begin += options.batch_size) {
+      size_t count = std::min(options.batch_size, requests.size() - begin);
+      Result<KspBatchResponse> batched = service->QueryBatch(
+          std::span<const KspRequest>(requests.data() + begin, count));
+      if (!batched.ok()) {
+        phase.errors += count;
+        continue;
+      }
+      const KspBatchResponse& b = batched.value();
+      phase.errors += b.num_rejected;
+      for (const KspBatchItem& item : b.items) {
+        if (item.status.ok() && item.response.epoch != b.epoch) {
+          ++phase.non_uniform_batches;
+          break;
+        }
+      }
+    }
+    phase.batch_micros = batch_timer.ElapsedMicros();
+
+    if (phase.sequential_micros > 0) {
+      phase.sequential_qps = static_cast<double>(phase.requests) /
+                             (phase.sequential_micros / 1e6);
+    }
+    if (phase.batch_micros > 0) {
+      phase.batch_qps =
+          static_cast<double>(phase.requests) / (phase.batch_micros / 1e6);
+      phase.speedup = phase.sequential_micros / phase.batch_micros;
+    }
+  }
   return report;
 }
 

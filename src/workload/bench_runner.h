@@ -39,6 +39,12 @@ struct BenchOptions {
   /// Backends exercised; must all be registered.
   std::vector<std::string> backends = {kBackendKspDg, kBackendYen,
                                        kBackendFindKsp};
+  /// When > 0, a batch-vs-sequential throughput phase runs after the mixed
+  /// workload: the same mixed request list is answered once via sequential
+  /// Query calls and once via QueryBatch in batches of this size.
+  size_t batch_size = 0;
+  /// Worker threads for the service's QueryBatch pool (0 = auto).
+  unsigned batch_threads = 0;
 };
 
 struct BackendBenchStats {
@@ -49,11 +55,33 @@ struct BackendBenchStats {
   double total_micros = 0;
   double mean_micros = 0;
   double max_micros = 0;
+  /// Solve-latency percentiles over this backend's successful queries.
+  double p50_micros = 0;
+  double p95_micros = 0;
+  double p99_micros = 0;
   /// Epoch range observed in responses (shows the query/update interleave).
   uint64_t min_epoch = 0;
   uint64_t max_epoch = 0;
   /// Summed KSP-DG iteration counts (0 for baselines).
   uint64_t engine_iterations = 0;
+};
+
+/// Batch-vs-sequential comparison over one request list (batch phase).
+struct BatchPhaseStats {
+  /// Requests per QueryBatch call; 0 means the phase did not run.
+  size_t batch_size = 0;
+  size_t requests = 0;
+  /// Item-level failures across both passes (should be 0).
+  size_t errors = 0;
+  /// Batches whose items disagreed on the epoch (must be 0: QueryBatch
+  /// guarantees snapshot uniformity).
+  size_t non_uniform_batches = 0;
+  double sequential_micros = 0;
+  double batch_micros = 0;
+  double sequential_qps = 0;
+  double batch_qps = 0;
+  /// sequential_micros / batch_micros (> 1 means batching wins).
+  double speedup = 0;
 };
 
 struct BenchReport {
@@ -70,8 +98,14 @@ struct BenchReport {
   size_t updates_applied = 0;
   /// Wall time of *successful* batch applications only.
   double update_total_micros = 0;
+  /// Apply-latency percentiles over successful traffic batches.
+  double update_p50_micros = 0;
+  double update_p95_micros = 0;
+  double update_p99_micros = 0;
   uint64_t final_epoch = 0;
   std::vector<BackendBenchStats> backends;
+  /// Batch-vs-sequential phase (batch_size 0 when not requested).
+  BatchPhaseStats batch;
 
   /// Pretty-printed JSON object (stable key order).
   std::string ToJson() const;

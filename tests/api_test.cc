@@ -25,9 +25,11 @@ namespace kspdg {
 namespace {
 
 std::unique_ptr<RoutingService> MustCreate(Graph g, uint32_t z = 0,
-                                           RoutingOptions defaults = {}) {
+                                           RoutingOptions defaults = {},
+                                           unsigned batch_threads = 0) {
   RoutingServiceOptions options;
   options.defaults = std::move(defaults);
+  options.batch_threads = batch_threads;
   if (z != 0) options.dtlp.partition.max_vertices = z;
   Result<std::unique_ptr<RoutingService>> service =
       RoutingService::Create(std::move(g), std::move(options));
@@ -220,7 +222,8 @@ TEST(RoutingServiceTest, ResponsesAreSortedSimpleValidPaths) {
 class NullSolver : public KspSolver {
  public:
   std::string_view name() const override { return "null"; }
-  Result<KspQueryResult> Solve(const SolverInput&) const override {
+  Result<KspQueryResult> Solve(const SolverInput&,
+                               SolverScratch*) const override {
     return KspQueryResult{};
   }
 };
@@ -326,6 +329,275 @@ TEST(RoutingServiceTest, ConcurrentQueriesAndUpdatesSeeConsistentEpochs) {
   EXPECT_EQ(counters.updates_applied, kBatches * num_edges);
 }
 
+// ---------------------------------------------------------------------------
+// QueryBatch: snapshot-shared parallel execution.
+// ---------------------------------------------------------------------------
+
+TEST(QueryBatchTest, MatchesSequentialAcrossAllBackends) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Graph g = MakeRandomConnected(26, 30, 1, 9, seed * 17 + 3);
+    std::unique_ptr<RoutingService> service =
+        MustCreate(std::move(g), /*z=*/8);
+    ASSERT_TRUE(service != nullptr);
+
+    // All four backends over several endpoint pairs in one batch.
+    const std::pair<VertexId, VertexId> endpoints[] = {
+        {0, 25}, {3, 21}, {7, 14}, {1, 24}};
+    std::vector<KspRequest> requests;
+    for (const auto& [s, t] : endpoints) {
+      for (const char* backend :
+           {kBackendKspDg, kBackendYen, kBackendFindKsp, kBackendDijkstra}) {
+        uint32_t k = backend == kBackendDijkstra ? 1 : 5;
+        requests.push_back(MakeRequest(s, t, backend, k));
+      }
+    }
+    Result<KspBatchResponse> batched = service->QueryBatch(requests);
+    ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+    const KspBatchResponse& b = batched.value();
+    ASSERT_EQ(b.items.size(), requests.size());
+    EXPECT_EQ(b.num_ok, requests.size());
+    EXPECT_EQ(b.num_rejected, 0u);
+
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const KspBatchItem& item = b.items[i];
+      ASSERT_TRUE(item.status.ok()) << i << ": " << item.status.ToString();
+      Result<KspResponse> sequential = service->Query(requests[i]);
+      ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+      EXPECT_EQ(item.response.backend, sequential.value().backend);
+      ExpectSameDistances(item.response.paths, sequential.value().paths,
+                          "batch vs sequential item " + std::to_string(i) +
+                              " seed " + std::to_string(seed));
+    }
+  }
+}
+
+TEST(QueryBatchTest, MixedValidAndInvalidRequestsInOneBatch) {
+  Graph g = MakeRandomConnected(20, 24, 1, 9, 11);
+  std::unique_ptr<RoutingService> service = MustCreate(std::move(g), /*z=*/8);
+  ASSERT_TRUE(service != nullptr);
+
+  std::vector<KspRequest> requests;
+  requests.push_back(MakeRequest(0, 19, kBackendYen, 3));           // ok
+  requests.push_back(MakeRequest(0, 19, kBackendYen, 0));           // k = 0
+  requests.push_back(MakeRequest(0, 99, kBackendYen, 2));           // range
+  requests.push_back(MakeRequest(0, 19, "no-such-backend", 2));     // name
+  requests.push_back(MakeRequest(4, 4, kBackendYen, 2));            // s == t
+  requests.push_back(MakeRequest(0, 19, kBackendDijkstra, 3));      // k != 1
+  requests.push_back(MakeRequest(2, 17, kBackendKspDg, 4));         // ok
+
+  Result<KspBatchResponse> batched = service->QueryBatch(requests);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  const KspBatchResponse& b = batched.value();
+  ASSERT_EQ(b.items.size(), 7u);
+  EXPECT_EQ(b.num_ok, 2u);
+  EXPECT_EQ(b.num_rejected, 5u);
+
+  EXPECT_TRUE(b.items[0].status.ok());
+  EXPECT_FALSE(b.items[0].response.paths.empty());
+  EXPECT_EQ(b.items[1].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(b.items[2].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(b.items[3].status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(b.items[4].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(b.items[5].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(b.items[6].status.ok());
+  EXPECT_FALSE(b.items[6].response.paths.empty());
+
+  ServiceCounters counters = service->counters();
+  EXPECT_EQ(counters.queries_ok, 2u);
+  EXPECT_EQ(counters.queries_rejected, 5u);
+}
+
+TEST(QueryBatchTest, EveryItemAnsweredAtOneEpoch) {
+  Graph g = MakeRandomConnected(24, 30, 1, 9, 13);
+  std::unique_ptr<RoutingService> service = MustCreate(std::move(g), /*z=*/8);
+  ASSERT_TRUE(service != nullptr);
+  TrafficModelOptions traffic_options;
+  traffic_options.alpha = 0.4;
+  traffic_options.seed = 9;
+  TrafficModel traffic(service->graph(), traffic_options);
+  for (int step = 0; step < 3; ++step) {
+    std::vector<WeightUpdate> updates = traffic.NextBatch();
+    ASSERT_TRUE(service->ApplyTrafficBatch(updates).ok());
+  }
+
+  std::vector<KspRequest> requests;
+  for (VertexId s = 0; s < 8; ++s) {
+    requests.push_back(MakeRequest(s, 23 - s, kBackendYen, 3));
+    requests.push_back(MakeRequest(s, 23 - s, kBackendKspDg, 3));
+  }
+  Result<KspBatchResponse> batched = service->QueryBatch(requests);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  const KspBatchResponse& b = batched.value();
+  EXPECT_EQ(b.epoch, 3u);
+  EXPECT_EQ(b.num_ok, requests.size());
+  for (const KspBatchItem& item : b.items) {
+    ASSERT_TRUE(item.status.ok()) << item.status.ToString();
+    EXPECT_EQ(item.response.epoch, b.epoch);
+  }
+}
+
+TEST(QueryBatchTest, EmptyBatchIsOk) {
+  Graph g = MakeRandomConnected(12, 12, 1, 9, 21);
+  std::unique_ptr<RoutingService> service = MustCreate(std::move(g));
+  ASSERT_TRUE(service != nullptr);
+  Result<KspBatchResponse> batched = service->QueryBatch({});
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  EXPECT_TRUE(batched.value().items.empty());
+  EXPECT_EQ(batched.value().num_ok, 0u);
+  EXPECT_EQ(batched.value().epoch, service->CurrentEpoch());
+}
+
+// With one worker, the whole batch shares one KSP-DG scratch, so a repeated
+// identical query must be served from the warm partial cache: its solve
+// performs zero fresh partial-KSP computations.
+TEST(QueryBatchTest, SharedScratchReusesPartialsAcrossBatchItems) {
+  Graph g = MakeRandomConnected(26, 32, 1, 9, 29);
+  std::unique_ptr<RoutingService> service =
+      MustCreate(std::move(g), /*z=*/8, RoutingOptions{}, /*batch_threads=*/1);
+  ASSERT_TRUE(service != nullptr);
+
+  std::vector<KspRequest> requests = {MakeRequest(0, 25, kBackendKspDg, 5),
+                                      MakeRequest(0, 25, kBackendKspDg, 5)};
+  Result<KspBatchResponse> batched = service->QueryBatch(requests);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  const KspBatchResponse& b = batched.value();
+  ASSERT_EQ(b.num_ok, 2u);
+  ASSERT_FALSE(b.items[0].response.paths.empty());
+  ExpectSameDistances(b.items[1].response.paths, b.items[0].response.paths,
+                      "duplicate query in one batch");
+  const KspDgQueryStats& first = b.items[0].response.stats.engine;
+  const KspDgQueryStats& second = b.items[1].response.stats.engine;
+  ASSERT_GT(first.partial_ksp_computations, 0u);
+  EXPECT_EQ(second.partial_ksp_computations, 0u)
+      << "second identical query should be fully served from the shared "
+         "partial cache";
+  EXPECT_GT(second.partial_cache_hits, 0u);
+
+  // The arena persists across batches while the epoch holds still: a later
+  // batch repeating the query is served from the still-warm cache.
+  Result<KspBatchResponse> later = service->QueryBatch(
+      std::span<const KspRequest>(requests.data(), 1));
+  ASSERT_TRUE(later.ok()) << later.status().ToString();
+  ASSERT_EQ(later.value().num_ok, 1u);
+  EXPECT_EQ(
+      later.value().items[0].response.stats.engine.partial_ksp_computations,
+      0u);
+}
+
+// A traffic batch must flush the warm partial caches: a stale cache would
+// answer the second batch with the old epoch's distances.
+TEST(QueryBatchTest, ArenaCachesAreInvalidatedWhenTheEpochMoves) {
+  Graph g = MakeRandomConnected(26, 32, 1, 1, 41);  // all weights 1
+  const size_t num_edges = g.NumEdges();
+  std::unique_ptr<RoutingService> service =
+      MustCreate(std::move(g), /*z=*/8, RoutingOptions{}, /*batch_threads=*/1);
+  ASSERT_TRUE(service != nullptr);
+
+  std::vector<KspRequest> requests = {MakeRequest(0, 25, kBackendKspDg, 4),
+                                      MakeRequest(0, 25, kBackendYen, 4)};
+  Result<KspBatchResponse> before = service->QueryBatch(requests);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  ASSERT_EQ(before.value().num_ok, 2u);
+
+  // Double every weight; all path distances must exactly double.
+  std::vector<WeightUpdate> updates;
+  updates.reserve(num_edges);
+  for (EdgeId e = 0; e < num_edges; ++e) updates.push_back({e, 2.0, 2.0});
+  ASSERT_TRUE(service->ApplyTrafficBatch(updates).ok());
+
+  Result<KspBatchResponse> after = service->QueryBatch(requests);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  ASSERT_EQ(after.value().num_ok, 2u);
+  EXPECT_EQ(after.value().epoch, before.value().epoch + 1);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const std::vector<Path>& old_paths = before.value().items[i].response.paths;
+    const std::vector<Path>& new_paths = after.value().items[i].response.paths;
+    ASSERT_EQ(new_paths.size(), old_paths.size()) << i;
+    for (size_t p = 0; p < new_paths.size(); ++p) {
+      EXPECT_NEAR(new_paths[p].distance, 2.0 * old_paths[p].distance, 1e-7)
+          << "item " << i << " rank " << p;
+    }
+  }
+}
+
+// The batch analogue of the torn-read test: batches run concurrently with
+// uniform-weight traffic batches. Every response in a batch must carry the
+// batch's single epoch, and every distance must match that epoch's uniform
+// weight level exactly.
+TEST(QueryBatchTest, ConcurrentBatchesAndUpdatesStayUniform) {
+  Graph g = MakeRandomConnected(40, 50, 1, 1, 37);  // all weights 1
+  const size_t num_edges = g.NumEdges();
+  std::unique_ptr<RoutingService> service = MustCreate(std::move(g), /*z=*/12);
+  ASSERT_TRUE(service != nullptr);
+
+  constexpr uint64_t kBatches = 10;
+  auto level = [](uint64_t epoch) {
+    return 1.0 + 0.25 * static_cast<double>(epoch);
+  };
+
+  std::atomic<bool> done{false};
+  std::atomic<size_t> checks{0};
+  std::atomic<size_t> failures{0};
+
+  auto reader = [&](unsigned thread_seed) {
+    const char* backends[] = {kBackendKspDg, kBackendYen, kBackendFindKsp};
+    uint64_t last_epoch = 0;
+    size_t i = thread_seed;
+    while (!done.load(std::memory_order_acquire)) {
+      std::vector<KspRequest> requests;
+      for (size_t r = 0; r < 8; ++r) {
+        VertexId s = static_cast<VertexId>((i * 7 + r * 11) % 40);
+        VertexId t = static_cast<VertexId>((i * 13 + r * 17 + 19) % 40);
+        if (s == t) continue;
+        requests.push_back(MakeRequest(s, t, backends[(i + r) % 3], 4));
+      }
+      ++i;
+      Result<KspBatchResponse> batched = service->QueryBatch(requests);
+      if (!batched.ok()) {
+        failures.fetch_add(1);
+        continue;
+      }
+      const KspBatchResponse& b = batched.value();
+      if (b.epoch < last_epoch) failures.fetch_add(1);  // must be monotone
+      last_epoch = b.epoch;
+      const double w = level(b.epoch);
+      for (const KspBatchItem& item : b.items) {
+        if (!item.status.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (item.response.epoch != b.epoch) failures.fetch_add(1);
+        for (const Path& p : item.response.paths) {
+          const double want = w * static_cast<double>(p.NumEdges());
+          if (std::abs(p.distance - want) > 1e-6 * (1.0 + want)) {
+            failures.fetch_add(1);
+          }
+          checks.fetch_add(1);
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> readers;
+  for (unsigned r = 0; r < 2; ++r) readers.emplace_back(reader, r + 1);
+
+  for (uint64_t batch = 1; batch <= kBatches; ++batch) {
+    std::vector<WeightUpdate> updates;
+    updates.reserve(num_edges);
+    const double w = level(batch);
+    for (EdgeId e = 0; e < num_edges; ++e) updates.push_back({e, w, w});
+    Result<TrafficBatchResult> applied = service->ApplyTrafficBatch(updates);
+    ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GT(checks.load(), 0u) << "batches never overlapped the updates";
+  EXPECT_EQ(service->CurrentEpoch(), kBatches);
+}
+
 TEST(BenchRunnerTest, MixedBenchSmoke) {
   BenchOptions options;
   options.dataset = "NY-S";
@@ -335,6 +607,7 @@ TEST(BenchRunnerTest, MixedBenchSmoke) {
   options.query_threads = 2;
   options.k = 3;
   options.z = 32;
+  options.batch_size = 4;
   Result<BenchReport> report = RunMixedBench(options);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   const BenchReport& r = report.value();
@@ -347,10 +620,27 @@ TEST(BenchRunnerTest, MixedBenchSmoke) {
     EXPECT_EQ(b.queries, 6u) << b.backend;
     EXPECT_EQ(b.errors, 0u) << b.backend;
     EXPECT_GT(b.paths_returned, 0u) << b.backend;
+    // Percentiles exist and are ordered.
+    EXPECT_GT(b.p50_micros, 0.0) << b.backend;
+    EXPECT_LE(b.p50_micros, b.p95_micros) << b.backend;
+    EXPECT_LE(b.p95_micros, b.p99_micros) << b.backend;
+    EXPECT_LE(b.p99_micros, b.max_micros) << b.backend;
   }
+  EXPECT_GT(r.update_p50_micros, 0.0);
+  EXPECT_LE(r.update_p50_micros, r.update_p99_micros);
+  // Batch phase ran over the full mixed request list without errors and
+  // every batch stayed on one epoch.
+  EXPECT_EQ(r.batch.batch_size, 4u);
+  EXPECT_EQ(r.batch.requests, 18u);
+  EXPECT_EQ(r.batch.errors, 0u);
+  EXPECT_EQ(r.batch.non_uniform_batches, 0u);
+  EXPECT_GT(r.batch.sequential_qps, 0.0);
+  EXPECT_GT(r.batch.batch_qps, 0.0);
   std::string json = r.ToJson();
   EXPECT_NE(json.find("\"dataset\": \"NY-S\""), std::string::npos);
   EXPECT_NE(json.find("\"backend\": \"kspdg\""), std::string::npos);
+  EXPECT_NE(json.find("\"batch_size\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"p95_micros\""), std::string::npos);
   BenchOptions bad = options;
   bad.backends = {};
   EXPECT_FALSE(RunMixedBench(bad).ok());

@@ -1,5 +1,5 @@
 // Unit tests for src/core: Status/Result, Rng, IndexedMinHeap, SmallSortedSet,
-// ParallelFor.
+// ParallelFor, ThreadPool, EpochLock.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -14,6 +14,7 @@
 #include "core/rng.h"
 #include "core/small_set.h"
 #include "core/status.h"
+#include "core/thread_pool.h"
 #include "core/types.h"
 
 namespace kspdg {
@@ -217,6 +218,93 @@ TEST(ParallelForTest, MoreThreadsThanItems) {
 
 TEST(ParallelForTest, ZeroItemsIsNoOp) {
   ParallelFor(0, 4, [](size_t) { FAIL(); });
+}
+
+TEST(ParallelForChunkedTest, CoversAllIndicesWithValidWorkerIds) {
+  constexpr unsigned kThreads = 4;
+  std::vector<std::atomic<int>> hits(1000);
+  std::atomic<int> bad_worker{0};
+  ParallelForChunked(hits.size(), 16, kThreads, [&](unsigned worker, size_t i) {
+    if (worker >= kThreads) bad_worker.fetch_add(1);
+    hits[i]++;
+  });
+  EXPECT_EQ(bad_worker.load(), 0);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForChunkedTest, ChunkLargerThanCountRunsInline) {
+  std::vector<int> hits(10, 0);
+  int workers_seen = 0;
+  ParallelForChunked(hits.size(), 64, 4, [&](unsigned worker, size_t i) {
+    // Inline fallback: single worker 0, no data race on plain ints.
+    workers_seen |= static_cast<int>(worker);
+    hits[i]++;
+  });
+  EXPECT_EQ(workers_seen, 0);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForChunkedTest, ZeroChunkTreatedAsOne) {
+  std::vector<std::atomic<int>> hits(64);
+  ParallelForChunked(hits.size(), 0, 3, [&](unsigned, size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, CoversAllIndicesAcrossRepeatedLoops) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::atomic<int>> hits(500);
+    pool.ParallelFor(hits.size(), 8, [&](unsigned worker, size_t i) {
+      EXPECT_LT(worker, 4u);
+      hits[i]++;
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(hits.size(), 4, [&](unsigned worker, size_t i) {
+    EXPECT_EQ(worker, 0u);
+    hits[i]++;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ZeroItemsIsNoOp) {
+  ThreadPool pool(3);
+  pool.ParallelFor(0, 4, [](unsigned, size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, WorkerIndexIsStableHomeForScratch) {
+  // Per-worker accumulators must never be touched by two threads at once;
+  // summing them afterwards has to account for every item exactly once.
+  ThreadPool pool(4);
+  std::vector<int64_t> per_worker(pool.num_threads(), 0);
+  pool.ParallelFor(10000, 32, [&](unsigned worker, size_t i) {
+    per_worker[worker] += static_cast<int64_t>(i);
+  });
+  int64_t total = 0;
+  for (int64_t v : per_worker) total += v;
+  EXPECT_EQ(total, int64_t{10000} * 9999 / 2);
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersSerializeSafely) {
+  ThreadPool pool(3);
+  std::atomic<int> sum{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < 10; ++round) {
+        pool.ParallelFor(100, 7, [&](unsigned, size_t) { sum.fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(sum.load(), 4 * 10 * 100);
 }
 
 TEST(EpochLockTest, ExclusiveAndSharedBasics) {

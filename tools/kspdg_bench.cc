@@ -5,7 +5,13 @@
 //   kspdg_bench [--dataset NY-S] [--vertices 4096] [--k 4] [--queries 48]
 //               [--batches 6] [--threads 4] [--alpha 0.35] [--tau 0.30]
 //               [--z 0] [--seed 42] [--backends kspdg,yen,findksp]
+//               [--batch-size 0] [--batch-threads 0]
 //               [--out BENCH_service.json]
+//
+// --batch-size N (N > 0) appends a batch-vs-sequential throughput phase:
+// the mixed request list is answered once through sequential Query calls
+// and once through QueryBatch in batches of N, and both throughputs land
+// in the BENCH JSON under "batch".
 //
 // Set KSPDG_DATA_DIR to run on real DIMACS files instead of the synthetic
 // stand-ins (see src/workload/datasets.h).
@@ -26,7 +32,7 @@ void Usage(const char* argv0) {
                "usage: %s [--dataset NAME] [--vertices N] [--k K] "
                "[--queries N] [--batches N] [--threads N] [--alpha F] "
                "[--tau F] [--z N] [--seed N] [--backends a,b,c] "
-               "[--out FILE]\n",
+               "[--batch-size N] [--batch-threads N] [--out FILE]\n",
                argv0);
 }
 
@@ -78,6 +84,11 @@ int main(int argc, char** argv) {
       options.seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--backends") {
       options.backends = SplitCsv(next());
+    } else if (arg == "--batch-size") {
+      options.batch_size = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--batch-threads") {
+      options.batch_threads =
+          static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--out") {
       out_file = next();
     } else if (arg == "--help" || arg == "-h") {

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Documentation gate (the CI docs job):
+#   1. every relative markdown link in README.md and docs/*.md resolves to
+#      an existing file (anchors stripped; external URLs skipped), and
+#   2. every src/*/ subdirectory is mentioned in docs/ARCHITECTURE.md, so a
+#      new subsystem cannot land undocumented.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+python3 - <<'EOF'
+import os
+import re
+import sys
+
+failures = []
+
+# --- 1. relative links resolve -------------------------------------------
+doc_files = ["README.md"] + sorted(
+    os.path.join("docs", f) for f in os.listdir("docs") if f.endswith(".md")
+)
+link_re = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+for doc in doc_files:
+    with open(doc, encoding="utf-8") as fh:
+        text = fh.read()
+    for target in link_re.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        resolved = os.path.normpath(os.path.join(os.path.dirname(doc), path))
+        if not os.path.exists(resolved):
+            failures.append(f"{doc}: broken link -> {target}")
+
+# --- 2. every src subsystem appears in ARCHITECTURE.md -------------------
+with open("docs/ARCHITECTURE.md", encoding="utf-8") as fh:
+    architecture = fh.read()
+subsystems = sorted(
+    d for d in os.listdir("src") if os.path.isdir(os.path.join("src", d))
+)
+for subsystem in subsystems:
+    if f"src/{subsystem}" not in architecture:
+        failures.append(
+            f"docs/ARCHITECTURE.md: subsystem src/{subsystem}/ is not"
+            " documented (mention it in the layer diagram or a subsystem"
+            " paragraph)"
+        )
+
+if failures:
+    print("documentation check FAILED:", file=sys.stderr)
+    for failure in failures:
+        print(f"  {failure}", file=sys.stderr)
+    sys.exit(1)
+print(
+    f"documentation check OK: {len(doc_files)} files linked cleanly,"
+    f" {len(subsystems)} src/ subsystems documented"
+)
+EOF

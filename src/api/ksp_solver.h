@@ -23,12 +23,21 @@
 
 namespace kspdg {
 
+class PartialProvider;
+
 /// Everything a backend may look at while solving. `options` has been merged
 /// with the service defaults and validated; `graph` and `dtlp` stay frozen
 /// for the duration of Solve().
 struct SolverInput {
   const Graph* graph = nullptr;
   const Dtlp* dtlp = nullptr;
+  /// Where the KSP-DG refine step computes boundary-pair partial paths.
+  /// nullptr (the default) means inline on the calling thread
+  /// (LocalPartialProvider); a sharded or distributed deployment injects a
+  /// provider that ships the request to the owning shard/worker instead.
+  /// Ignored by backends that do not use the DTLP. Must stay valid for the
+  /// duration of Solve().
+  PartialProvider* partials = nullptr;
   VertexId source = kInvalidVertex;
   VertexId target = kInvalidVertex;
   RoutingOptions options;
@@ -71,6 +80,19 @@ class KspSolver {
                                        SolverScratch* scratch = nullptr)
       const = 0;
 };
+
+class SolverRegistry;
+
+/// Shared request preparation for every service front-end (unsharded and
+/// sharded): merges `defaults` with the request's overrides, validates the
+/// result, resolves the backend in `registry`, and range-checks the
+/// endpoints against `graph`. Fills `merged` and `solver` on success. Every
+/// front-end must route through this one function so they all reject the
+/// same requests with the same status codes.
+Status PrepareRoutingQuery(const SolverRegistry& registry,
+                           const RoutingOptions& defaults, const Graph& graph,
+                           const KspRequest& request, RoutingOptions* merged,
+                           const KspSolver** solver);
 
 /// Name -> solver map owned by the service. Not thread-safe for writes;
 /// register all backends before serving queries.

@@ -53,6 +53,7 @@ struct RoutingOptions {
 };
 
 /// Per-request overrides; unset fields fall back to the service defaults.
+/// Each field shadows the RoutingOptions knob of the same name.
 struct RoutingOverrides {
   std::optional<uint32_t> k;
   std::optional<std::string> backend;
@@ -65,10 +66,13 @@ struct RoutingOverrides {
 RoutingOptions MergeOptions(const RoutingOptions& defaults,
                             const RoutingOverrides& overrides);
 
-/// One k-shortest-paths query q(s, t).
+/// One k-shortest-paths query q(s, t). Endpoints must be distinct,
+/// in-range vertex ids; the service rejects anything else with
+/// kInvalidArgument before touching a solver.
 struct KspRequest {
   VertexId source = kInvalidVertex;
   VertexId target = kInvalidVertex;
+  /// Per-request knobs layered over the service defaults.
   RoutingOverrides options;
 };
 

@@ -46,22 +46,8 @@ Result<std::unique_ptr<RoutingService>> RoutingService::Create(
 Status RoutingService::PrepareQuery(const KspRequest& request,
                                     RoutingOptions* merged,
                                     const KspSolver** solver) const {
-  *merged = MergeOptions(options_.defaults, request.options);
-  KSPDG_RETURN_NOT_OK(merged->Validate());
-  *solver = registry_.Find(merged->backend);
-  if (*solver == nullptr) {
-    return Status::NotFound("unknown backend '" + merged->backend +
-                            "' (registered: " + JoinNames(registry_.Names()) +
-                            ")");
-  }
-  if (request.source >= graph_.NumVertices() ||
-      request.target >= graph_.NumVertices()) {
-    return Status::InvalidArgument("query vertex out of range");
-  }
-  if (request.source == request.target) {
-    return Status::InvalidArgument("source equals target");
-  }
-  return Status::OK();
+  return PrepareRoutingQuery(registry_, options_.defaults, graph_, request,
+                             merged, solver);
 }
 
 Result<KspResponse> RoutingService::Query(const KspRequest& request) const {

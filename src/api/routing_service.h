@@ -121,9 +121,9 @@ class RoutingService {
   RoutingService(Graph graph, RoutingServiceOptions options)
       : graph_(std::move(graph)), options_(std::move(options)) {}
 
-  /// Shared request validation: merges options, resolves the backend, and
-  /// range-checks the endpoints. Fills `merged` and `solver` on success.
-  /// Does not touch counters; callers account rejections themselves.
+  /// Delegates to PrepareRoutingQuery (shared with ShardedRoutingService).
+  /// Fills `merged` and `solver` on success. Does not touch counters;
+  /// callers account rejections themselves.
   Status PrepareQuery(const KspRequest& request, RoutingOptions* merged,
                       const KspSolver** solver) const;
 

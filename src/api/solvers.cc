@@ -7,6 +7,7 @@
 
 #include "api/ksp_solver.h"
 #include "api/routing_options.h"
+#include "core/strings.h"
 #include "ksp/dijkstra.h"
 #include "ksp/findksp.h"
 #include "ksp/yen.h"
@@ -31,6 +32,28 @@ KspDgOptions RoutingOptions::ToEngineOptions() const {
   engine.reuse_partials = reuse_partials;
   engine.join_refetch_rounds = join_refetch_rounds;
   return engine;
+}
+
+Status PrepareRoutingQuery(const SolverRegistry& registry,
+                           const RoutingOptions& defaults, const Graph& graph,
+                           const KspRequest& request, RoutingOptions* merged,
+                           const KspSolver** solver) {
+  *merged = MergeOptions(defaults, request.options);
+  KSPDG_RETURN_NOT_OK(merged->Validate());
+  *solver = registry.Find(merged->backend);
+  if (*solver == nullptr) {
+    return Status::NotFound("unknown backend '" + merged->backend +
+                            "' (registered: " + JoinNames(registry.Names()) +
+                            ")");
+  }
+  if (request.source >= graph.NumVertices() ||
+      request.target >= graph.NumVertices()) {
+    return Status::InvalidArgument("query vertex out of range");
+  }
+  if (request.source == request.target) {
+    return Status::InvalidArgument("source equals target");
+  }
+  return Status::OK();
 }
 
 RoutingOptions MergeOptions(const RoutingOptions& defaults,
@@ -87,8 +110,12 @@ class KspDgSolver : public KspSolver {
     if (scratch != nullptr && input.options.reuse_partials) {
       cache = &static_cast<KspDgScratch*>(scratch)->partials;
     }
-    LocalPartialProvider provider(*input.dtlp);
-    return RunKspDgQuery(*input.dtlp, &provider, input.source, input.target,
+    // Inline partial computation unless the caller injected a provider (the
+    // sharded service routes partials to the shard owning each subgraph).
+    LocalPartialProvider local_provider(*input.dtlp);
+    PartialProvider* provider =
+        input.partials != nullptr ? input.partials : &local_provider;
+    return RunKspDgQuery(*input.dtlp, provider, input.source, input.target,
                          input.options.ToEngineOptions(), cache);
   }
 };

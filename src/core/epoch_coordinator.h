@@ -1,0 +1,102 @@
+// Epoch bookkeeping for services whose snapshot state is split across N
+// shards.
+//
+// A sharded service wants the same client-visible contract as a single
+// EpochLock service: every response names ONE epoch, and an epoch means "all
+// shards reflect exactly the traffic batches numbered 1..epoch". The
+// coordinator makes that protocol explicit:
+//
+//   uint64_t next = coordinator.BeginAdvance();   // writer, global lock held
+//   ... fan the batch out; each shard worker applies its slice ...
+//   coordinator.PublishShard(shard, next);        // per shard, as it finishes
+//   coordinator.Commit(next);                     // all shards published
+//
+// Readers call global() for the committed epoch and Consistent() to assert
+// that no shard lags or leads it — the invariant the parity tests pin down.
+// Per-shard epochs are atomics so monitoring can sample them without taking
+// the service's locks; the advance protocol itself must be serialised by the
+// caller (exactly one writer between BeginAdvance and Commit, which the
+// owning service's exclusive snapshot lock provides).
+#ifndef KSPDG_CORE_EPOCH_COORDINATOR_H_
+#define KSPDG_CORE_EPOCH_COORDINATOR_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace kspdg {
+
+class EpochCoordinator {
+ public:
+  /// A coordinator over `num_shards` shards, all at epoch 0.
+  explicit EpochCoordinator(size_t num_shards)
+      : shard_epochs_(std::make_unique<std::atomic<uint64_t>[]>(num_shards)),
+        num_shards_(num_shards) {
+    for (size_t i = 0; i < num_shards; ++i) shard_epochs_[i] = 0;
+  }
+
+  size_t num_shards() const { return num_shards_; }
+
+  /// The committed global epoch: every shard reflects batches 1..global().
+  uint64_t global() const { return global_.load(std::memory_order_acquire); }
+
+  /// The epoch shard `shard` last published. Between BeginAdvance and Commit
+  /// this may lead global() by one; it never lags it.
+  uint64_t shard(size_t shard) const {
+    assert(shard < num_shards_);
+    return shard_epochs_[shard].load(std::memory_order_acquire);
+  }
+
+  /// Starts one global advance and returns the epoch being entered
+  /// (global() + 1). Caller must hold the service's exclusive snapshot lock.
+  uint64_t BeginAdvance() {
+    assert(!advancing_ && "advance already in progress");
+    advancing_ = true;
+    return global_.load(std::memory_order_relaxed) + 1;
+  }
+
+  /// Records that shard `shard` has fully applied the batch for `epoch`.
+  /// Safe to call from the per-shard worker threads of one advance (each
+  /// shard publishes exactly once).
+  void PublishShard(size_t shard, uint64_t epoch) {
+    assert(shard < num_shards_);
+    assert(epoch == global_.load(std::memory_order_relaxed) + 1);
+    shard_epochs_[shard].store(epoch, std::memory_order_release);
+  }
+
+  /// Commits the advance begun by BeginAdvance: every shard must have
+  /// published `epoch`. After Commit, global() == epoch.
+  void Commit(uint64_t epoch) {
+    assert(advancing_);
+    assert(epoch == global_.load(std::memory_order_relaxed) + 1);
+    for (size_t i = 0; i < num_shards_; ++i) {
+      assert(shard_epochs_[i].load(std::memory_order_relaxed) == epoch &&
+             "Commit before every shard published");
+      (void)i;
+    }
+    advancing_ = false;
+    global_.store(epoch, std::memory_order_release);
+  }
+
+  /// True iff every shard sits exactly at the committed global epoch (i.e.
+  /// no advance is mid-flight and no shard was skipped).
+  bool Consistent() const {
+    uint64_t g = global();
+    for (size_t i = 0; i < num_shards_; ++i) {
+      if (shard(i) != g) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::atomic<uint64_t> global_{0};
+  std::unique_ptr<std::atomic<uint64_t>[]> shard_epochs_;
+  size_t num_shards_;
+  bool advancing_ = false;  // debug-only: guards against overlapping advances
+};
+
+}  // namespace kspdg
+
+#endif  // KSPDG_CORE_EPOCH_COORDINATOR_H_

@@ -18,6 +18,10 @@
 
 namespace kspdg {
 
+/// Write-preferring shared/exclusive lock (see file comment). Readers hold
+/// it shared for the duration of one snapshot read (a query); the writer
+/// holds it exclusive while moving the protected state to the next epoch.
+/// Not reentrant in either mode.
 class EpochLock {
  public:
   EpochLock() = default;
@@ -25,6 +29,10 @@ class EpochLock {
   EpochLock& operator=(const EpochLock&) = delete;
 
   // --- exclusive (writer) ---------------------------------------------------
+
+  /// Acquires the lock exclusively: registers as a waiting writer (which
+  /// blocks new readers), waits for the active readers to drain, then owns
+  /// the state alone until unlock(). Blocking; not reentrant.
   void lock() {
     std::unique_lock<std::mutex> guard(mu_);
     ++waiting_writers_;
@@ -34,6 +42,8 @@ class EpochLock {
     writer_active_ = true;
   }
 
+  /// Acquires exclusively iff no reader or writer currently holds the lock;
+  /// never blocks and never queues. Returns true on success.
   bool try_lock() {
     std::lock_guard<std::mutex> guard(mu_);
     if (writer_active_ || active_readers_ != 0) return false;
@@ -41,6 +51,9 @@ class EpochLock {
     return true;
   }
 
+  /// Releases exclusive ownership. A queued writer is woken before any
+  /// reader, so back-to-back update batches cannot be interleaved by
+  /// queries sneaking in between them.
   void unlock() {
     std::lock_guard<std::mutex> guard(mu_);
     writer_active_ = false;
@@ -54,6 +67,10 @@ class EpochLock {
   }
 
   // --- shared (readers) -----------------------------------------------------
+
+  /// Acquires the lock shared. Blocks while a writer is active OR waiting —
+  /// that queueing-behind-writers rule is what makes the lock
+  /// write-preferring. Any number of readers may hold the lock at once.
   void lock_shared() {
     std::unique_lock<std::mutex> guard(mu_);
     cv_readers_.wait(
@@ -61,6 +78,8 @@ class EpochLock {
     ++active_readers_;
   }
 
+  /// Acquires shared iff no writer is active or waiting; never blocks.
+  /// Returns true on success.
   bool try_lock_shared() {
     std::lock_guard<std::mutex> guard(mu_);
     if (writer_active_ || waiting_writers_ > 0) return false;
@@ -68,6 +87,8 @@ class EpochLock {
     return true;
   }
 
+  /// Releases one shared hold; the last reader out hands the lock to a
+  /// waiting writer.
   void unlock_shared() {
     std::lock_guard<std::mutex> guard(mu_);
     if (--active_readers_ == 0 && waiting_writers_ > 0) {

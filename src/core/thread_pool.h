@@ -21,12 +21,18 @@
 
 namespace kspdg {
 
+/// Persistent worker pool executing one parallel loop at a time (see file
+/// comment). All methods are thread-safe; concurrent ParallelFor callers
+/// serialise against each other.
 class ThreadPool {
  public:
   /// A pool that executes loops on `num_threads` threads in total. The
   /// caller of ParallelFor participates as worker 0, so num_threads - 1
   /// threads are spawned; num_threads <= 1 means fully inline execution.
   explicit ThreadPool(unsigned num_threads);
+
+  /// Stops and joins the spawned workers. No loop may be in flight (the
+  /// owner must outlive every ParallelFor call it issued).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

@@ -1,8 +1,30 @@
 #include "kspdg/partial_provider.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "ksp/yen.h"
 
 namespace kspdg {
+
+PartialResult MergeSubgraphPartials(std::vector<SubgraphPartials> lists,
+                                    size_t depth) {
+  std::sort(lists.begin(), lists.end(),
+            [](const SubgraphPartials& a, const SubgraphPartials& b) {
+              return a.sgid < b.sgid;
+            });
+  PartialResult result;
+  result.yen_runs = lists.size();
+  size_t max_fetched = 0;
+  for (SubgraphPartials& list : lists) {
+    max_fetched = std::max(max_fetched, list.paths.size());
+    for (Path& p : list.paths) {
+      InsertTopK(result.paths, std::move(p), depth);
+    }
+  }
+  result.exhausted = max_fetched < depth;
+  return result;
+}
 
 std::vector<Path> LocalPartialProvider::PartialsInSubgraph(const Subgraph& sg,
                                                            VertexId x,
@@ -19,18 +41,13 @@ std::vector<Path> LocalPartialProvider::PartialsInSubgraph(const Subgraph& sg,
 
 PartialResult LocalPartialProvider::ComputePartials(VertexId x, VertexId y,
                                                     size_t depth) {
-  PartialResult result;
-  size_t max_fetched = 0;
   const Partition& partition = dtlp_->partition();
+  std::vector<SubgraphPartials> lists;
   for (SubgraphId sgid : partition.SubgraphsContainingBoth(x, y)) {
     const Subgraph& sg = partition.subgraphs[sgid];
-    ++result.yen_runs;
-    std::vector<Path> local = PartialsInSubgraph(sg, x, y, depth);
-    max_fetched = std::max(max_fetched, local.size());
-    for (Path& p : local) InsertTopK(result.paths, std::move(p), depth);
+    lists.push_back({sgid, PartialsInSubgraph(sg, x, y, depth)});
   }
-  result.exhausted = max_fetched < depth;
-  return result;
+  return MergeSubgraphPartials(std::move(lists), depth);
 }
 
 }  // namespace kspdg

@@ -27,6 +27,23 @@ struct PartialResult {
   size_t yen_runs = 0;
 };
 
+/// One subgraph's partial-path list, tagged with its subgraph id so merges
+/// can be ordered deterministically.
+struct SubgraphPartials {
+  SubgraphId sgid = kInvalidSubgraph;
+  std::vector<Path> paths;
+};
+
+/// Merges per-subgraph partial lists into one top-`depth` PartialResult.
+/// The merge runs in ascending subgraph order and that order is part of the
+/// contract: InsertTopK keeps the FIRST copy of a duplicate route, which is
+/// observable when parallel edges split a route across subgraphs. Every
+/// deployment (inline, sharded, future RPC) must merge through this one
+/// function so their answers cannot drift. Sets `exhausted` iff every list
+/// came back shorter than `depth`, and `yen_runs` to the list count.
+PartialResult MergeSubgraphPartials(std::vector<SubgraphPartials> lists,
+                                    size_t depth);
+
 class PartialProvider {
  public:
   virtual ~PartialProvider() = default;

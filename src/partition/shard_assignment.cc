@@ -1,0 +1,49 @@
+#include "partition/shard_assignment.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace kspdg {
+
+Result<ShardAssignment> AssignShards(const Partition& partition,
+                                     uint32_t num_shards) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  ShardAssignment assignment;
+  assignment.num_shards = num_shards;
+  assignment.shard_of_subgraph.assign(partition.subgraphs.size(),
+                                      kInvalidShard);
+  assignment.subgraphs_of_shard.resize(num_shards);
+  assignment.vertices_of_shard.assign(num_shards, 0);
+
+  // LPT greedy: place subgraphs in descending vertex-count order onto the
+  // currently lightest shard. Ties break towards the smaller subgraph id /
+  // smaller shard id, so the assignment is deterministic.
+  std::vector<SubgraphId> order(partition.subgraphs.size());
+  std::iota(order.begin(), order.end(), SubgraphId{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](SubgraphId a, SubgraphId b) {
+                     return partition.subgraphs[a].NumVertices() >
+                            partition.subgraphs[b].NumVertices();
+                   });
+  for (SubgraphId sgid : order) {
+    ShardId lightest = 0;
+    for (ShardId shard = 1; shard < num_shards; ++shard) {
+      if (assignment.vertices_of_shard[shard] <
+          assignment.vertices_of_shard[lightest]) {
+        lightest = shard;
+      }
+    }
+    assignment.shard_of_subgraph[sgid] = lightest;
+    assignment.subgraphs_of_shard[lightest].push_back(sgid);
+    assignment.vertices_of_shard[lightest] +=
+        partition.subgraphs[sgid].NumVertices();
+  }
+  for (std::vector<SubgraphId>& owned : assignment.subgraphs_of_shard) {
+    std::sort(owned.begin(), owned.end());
+  }
+  return assignment;
+}
+
+}  // namespace kspdg

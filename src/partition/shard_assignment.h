@@ -1,0 +1,50 @@
+// Partition-aligned shard assignment: maps every subgraph of a Partition to
+// one of N shards so a sharded service (or, later, a worker process) owns a
+// disjoint slice of the DTLP state. Subgraphs — not vertices — are the unit
+// of ownership because every edge lives in exactly one subgraph, so a weight
+// update has exactly one owning shard; boundary vertices may be visible from
+// several shards, which is what the scatter/gather partial path handles.
+#ifndef KSPDG_PARTITION_SHARD_ASSIGNMENT_H_
+#define KSPDG_PARTITION_SHARD_ASSIGNMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+#include "core/types.h"
+#include "partition/partitioner.h"
+
+namespace kspdg {
+
+/// Shard index within a ShardAssignment (dense, [0, num_shards)).
+using ShardId = uint32_t;
+
+inline constexpr ShardId kInvalidShard = static_cast<ShardId>(-1);
+
+/// The subgraph -> shard mapping plus its inverse. Immutable after
+/// AssignShards; safe to share between threads.
+struct ShardAssignment {
+  /// Number of shards actually used (== the requested count; some shards may
+  /// own zero subgraphs when the partition is smaller than the shard count).
+  uint32_t num_shards = 0;
+  /// Owning shard of each subgraph (indexed by SubgraphId).
+  std::vector<ShardId> shard_of_subgraph;
+  /// Subgraph ids owned by each shard, sorted ascending (indexed by ShardId).
+  std::vector<std::vector<SubgraphId>> subgraphs_of_shard;
+  /// Total vertices of the subgraphs owned by each shard (the balance
+  /// metric; boundary vertices count once per containing subgraph).
+  std::vector<size_t> vertices_of_shard;
+};
+
+/// Distributes the subgraphs of `partition` over `num_shards` shards,
+/// balancing total vertex count per shard (greedy longest-processing-time:
+/// subgraphs descending by size, each to the currently lightest shard).
+/// Deterministic for a fixed partition and shard count. Fails on
+/// num_shards == 0; num_shards may exceed the subgraph count (the surplus
+/// shards own nothing).
+Result<ShardAssignment> AssignShards(const Partition& partition,
+                                     uint32_t num_shards);
+
+}  // namespace kspdg
+
+#endif  // KSPDG_PARTITION_SHARD_ASSIGNMENT_H_

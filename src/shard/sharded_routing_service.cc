@@ -1,0 +1,309 @@
+#include "shard/sharded_routing_service.h"
+
+#include <algorithm>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/strings.h"
+#include "core/timer.h"
+#include "ksp/path.h"
+#include "kspdg/partial_provider.h"
+
+namespace kspdg {
+
+namespace {
+
+/// Threads one ApplyTrafficBatch fan-out may use when the caller does not
+/// say: one per shard, capped at the hardware thread count.
+unsigned ResolveApplyThreads(unsigned requested, size_t num_shards) {
+  if (requested != 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return static_cast<unsigned>(
+      std::min<size_t>(num_shards, static_cast<size_t>(hw)));
+}
+
+}  // namespace
+
+// Routes each boundary-pair partial request to the shard(s) owning the
+// subgraphs that contain the pair. A pair owned entirely by one shard is
+// served directly under that shard's reader lock; a pair spanning shards
+// scatters to every owner and gathers the per-subgraph lists through
+// MergeSubgraphPartials — the same merge LocalPartialProvider uses — so
+// the gathered result is identical to the inline computation by
+// construction. One provider instance serves one query on one thread.
+class ShardedRoutingService::ScatterGatherProvider : public PartialProvider {
+ public:
+  explicit ScatterGatherProvider(const ShardedRoutingService& service)
+      : service_(service), shard_touched_(service.shards_.size(), 0) {}
+
+  PartialResult ComputePartials(VertexId x, VertexId y,
+                                size_t depth) override {
+    const Partition& partition = service_.dtlp_->partition();
+    // Group the owning subgraphs by shard. Boundary pairs live in at most a
+    // handful of subgraphs, so linear scans beat any map.
+    std::vector<std::pair<ShardId, std::vector<SubgraphId>>> groups;
+    for (SubgraphId sgid : partition.SubgraphsContainingBoth(x, y)) {
+      ShardId shard = service_.assignment_.shard_of_subgraph[sgid];
+      auto it = std::find_if(groups.begin(), groups.end(),
+                             [shard](const auto& g) { return g.first == shard; });
+      if (it == groups.end()) {
+        groups.push_back({shard, {sgid}});
+      } else {
+        it->second.push_back(sgid);
+      }
+    }
+    // Scatter: every owning shard computes its subgraphs' partial lists
+    // under its own reader lock — the in-process stand-in for shipping the
+    // request to the shard's worker, with the shard's weights and indexes
+    // frozen while it computes.
+    std::vector<SubgraphPartials> fetched;
+    for (const auto& [shard_id, owned] : groups) {
+      const Shard& shard = *service_.shards_[shard_id];
+      shard_touched_[shard_id] = 1;
+      shard.partial_requests.fetch_add(1, std::memory_order_relaxed);
+      shard.yen_runs.fetch_add(owned.size(), std::memory_order_relaxed);
+      std::shared_lock<EpochLock> lock(shard.mu);
+      for (SubgraphId sgid : owned) {
+        const Subgraph& sg = partition.subgraphs[sgid];
+        fetched.push_back(
+            {sgid, LocalPartialProvider::PartialsInSubgraph(sg, x, y, depth)});
+      }
+    }
+    // Gather: the shared merge (see MergeSubgraphPartials) replays the
+    // unsharded provider's ascending-subgraph order, so the result is
+    // identical to the inline computation by construction.
+    PartialResult result = MergeSubgraphPartials(std::move(fetched), depth);
+    if (groups.size() == 1) {
+      service_.direct_partials_.fetch_add(1, std::memory_order_relaxed);
+    } else if (groups.size() > 1) {
+      service_.scattered_partials_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return result;
+  }
+
+  /// Distinct shards this query's partial requests landed on.
+  size_t ShardsTouched() const {
+    size_t n = 0;
+    for (char touched : shard_touched_) n += touched != 0;
+    return n;
+  }
+
+ private:
+  const ShardedRoutingService& service_;
+  std::vector<char> shard_touched_;
+};
+
+Result<std::unique_ptr<ShardedRoutingService>> ShardedRoutingService::Create(
+    Graph graph, ShardedRoutingServiceOptions options) {
+  KSPDG_RETURN_NOT_OK(options.defaults.Validate());
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  // Heap-allocate before building the DTLP: the index keeps a pointer to
+  // the service-owned graph.
+  std::unique_ptr<ShardedRoutingService> service(
+      new ShardedRoutingService(std::move(graph), std::move(options)));
+  Result<std::unique_ptr<Dtlp>> dtlp =
+      Dtlp::Build(service->graph_, service->options_.dtlp);
+  if (!dtlp.ok()) return dtlp.status();
+  service->dtlp_ = std::move(dtlp).value();
+  Result<ShardAssignment> assignment = AssignShards(
+      service->dtlp_->partition(), service->options_.num_shards);
+  if (!assignment.ok()) return assignment.status();
+  service->assignment_ = std::move(assignment).value();
+  service->registry_ = SolverRegistry::Default();
+  service->shards_.reserve(service->assignment_.num_shards);
+  for (ShardId shard = 0; shard < service->assignment_.num_shards; ++shard) {
+    auto owned = std::make_unique<Shard>();
+    owned->subgraphs = service->assignment_.subgraphs_of_shard[shard];
+    service->shards_.push_back(std::move(owned));
+  }
+  service->epochs_ =
+      std::make_unique<EpochCoordinator>(service->shards_.size());
+  service->apply_pool_ = std::make_unique<ThreadPool>(ResolveApplyThreads(
+      service->options_.apply_threads, service->shards_.size()));
+  return service;
+}
+
+Status ShardedRoutingService::PrepareQuery(const KspRequest& request,
+                                           RoutingOptions* merged,
+                                           const KspSolver** solver) const {
+  return PrepareRoutingQuery(registry_, options_.defaults, graph_, request,
+                             merged, solver);
+}
+
+Result<KspResponse> ShardedRoutingService::Query(
+    const KspRequest& request) const {
+  RoutingOptions merged;
+  const KspSolver* solver = nullptr;
+  Status prepared = PrepareQuery(request, &merged, &solver);
+  if (!prepared.ok()) {
+    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return prepared;
+  }
+
+  ScatterGatherProvider provider(*this);
+  SolverInput input;
+  input.graph = &graph_;
+  input.dtlp = dtlp_.get();
+  input.partials = &provider;  // DTLP-free backends ignore it
+  input.source = request.source;
+  input.target = request.target;
+  input.options = merged;
+
+  // Snapshot section: the global lock freezes the flat weights, the
+  // skeleton, and the epoch; the shard locks taken inside the provider
+  // freeze each shard's slice while it serves a partial request.
+  std::shared_lock<EpochLock> lock(mu_);
+  WallTimer timer;
+  Result<KspQueryResult> solved = solver->Solve(input);
+  if (!solved.ok()) {
+    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return solved.status();
+  }
+  KspResponse response;
+  response.paths = std::move(solved.value().paths);
+  response.stats.engine = solved.value().stats;
+  response.stats.solve_micros = timer.ElapsedMicros();
+  response.epoch = epochs_->global();
+  response.k = merged.k;
+  response.backend = merged.backend;
+  size_t touched = provider.ShardsTouched();
+  if (touched == 1) {
+    single_shard_queries_.fetch_add(1, std::memory_order_relaxed);
+  } else if (touched > 1) {
+    cross_shard_queries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  queries_ok_.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+Result<TrafficBatchResult> ShardedRoutingService::ApplyTrafficBatch(
+    std::span<const WeightUpdate> updates) {
+  // Validate before taking any lock: a rejected batch must leave every
+  // shard's snapshot untouched (mirrors RoutingService exactly).
+  for (const WeightUpdate& update : updates) {
+    if (update.edge >= graph_.NumEdges()) {
+      return Status::InvalidArgument(
+          "update references edge " + std::to_string(update.edge) +
+          " out of range (graph has " + std::to_string(graph_.NumEdges()) +
+          " edges)");
+    }
+    if (!(update.new_forward > 0) || !(update.new_backward > 0)) {
+      return Status::InvalidArgument("updated weights must be positive");
+    }
+  }
+
+  // Group updates by owning subgraph (every edge has exactly one owner).
+  // Per-subgraph lists preserve the batch's relative order, so repeated
+  // updates to one edge resolve identically to the unsharded service.
+  const Partition& partition = dtlp_->partition();
+  std::vector<std::vector<WeightUpdate>> per_subgraph(dtlp_->NumSubgraphs());
+  std::vector<SubgraphId> touched;
+  for (const WeightUpdate& update : updates) {
+    SubgraphId sgid = partition.subgraph_of_edge[update.edge];
+    if (sgid == kInvalidSubgraph) continue;
+    if (per_subgraph[sgid].empty()) touched.push_back(sgid);
+    per_subgraph[sgid].push_back(update);
+  }
+  std::vector<std::vector<SubgraphId>> touched_of_shard(shards_.size());
+  for (SubgraphId sgid : touched) {
+    touched_of_shard[assignment_.shard_of_subgraph[sgid]].push_back(sgid);
+  }
+  for (std::vector<SubgraphId>& list : touched_of_shard) {
+    std::sort(list.begin(), list.end());
+  }
+
+  // Exclusive snapshot section: drain every query, then move all shards and
+  // the master state to the next global epoch together.
+  std::unique_lock<EpochLock> lock(mu_);
+  const uint64_t epoch = epochs_->BeginAdvance();
+  // Master: flat graph weights (the baselines' view of the snapshot).
+  for (const WeightUpdate& update : updates) graph_.SetWeight(update);
+
+  // Shard fan-out: each shard applies its slice of Algorithm 2 under its
+  // own writer lock and publishes the new epoch — the in-process analogue
+  // of the paper's per-server update application.
+  std::atomic<size_t> applied_total{0};
+  std::vector<std::vector<SubgraphId>> refreshed_of_shard(shards_.size());
+  apply_pool_->ParallelFor(
+      shards_.size(), /*chunk=*/1, [&](unsigned, size_t si) {
+        Shard& shard = *shards_[si];
+        std::unique_lock<EpochLock> shard_lock(shard.mu);
+        size_t applied = 0;
+        for (SubgraphId sgid : touched_of_shard[si]) {
+          dtlp_->ApplyUpdatesToSubgraph(sgid, per_subgraph[sgid]);
+          applied += per_subgraph[sgid].size();
+          if (dtlp_->RefreshSubgraph(sgid)) {
+            refreshed_of_shard[si].push_back(sgid);
+          }
+        }
+        applied_total.fetch_add(applied, std::memory_order_relaxed);
+        epochs_->PublishShard(si, epoch);
+      });
+
+  // Master: refresh the skeleton from the shards whose bounds changed, in
+  // ascending subgraph order for determinism, then commit the epoch.
+  TrafficBatchResult result;
+  std::vector<SubgraphId> refreshed;
+  for (const std::vector<SubgraphId>& list : refreshed_of_shard) {
+    refreshed.insert(refreshed.end(), list.begin(), list.end());
+  }
+  std::sort(refreshed.begin(), refreshed.end());
+  for (SubgraphId sgid : refreshed) {
+    dtlp_->PushSubgraphBoundsToSkeleton(sgid);
+    result.dtlp.skeleton_pairs_refreshed += dtlp_->index(sgid).pairs().size();
+  }
+  epochs_->Commit(epoch);
+
+  result.epoch = epoch;
+  result.dtlp.updates_applied = applied_total.load(std::memory_order_relaxed);
+  result.dtlp.subgraphs_touched = touched.size();
+  batches_applied_.fetch_add(1, std::memory_order_relaxed);
+  updates_applied_.fetch_add(updates.size(), std::memory_order_relaxed);
+  return result;
+}
+
+ShardedServiceCounters ShardedRoutingService::counters() const {
+  ShardedServiceCounters counters;
+  counters.base.queries_ok = queries_ok_.load(std::memory_order_relaxed);
+  counters.base.queries_rejected =
+      queries_rejected_.load(std::memory_order_relaxed);
+  counters.base.batches_applied =
+      batches_applied_.load(std::memory_order_relaxed);
+  counters.base.updates_applied =
+      updates_applied_.load(std::memory_order_relaxed);
+  counters.single_shard_queries =
+      single_shard_queries_.load(std::memory_order_relaxed);
+  counters.cross_shard_queries =
+      cross_shard_queries_.load(std::memory_order_relaxed);
+  counters.direct_partial_requests =
+      direct_partials_.load(std::memory_order_relaxed);
+  counters.scattered_partial_requests =
+      scattered_partials_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+std::vector<ShardInfo> ShardedRoutingService::ShardInfos() const {
+  std::vector<ShardInfo> infos;
+  infos.reserve(shards_.size());
+  for (ShardId shard = 0; shard < shards_.size(); ++shard) {
+    const Shard& s = *shards_[shard];
+    ShardInfo info;
+    info.shard = shard;
+    info.subgraphs = s.subgraphs.size();
+    info.vertices = assignment_.vertices_of_shard[shard];
+    info.epoch = epochs_->shard(shard);
+    info.partial_requests = s.partial_requests.load(std::memory_order_relaxed);
+    info.yen_runs = s.yen_runs.load(std::memory_order_relaxed);
+    infos.push_back(info);
+  }
+  return infos;
+}
+
+}  // namespace kspdg

@@ -1,0 +1,201 @@
+// ShardedRoutingService: the RoutingService contract served by N
+// partition-aligned shards — the in-process prototype of the paper's
+// distributed deployment (one JVM worker per subgraph set in its Storm
+// topology, §4).
+//
+// The subgraphs of the DTLP partition are distributed over the shards
+// (partition/shard_assignment.h); each shard owns its slice of mutable DTLP
+// state — the subgraph weight copies and level-1 EP-indexes — behind its own
+// core/EpochLock. The coordinator owns what the paper's master owns: the
+// flat graph weights, the level-2 skeleton graph, and the epoch.
+//
+//   Query           global shared lock; KSP-DG boundary-pair partials are
+//                   routed to the owning shard (single-shard requests go
+//                   directly to that shard, cross-shard requests
+//                   scatter/gather across all owners) through the
+//                   PartialProvider seam — the future RPC boundary.
+//   ApplyTrafficBatch
+//                   global exclusive lock (drains every query), then the
+//                   batch fans out per shard in parallel: each shard takes
+//                   its own writer lock, applies its slice of Algorithm 2,
+//                   and publishes the new epoch to the EpochCoordinator; the
+//                   coordinator refreshes the skeleton and commits ONE
+//                   global epoch, so responses still name a single
+//                   consistent snapshot.
+//
+// The shard boundary here is the future process boundary: replacing the
+// in-process scatter/gather with RPC (and the per-shard EpochLock with a
+// per-worker one) yields the distributed-workers deployment without
+// touching the algorithm layers.
+#ifndef KSPDG_SHARD_SHARDED_ROUTING_SERVICE_H_
+#define KSPDG_SHARD_SHARDED_ROUTING_SERVICE_H_
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "api/ksp_solver.h"
+#include "api/routing_options.h"
+#include "api/routing_service.h"
+#include "core/epoch_coordinator.h"
+#include "core/epoch_lock.h"
+#include "core/status.h"
+#include "core/thread_pool.h"
+#include "dtlp/dtlp.h"
+#include "graph/graph.h"
+#include "partition/shard_assignment.h"
+
+namespace kspdg {
+
+struct ShardedRoutingServiceOptions {
+  /// Service-wide defaults; any field can be overridden per request.
+  RoutingOptions defaults;
+  /// DTLP construction knobs (partition size z, level-1 ξ, build threads).
+  DtlpOptions dtlp;
+  /// Number of shards the subgraph set is distributed over (>= 1; shards
+  /// beyond the subgraph count own nothing). 1 degenerates to the unsharded
+  /// topology while keeping the scatter/gather code path live.
+  uint32_t num_shards = 2;
+  /// Threads fanning one ApplyTrafficBatch across shards (0 = one per
+  /// shard, capped at the hardware thread count; 1 = sequential fan-out).
+  unsigned apply_threads = 0;
+};
+
+/// Point-in-time view of one shard, for monitoring and the bench "shard"
+/// phase. Counter snapshots, not transactional.
+struct ShardInfo {
+  ShardId shard = kInvalidShard;
+  /// Subgraphs / total subgraph vertices this shard owns (static).
+  size_t subgraphs = 0;
+  size_t vertices = 0;
+  /// Epoch this shard last published (== the global epoch between batches).
+  uint64_t epoch = 0;
+  /// Boundary-pair partial requests this shard has served.
+  uint64_t partial_requests = 0;
+  /// Per-subgraph Yen invocations performed serving those requests.
+  uint64_t yen_runs = 0;
+};
+
+/// Monitoring counters of a sharded service (snapshot, not transactional).
+/// Query/update totals match ServiceCounters; the shard-specific counters
+/// split the KSP-DG partial traffic by how it was routed.
+struct ShardedServiceCounters {
+  ServiceCounters base;
+  /// KSP-DG queries whose partial requests were all served by one shard
+  /// (routed directly to the owning shard).
+  uint64_t single_shard_queries = 0;
+  /// KSP-DG queries whose partials were gathered from >= 2 shards.
+  uint64_t cross_shard_queries = 0;
+  /// Boundary-pair requests owned entirely by one shard (direct dispatch).
+  uint64_t direct_partial_requests = 0;
+  /// Boundary-pair requests spanning shards (scatter/gather dispatch).
+  uint64_t scattered_partial_requests = 0;
+};
+
+class ShardedRoutingService {
+ public:
+  /// Takes ownership of `graph`, builds the DTLP (Algorithm 1), and
+  /// distributes its subgraphs over `options.num_shards` shards. Fails if
+  /// the defaults are invalid, the partitioner rejects the graph, or
+  /// num_shards == 0.
+  static Result<std::unique_ptr<ShardedRoutingService>> Create(
+      Graph graph, ShardedRoutingServiceOptions options = {});
+
+  ShardedRoutingService(const ShardedRoutingService&) = delete;
+  ShardedRoutingService& operator=(const ShardedRoutingService&) = delete;
+
+  /// Answers q(source, target) on the current global snapshot. Identical
+  /// results to RoutingService::Query over the same graph and weights (the
+  /// sharding is invisible in the answer). Thread-safe; runs concurrently
+  /// with other queries and serialises against ApplyTrafficBatch.
+  Result<KspResponse> Query(const KspRequest& request) const;
+
+  /// Applies one batch of weight updates atomically across every shard: the
+  /// flat weights, each shard's subgraph copies (fanned out in parallel,
+  /// one writer lock per shard), and the skeleton move to the next global
+  /// epoch together. Validated up front and rejected as a whole on any bad
+  /// entry. Thread-safe.
+  Result<TrafficBatchResult> ApplyTrafficBatch(
+      std::span<const WeightUpdate> updates);
+
+  /// Adds a custom backend (before serving traffic; not thread-safe against
+  /// in-flight queries).
+  Status RegisterSolver(std::unique_ptr<KspSolver> solver) {
+    return registry_.Register(std::move(solver));
+  }
+
+  /// Committed global epoch (0 until the first batch). All shards sit at
+  /// this epoch whenever no ApplyTrafficBatch is in flight.
+  uint64_t CurrentEpoch() const { return epochs_->global(); }
+
+  /// Registered backend names, sorted.
+  std::vector<std::string> BackendNames() const { return registry_.Names(); }
+
+  ShardedServiceCounters counters() const;
+
+  /// Per-shard ownership and traffic snapshot, indexed by ShardId.
+  std::vector<ShardInfo> ShardInfos() const;
+
+  uint32_t num_shards() const { return assignment_.num_shards; }
+  const ShardAssignment& assignment() const { return assignment_; }
+
+  /// Read-only views for tooling; all writes must go through
+  /// ApplyTrafficBatch.
+  const Graph& graph() const { return graph_; }
+  const Dtlp& dtlp() const { return *dtlp_; }
+  const RoutingOptions& defaults() const { return options_.defaults; }
+
+ private:
+  /// One shard: a slice of subgraph ids plus the lock and counters for the
+  /// DTLP state they denote. The subgraph/index storage itself stays inside
+  /// the shared Dtlp (per-subgraph operations are thread-safe across
+  /// distinct subgraphs); the shard lock serialises readers of this slice
+  /// against its apply fan-out worker.
+  struct Shard {
+    mutable EpochLock mu;
+    std::vector<SubgraphId> subgraphs;
+    mutable std::atomic<uint64_t> partial_requests{0};
+    mutable std::atomic<uint64_t> yen_runs{0};
+  };
+
+  class ScatterGatherProvider;
+
+  ShardedRoutingService(Graph graph, ShardedRoutingServiceOptions options)
+      : graph_(std::move(graph)), options_(std::move(options)) {}
+
+  /// Delegates to PrepareRoutingQuery — the same preparation RoutingService
+  /// uses, so both services reject the same requests with the same codes.
+  Status PrepareQuery(const KspRequest& request, RoutingOptions* merged,
+                      const KspSolver** solver) const;
+
+  Graph graph_;
+  ShardedRoutingServiceOptions options_;
+  std::unique_ptr<Dtlp> dtlp_;
+  SolverRegistry registry_;
+  ShardAssignment assignment_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<EpochCoordinator> epochs_;
+  /// Executes the per-shard ApplyTrafficBatch fan-out; owned so traffic
+  /// batches (the streaming hot path) reuse warm threads instead of paying
+  /// thread creation inside the exclusive-lock window.
+  std::unique_ptr<ThreadPool> apply_pool_;
+
+  /// Global snapshot lock: queries shared, traffic batches exclusive
+  /// (write-preferring). Guards the flat weights, the skeleton, and the
+  /// epoch advance protocol; per-shard locks nest strictly inside it.
+  mutable EpochLock mu_;
+
+  mutable std::atomic<uint64_t> queries_ok_{0};
+  mutable std::atomic<uint64_t> queries_rejected_{0};
+  mutable std::atomic<uint64_t> single_shard_queries_{0};
+  mutable std::atomic<uint64_t> cross_shard_queries_{0};
+  mutable std::atomic<uint64_t> direct_partials_{0};
+  mutable std::atomic<uint64_t> scattered_partials_{0};
+  std::atomic<uint64_t> batches_applied_{0};
+  std::atomic<uint64_t> updates_applied_{0};
+};
+
+}  // namespace kspdg
+
+#endif  // KSPDG_SHARD_SHARDED_ROUTING_SERVICE_H_

@@ -15,6 +15,8 @@
 #include "core/strings.h"
 #include "core/timer.h"
 #include "graph/traffic_model.h"
+#include "ksp/path.h"
+#include "shard/sharded_routing_service.h"
 #include "workload/datasets.h"
 #include "workload/query_gen.h"
 
@@ -100,6 +102,41 @@ std::string BenchReport::ToJson() const {
   AppendJsonKey(out, "speedup", "    ");
   out << batch.speedup << "\n";
   out << "  },\n";
+  AppendJsonKey(out, "shard", "  ");
+  out << "{\n";
+  AppendJsonKey(out, "num_shards", "    ");
+  out << shard.num_shards << ",\n";
+  AppendJsonKey(out, "requests", "    ");
+  out << shard.requests << ",\n";
+  AppendJsonKey(out, "errors", "    ");
+  out << shard.errors << ",\n";
+  AppendJsonKey(out, "mismatches", "    ");
+  out << shard.mismatches << ",\n";
+  AppendJsonKey(out, "batches_applied", "    ");
+  out << shard.batches_applied << ",\n";
+  AppendJsonKey(out, "final_epoch", "    ");
+  out << shard.final_epoch << ",\n";
+  AppendJsonKey(out, "direct_partials", "    ");
+  out << shard.direct_partials << ",\n";
+  AppendJsonKey(out, "scattered_partials", "    ");
+  out << shard.scattered_partials << ",\n";
+  AppendJsonKey(out, "single_shard_queries", "    ");
+  out << shard.single_shard_queries << ",\n";
+  AppendJsonKey(out, "cross_shard_queries", "    ");
+  out << shard.cross_shard_queries << ",\n";
+  AppendJsonKey(out, "min_subgraphs_per_shard", "    ");
+  out << shard.min_subgraphs_per_shard << ",\n";
+  AppendJsonKey(out, "max_subgraphs_per_shard", "    ");
+  out << shard.max_subgraphs_per_shard << ",\n";
+  AppendJsonKey(out, "sharded_micros", "    ");
+  out << shard.sharded_micros << ",\n";
+  AppendJsonKey(out, "unsharded_micros", "    ");
+  out << shard.unsharded_micros << ",\n";
+  AppendJsonKey(out, "sharded_qps", "    ");
+  out << shard.sharded_qps << ",\n";
+  AppendJsonKey(out, "unsharded_qps", "    ");
+  out << shard.unsharded_qps << "\n";
+  out << "  },\n";
   AppendJsonKey(out, "backends", "  ");
   out << "[\n";
   for (size_t i = 0; i < backends.size(); ++i) {
@@ -154,6 +191,10 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
   Graph graph = options.target_vertices == 0
                     ? LoadDataset(*spec)
                     : LoadScaledDataset(*spec, options.target_vertices);
+  // The shard phase builds two fresh services over the pristine graph, so
+  // keep a copy before the mixed-workload service takes ownership.
+  Graph pristine_graph;
+  if (options.shards > 0) pristine_graph = graph;
 
   RoutingServiceOptions service_options;
   service_options.defaults.k = options.k;
@@ -354,6 +395,125 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
       phase.batch_qps =
           static_cast<double>(phase.requests) / (phase.batch_micros / 1e6);
       phase.speedup = phase.sequential_micros / phase.batch_micros;
+    }
+  }
+
+  // Shard phase: build a sharded and an unsharded service over identical
+  // pristine graphs, feed both the identical traffic history, then answer
+  // the same request list on both and require path-for-path equality —
+  // sharding may move work, never change answers.
+  if (options.shards > 0) {
+    ShardPhaseStats& phase = report.shard;
+    phase.num_shards = options.shards;
+
+    Graph unsharded_graph = pristine_graph;
+    Result<std::unique_ptr<RoutingService>> plain_or =
+        RoutingService::Create(std::move(unsharded_graph), service_options);
+    if (!plain_or.ok()) return plain_or.status();
+    std::unique_ptr<RoutingService> plain = std::move(plain_or).value();
+
+    ShardedRoutingServiceOptions sharded_options;
+    sharded_options.defaults = service_options.defaults;
+    sharded_options.dtlp = service_options.dtlp;
+    sharded_options.num_shards = static_cast<uint32_t>(options.shards);
+    Result<std::unique_ptr<ShardedRoutingService>> sharded_or =
+        ShardedRoutingService::Create(std::move(pristine_graph),
+                                      sharded_options);
+    if (!sharded_or.ok()) return sharded_or.status();
+    std::unique_ptr<ShardedRoutingService> sharded =
+        std::move(sharded_or).value();
+
+    // Identical traffic history on both services (batches are anchored to
+    // the immutable initial weights, so pre-generating them is exact).
+    TrafficModelOptions replay_options = traffic_options;
+    replay_options.seed = options.seed + 2;
+    TrafficModel replay(plain->graph(), replay_options);
+    for (size_t b = 0; b < options.num_batches; ++b) {
+      std::vector<WeightUpdate> batch = replay.NextBatch();
+      bool ok = plain->ApplyTrafficBatch(batch).ok();
+      ok = sharded->ApplyTrafficBatch(batch).ok() && ok;
+      if (ok) ++phase.batches_applied;
+    }
+
+    std::vector<KspRequest> requests;
+    requests.reserve(work.size());
+    for (const WorkItem& item : work) {
+      KspRequest request;
+      request.source = item.source;
+      request.target = item.target;
+      request.options.backend = options.backends[item.backend_index];
+      requests.push_back(std::move(request));
+    }
+    phase.requests = requests.size();
+
+    // Both timed loops do the same work per request (query + store), so
+    // the qps comparison is symmetric; the path-by-path check runs after
+    // the timers.
+    std::vector<std::vector<Path>> expected(requests.size());
+    std::vector<char> expected_ok(requests.size(), 0);
+    WallTimer unsharded_timer;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      Result<KspResponse> response = plain->Query(requests[i]);
+      if (!response.ok()) {
+        ++phase.errors;
+        continue;
+      }
+      expected_ok[i] = 1;
+      expected[i] = std::move(response).value().paths;
+    }
+    phase.unsharded_micros = unsharded_timer.ElapsedMicros();
+
+    std::vector<std::vector<Path>> actual(requests.size());
+    std::vector<char> actual_ok(requests.size(), 0);
+    WallTimer sharded_timer;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      Result<KspResponse> response = sharded->Query(requests[i]);
+      if (!response.ok()) {
+        ++phase.errors;
+        continue;
+      }
+      actual_ok[i] = 1;
+      actual[i] = std::move(response).value().paths;
+    }
+    phase.sharded_micros = sharded_timer.ElapsedMicros();
+
+    for (size_t i = 0; i < requests.size(); ++i) {
+      // A failed query is already counted in `errors`; only answered pairs
+      // are parity-compared.
+      if (!expected_ok[i] || !actual_ok[i]) continue;
+      const std::vector<Path>& got = actual[i];
+      bool same = got.size() == expected[i].size();
+      for (size_t p = 0; same && p < got.size(); ++p) {
+        same = got[p].vertices == expected[i][p].vertices &&
+               got[p].distance == expected[i][p].distance;
+      }
+      if (!same) ++phase.mismatches;
+    }
+
+    phase.final_epoch = sharded->CurrentEpoch();
+    if (plain->CurrentEpoch() != sharded->CurrentEpoch()) ++phase.errors;
+    ShardedServiceCounters counters = sharded->counters();
+    phase.direct_partials = counters.direct_partial_requests;
+    phase.scattered_partials = counters.scattered_partial_requests;
+    phase.single_shard_queries = counters.single_shard_queries;
+    phase.cross_shard_queries = counters.cross_shard_queries;
+    std::vector<ShardInfo> infos = sharded->ShardInfos();
+    if (!infos.empty()) {
+      phase.min_subgraphs_per_shard = infos[0].subgraphs;
+      for (const ShardInfo& info : infos) {
+        phase.min_subgraphs_per_shard =
+            std::min(phase.min_subgraphs_per_shard, info.subgraphs);
+        phase.max_subgraphs_per_shard =
+            std::max(phase.max_subgraphs_per_shard, info.subgraphs);
+      }
+    }
+    if (phase.unsharded_micros > 0) {
+      phase.unsharded_qps = static_cast<double>(phase.requests) /
+                            (phase.unsharded_micros / 1e6);
+    }
+    if (phase.sharded_micros > 0) {
+      phase.sharded_qps =
+          static_cast<double>(phase.requests) / (phase.sharded_micros / 1e6);
     }
   }
   return report;

@@ -45,6 +45,12 @@ struct BenchOptions {
   size_t batch_size = 0;
   /// Worker threads for the service's QueryBatch pool (0 = auto).
   unsigned batch_threads = 0;
+  /// When > 0, a sharded-vs-unsharded phase runs after the other phases:
+  /// two fresh services (one ShardedRoutingService with this many shards,
+  /// one RoutingService) receive the identical traffic history and answer
+  /// the same request list, and every sharded answer is checked against the
+  /// unsharded one path-by-path.
+  size_t shards = 0;
 };
 
 struct BackendBenchStats {
@@ -84,6 +90,38 @@ struct BatchPhaseStats {
   double speedup = 0;
 };
 
+/// Sharded-vs-unsharded comparison over one request list (shard phase).
+/// Parity fields must come out zero: sharding may change *where* work runs,
+/// never *what* is answered.
+struct ShardPhaseStats {
+  /// Shards of the ShardedRoutingService; 0 means the phase did not run.
+  size_t num_shards = 0;
+  size_t requests = 0;
+  /// Query failures across both services (should be 0).
+  size_t errors = 0;
+  /// Requests whose sharded path set differed from the unsharded one in
+  /// route or distance (must be 0).
+  size_t mismatches = 0;
+  /// Traffic batches applied identically to both services.
+  size_t batches_applied = 0;
+  /// Global epoch both services ended at (they must agree).
+  uint64_t final_epoch = 0;
+  /// Boundary-pair partial requests served by exactly one shard vs
+  /// gathered across shards (KSP-DG refine traffic).
+  uint64_t direct_partials = 0;
+  uint64_t scattered_partials = 0;
+  /// KSP-DG queries whose partials stayed on one shard vs spanned shards.
+  uint64_t single_shard_queries = 0;
+  uint64_t cross_shard_queries = 0;
+  /// Subgraph-ownership spread across shards (balance indicator).
+  size_t min_subgraphs_per_shard = 0;
+  size_t max_subgraphs_per_shard = 0;
+  double sharded_micros = 0;
+  double unsharded_micros = 0;
+  double sharded_qps = 0;
+  double unsharded_qps = 0;
+};
+
 struct BenchReport {
   std::string dataset;
   size_t num_vertices = 0;
@@ -106,6 +144,8 @@ struct BenchReport {
   std::vector<BackendBenchStats> backends;
   /// Batch-vs-sequential phase (batch_size 0 when not requested).
   BatchPhaseStats batch;
+  /// Sharded-vs-unsharded phase (num_shards 0 when not requested).
+  ShardPhaseStats shard;
 
   /// Pretty-printed JSON object (stable key order).
   std::string ToJson() const;

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/epoch_coordinator.h"
 #include "core/epoch_lock.h"
 #include "core/indexed_heap.h"
 #include "core/parallel_for.h"
@@ -347,6 +348,57 @@ TEST(EpochLockTest, WriterIsNotStarvedByReaderChurn) {
   writer.join();
   for (std::thread& t : readers) t.join();
   EXPECT_EQ(writes.load(), 50);
+}
+
+TEST(EpochCoordinatorTest, AdvanceProtocolMovesAllShardsTogether) {
+  EpochCoordinator epochs(3);
+  EXPECT_EQ(epochs.num_shards(), 3u);
+  EXPECT_EQ(epochs.global(), 0u);
+  EXPECT_TRUE(epochs.Consistent());
+
+  uint64_t next = epochs.BeginAdvance();
+  EXPECT_EQ(next, 1u);
+  EXPECT_EQ(epochs.global(), 0u);  // not committed yet
+  epochs.PublishShard(0, next);
+  epochs.PublishShard(1, next);
+  EXPECT_FALSE(epochs.Consistent());  // shard 2 still at the old epoch
+  epochs.PublishShard(2, next);
+  epochs.Commit(next);
+  EXPECT_EQ(epochs.global(), 1u);
+  EXPECT_TRUE(epochs.Consistent());
+  for (size_t shard = 0; shard < 3; ++shard) {
+    EXPECT_EQ(epochs.shard(shard), 1u) << shard;
+  }
+}
+
+TEST(EpochCoordinatorTest, ShardsPublishConcurrently) {
+  constexpr size_t kShards = 8;
+  EpochCoordinator epochs(kShards);
+  for (uint64_t round = 1; round <= 20; ++round) {
+    uint64_t next = epochs.BeginAdvance();
+    EXPECT_EQ(next, round);
+    std::vector<std::thread> workers;
+    for (size_t shard = 0; shard < kShards; ++shard) {
+      workers.emplace_back(
+          [&epochs, shard, next] { epochs.PublishShard(shard, next); });
+    }
+    for (std::thread& t : workers) t.join();
+    epochs.Commit(next);
+    EXPECT_EQ(epochs.global(), round);
+    EXPECT_TRUE(epochs.Consistent());
+  }
+}
+
+TEST(EpochCoordinatorTest, SingleShardDegeneratesToPlainCounter) {
+  EpochCoordinator epochs(1);
+  for (uint64_t round = 1; round <= 5; ++round) {
+    uint64_t next = epochs.BeginAdvance();
+    epochs.PublishShard(0, next);
+    epochs.Commit(next);
+  }
+  EXPECT_EQ(epochs.global(), 5u);
+  EXPECT_EQ(epochs.shard(0), 5u);
+  EXPECT_TRUE(epochs.Consistent());
 }
 
 }  // namespace

@@ -1,0 +1,468 @@
+// Tests for the sharded serving layer (src/shard + partition shard
+// assignment): shard-vs-unsharded parity on every backend (sharding may
+// move work, never change answers), cross-shard correctness after traffic
+// batches, the global-epoch protocol, and a threaded scatter/gather +
+// update interleave (the tsan job watches the per-shard lock discipline).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/routing_options.h"
+#include "api/routing_service.h"
+#include "graph/generators.h"
+#include "graph/traffic_model.h"
+#include "ksp/path.h"
+#include "partition/shard_assignment.h"
+#include "shard/sharded_routing_service.h"
+#include "workload/bench_runner.h"
+
+namespace kspdg {
+namespace {
+
+std::unique_ptr<RoutingService> MustCreatePlain(Graph g, uint32_t z) {
+  RoutingServiceOptions options;
+  options.dtlp.partition.max_vertices = z;
+  Result<std::unique_ptr<RoutingService>> service =
+      RoutingService::Create(std::move(g), std::move(options));
+  if (!service.ok()) {
+    ADD_FAILURE() << service.status().ToString();
+    return nullptr;
+  }
+  return std::move(service).value();
+}
+
+std::unique_ptr<ShardedRoutingService> MustCreateSharded(
+    Graph g, uint32_t z, uint32_t num_shards, unsigned apply_threads = 0) {
+  ShardedRoutingServiceOptions options;
+  options.dtlp.partition.max_vertices = z;
+  options.num_shards = num_shards;
+  options.apply_threads = apply_threads;
+  Result<std::unique_ptr<ShardedRoutingService>> service =
+      ShardedRoutingService::Create(std::move(g), std::move(options));
+  if (!service.ok()) {
+    ADD_FAILURE() << service.status().ToString();
+    return nullptr;
+  }
+  return std::move(service).value();
+}
+
+KspRequest MakeRequest(VertexId s, VertexId t, const std::string& backend,
+                       uint32_t k) {
+  KspRequest request;
+  request.source = s;
+  request.target = t;
+  request.options.backend = backend;
+  request.options.k = k;
+  return request;
+}
+
+/// Byte-level parity: same number of paths, same routes, same distances
+/// (exact doubles — both services run the identical arithmetic on the
+/// identical weights, so not even the last bit may differ).
+void ExpectIdenticalPaths(const std::vector<Path>& got,
+                          const std::vector<Path>& want,
+                          const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].vertices, want[i].vertices) << label << " rank " << i;
+    EXPECT_EQ(got[i].distance, want[i].distance) << label << " rank " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shard assignment.
+// ---------------------------------------------------------------------------
+
+TEST(ShardAssignmentTest, CoversEverySubgraphExactlyOnce) {
+  Graph g = MakeRandomConnected(60, 80, 1, 9, 11);
+  std::unique_ptr<ShardedRoutingService> service =
+      MustCreateSharded(std::move(g), /*z=*/12, /*num_shards=*/3);
+  ASSERT_TRUE(service != nullptr);
+  const ShardAssignment& assignment = service->assignment();
+  const size_t num_subgraphs = service->dtlp().NumSubgraphs();
+  ASSERT_EQ(assignment.shard_of_subgraph.size(), num_subgraphs);
+
+  std::vector<size_t> seen(num_subgraphs, 0);
+  for (ShardId shard = 0; shard < assignment.num_shards; ++shard) {
+    for (SubgraphId sgid : assignment.subgraphs_of_shard[shard]) {
+      ASSERT_LT(sgid, num_subgraphs);
+      EXPECT_EQ(assignment.shard_of_subgraph[sgid], shard);
+      ++seen[sgid];
+    }
+    EXPECT_TRUE(std::is_sorted(assignment.subgraphs_of_shard[shard].begin(),
+                               assignment.subgraphs_of_shard[shard].end()));
+  }
+  for (size_t sgid = 0; sgid < num_subgraphs; ++sgid) {
+    EXPECT_EQ(seen[sgid], 1u) << "subgraph " << sgid;
+  }
+}
+
+TEST(ShardAssignmentTest, BalancesVerticesAcrossShards) {
+  Graph g = MakeRandomConnected(120, 150, 1, 9, 13);
+  std::unique_ptr<ShardedRoutingService> service =
+      MustCreateSharded(std::move(g), /*z=*/16, /*num_shards=*/4);
+  ASSERT_TRUE(service != nullptr);
+  const ShardAssignment& assignment = service->assignment();
+  size_t total = std::accumulate(assignment.vertices_of_shard.begin(),
+                                 assignment.vertices_of_shard.end(),
+                                 size_t{0});
+  // LPT bound: no shard may exceed the ideal share by more than the largest
+  // single subgraph (z vertices).
+  size_t ideal = total / assignment.num_shards;
+  for (ShardId shard = 0; shard < assignment.num_shards; ++shard) {
+    EXPECT_LE(assignment.vertices_of_shard[shard], ideal + 16)
+        << "shard " << shard << " of " << total << " total";
+  }
+}
+
+TEST(ShardAssignmentTest, RejectsZeroShardsAndToleratesSurplusShards) {
+  Graph g = MakeRandomConnected(20, 24, 1, 9, 17);
+  Result<std::unique_ptr<Dtlp>> dtlp = Dtlp::Build(g, {});
+  ASSERT_TRUE(dtlp.ok());
+  EXPECT_EQ(AssignShards(dtlp.value()->partition(), 0).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // More shards than subgraphs: the surplus shards own nothing but the
+  // assignment still covers everything.
+  size_t num_subgraphs = dtlp.value()->NumSubgraphs();
+  Result<ShardAssignment> wide = AssignShards(
+      dtlp.value()->partition(), static_cast<uint32_t>(num_subgraphs + 5));
+  ASSERT_TRUE(wide.ok());
+  size_t owned = 0;
+  for (const std::vector<SubgraphId>& list :
+       wide.value().subgraphs_of_shard) {
+    owned += list.size();
+  }
+  EXPECT_EQ(owned, num_subgraphs);
+}
+
+TEST(ShardAssignmentTest, DeterministicForFixedInputs) {
+  Graph g1 = MakeRandomConnected(50, 60, 1, 9, 19);
+  Graph g2 = g1;
+  std::unique_ptr<ShardedRoutingService> a =
+      MustCreateSharded(std::move(g1), /*z=*/10, /*num_shards=*/3);
+  std::unique_ptr<ShardedRoutingService> b =
+      MustCreateSharded(std::move(g2), /*z=*/10, /*num_shards=*/3);
+  ASSERT_TRUE(a != nullptr && b != nullptr);
+  EXPECT_EQ(a->assignment().shard_of_subgraph,
+            b->assignment().shard_of_subgraph);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-vs-unsharded parity.
+// ---------------------------------------------------------------------------
+
+TEST(ShardedRoutingServiceTest, ParityWithUnshardedOnAllBackends) {
+  const char* backends[] = {kBackendKspDg, kBackendYen, kBackendFindKsp,
+                            kBackendDijkstra};
+  for (uint32_t num_shards : {1u, 2u, 4u}) {
+    for (uint64_t seed = 0; seed < 4; ++seed) {
+      Graph g = MakeRandomConnected(40, 52, 1, 9, seed * 23 + 5);
+      Graph g_sharded = g;
+      std::unique_ptr<RoutingService> plain =
+          MustCreatePlain(std::move(g), /*z=*/10);
+      std::unique_ptr<ShardedRoutingService> sharded =
+          MustCreateSharded(std::move(g_sharded), /*z=*/10, num_shards);
+      ASSERT_TRUE(plain != nullptr && sharded != nullptr);
+
+      for (const char* backend : backends) {
+        uint32_t k = backend == kBackendDijkstra ? 1 : 6;
+        for (const auto& [s, t] : std::vector<std::pair<VertexId, VertexId>>{
+                 {0, 39}, {3, 31}, {17, 22}}) {
+          KspRequest request = MakeRequest(s, t, backend, k);
+          Result<KspResponse> want = plain->Query(request);
+          Result<KspResponse> got = sharded->Query(request);
+          ASSERT_TRUE(want.ok()) << want.status().ToString();
+          ASSERT_TRUE(got.ok()) << got.status().ToString();
+          ExpectIdenticalPaths(
+              got.value().paths, want.value().paths,
+              std::string(backend) + " shards=" + std::to_string(num_shards) +
+                  " seed=" + std::to_string(seed) + " q=" + std::to_string(s) +
+                  "->" + std::to_string(t));
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedRoutingServiceTest, CrossShardParityAfterTrafficBatches) {
+  for (uint32_t num_shards : {2u, 4u}) {
+    Graph g = MakeRandomConnected(48, 60, 2, 12, 101);
+    Graph g_sharded = g;
+    std::unique_ptr<RoutingService> plain =
+        MustCreatePlain(std::move(g), /*z=*/12);
+    std::unique_ptr<ShardedRoutingService> sharded =
+        MustCreateSharded(std::move(g_sharded), /*z=*/12, num_shards);
+    ASSERT_TRUE(plain != nullptr && sharded != nullptr);
+
+    TrafficModelOptions traffic_options;
+    traffic_options.alpha = 0.5;
+    traffic_options.seed = 31;
+    TrafficModel traffic(plain->graph(), traffic_options);
+    for (int step = 0; step < 5; ++step) {
+      std::vector<WeightUpdate> batch = traffic.NextBatch();
+      Result<TrafficBatchResult> plain_applied =
+          plain->ApplyTrafficBatch(batch);
+      Result<TrafficBatchResult> sharded_applied =
+          sharded->ApplyTrafficBatch(batch);
+      ASSERT_TRUE(plain_applied.ok()) << plain_applied.status().ToString();
+      ASSERT_TRUE(sharded_applied.ok()) << sharded_applied.status().ToString();
+      // Identical epochs and identical Algorithm 2 maintenance statistics:
+      // the sharded fan-out composes the same per-subgraph primitives.
+      EXPECT_EQ(sharded_applied.value().epoch, plain_applied.value().epoch);
+      EXPECT_EQ(sharded_applied.value().dtlp.updates_applied,
+                plain_applied.value().dtlp.updates_applied);
+      EXPECT_EQ(sharded_applied.value().dtlp.subgraphs_touched,
+                plain_applied.value().dtlp.subgraphs_touched);
+      EXPECT_EQ(sharded_applied.value().dtlp.skeleton_pairs_refreshed,
+                plain_applied.value().dtlp.skeleton_pairs_refreshed);
+
+      for (const auto& [s, t] : std::vector<std::pair<VertexId, VertexId>>{
+               {1, 46}, {7, 40}, {13, 29}}) {
+        for (const char* backend : {kBackendKspDg, kBackendYen}) {
+          KspRequest request = MakeRequest(s, t, backend, 5);
+          Result<KspResponse> want = plain->Query(request);
+          Result<KspResponse> got = sharded->Query(request);
+          ASSERT_TRUE(want.ok() && got.ok());
+          EXPECT_EQ(got.value().epoch, static_cast<uint64_t>(step + 1));
+          ExpectIdenticalPaths(got.value().paths, want.value().paths,
+                               std::string(backend) + " step " +
+                                   std::to_string(step) + " shards " +
+                                   std::to_string(num_shards));
+          // Distances reflect the current snapshot exactly.
+          for (const Path& p : got.value().paths) {
+            EXPECT_NEAR(RouteDistance(sharded->graph(), p.vertices),
+                        p.distance, 1e-9);
+          }
+        }
+      }
+    }
+    EXPECT_EQ(sharded->CurrentEpoch(), 5u);
+    EXPECT_EQ(plain->CurrentEpoch(), 5u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Service semantics.
+// ---------------------------------------------------------------------------
+
+TEST(ShardedRoutingServiceTest, RejectsInvalidRequestsLikeUnsharded) {
+  Graph g = MakeRandomConnected(16, 14, 1, 9, 43);
+  std::unique_ptr<ShardedRoutingService> service =
+      MustCreateSharded(std::move(g), /*z=*/8, /*num_shards=*/2);
+  ASSERT_TRUE(service != nullptr);
+  EXPECT_EQ(service->Query(MakeRequest(0, 5, kBackendYen, 0)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service->Query(MakeRequest(0, 99, kBackendYen, 2)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service->Query(MakeRequest(4, 4, kBackendYen, 2)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      service->Query(MakeRequest(0, 5, "no-such-backend", 2)).status().code(),
+      StatusCode::kNotFound);
+  ShardedServiceCounters counters = service->counters();
+  EXPECT_EQ(counters.base.queries_ok, 0u);
+  EXPECT_EQ(counters.base.queries_rejected, 4u);
+}
+
+TEST(ShardedRoutingServiceTest, CreateRejectsZeroShards) {
+  Graph g = MakeRandomConnected(12, 10, 1, 9, 47);
+  ShardedRoutingServiceOptions options;
+  options.num_shards = 0;
+  EXPECT_EQ(
+      ShardedRoutingService::Create(std::move(g), options).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedRoutingServiceTest, TrafficBatchValidationIsAtomic) {
+  Graph g = MakeRandomConnected(16, 14, 2, 9, 53);
+  std::unique_ptr<ShardedRoutingService> service =
+      MustCreateSharded(std::move(g), /*z=*/8, /*num_shards=*/2);
+  ASSERT_TRUE(service != nullptr);
+  Weight before = service->graph().ForwardWeight(0);
+  std::vector<WeightUpdate> bad_edge = {{0, 5.0, 5.0},
+                                        {kInvalidEdge, 5.0, 5.0}};
+  EXPECT_EQ(service->ApplyTrafficBatch(bad_edge).status().code(),
+            StatusCode::kInvalidArgument);
+  std::vector<WeightUpdate> bad_weight = {{0, -1.0, 5.0}};
+  EXPECT_EQ(service->ApplyTrafficBatch(bad_weight).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_DOUBLE_EQ(service->graph().ForwardWeight(0), before);
+  EXPECT_EQ(service->CurrentEpoch(), 0u);
+}
+
+TEST(ShardedRoutingServiceTest, ShardInfosAndRoutingCountersAreCoherent) {
+  Graph g = MakeRandomConnected(60, 80, 1, 9, 59);
+  std::unique_ptr<ShardedRoutingService> service =
+      MustCreateSharded(std::move(g), /*z=*/10, /*num_shards=*/3);
+  ASSERT_TRUE(service != nullptr);
+
+  // A spread of KSP-DG queries must exercise the partial routing.
+  for (VertexId s = 0; s < 12; ++s) {
+    KspRequest request = MakeRequest(s, 59 - s, kBackendKspDg, 4);
+    ASSERT_TRUE(service->Query(request).ok());
+  }
+
+  std::vector<ShardInfo> infos = service->ShardInfos();
+  ASSERT_EQ(infos.size(), 3u);
+  size_t subgraphs = 0;
+  uint64_t shard_partials = 0;
+  for (const ShardInfo& info : infos) {
+    subgraphs += info.subgraphs;
+    shard_partials += info.partial_requests;
+    EXPECT_EQ(info.epoch, service->CurrentEpoch()) << info.shard;
+    EXPECT_GE(info.yen_runs, info.partial_requests) << info.shard;
+  }
+  EXPECT_EQ(subgraphs, service->dtlp().NumSubgraphs());
+
+  ShardedServiceCounters counters = service->counters();
+  EXPECT_EQ(counters.base.queries_ok, 12u);
+  EXPECT_EQ(counters.single_shard_queries + counters.cross_shard_queries,
+            12u);
+  EXPECT_GT(counters.direct_partial_requests +
+                counters.scattered_partial_requests,
+            0u);
+  // Every boundary-pair request landed on >= 1 shard; scattered requests
+  // land on >= 2, so the shard-side tally must be at least the query-side
+  // request count.
+  EXPECT_GE(shard_partials, counters.direct_partial_requests +
+                                counters.scattered_partial_requests);
+}
+
+TEST(ShardedRoutingServiceTest, CustomSolversPlugIntoShardedService) {
+  class EmptySolver : public KspSolver {
+   public:
+    std::string_view name() const override { return "empty"; }
+    Result<KspQueryResult> Solve(const SolverInput&,
+                                 SolverScratch*) const override {
+      return KspQueryResult{};
+    }
+  };
+  Graph g = MakeRandomConnected(12, 10, 1, 9, 61);
+  std::unique_ptr<ShardedRoutingService> service =
+      MustCreateSharded(std::move(g), /*z=*/8, /*num_shards=*/2);
+  ASSERT_TRUE(service != nullptr);
+  ASSERT_TRUE(service->RegisterSolver(std::make_unique<EmptySolver>()).ok());
+  Result<KspResponse> response = service->Query(MakeRequest(0, 9, "empty", 2));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response.value().paths.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Threaded scatter/gather + update interleave (tsan watches the per-shard
+// lock protocol; the uniform-weight identity catches torn snapshots).
+// ---------------------------------------------------------------------------
+
+TEST(ShardedRoutingServiceTest, ConcurrentScatterGatherAndUpdatesStayUniform) {
+  Graph g = MakeRandomConnected(40, 50, 1, 1, 67);  // all weights 1
+  const size_t num_edges = g.NumEdges();
+  std::unique_ptr<ShardedRoutingService> service = MustCreateSharded(
+      std::move(g), /*z=*/10, /*num_shards=*/4, /*apply_threads=*/2);
+  ASSERT_TRUE(service != nullptr);
+
+  constexpr uint64_t kBatches = 10;
+  auto level = [](uint64_t epoch) {
+    return 1.0 + 0.25 * static_cast<double>(epoch);
+  };
+
+  std::atomic<bool> done{false};
+  std::atomic<size_t> checks{0};
+  std::atomic<size_t> failures{0};
+
+  auto reader = [&](unsigned thread_seed) {
+    const char* backends[] = {kBackendKspDg, kBackendKspDg, kBackendYen};
+    uint64_t last_epoch = 0;
+    size_t i = thread_seed;
+    while (!done.load(std::memory_order_acquire)) {
+      VertexId s = static_cast<VertexId>(i * 7 % 40);
+      VertexId t = static_cast<VertexId>((i * 13 + 19) % 40);
+      ++i;
+      if (s == t) continue;
+      Result<KspResponse> response =
+          service->Query(MakeRequest(s, t, backends[i % 3], 4));
+      if (!response.ok()) {
+        failures.fetch_add(1);
+        continue;
+      }
+      const KspResponse& r = response.value();
+      if (r.epoch < last_epoch) failures.fetch_add(1);  // must be monotone
+      last_epoch = r.epoch;
+      const double w = level(r.epoch);
+      for (const Path& p : r.paths) {
+        const double want = w * static_cast<double>(p.NumEdges());
+        if (std::abs(p.distance - want) > 1e-6 * (1.0 + want)) {
+          failures.fetch_add(1);
+        }
+        checks.fetch_add(1);
+      }
+    }
+  };
+
+  std::vector<std::thread> readers;
+  for (unsigned r = 0; r < 3; ++r) readers.emplace_back(reader, r + 1);
+
+  for (uint64_t batch = 1; batch <= kBatches; ++batch) {
+    std::vector<WeightUpdate> updates;
+    updates.reserve(num_edges);
+    const double w = level(batch);
+    for (EdgeId e = 0; e < num_edges; ++e) updates.push_back({e, w, w});
+    Result<TrafficBatchResult> applied = service->ApplyTrafficBatch(updates);
+    ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+    EXPECT_EQ(applied.value().epoch, batch);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GT(checks.load(), 0u) << "readers never overlapped the updates";
+  EXPECT_EQ(service->CurrentEpoch(), kBatches);
+  ShardedServiceCounters counters = service->counters();
+  EXPECT_EQ(counters.base.batches_applied, kBatches);
+  EXPECT_EQ(counters.base.updates_applied, kBatches * num_edges);
+}
+
+// ---------------------------------------------------------------------------
+// Bench shard phase.
+// ---------------------------------------------------------------------------
+
+TEST(BenchRunnerTest, ShardPhaseReportsParity) {
+  BenchOptions options;
+  options.dataset = "NY-S";
+  options.target_vertices = 256;
+  options.queries_per_backend = 5;
+  options.num_batches = 2;
+  options.query_threads = 2;
+  options.k = 3;
+  options.z = 32;
+  options.shards = 2;
+  Result<BenchReport> report = RunMixedBench(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const ShardPhaseStats& shard = report.value().shard;
+  EXPECT_EQ(shard.num_shards, 2u);
+  EXPECT_EQ(shard.requests, 15u);  // 5 queries x 3 default backends
+  EXPECT_EQ(shard.errors, 0u);
+  EXPECT_EQ(shard.mismatches, 0u);
+  EXPECT_EQ(shard.batches_applied, 2u);
+  EXPECT_EQ(shard.final_epoch, 2u);
+  EXPECT_GT(shard.direct_partials + shard.scattered_partials, 0u);
+  EXPECT_GT(shard.single_shard_queries + shard.cross_shard_queries, 0u);
+  EXPECT_GE(shard.max_subgraphs_per_shard, shard.min_subgraphs_per_shard);
+  EXPECT_GT(shard.sharded_qps, 0.0);
+  EXPECT_GT(shard.unsharded_qps, 0.0);
+  std::string json = report.value().ToJson();
+  EXPECT_NE(json.find("\"num_shards\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"mismatches\": 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kspdg

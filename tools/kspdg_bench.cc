@@ -5,13 +5,20 @@
 //   kspdg_bench [--dataset NY-S] [--vertices 4096] [--k 4] [--queries 48]
 //               [--batches 6] [--threads 4] [--alpha 0.35] [--tau 0.30]
 //               [--z 0] [--seed 42] [--backends kspdg,yen,findksp]
-//               [--batch-size 0] [--batch-threads 0]
+//               [--batch-size 0] [--batch-threads 0] [--shards 0]
 //               [--out BENCH_service.json]
 //
 // --batch-size N (N > 0) appends a batch-vs-sequential throughput phase:
 // the mixed request list is answered once through sequential Query calls
 // and once through QueryBatch in batches of N, and both throughputs land
 // in the BENCH JSON under "batch".
+//
+// --shards N (N > 0) appends a sharded-vs-unsharded phase: a fresh
+// ShardedRoutingService with N shards and a fresh RoutingService receive
+// the identical traffic history, answer the same request list, and every
+// sharded answer is checked path-by-path against the unsharded one. The
+// comparison, routing split (direct vs scatter/gather partials) and both
+// throughputs land in the BENCH JSON under "shard".
 //
 // Set KSPDG_DATA_DIR to run on real DIMACS files instead of the synthetic
 // stand-ins (see src/workload/datasets.h).
@@ -32,7 +39,8 @@ void Usage(const char* argv0) {
                "usage: %s [--dataset NAME] [--vertices N] [--k K] "
                "[--queries N] [--batches N] [--threads N] [--alpha F] "
                "[--tau F] [--z N] [--seed N] [--backends a,b,c] "
-               "[--batch-size N] [--batch-threads N] [--out FILE]\n",
+               "[--batch-size N] [--batch-threads N] [--shards N] "
+               "[--out FILE]\n",
                argv0);
 }
 
@@ -89,6 +97,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--batch-threads") {
       options.batch_threads =
           static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--shards") {
+      options.shards = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--out") {
       out_file = next();
     } else if (arg == "--help" || arg == "-h") {

@@ -1,0 +1,251 @@
+#!/usr/bin/env python3
+"""Schema validator for the BENCH_*.json artifacts emitted by kspdg_bench.
+
+Replaces the inline heredoc validators that used to live in
+.github/workflows/ci.yml, so the gate is runnable locally:
+
+    scripts/validate_bench.py BENCH_smoke.json
+    scripts/validate_bench.py BENCH_shard_batch.json \
+        --check 'shard_batch.mismatches==0' --check 'shard_batch.errors==0'
+
+Every file is validated STRICTLY against the schema of BenchReport::ToJson
+(src/workload/bench_runner.cc): every known field must be present with the
+right JSON type, and unknown fields fail the check — if you add a field to
+ToJson, teach this validator (and docs/BENCHMARKING.md) about it in the same
+change.
+
+--check expressions are dotted paths into the report compared against a
+numeric literal with one of ==, !=, >=, <=, >, < (applied to every FILE
+given). Exit status is non-zero on any failure.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+NUM = (int, float)  # ToJson prints micros/qps with decimals, counters without
+
+# --- the BENCH report schema (mirrors BenchReport::ToJson exactly) ---------
+
+BATCH_SCHEMA = {
+    "batch_size": int,
+    "requests": int,
+    "errors": int,
+    "non_uniform_batches": int,
+    "sequential_micros": NUM,
+    "batch_micros": NUM,
+    "sequential_qps": NUM,
+    "batch_qps": NUM,
+    "speedup": NUM,
+}
+
+SHARD_SCHEMA = {
+    "num_shards": int,
+    "requests": int,
+    "errors": int,
+    "mismatches": int,
+    "batches_applied": int,
+    "final_epoch": int,
+    "direct_partials": int,
+    "scattered_partials": int,
+    "single_shard_queries": int,
+    "cross_shard_queries": int,
+    "min_subgraphs_per_shard": int,
+    "max_subgraphs_per_shard": int,
+    "sharded_micros": NUM,
+    "unsharded_micros": NUM,
+    "sharded_qps": NUM,
+    "unsharded_qps": NUM,
+}
+
+SHARD_BATCH_SCHEMA = {
+    "num_shards": int,
+    "batch_size": int,
+    "requests": int,
+    "batches_submitted": int,
+    "errors": int,
+    "mismatches": int,
+    "non_uniform_batches": int,
+    "partial_cache_hits": int,
+    "direct_partials": int,
+    "scattered_partials": int,
+    "sharded_batch_micros": NUM,
+    "unsharded_sequential_micros": NUM,
+    "sharded_batch_qps": NUM,
+    "unsharded_sequential_qps": NUM,
+    "speedup": NUM,
+}
+
+BACKEND_SCHEMA = {
+    "backend": str,
+    "queries": int,
+    "errors": int,
+    "paths_returned": int,
+    "total_micros": NUM,
+    "mean_micros": NUM,
+    "max_micros": NUM,
+    "p50_micros": NUM,
+    "p95_micros": NUM,
+    "p99_micros": NUM,
+    "min_epoch": int,
+    "max_epoch": int,
+    "engine_iterations": int,
+}
+
+TOP_SCHEMA = {
+    "dataset": str,
+    "num_vertices": int,
+    "num_edges": int,
+    "num_subgraphs": int,
+    "k": int,
+    "index_build_micros": NUM,
+    "batches_applied": int,
+    "batch_errors": int,
+    "updates_applied": int,
+    "update_total_micros": NUM,
+    "update_p50_micros": NUM,
+    "update_p95_micros": NUM,
+    "update_p99_micros": NUM,
+    "final_epoch": int,
+    "batch": BATCH_SCHEMA,
+    "shard": SHARD_SCHEMA,
+    "shard_batch": SHARD_BATCH_SCHEMA,
+    "backends": BACKEND_SCHEMA,  # list of objects
+}
+
+
+def type_name(expected):
+    if expected is NUM:
+        return "number"
+    if isinstance(expected, tuple):
+        return "/".join(t.__name__ for t in expected)
+    return expected.__name__
+
+
+def check_object(obj, schema, where, failures):
+    if not isinstance(obj, dict):
+        failures.append(f"{where}: expected an object, got {type(obj).__name__}")
+        return
+    for key in sorted(set(obj) - set(schema)):
+        failures.append(
+            f"{where}.{key}: unknown field (update scripts/validate_bench.py"
+            " and docs/BENCHMARKING.md when adding BENCH fields)"
+        )
+    for key, expected in schema.items():
+        if key not in obj:
+            failures.append(f"{where}.{key}: missing field")
+            continue
+        value = obj[key]
+        if isinstance(expected, dict):
+            if key == "backends":  # handled by caller
+                continue
+            check_object(value, expected, f"{where}.{key}", failures)
+        elif not isinstance(value, expected) or isinstance(value, bool):
+            failures.append(
+                f"{where}.{key}: expected {type_name(expected)},"
+                f" got {json.dumps(value)}"
+            )
+
+
+def validate_report(report, where, failures):
+    check_object(report, TOP_SCHEMA, where, failures)
+    if not isinstance(report, dict):
+        return
+    backends = report.get("backends")
+    if not isinstance(backends, list) or not backends:
+        failures.append(f"{where}.backends: must be a non-empty array")
+        return
+    for i, backend in enumerate(backends):
+        check_object(backend, BACKEND_SCHEMA, f"{where}.backends[{i}]", failures)
+
+
+CHECK_RE = re.compile(r"^([A-Za-z0-9_.\[\]]+?)\s*(==|!=|>=|<=|>|<)\s*(-?[0-9.]+)$")
+
+OPS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    ">=": lambda a, b: a >= b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    "<": lambda a, b: a < b,
+}
+
+
+def lookup(report, path):
+    node = report
+    for part in path.split("."):
+        match = re.fullmatch(r"([A-Za-z0-9_]+)(?:\[(\d+)\])?", part)
+        if match is None:
+            raise KeyError(part)
+        node = node[match.group(1)]
+        if match.group(2) is not None:
+            node = node[int(match.group(2))]
+    return node
+
+
+def run_check(report, where, expr, failures):
+    match = CHECK_RE.match(expr)
+    if match is None:
+        failures.append(f"--check {expr!r}: cannot parse (PATH OP NUMBER)")
+        return
+    path, op, literal = match.groups()
+    try:
+        value = lookup(report, path)
+    except (KeyError, IndexError, TypeError):
+        failures.append(f"{where}: --check {expr!r}: no field {path!r}")
+        return
+    if not isinstance(value, NUM) or isinstance(value, bool):
+        failures.append(f"{where}: --check {expr!r}: {path} is not numeric")
+        return
+    want = float(literal) if "." in literal else int(literal)
+    if not OPS[op](value, want):
+        failures.append(f"{where}: check failed: {path} = {value}, wanted {op} {literal}")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("files", nargs="+", metavar="FILE")
+    parser.add_argument(
+        "--check",
+        action="append",
+        default=[],
+        metavar="EXPR",
+        help="dotted-path assertion, e.g. 'shard_batch.mismatches==0'",
+    )
+    args = parser.parse_args(argv)
+
+    failures = []
+    for path in args.files:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as err:
+            failures.append(f"{path}: {err}")
+            continue
+        if not text.strip():
+            failures.append(f"{path}: empty file")
+            continue
+        try:
+            report = json.loads(text)
+        except json.JSONDecodeError as err:
+            failures.append(f"{path}: invalid JSON: {err}")
+            continue
+        validate_report(report, path, failures)
+        for expr in args.check:
+            run_check(report, path, expr, failures)
+
+    if failures:
+        print("BENCH validation FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    checks = f", {len(args.check)} checks each" if args.check else ""
+    print(f"BENCH validation OK: {len(args.files)} file(s){checks}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

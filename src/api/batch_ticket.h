@@ -1,0 +1,123 @@
+// BatchTicket: the handle returned by the asynchronous SubmitBatch APIs.
+//
+// SubmitBatch enqueues a batch of requests on the service's bounded
+// submission queue (core/submission_queue.h) and returns immediately, so a
+// caller can keep producing requests while earlier batches solve. The
+// ticket is the future half of that contract: Wait() blocks until the batch
+// has completed and yields the same Result<KspBatchResponse> a synchronous
+// QueryBatch call would have returned; Ready() polls. An optional
+// BatchCallback passed to SubmitBatch fires on the submission worker thread
+// after the ticket is fulfilled, for callers that prefer push over pull.
+//
+// Tickets are cheap shareable handles (shared state under the hood): they
+// may be copied, stored, and waited on from any thread, and stay valid
+// after the owning service is destroyed (destruction drains the queue, so
+// every accepted batch is answered first).
+#ifndef KSPDG_API_BATCH_TICKET_H_
+#define KSPDG_API_BATCH_TICKET_H_
+
+#include <cassert>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "api/routing_options.h"
+#include "core/status.h"
+#include "core/submission_queue.h"
+
+namespace kspdg {
+
+/// Completion callback for SubmitBatch: receives the batch outcome on the
+/// submission worker thread, after the ticket is fulfilled (so Wait()
+/// inside the callback would not deadlock — it returns immediately).
+using BatchCallback = std::function<void(const Result<KspBatchResponse>&)>;
+
+/// Completion handle for one asynchronously submitted batch (see file
+/// comment). Default-constructed tickets are invalid placeholders.
+class BatchTicket {
+ public:
+  using Solve =
+      std::function<Result<KspBatchResponse>(std::span<const KspRequest>)>;
+
+  BatchTicket() = default;
+
+  /// The one SubmitBatch implementation both services share: enqueues
+  /// `solve(requests)` on `queue` and returns the ticket for it. The job
+  /// owns its request list, so the caller may reuse its buffers the moment
+  /// this returns. A refused submission (queue shut down) still fulfils
+  /// the ticket — with FailedPrecondition — and still fires the callback
+  /// (on the calling thread), so no waiter can hang on a dropped batch.
+  static BatchTicket SubmitTo(SubmissionQueue& queue,
+                              std::vector<KspRequest> requests,
+                              BatchCallback callback, Solve solve) {
+    auto state = std::make_shared<State>();
+    BatchTicket ticket(state);
+    bool accepted = queue.Submit(
+        [state, requests = std::move(requests), callback,
+         solve = std::move(solve)] {
+          state->Fulfill(solve(requests));
+          if (callback) callback(*state->outcome);
+        });
+    if (!accepted) {
+      state->Fulfill(Status::FailedPrecondition(
+          "service is shutting down; batch was not accepted"));
+      if (callback) callback(*state->outcome);
+    }
+    return ticket;
+  }
+
+  /// False only for default-constructed (placeholder) tickets; SubmitBatch
+  /// always returns a valid ticket, even when the submission was refused.
+  bool valid() const { return state_ != nullptr; }
+
+  /// True once the batch has completed (non-blocking). Invalid tickets are
+  /// never ready.
+  bool Ready() const {
+    if (state_ == nullptr) return false;
+    std::lock_guard<std::mutex> guard(state_->mu);
+    return state_->outcome.has_value();
+  }
+
+  /// Blocks until the batch completes and returns its outcome — exactly
+  /// what the equivalent synchronous QueryBatch call would have returned,
+  /// or a FailedPrecondition status if the service refused the submission
+  /// (shutting down). The reference stays valid while any copy of this
+  /// ticket is alive. May be called repeatedly and from several threads.
+  const Result<KspBatchResponse>& Wait() const {
+    assert(valid() && "Wait() on an invalid BatchTicket");
+    std::unique_lock<std::mutex> guard(state_->mu);
+    state_->cv.wait(guard, [&] { return state_->outcome.has_value(); });
+    return *state_->outcome;
+  }
+
+ private:
+  /// Shared promise half; SubmitTo fulfils it exactly once.
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<Result<KspBatchResponse>> outcome;
+
+    void Fulfill(Result<KspBatchResponse> result) {
+      {
+        std::lock_guard<std::mutex> guard(mu);
+        assert(!outcome.has_value() && "BatchTicket fulfilled twice");
+        outcome.emplace(std::move(result));
+      }
+      cv.notify_all();
+    }
+  };
+
+  explicit BatchTicket(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace kspdg
+
+#endif  // KSPDG_API_BATCH_TICKET_H_

@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "api/routing_options.h"
@@ -72,6 +73,13 @@ class KspSolver {
   /// this backend keeps no reusable state.
   virtual std::unique_ptr<SolverScratch> NewScratch() const { return nullptr; }
 
+  /// True when Solve routes boundary-pair partial computations through
+  /// SolverInput::partials (the KSP-DG refine step). A sharded service uses
+  /// this to substitute its own per-shard partial caching for the backend's
+  /// merged scratch cache, so cached state lives with the shard that owns
+  /// it and flushes on that shard's epoch bump.
+  virtual bool UsesPartialProvider() const { return false; }
+
   /// Computes up to options.k shortest loopless paths source -> target.
   /// Returning fewer (or zero) paths is not an error; Status is reserved for
   /// requests the backend cannot serve (e.g. unsupported k). `scratch` is
@@ -79,6 +87,31 @@ class KspSolver {
   virtual Result<KspQueryResult> Solve(const SolverInput& input,
                                        SolverScratch* scratch = nullptr)
       const = 0;
+};
+
+/// Lazily populated solver scratch, one slot per backend — the per-worker
+/// arena both service front-ends keep warm across batches (see SolverScratch
+/// for the reuse contract). A handful of backends at most: linear scan beats
+/// hashing. Not thread-safe; each pool worker owns one arena.
+struct SolverScratchArena {
+  std::vector<std::pair<const KspSolver*, std::unique_ptr<SolverScratch>>>
+      by_solver;
+
+  SolverScratch* Get(const KspSolver* solver) {
+    for (auto& [known, scratch] : by_solver) {
+      if (known == solver) return scratch.get();
+    }
+    by_solver.emplace_back(solver, solver->NewScratch());
+    return by_solver.back().second.get();
+  }
+
+  /// The weight snapshot moved: drop weight-derived cached state from every
+  /// pooled scratch before the arena is used at the new epoch.
+  void OnSnapshotChange() {
+    for (auto& [solver, scratch] : by_solver) {
+      if (scratch != nullptr) scratch->OnSnapshotChange();
+    }
+  }
 };
 
 class SolverRegistry;

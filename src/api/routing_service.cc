@@ -13,18 +13,6 @@
 
 namespace kspdg {
 
-namespace {
-
-/// How many threads one QueryBatch may use when the caller does not say.
-unsigned ResolveBatchThreads(unsigned requested) {
-  if (requested != 0) return requested;
-  unsigned hw = std::thread::hardware_concurrency();
-  if (hw == 0) hw = 1;
-  return std::min(hw, 16u);
-}
-
-}  // namespace
-
 Result<std::unique_ptr<RoutingService>> RoutingService::Create(
     Graph graph, RoutingServiceOptions options) {
   KSPDG_RETURN_NOT_OK(options.defaults.Validate());
@@ -38,8 +26,10 @@ Result<std::unique_ptr<RoutingService>> RoutingService::Create(
   service->dtlp_ = std::move(dtlp).value();
   service->registry_ = SolverRegistry::Default();
   service->pool_ = std::make_unique<ThreadPool>(
-      ResolveBatchThreads(service->options_.batch_threads));
+      DefaultBatchThreads(service->options_.batch_threads));
   service->arenas_.resize(service->pool_->num_threads());
+  service->submit_queue_ = std::make_unique<SubmissionQueue>(
+      service->options_.submit_queue_capacity, /*num_workers=*/1);
   return service;
 }
 
@@ -134,11 +124,7 @@ Result<KspBatchResponse> RoutingService::QueryBatch(
   if (arena_epoch_ != epoch) {
     // Weights moved since the arenas were last warm: weight-derived caches
     // (KSP-DG partials) must not survive into this snapshot.
-    for (WorkerArena& arena : arenas_) {
-      for (auto& [solver, scratch] : arena.by_solver) {
-        if (scratch != nullptr) scratch->OnSnapshotChange();
-      }
-    }
+    for (SolverScratchArena& arena : arenas_) arena.OnSnapshotChange();
     arena_epoch_ = epoch;
   }
   // Chunks large enough to amortise claiming, small enough to balance the
@@ -182,6 +168,13 @@ Result<KspBatchResponse> RoutingService::QueryBatch(
   queries_ok_.fetch_add(batch.num_ok, std::memory_order_relaxed);
   queries_rejected_.fetch_add(batch.num_rejected, std::memory_order_relaxed);
   return batch;
+}
+
+BatchTicket RoutingService::SubmitBatch(std::vector<KspRequest> requests,
+                                        BatchCallback callback) const {
+  return BatchTicket::SubmitTo(
+      *submit_queue_, std::move(requests), std::move(callback),
+      [this](std::span<const KspRequest> batch) { return QueryBatch(batch); });
 }
 
 Result<TrafficBatchResult> RoutingService::ApplyTrafficBatch(

@@ -23,11 +23,14 @@
 #include <atomic>
 #include <memory>
 #include <span>
+#include <vector>
 
+#include "api/batch_ticket.h"
 #include "api/ksp_solver.h"
 #include "api/routing_options.h"
 #include "core/epoch_lock.h"
 #include "core/status.h"
+#include "core/submission_queue.h"
 #include "core/thread_pool.h"
 #include "dtlp/dtlp.h"
 #include "graph/graph.h"
@@ -43,6 +46,9 @@ struct RoutingServiceOptions {
   /// at 16; 1 = batches execute inline on the caller). The pool is owned by
   /// the service and shared by all batches.
   unsigned batch_threads = 0;
+  /// Batches the async SubmitBatch queue buffers before Submit blocks for
+  /// backpressure (0 is treated as 1).
+  size_t submit_queue_capacity = 8;
 };
 
 /// Result of one applied traffic batch.
@@ -90,6 +96,16 @@ class RoutingService {
   Result<KspBatchResponse> QueryBatch(
       std::span<const KspRequest> requests) const;
 
+  /// Asynchronous QueryBatch: enqueues the batch on the service's bounded
+  /// submission queue and returns a ticket immediately, so the caller can
+  /// produce the next batch while this one solves. Blocks only when the
+  /// queue is full (backpressure). The optional callback fires on the
+  /// submission worker thread once the ticket is fulfilled. Thread-safe;
+  /// batches execute in submission order and every accepted batch completes
+  /// before the service finishes destruction.
+  BatchTicket SubmitBatch(std::vector<KspRequest> requests,
+                          BatchCallback callback = nullptr) const;
+
   /// Applies one batch of weight updates atomically: the graph's current
   /// weights and the DTLP (Algorithm 2) move to the next epoch together,
   /// with all concurrent queries drained. The batch is validated up front
@@ -127,22 +143,6 @@ class RoutingService {
   Status PrepareQuery(const KspRequest& request, RoutingOptions* merged,
                       const KspSolver** solver) const;
 
-  /// Lazily populated scratch per (worker, backend); see SolverScratch for
-  /// the reuse contract. A handful of backends at most: linear scan beats
-  /// hashing.
-  struct WorkerArena {
-    std::vector<std::pair<const KspSolver*, std::unique_ptr<SolverScratch>>>
-        by_solver;
-
-    SolverScratch* Get(const KspSolver* solver) {
-      for (auto& [known, scratch] : by_solver) {
-        if (known == solver) return scratch.get();
-      }
-      by_solver.emplace_back(solver, solver->NewScratch());
-      return by_solver.back().second.get();
-    }
-  };
-
   Graph graph_;
   RoutingServiceOptions options_;
   std::unique_ptr<Dtlp> dtlp_;
@@ -155,7 +155,7 @@ class RoutingService {
   /// serialises the parallel section of concurrent QueryBatch calls (the
   /// pool would serialise them anyway).
   mutable std::mutex batch_mu_;
-  mutable std::vector<WorkerArena> arenas_;
+  mutable std::vector<SolverScratchArena> arenas_;
   /// Epoch the arenas were last used at; a mismatch triggers
   /// SolverScratch::OnSnapshotChange() before the batch runs.
   mutable uint64_t arena_epoch_ = 0;
@@ -169,6 +169,11 @@ class RoutingService {
   mutable std::atomic<uint64_t> queries_rejected_{0};
   std::atomic<uint64_t> batches_applied_{0};
   std::atomic<uint64_t> updates_applied_{0};
+
+  /// Async SubmitBatch queue. Declared last so it is destroyed FIRST:
+  /// destruction drains the accepted batches, which still run QueryBatch
+  /// against the members above.
+  std::unique_ptr<SubmissionQueue> submit_queue_;
 };
 
 }  // namespace kspdg

@@ -99,6 +99,8 @@ class KspDgSolver : public KspSolver {
     return std::make_unique<KspDgScratch>();
   }
 
+  bool UsesPartialProvider() const override { return true; }
+
   Result<KspQueryResult> Solve(const SolverInput& input,
                                SolverScratch* scratch) const override {
     if (input.dtlp == nullptr) {

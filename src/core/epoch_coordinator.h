@@ -1,22 +1,33 @@
-// Epoch bookkeeping for services whose snapshot state is split across N
-// shards.
+// Epoch bookkeeping AND the snapshot-locking protocol for services whose
+// state is split across N shards.
 //
 // A sharded service wants the same client-visible contract as a single
 // EpochLock service: every response names ONE epoch, and an epoch means "all
 // shards reflect exactly the traffic batches numbered 1..epoch". The
-// coordinator makes that protocol explicit:
+// coordinator owns everything that contract needs — the committed global
+// epoch, the per-shard published epochs, the global reader/writer lock, and
+// one reader/writer lock per shard — so there is exactly one implementation
+// of the locking protocol for every front-end path (single query, batch
+// query, traffic batch).
 //
-//   uint64_t next = coordinator.BeginAdvance();   // writer, global lock held
-//   ... fan the batch out; each shard worker applies its slice ...
-//   coordinator.PublishShard(shard, next);        // per shard, as it finishes
+// Write protocol (the service's ApplyTrafficBatch):
+//
+//   std::unique_lock<EpochLock> lock(coordinator.global_lock());
+//   uint64_t next = coordinator.BeginAdvance();
+//   ... fan the batch out; each shard worker takes
+//       std::unique_lock<EpochLock>(coordinator.shard_lock(i)),
+//       applies its slice, then coordinator.PublishShard(i, next) ...
 //   coordinator.Commit(next);                     // all shards published
 //
-// Readers call global() for the committed epoch and Consistent() to assert
-// that no shard lags or leads it — the invariant the parity tests pin down.
-// Per-shard epochs are atomics so monitoring can sample them without taking
-// the service's locks; the advance protocol itself must be serialised by the
+// Read protocol: construct a ReadPin. The pin holds the global lock shared,
+// which freezes the committed epoch of EVERY shard at once (writers take the
+// global lock exclusively before touching any shard), so a whole batch of
+// queries — including partial requests that hop across shards — observes one
+// coherent multi-shard snapshot; a concurrent traffic batch can never tear
+// it. Per-shard epochs are atomics so monitoring can sample them without
+// taking any lock; the advance protocol itself must be serialised by the
 // caller (exactly one writer between BeginAdvance and Commit, which the
-// owning service's exclusive snapshot lock provides).
+// global exclusive lock provides).
 #ifndef KSPDG_CORE_EPOCH_COORDINATOR_H_
 #define KSPDG_CORE_EPOCH_COORDINATOR_H_
 
@@ -24,7 +35,10 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <vector>
+
+#include "core/epoch_lock.h"
 
 namespace kspdg {
 
@@ -33,6 +47,7 @@ class EpochCoordinator {
   /// A coordinator over `num_shards` shards, all at epoch 0.
   explicit EpochCoordinator(size_t num_shards)
       : shard_epochs_(std::make_unique<std::atomic<uint64_t>[]>(num_shards)),
+        shard_locks_(std::make_unique<EpochLock[]>(num_shards)),
         num_shards_(num_shards) {
     for (size_t i = 0; i < num_shards; ++i) shard_epochs_[i] = 0;
   }
@@ -49,8 +64,62 @@ class EpochCoordinator {
     return shard_epochs_[shard].load(std::memory_order_acquire);
   }
 
+  /// Global snapshot lock: readers pin the whole multi-shard snapshot via a
+  /// ReadPin; the writer holds it exclusively across one epoch advance.
+  /// Write-preferring, so traffic batches cannot starve under query churn.
+  EpochLock& global_lock() const { return global_lock_; }
+
+  /// Lock guarding shard `shard`'s slice of the snapshot state. Nests
+  /// strictly inside global_lock(): readers take it through
+  /// ReadPin::LockShard while the pin is held; the writer's per-shard
+  /// fan-out workers take it exclusively under the global exclusive lock.
+  EpochLock& shard_lock(size_t shard) const {
+    assert(shard < num_shards_);
+    return shard_locks_[shard];
+  }
+
+  /// RAII multi-shard read pin: holds global_lock() shared, freezing the
+  /// committed epoch of every shard for the pin's lifetime. One pin may
+  /// serve many queries (a whole QueryBatch) and its shard locks may be
+  /// taken from any thread while the pin is held — the owning thread of the
+  /// pin must simply outlive those uses.
+  class ReadPin {
+   public:
+    explicit ReadPin(const EpochCoordinator& coordinator)
+        : coordinator_(coordinator),
+          lock_(coordinator.global_lock()),
+          epoch_(coordinator.global()) {
+      // A committed snapshot is consistent by construction; a failure here
+      // means a writer touched shard state outside the advance protocol.
+      assert(coordinator.Consistent());
+    }
+
+    ReadPin(const ReadPin&) = delete;
+    ReadPin& operator=(const ReadPin&) = delete;
+
+    /// The global epoch pinned at construction; stable until the pin drops.
+    uint64_t epoch() const { return epoch_; }
+
+    /// Epoch of shard `shard`; under a pin this always equals epoch().
+    uint64_t shard_epoch(size_t shard) const {
+      return coordinator_.shard(shard);
+    }
+
+    /// Shared hold on one shard's slice for the duration of a partial
+    /// computation — the in-process stand-in for shipping the request to
+    /// the shard's worker with its state frozen while it computes.
+    std::shared_lock<EpochLock> LockShard(size_t shard) const {
+      return std::shared_lock<EpochLock>(coordinator_.shard_lock(shard));
+    }
+
+   private:
+    const EpochCoordinator& coordinator_;
+    std::shared_lock<EpochLock> lock_;
+    uint64_t epoch_;
+  };
+
   /// Starts one global advance and returns the epoch being entered
-  /// (global() + 1). Caller must hold the service's exclusive snapshot lock.
+  /// (global() + 1). Caller must hold global_lock() exclusively.
   uint64_t BeginAdvance() {
     assert(!advancing_ && "advance already in progress");
     advancing_ = true;
@@ -93,6 +162,10 @@ class EpochCoordinator {
  private:
   std::atomic<uint64_t> global_{0};
   std::unique_ptr<std::atomic<uint64_t>[]> shard_epochs_;
+  /// Mutable so const service query paths can pin the snapshot; the locks
+  /// carry no logical state of the coordinator.
+  mutable EpochLock global_lock_;
+  mutable std::unique_ptr<EpochLock[]> shard_locks_;
   size_t num_shards_;
   bool advancing_ = false;  // debug-only: guards against overlapping advances
 };

@@ -1,0 +1,80 @@
+#include "core/submission_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace kspdg {
+
+SubmissionQueue::SubmissionQueue(size_t capacity, unsigned num_workers)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  unsigned n = std::max(1u, num_workers);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+SubmissionQueue::~SubmissionQueue() {
+  Shutdown();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool SubmissionQueue::Submit(std::function<void()> job) {
+  {
+    std::unique_lock<std::mutex> guard(mu_);
+    cv_not_full_.wait(
+        guard, [&] { return shutdown_ || jobs_.size() < capacity_; });
+    if (shutdown_) return false;
+    jobs_.push_back(std::move(job));
+    ++submitted_;
+  }
+  cv_not_empty_.notify_one();
+  return true;
+}
+
+void SubmissionQueue::Shutdown() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    shutdown_ = true;
+  }
+  // Wake blocked producers (they return false) and idle workers (they see
+  // shutdown once the backlog is drained, and exit).
+  cv_not_full_.notify_all();
+  cv_not_empty_.notify_all();
+}
+
+size_t SubmissionQueue::pending() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return jobs_.size();
+}
+
+uint64_t SubmissionQueue::submitted() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return submitted_;
+}
+
+uint64_t SubmissionQueue::completed() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return completed_;
+}
+
+void SubmissionQueue::WorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> guard(mu_);
+      cv_not_empty_.wait(guard, [&] { return shutdown_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // shutdown with a drained backlog
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    cv_not_full_.notify_one();
+    job();
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      ++completed_;
+    }
+  }
+}
+
+}  // namespace kspdg

@@ -1,0 +1,72 @@
+// Bounded job queue backing the asynchronous batch-submission APIs.
+//
+// SubmitBatch must let a caller overlap request production with solving
+// without letting it run unboundedly ahead: the queue holds at most
+// `capacity` pending jobs and Submit blocks once it is full, so a producer
+// that outpaces the solver is throttled to the solver's speed instead of
+// buffering an unbounded backlog. Dedicated worker threads drain the queue
+// in FIFO order; Shutdown stops intake, drains what was accepted, and joins
+// the workers — every accepted job runs exactly once.
+#ifndef KSPDG_CORE_SUBMISSION_QUEUE_H_
+#define KSPDG_CORE_SUBMISSION_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kspdg {
+
+/// Bounded multi-producer job queue with owned worker threads (see file
+/// comment). All methods are thread-safe.
+class SubmissionQueue {
+ public:
+  /// A queue admitting up to `capacity` pending jobs (0 is treated as 1),
+  /// drained by `num_workers` dedicated threads (0 is treated as 1).
+  explicit SubmissionQueue(size_t capacity, unsigned num_workers = 1);
+
+  /// Shutdown() + join: blocks until every accepted job has run.
+  ~SubmissionQueue();
+
+  SubmissionQueue(const SubmissionQueue&) = delete;
+  SubmissionQueue& operator=(const SubmissionQueue&) = delete;
+
+  /// Enqueues one job. Blocks while the queue is full (backpressure).
+  /// Returns true if the job was accepted; false if the queue has been shut
+  /// down, in which case the job will never run.
+  bool Submit(std::function<void()> job);
+
+  /// Stops accepting jobs. Already-accepted jobs still run to completion;
+  /// idempotent. Does not wait (the destructor joins).
+  void Shutdown();
+
+  /// Jobs accepted but not yet started (snapshot).
+  size_t pending() const;
+
+  size_t capacity() const { return capacity_; }
+
+  /// Jobs accepted / finished so far (monotone counters, for monitoring
+  /// and tests).
+  uint64_t submitted() const;
+  uint64_t completed() const;
+
+ private:
+  void WorkerLoop();
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_not_full_;   // producers wait here
+  std::condition_variable cv_not_empty_;  // workers wait here
+  std::deque<std::function<void()>> jobs_;
+  bool shutdown_ = false;
+  uint64_t submitted_ = 0;
+  uint64_t completed_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace kspdg
+
+#endif  // KSPDG_CORE_SUBMISSION_QUEUE_H_

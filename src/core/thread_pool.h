@@ -21,6 +21,16 @@
 
 namespace kspdg {
 
+/// Threads one QueryBatch may use when the caller passes 0: one per
+/// hardware thread, capped at 16. The single policy both service
+/// front-ends size their batch pools with.
+inline unsigned DefaultBatchThreads(unsigned requested) {
+  if (requested != 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return hw < 16u ? hw : 16u;
+}
+
 /// Persistent worker pool executing one parallel loop at a time (see file
 /// comment). All methods are thread-safe; concurrent ParallelFor callers
 /// serialise against each other.

@@ -5,6 +5,7 @@
 #include <shared_mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -27,6 +28,10 @@ unsigned ResolveApplyThreads(unsigned requested, size_t num_shards) {
       std::min<size_t>(num_shards, static_cast<size_t>(hw)));
 }
 
+uint64_t PairKey(VertexId a, VertexId b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
 }  // namespace
 
 // Routes each boundary-pair partial request to the shard(s) owning the
@@ -35,11 +40,42 @@ unsigned ResolveApplyThreads(unsigned requested, size_t num_shards) {
 // scatters to every owner and gathers the per-subgraph lists through
 // MergeSubgraphPartials — the same merge LocalPartialProvider uses — so
 // the gathered result is identical to the inline computation by
-// construction. One provider instance serves one query on one thread.
-class ShardedRoutingService::ScatterGatherProvider : public PartialProvider {
+// construction. One provider instance serves one query at a time on one
+// thread; a batch worker keeps its instance alive across queries so the
+// per-shard caches stay warm.
+//
+// The cache is a memoisation of PartialsInSubgraph per (shard, x, y, depth):
+// an entry is reused only when the requested depth matches exactly, or when
+// the cached lists are complete (exhausted at a depth <= the request, so a
+// fresh Yen run would return the very same lists). Either way the replay
+// feeds MergeSubgraphPartials the identical inputs a fresh computation
+// would, which keeps batch answers byte-identical to the unsharded
+// sequential path — reusing *deeper* lists instead would not be safe, since
+// InsertTopK's ordering under distance ties is sensitive to the extra
+// entries. Each shard's slice of the cache is stamped with that shard's
+// epoch and flushed when the shard publishes a new one.
+class ShardedRoutingService::ShardPartialProvider : public PartialProvider {
  public:
-  explicit ScatterGatherProvider(const ShardedRoutingService& service)
-      : service_(service), shard_touched_(service.shards_.size(), 0) {}
+  explicit ShardPartialProvider(const ShardedRoutingService& service)
+      : service_(service),
+        caches_(service.shards_.size()),
+        shard_touched_(service.shards_.size(), 0) {}
+
+  /// Binds the multi-shard read pin this provider computes under. The pin
+  /// must stay alive for every ComputePartials call until rebound.
+  void BindPin(const EpochCoordinator::ReadPin* pin) { pin_ = pin; }
+
+  /// Resets the per-query shard-touch tracking (the cache persists).
+  void BeginQuery() {
+    std::fill(shard_touched_.begin(), shard_touched_.end(), 0);
+  }
+
+  /// Distinct shards the current query's partial requests landed on.
+  size_t ShardsTouched() const {
+    size_t n = 0;
+    for (char touched : shard_touched_) n += touched != 0;
+    return n;
+  }
 
   PartialResult ComputePartials(VertexId x, VertexId y,
                                 size_t depth) override {
@@ -49,35 +85,78 @@ class ShardedRoutingService::ScatterGatherProvider : public PartialProvider {
     std::vector<std::pair<ShardId, std::vector<SubgraphId>>> groups;
     for (SubgraphId sgid : partition.SubgraphsContainingBoth(x, y)) {
       ShardId shard = service_.assignment_.shard_of_subgraph[sgid];
-      auto it = std::find_if(groups.begin(), groups.end(),
-                             [shard](const auto& g) { return g.first == shard; });
+      auto it =
+          std::find_if(groups.begin(), groups.end(),
+                       [shard](const auto& g) { return g.first == shard; });
       if (it == groups.end()) {
         groups.push_back({shard, {sgid}});
       } else {
         it->second.push_back(sgid);
       }
     }
-    // Scatter: every owning shard computes its subgraphs' partial lists
-    // under its own reader lock — the in-process stand-in for shipping the
-    // request to the shard's worker, with the shard's weights and indexes
-    // frozen while it computes.
-    std::vector<SubgraphPartials> fetched;
+    // Scatter: every owning shard contributes its subgraphs' partial lists —
+    // from its per-(shard, worker) cache when it has served this exact
+    // request at this snapshot before, otherwise computed fresh under the
+    // shard's reader lock (the in-process stand-in for shipping the request
+    // to the shard's worker, with the shard's state frozen while it
+    // computes).
+    std::vector<SubgraphPartials> gathered;
+    size_t fresh_runs = 0;
+    const uint64_t key = PairKey(x, y);
     for (const auto& [shard_id, owned] : groups) {
       const Shard& shard = *service_.shards_[shard_id];
       shard_touched_[shard_id] = 1;
+      ShardCache& cache = caches_[shard_id];
+      // Flush against the shard's weights stamp, not the published epoch:
+      // a traffic batch that never touched this shard's subgraphs leaves
+      // its cached partials valid (and the other shards' slices are
+      // independent either way). Stable under the pin — writers are
+      // excluded by the global lock.
+      const uint64_t weights_epoch =
+          shard.weights_epoch.load(std::memory_order_acquire);
+      if (cache.epoch != weights_epoch) {
+        cache.entries.clear();
+        cache.epoch = weights_epoch;
+      }
+      if (const CacheEntry* hit = cache.Find(key, depth)) {
+        shard.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        gathered.insert(gathered.end(), hit->lists.begin(), hit->lists.end());
+        continue;
+      }
       shard.partial_requests.fetch_add(1, std::memory_order_relaxed);
       shard.yen_runs.fetch_add(owned.size(), std::memory_order_relaxed);
-      std::shared_lock<EpochLock> lock(shard.mu);
-      for (SubgraphId sgid : owned) {
-        const Subgraph& sg = partition.subgraphs[sgid];
-        fetched.push_back(
-            {sgid, LocalPartialProvider::PartialsInSubgraph(sg, x, y, depth)});
+      fresh_runs += owned.size();
+      CacheEntry entry;
+      entry.depth = depth;
+      {
+        std::shared_lock<EpochLock> lock = pin_->LockShard(shard_id);
+        for (SubgraphId sgid : owned) {
+          const Subgraph& sg = partition.subgraphs[sgid];
+          entry.lists.push_back(
+              {sgid,
+               LocalPartialProvider::PartialsInSubgraph(sg, x, y, depth)});
+        }
+      }
+      entry.exhausted = true;
+      for (const SubgraphPartials& list : entry.lists) {
+        if (list.paths.size() >= depth) entry.exhausted = false;
+      }
+      gathered.insert(gathered.end(), entry.lists.begin(), entry.lists.end());
+      // Bound the memoisation: between flushes a read-heavy workload could
+      // otherwise accumulate path lists for every boundary pair it ever
+      // touched. Past the cap, new pairs are computed but not cached (the
+      // cache is an optimisation; correctness never depends on a hit).
+      if (cache.entries.size() < ShardCache::kMaxCachedPairs ||
+          cache.entries.count(key) != 0) {
+        cache.entries[key].push_back(std::move(entry));
       }
     }
     // Gather: the shared merge (see MergeSubgraphPartials) replays the
     // unsharded provider's ascending-subgraph order, so the result is
     // identical to the inline computation by construction.
-    PartialResult result = MergeSubgraphPartials(std::move(fetched), depth);
+    PartialResult result = MergeSubgraphPartials(std::move(gathered), depth);
+    // Cached lists cost no Yen invocations; report only the fresh work.
+    result.yen_runs = fresh_runs;
     if (groups.size() == 1) {
       service_.direct_partials_.fetch_add(1, std::memory_order_relaxed);
     } else if (groups.size() > 1) {
@@ -86,17 +165,52 @@ class ShardedRoutingService::ScatterGatherProvider : public PartialProvider {
     return result;
   }
 
-  /// Distinct shards this query's partial requests landed on.
-  size_t ShardsTouched() const {
-    size_t n = 0;
-    for (char touched : shard_touched_) n += touched != 0;
-    return n;
-  }
-
  private:
+  struct CacheEntry {
+    size_t depth = 0;
+    /// Every list came back shorter than `depth`: the lists are complete,
+    /// so they equal a fresh computation at ANY depth >= this one.
+    bool exhausted = false;
+    std::vector<SubgraphPartials> lists;
+  };
+
+  struct ShardCache {
+    /// Distinct boundary pairs one worker memoises per shard between
+    /// flushes; beyond this, requests still compute but stop caching.
+    static constexpr size_t kMaxCachedPairs = 4096;
+
+    /// Weights stamp (Shard::weights_epoch) the entries were computed at;
+    /// a change flushes them.
+    uint64_t epoch = 0;
+    /// (x, y) -> entries at the distinct depths requested so far (the
+    /// KSP-DG depth schedule is k, 2k, 4k, ... — a handful per pair).
+    std::unordered_map<uint64_t, std::vector<CacheEntry>> entries;
+
+    const CacheEntry* Find(uint64_t key, size_t depth) const {
+      auto it = entries.find(key);
+      if (it == entries.end()) return nullptr;
+      for (const CacheEntry& entry : it->second) {
+        if (entry.depth == depth ||
+            (entry.exhausted && entry.depth <= depth)) {
+          return &entry;
+        }
+      }
+      return nullptr;
+    }
+  };
+
   const ShardedRoutingService& service_;
+  const EpochCoordinator::ReadPin* pin_ = nullptr;
+  std::vector<ShardCache> caches_;
   std::vector<char> shard_touched_;
 };
+
+ShardedRoutingService::BatchWorker::BatchWorker() = default;
+ShardedRoutingService::BatchWorker::BatchWorker(BatchWorker&&) noexcept =
+    default;
+ShardedRoutingService::BatchWorker& ShardedRoutingService::BatchWorker::
+operator=(BatchWorker&&) noexcept = default;
+ShardedRoutingService::BatchWorker::~BatchWorker() = default;
 
 Result<std::unique_ptr<ShardedRoutingService>> ShardedRoutingService::Create(
     Graph graph, ShardedRoutingServiceOptions options) {
@@ -127,8 +241,20 @@ Result<std::unique_ptr<ShardedRoutingService>> ShardedRoutingService::Create(
       std::make_unique<EpochCoordinator>(service->shards_.size());
   service->apply_pool_ = std::make_unique<ThreadPool>(ResolveApplyThreads(
       service->options_.apply_threads, service->shards_.size()));
+  service->batch_pool_ = std::make_unique<ThreadPool>(
+      DefaultBatchThreads(service->options_.batch_threads));
+  service->batch_workers_.reserve(service->batch_pool_->num_threads());
+  for (unsigned w = 0; w < service->batch_pool_->num_threads(); ++w) {
+    BatchWorker worker;
+    worker.provider = std::make_unique<ShardPartialProvider>(*service);
+    service->batch_workers_.push_back(std::move(worker));
+  }
+  service->submit_queue_ = std::make_unique<SubmissionQueue>(
+      service->options_.submit_queue_capacity, /*num_workers=*/1);
   return service;
 }
+
+ShardedRoutingService::~ShardedRoutingService() = default;
 
 Status ShardedRoutingService::PrepareQuery(const KspRequest& request,
                                            RoutingOptions* merged,
@@ -147,7 +273,7 @@ Result<KspResponse> ShardedRoutingService::Query(
     return prepared;
   }
 
-  ScatterGatherProvider provider(*this);
+  ShardPartialProvider provider(*this);
   SolverInput input;
   input.graph = &graph_;
   input.dtlp = dtlp_.get();
@@ -156,10 +282,13 @@ Result<KspResponse> ShardedRoutingService::Query(
   input.target = request.target;
   input.options = merged;
 
-  // Snapshot section: the global lock freezes the flat weights, the
-  // skeleton, and the epoch; the shard locks taken inside the provider
-  // freeze each shard's slice while it serves a partial request.
-  std::shared_lock<EpochLock> lock(mu_);
+  // Snapshot section: the read pin freezes the flat weights, the skeleton,
+  // and every shard's epoch; the shard locks taken inside the provider
+  // freeze each shard's slice while it serves a partial request. Single
+  // queries and batches thereby share one locking protocol — the
+  // coordinator's.
+  EpochCoordinator::ReadPin pin(*epochs_);
+  provider.BindPin(&pin);
   WallTimer timer;
   Result<KspQueryResult> solved = solver->Solve(input);
   if (!solved.ok()) {
@@ -170,7 +299,7 @@ Result<KspResponse> ShardedRoutingService::Query(
   response.paths = std::move(solved.value().paths);
   response.stats.engine = solved.value().stats;
   response.stats.solve_micros = timer.ElapsedMicros();
-  response.epoch = epochs_->global();
+  response.epoch = pin.epoch();
   response.k = merged.k;
   response.backend = merged.backend;
   size_t touched = provider.ShardsTouched();
@@ -181,6 +310,129 @@ Result<KspResponse> ShardedRoutingService::Query(
   }
   queries_ok_.fetch_add(1, std::memory_order_relaxed);
   return response;
+}
+
+Result<KspBatchResponse> ShardedRoutingService::QueryBatch(
+    std::span<const KspRequest> requests) const {
+  KspBatchResponse batch;
+  batch.items.resize(requests.size());
+
+  // Phase 1 (outside any lock): validate every request and resolve its
+  // backend. Failures become per-item statuses, never a batch failure.
+  struct Prepared {
+    size_t index = 0;
+    const KspSolver* solver = nullptr;
+    RoutingOptions merged;
+  };
+  std::vector<Prepared> work;
+  work.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Prepared prepared;
+    prepared.index = i;
+    Status status =
+        PrepareQuery(requests[i], &prepared.merged, &prepared.solver);
+    if (!status.ok()) {
+      batch.items[i].status = std::move(status);
+      continue;
+    }
+    work.push_back(std::move(prepared));
+  }
+
+  // Phase 2: group by backend so the contiguous chunks a worker claims
+  // mostly share a solver and its scratch stays warm across them.
+  std::stable_sort(work.begin(), work.end(),
+                   [](const Prepared& a, const Prepared& b) {
+                     return a.solver->name() < b.solver->name();
+                   });
+
+  // Phase 3 (snapshot section): ONE read pin covers every solve, so the
+  // whole batch is answered at a single coherent multi-shard snapshot — a
+  // concurrent ApplyTrafficBatch waits on the global lock and can never
+  // tear the batch. batch_mu_ keeps the persistent worker state
+  // single-batch-at-a-time, and is taken BEFORE the pin so queued batches
+  // wait outside the snapshot section — a waiting traffic writer then
+  // drains at most one in-flight batch, not the whole queue.
+  std::lock_guard<std::mutex> batch_guard(batch_mu_);
+  {
+    EpochCoordinator::ReadPin pin(*epochs_);
+    WallTimer timer;
+    const uint64_t epoch = pin.epoch();
+    batch.epoch = epoch;
+    if (arena_epoch_ != epoch) {
+      // Weights moved since the arenas were last warm: weight-derived
+      // solver caches must not survive into this snapshot. (The per-shard
+      // partial caches flush themselves per shard, inside the provider.)
+      for (BatchWorker& worker : batch_workers_) worker.arena.OnSnapshotChange();
+      arena_epoch_ = epoch;
+    }
+    for (BatchWorker& worker : batch_workers_) worker.provider->BindPin(&pin);
+    // Chunks large enough to amortise claiming, small enough to balance the
+    // (highly skewed) per-query solve costs across workers.
+    size_t chunk = std::max<size_t>(
+        1, work.size() / (4 * size_t{batch_pool_->num_threads()}));
+    batch_pool_->ParallelFor(
+        work.size(), chunk, [&](unsigned worker_id, size_t j) {
+          Prepared& p = work[j];
+          BatchWorker& worker = batch_workers_[worker_id];
+          SolverInput input;
+          input.graph = &graph_;
+          input.dtlp = dtlp_.get();
+          input.partials = worker.provider.get();
+          input.source = requests[p.index].source;
+          input.target = requests[p.index].target;
+          input.options = std::move(p.merged);  // each item runs exactly once
+          worker.provider->BeginQuery();
+          // Backends that route refine work through the provider get their
+          // cross-query reuse from the per-shard caches (which flush per
+          // shard); handing them a merged scratch cache on top would hide
+          // requests from the shard layer. Everyone else pools scratch
+          // exactly as in the unsharded batch path.
+          SolverScratch* scratch = p.solver->UsesPartialProvider()
+                                       ? nullptr
+                                       : worker.arena.Get(p.solver);
+          KspBatchItem& item = batch.items[p.index];
+          WallTimer solve_timer;
+          Result<KspQueryResult> solved = p.solver->Solve(input, scratch);
+          if (!solved.ok()) {
+            item.status = solved.status();
+            return;
+          }
+          item.response.paths = std::move(solved.value().paths);
+          item.response.stats.engine = solved.value().stats;
+          item.response.stats.solve_micros = solve_timer.ElapsedMicros();
+          item.response.epoch = epoch;
+          item.response.k = input.options.k;
+          item.response.backend = std::move(input.options.backend);
+          size_t touched = worker.provider->ShardsTouched();
+          if (touched == 1) {
+            single_shard_queries_.fetch_add(1, std::memory_order_relaxed);
+          } else if (touched > 1) {
+            cross_shard_queries_.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+    // The pin dies with this scope; unbind so a stale pointer can never be
+    // dereferenced by a later mis-sequenced call.
+    for (BatchWorker& worker : batch_workers_) worker.provider->BindPin(nullptr);
+    batch.batch_micros = timer.ElapsedMicros();
+  }
+
+  for (const KspBatchItem& item : batch.items) {
+    if (item.status.ok()) {
+      ++batch.num_ok;
+    } else {
+      ++batch.num_rejected;
+    }
+  }
+  queries_ok_.fetch_add(batch.num_ok, std::memory_order_relaxed);
+  queries_rejected_.fetch_add(batch.num_rejected, std::memory_order_relaxed);
+  return batch;
+}
+
+BatchTicket ShardedRoutingService::SubmitBatch(std::vector<KspRequest> requests,
+                                               BatchCallback callback) const {
+  return BatchTicket::SubmitTo(
+      *submit_queue_, std::move(requests), std::move(callback),
+      [this](std::span<const KspRequest> batch) { return QueryBatch(batch); });
 }
 
 Result<TrafficBatchResult> ShardedRoutingService::ApplyTrafficBatch(
@@ -219,9 +471,10 @@ Result<TrafficBatchResult> ShardedRoutingService::ApplyTrafficBatch(
     std::sort(list.begin(), list.end());
   }
 
-  // Exclusive snapshot section: drain every query, then move all shards and
-  // the master state to the next global epoch together.
-  std::unique_lock<EpochLock> lock(mu_);
+  // Exclusive snapshot section: drain every read pin, then move all shards
+  // and the master state to the next global epoch together — the write half
+  // of the coordinator's locking protocol.
+  std::unique_lock<EpochLock> lock(epochs_->global_lock());
   const uint64_t epoch = epochs_->BeginAdvance();
   // Master: flat graph weights (the baselines' view of the snapshot).
   for (const WeightUpdate& update : updates) graph_.SetWeight(update);
@@ -233,8 +486,7 @@ Result<TrafficBatchResult> ShardedRoutingService::ApplyTrafficBatch(
   std::vector<std::vector<SubgraphId>> refreshed_of_shard(shards_.size());
   apply_pool_->ParallelFor(
       shards_.size(), /*chunk=*/1, [&](unsigned, size_t si) {
-        Shard& shard = *shards_[si];
-        std::unique_lock<EpochLock> shard_lock(shard.mu);
+        std::unique_lock<EpochLock> shard_lock(epochs_->shard_lock(si));
         size_t applied = 0;
         for (SubgraphId sgid : touched_of_shard[si]) {
           dtlp_->ApplyUpdatesToSubgraph(sgid, per_subgraph[sgid]);
@@ -242,6 +494,12 @@ Result<TrafficBatchResult> ShardedRoutingService::ApplyTrafficBatch(
           if (dtlp_->RefreshSubgraph(sgid)) {
             refreshed_of_shard[si].push_back(sgid);
           }
+        }
+        if (!touched_of_shard[si].empty()) {
+          // The slice changed: invalidate this shard's cached partials.
+          // Untouched shards keep their stamp, so their caches stay warm
+          // across this batch.
+          shards_[si]->weights_epoch.store(epoch, std::memory_order_release);
         }
         applied_total.fetch_add(applied, std::memory_order_relaxed);
         epochs_->PublishShard(si, epoch);
@@ -286,6 +544,10 @@ ShardedServiceCounters ShardedRoutingService::counters() const {
       direct_partials_.load(std::memory_order_relaxed);
   counters.scattered_partial_requests =
       scattered_partials_.load(std::memory_order_relaxed);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    counters.partial_cache_hits +=
+        shard->cache_hits.load(std::memory_order_relaxed);
+  }
   return counters;
 }
 
@@ -301,6 +563,7 @@ std::vector<ShardInfo> ShardedRoutingService::ShardInfos() const {
     info.epoch = epochs_->shard(shard);
     info.partial_requests = s.partial_requests.load(std::memory_order_relaxed);
     info.yen_runs = s.yen_runs.load(std::memory_order_relaxed);
+    info.partial_cache_hits = s.cache_hits.load(std::memory_order_relaxed);
     infos.push_back(info);
   }
   return infos;

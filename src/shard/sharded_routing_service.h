@@ -5,17 +5,27 @@
 //
 // The subgraphs of the DTLP partition are distributed over the shards
 // (partition/shard_assignment.h); each shard owns its slice of mutable DTLP
-// state — the subgraph weight copies and level-1 EP-indexes — behind its own
-// core/EpochLock. The coordinator owns what the paper's master owns: the
-// flat graph weights, the level-2 skeleton graph, and the epoch.
+// state — the subgraph weight copies and level-1 EP-indexes. The
+// EpochCoordinator (core/epoch_coordinator.h) owns the complete locking
+// protocol: the global snapshot lock, one lock per shard, and the epoch
+// advance; every read path pins the multi-shard snapshot through one
+// EpochCoordinator::ReadPin.
 //
-//   Query           global shared lock; KSP-DG boundary-pair partials are
+//   Query / QueryBatch
+//                   ReadPin (global shared lock) freezes every shard at the
+//                   committed epoch; KSP-DG boundary-pair partials are
 //                   routed to the owning shard (single-shard requests go
 //                   directly to that shard, cross-shard requests
 //                   scatter/gather across all owners) through the
 //                   PartialProvider seam — the future RPC boundary.
+//                   QueryBatch executes on the service pool; each worker
+//                   keeps per-(shard, worker) partial caches so a shard's
+//                   slice of refine work is reused across the batch and
+//                   flushed when that shard's epoch bumps.
+//   SubmitBatch     async QueryBatch: bounded submission queue + ticket,
+//                   so callers overlap request production with solving.
 //   ApplyTrafficBatch
-//                   global exclusive lock (drains every query), then the
+//                   global exclusive lock (drains every pin), then the
 //                   batch fans out per shard in parallel: each shard takes
 //                   its own writer lock, applies its slice of Algorithm 2,
 //                   and publishes the new epoch to the EpochCoordinator; the
@@ -24,7 +34,7 @@
 //                   consistent snapshot.
 //
 // The shard boundary here is the future process boundary: replacing the
-// in-process scatter/gather with RPC (and the per-shard EpochLock with a
+// in-process scatter/gather with RPC (and the per-shard lock with a
 // per-worker one) yields the distributed-workers deployment without
 // touching the algorithm layers.
 #ifndef KSPDG_SHARD_SHARDED_ROUTING_SERVICE_H_
@@ -32,15 +42,18 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
+#include "api/batch_ticket.h"
 #include "api/ksp_solver.h"
 #include "api/routing_options.h"
 #include "api/routing_service.h"
 #include "core/epoch_coordinator.h"
 #include "core/epoch_lock.h"
 #include "core/status.h"
+#include "core/submission_queue.h"
 #include "core/thread_pool.h"
 #include "dtlp/dtlp.h"
 #include "graph/graph.h"
@@ -60,6 +73,12 @@ struct ShardedRoutingServiceOptions {
   /// Threads fanning one ApplyTrafficBatch across shards (0 = one per
   /// shard, capped at the hardware thread count; 1 = sequential fan-out).
   unsigned apply_threads = 0;
+  /// Threads answering one QueryBatch (0 = one per hardware thread, capped
+  /// at 16; 1 = batches execute inline on the caller).
+  unsigned batch_threads = 0;
+  /// Batches the async SubmitBatch queue buffers before Submit blocks for
+  /// backpressure (0 is treated as 1).
+  size_t submit_queue_capacity = 8;
 };
 
 /// Point-in-time view of one shard, for monitoring and the bench "shard"
@@ -71,10 +90,13 @@ struct ShardInfo {
   size_t vertices = 0;
   /// Epoch this shard last published (== the global epoch between batches).
   uint64_t epoch = 0;
-  /// Boundary-pair partial requests this shard has served.
+  /// Boundary-pair partial requests this shard computed fresh.
   uint64_t partial_requests = 0;
   /// Per-subgraph Yen invocations performed serving those requests.
   uint64_t yen_runs = 0;
+  /// Partial requests served from a per-(shard, worker) cache instead of
+  /// fresh Yen runs (batch path only; single queries use cold providers).
+  uint64_t partial_cache_hits = 0;
 };
 
 /// Monitoring counters of a sharded service (snapshot, not transactional).
@@ -91,6 +113,9 @@ struct ShardedServiceCounters {
   uint64_t direct_partial_requests = 0;
   /// Boundary-pair requests spanning shards (scatter/gather dispatch).
   uint64_t scattered_partial_requests = 0;
+  /// Per-shard partial-list computations avoided by the per-(shard, worker)
+  /// batch caches (summed over shards).
+  uint64_t partial_cache_hits = 0;
 };
 
 class ShardedRoutingService {
@@ -105,11 +130,34 @@ class ShardedRoutingService {
   ShardedRoutingService(const ShardedRoutingService&) = delete;
   ShardedRoutingService& operator=(const ShardedRoutingService&) = delete;
 
+  /// Drains the async submission queue (accepted batches complete) before
+  /// tearing anything down.
+  ~ShardedRoutingService();
+
   /// Answers q(source, target) on the current global snapshot. Identical
   /// results to RoutingService::Query over the same graph and weights (the
   /// sharding is invisible in the answer). Thread-safe; runs concurrently
   /// with other queries and serialises against ApplyTrafficBatch.
   Result<KspResponse> Query(const KspRequest& request) const;
+
+  /// Answers a whole batch of queries on ONE multi-shard snapshot: requests
+  /// are validated up front, the coordinator's read pin is taken once, and
+  /// the valid requests are grouped by backend and executed on the service
+  /// pool. Each worker keeps a persistent arena of solver scratch plus
+  /// per-(shard, worker) partial caches, so KSP-DG refine work within one
+  /// shard's slice is computed once per batch neighbourhood and flushed
+  /// when that shard's epoch bumps. Answers are byte-identical to issuing
+  /// the requests sequentially against an unsharded service. Invalid
+  /// requests receive per-item statuses without failing the batch.
+  /// Thread-safe.
+  Result<KspBatchResponse> QueryBatch(
+      std::span<const KspRequest> requests) const;
+
+  /// Asynchronous QueryBatch: enqueues the batch on the service's bounded
+  /// submission queue and returns a ticket immediately (see
+  /// RoutingService::SubmitBatch — identical contract).
+  BatchTicket SubmitBatch(std::vector<KspRequest> requests,
+                          BatchCallback callback = nullptr) const;
 
   /// Applies one batch of weight updates atomically across every shard: the
   /// flat weights, each shard's subgraph copies (fanned out in parallel,
@@ -147,19 +195,40 @@ class ShardedRoutingService {
   const RoutingOptions& defaults() const { return options_.defaults; }
 
  private:
-  /// One shard: a slice of subgraph ids plus the lock and counters for the
+  /// One shard: a slice of subgraph ids plus the traffic counters for the
   /// DTLP state they denote. The subgraph/index storage itself stays inside
   /// the shared Dtlp (per-subgraph operations are thread-safe across
-  /// distinct subgraphs); the shard lock serialises readers of this slice
-  /// against its apply fan-out worker.
+  /// distinct subgraphs); the shard's lock — owned by the EpochCoordinator —
+  /// serialises readers of this slice against its apply fan-out worker.
   struct Shard {
-    mutable EpochLock mu;
     std::vector<SubgraphId> subgraphs;
+    /// Epoch at which this shard's slice (subgraph weight copies) last
+    /// actually changed — NOT the published epoch, which advances on every
+    /// traffic batch. Cached partials derive only from the slice, so the
+    /// per-(shard, worker) caches flush against this stamp: a batch that
+    /// never touched this shard leaves its cached partials warm and valid.
+    std::atomic<uint64_t> weights_epoch{0};
     mutable std::atomic<uint64_t> partial_requests{0};
     mutable std::atomic<uint64_t> yen_runs{0};
+    mutable std::atomic<uint64_t> cache_hits{0};
   };
 
-  class ScatterGatherProvider;
+  class ShardPartialProvider;
+
+  /// Persistent state of one batch-pool worker: solver scratch (pooled Yen
+  /// ban buffers etc.) plus the partial provider whose per-shard caches
+  /// implement the per-(shard, worker) reuse contract. Guarded by
+  /// batch_mu_.
+  struct BatchWorker {
+    SolverScratchArena arena;
+    std::unique_ptr<ShardPartialProvider> provider;
+
+    // Out of line: ShardPartialProvider is incomplete here.
+    BatchWorker();
+    BatchWorker(BatchWorker&&) noexcept;
+    BatchWorker& operator=(BatchWorker&&) noexcept;
+    ~BatchWorker();
+  };
 
   ShardedRoutingService(Graph graph, ShardedRoutingServiceOptions options)
       : graph_(std::move(graph)), options_(std::move(options)) {}
@@ -175,16 +244,27 @@ class ShardedRoutingService {
   SolverRegistry registry_;
   ShardAssignment assignment_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Owns the global + per-shard locks and the epoch advance protocol; all
+  /// read paths pin the snapshot through EpochCoordinator::ReadPin.
   std::unique_ptr<EpochCoordinator> epochs_;
   /// Executes the per-shard ApplyTrafficBatch fan-out; owned so traffic
   /// batches (the streaming hot path) reuse warm threads instead of paying
   /// thread creation inside the exclusive-lock window.
   std::unique_ptr<ThreadPool> apply_pool_;
+  /// Executes QueryBatch work items (separate from apply_pool_: one runs
+  /// under the global shared lock, the other under the exclusive lock).
+  std::unique_ptr<ThreadPool> batch_pool_;
 
-  /// Global snapshot lock: queries shared, traffic batches exclusive
-  /// (write-preferring). Guards the flat weights, the skeleton, and the
-  /// epoch advance protocol; per-shard locks nest strictly inside it.
-  mutable EpochLock mu_;
+  /// Serialises the parallel section of concurrent QueryBatch calls and
+  /// guards the persistent worker state below (the pool would serialise
+  /// them anyway). Taken BEFORE the read pin so queued batches wait outside
+  /// the snapshot section.
+  mutable std::mutex batch_mu_;
+  mutable std::vector<BatchWorker> batch_workers_;
+  /// Global epoch the worker arenas were last used at; a mismatch triggers
+  /// SolverScratch::OnSnapshotChange() before the batch runs. The per-shard
+  /// partial caches flush themselves per shard, against that shard's epoch.
+  mutable uint64_t arena_epoch_ = 0;
 
   mutable std::atomic<uint64_t> queries_ok_{0};
   mutable std::atomic<uint64_t> queries_rejected_{0};
@@ -194,6 +274,11 @@ class ShardedRoutingService {
   mutable std::atomic<uint64_t> scattered_partials_{0};
   std::atomic<uint64_t> batches_applied_{0};
   std::atomic<uint64_t> updates_applied_{0};
+
+  /// Async SubmitBatch queue. Declared last so it is destroyed FIRST:
+  /// destruction drains the accepted batches, which still run QueryBatch
+  /// against the members above.
+  std::unique_ptr<SubmissionQueue> submit_queue_;
 };
 
 }  // namespace kspdg

@@ -137,6 +137,39 @@ std::string BenchReport::ToJson() const {
   AppendJsonKey(out, "unsharded_qps", "    ");
   out << shard.unsharded_qps << "\n";
   out << "  },\n";
+  AppendJsonKey(out, "shard_batch", "  ");
+  out << "{\n";
+  AppendJsonKey(out, "num_shards", "    ");
+  out << shard_batch.num_shards << ",\n";
+  AppendJsonKey(out, "batch_size", "    ");
+  out << shard_batch.batch_size << ",\n";
+  AppendJsonKey(out, "requests", "    ");
+  out << shard_batch.requests << ",\n";
+  AppendJsonKey(out, "batches_submitted", "    ");
+  out << shard_batch.batches_submitted << ",\n";
+  AppendJsonKey(out, "errors", "    ");
+  out << shard_batch.errors << ",\n";
+  AppendJsonKey(out, "mismatches", "    ");
+  out << shard_batch.mismatches << ",\n";
+  AppendJsonKey(out, "non_uniform_batches", "    ");
+  out << shard_batch.non_uniform_batches << ",\n";
+  AppendJsonKey(out, "partial_cache_hits", "    ");
+  out << shard_batch.partial_cache_hits << ",\n";
+  AppendJsonKey(out, "direct_partials", "    ");
+  out << shard_batch.direct_partials << ",\n";
+  AppendJsonKey(out, "scattered_partials", "    ");
+  out << shard_batch.scattered_partials << ",\n";
+  AppendJsonKey(out, "sharded_batch_micros", "    ");
+  out << shard_batch.sharded_batch_micros << ",\n";
+  AppendJsonKey(out, "unsharded_sequential_micros", "    ");
+  out << shard_batch.unsharded_sequential_micros << ",\n";
+  AppendJsonKey(out, "sharded_batch_qps", "    ");
+  out << shard_batch.sharded_batch_qps << ",\n";
+  AppendJsonKey(out, "unsharded_sequential_qps", "    ");
+  out << shard_batch.unsharded_sequential_qps << ",\n";
+  AppendJsonKey(out, "speedup", "    ");
+  out << shard_batch.speedup << "\n";
+  out << "  },\n";
   AppendJsonKey(out, "backends", "  ");
   out << "[\n";
   for (size_t i = 0; i < backends.size(); ++i) {
@@ -416,6 +449,7 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
     sharded_options.defaults = service_options.defaults;
     sharded_options.dtlp = service_options.dtlp;
     sharded_options.num_shards = static_cast<uint32_t>(options.shards);
+    sharded_options.batch_threads = options.batch_threads;
     Result<std::unique_ptr<ShardedRoutingService>> sharded_or =
         ShardedRoutingService::Create(std::move(pristine_graph),
                                       sharded_options);
@@ -514,6 +548,86 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
     if (phase.sharded_micros > 0) {
       phase.sharded_qps =
           static_cast<double>(phase.requests) / (phase.sharded_micros / 1e6);
+    }
+
+    // Combined shard-batch phase: the same request list goes to the sharded
+    // service asynchronously — every batch_size requests become one
+    // SubmitBatch ticket, issued back-to-back so request production
+    // overlaps solving — and every answer is checked against the unsharded
+    // sequential reference computed above. The reference timing is that
+    // sequential pass, so the speedup reads "sharded async batches vs one
+    // thread asking one unsharded service politely".
+    if (options.batch_size > 0) {
+      ShardBatchPhaseStats& combined = report.shard_batch;
+      combined.num_shards = options.shards;
+      combined.batch_size = options.batch_size;
+      combined.requests = requests.size();
+      combined.unsharded_sequential_micros = phase.unsharded_micros;
+      ShardedServiceCounters before = sharded->counters();
+
+      std::vector<BatchTicket> tickets;
+      tickets.reserve(requests.size() / options.batch_size + 1);
+      WallTimer batch_timer;
+      for (size_t begin = 0; begin < requests.size();
+           begin += options.batch_size) {
+        size_t count = std::min(options.batch_size, requests.size() - begin);
+        tickets.push_back(sharded->SubmitBatch(std::vector<KspRequest>(
+            requests.begin() + begin, requests.begin() + begin + count)));
+      }
+      combined.batches_submitted = tickets.size();
+      size_t next = 0;
+      for (const BatchTicket& ticket : tickets) {
+        const Result<KspBatchResponse>& outcome = ticket.Wait();
+        size_t count = std::min(options.batch_size, requests.size() - next);
+        if (!outcome.ok()) {
+          combined.errors += count;
+          next += count;
+          continue;
+        }
+        const KspBatchResponse& b = outcome.value();
+        bool uniform = true;
+        for (const KspBatchItem& item : b.items) {
+          size_t i = next++;
+          if (!item.status.ok() || i >= requests.size()) {
+            ++combined.errors;
+            continue;
+          }
+          if (item.response.epoch != b.epoch) uniform = false;
+          if (!expected_ok[i]) {
+            ++combined.errors;  // async side answered, reference side failed
+            continue;
+          }
+          const std::vector<Path>& got = item.response.paths;
+          bool same = got.size() == expected[i].size();
+          for (size_t p = 0; same && p < got.size(); ++p) {
+            same = got[p].vertices == expected[i][p].vertices &&
+                   got[p].distance == expected[i][p].distance;
+          }
+          if (!same) ++combined.mismatches;
+        }
+        if (!uniform) ++combined.non_uniform_batches;
+      }
+      combined.sharded_batch_micros = batch_timer.ElapsedMicros();
+
+      ShardedServiceCounters after = sharded->counters();
+      combined.partial_cache_hits =
+          after.partial_cache_hits - before.partial_cache_hits;
+      combined.direct_partials =
+          after.direct_partial_requests - before.direct_partial_requests;
+      combined.scattered_partials =
+          after.scattered_partial_requests - before.scattered_partial_requests;
+      if (combined.unsharded_sequential_micros > 0) {
+        combined.unsharded_sequential_qps =
+            static_cast<double>(combined.requests) /
+            (combined.unsharded_sequential_micros / 1e6);
+      }
+      if (combined.sharded_batch_micros > 0) {
+        combined.sharded_batch_qps =
+            static_cast<double>(combined.requests) /
+            (combined.sharded_batch_micros / 1e6);
+        combined.speedup = combined.unsharded_sequential_micros /
+                           combined.sharded_batch_micros;
+      }
     }
   }
   return report;

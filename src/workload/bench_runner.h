@@ -49,7 +49,11 @@ struct BenchOptions {
   /// two fresh services (one ShardedRoutingService with this many shards,
   /// one RoutingService) receive the identical traffic history and answer
   /// the same request list, and every sharded answer is checked against the
-  /// unsharded one path-by-path.
+  /// unsharded one path-by-path. When batch_size is ALSO > 0, a combined
+  /// shard-batch phase follows: the same request list is submitted to the
+  /// sharded service asynchronously (SubmitBatch) in batches of batch_size
+  /// and every answer is again checked against the unsharded sequential
+  /// reference ("shard_batch" JSON object).
   size_t shards = 0;
 };
 
@@ -122,6 +126,40 @@ struct ShardPhaseStats {
   double unsharded_qps = 0;
 };
 
+/// Sharded async QueryBatch vs unsharded sequential comparison (combined
+/// phase; runs when both --shards and --batch-size are given). The parity
+/// counters must come out zero: batching and sharding may change *where*
+/// and *when* work runs, never *what* is answered.
+struct ShardBatchPhaseStats {
+  /// Shards / batch size of the phase; 0 means the phase did not run.
+  size_t num_shards = 0;
+  size_t batch_size = 0;
+  size_t requests = 0;
+  /// Async SubmitBatch tickets issued (ceil(requests / batch_size)).
+  size_t batches_submitted = 0;
+  /// Item-level failures on either side (must be 0).
+  size_t errors = 0;
+  /// Requests whose sharded-batch path set differed from the unsharded
+  /// sequential one in route or distance (must be 0).
+  size_t mismatches = 0;
+  /// Batches whose items disagreed on the epoch (must be 0: one read pin
+  /// covers the whole batch).
+  size_t non_uniform_batches = 0;
+  /// Per-(shard, worker) partial-cache hits during this phase (scratch
+  /// reuse evidence).
+  uint64_t partial_cache_hits = 0;
+  /// Boundary-pair routing split during this phase.
+  uint64_t direct_partials = 0;
+  uint64_t scattered_partials = 0;
+  double sharded_batch_micros = 0;
+  double unsharded_sequential_micros = 0;
+  double sharded_batch_qps = 0;
+  double unsharded_sequential_qps = 0;
+  /// unsharded_sequential_micros / sharded_batch_micros (> 1 means the
+  /// sharded async batch path wins).
+  double speedup = 0;
+};
+
 struct BenchReport {
   std::string dataset;
   size_t num_vertices = 0;
@@ -146,6 +184,8 @@ struct BenchReport {
   BatchPhaseStats batch;
   /// Sharded-vs-unsharded phase (num_shards 0 when not requested).
   ShardPhaseStats shard;
+  /// Combined sharded-batch phase (num_shards 0 when not requested).
+  ShardBatchPhaseStats shard_batch;
 
   /// Pretty-printed JSON object (stable key order).
   std::string ToJson() const;

@@ -598,6 +598,164 @@ TEST(QueryBatchTest, ConcurrentBatchesAndUpdatesStayUniform) {
   EXPECT_EQ(service->CurrentEpoch(), kBatches);
 }
 
+// ---------------------------------------------------------------------------
+// Async submission (SubmitBatch / BatchTicket).
+// ---------------------------------------------------------------------------
+
+TEST(SubmitBatchTest, TicketMatchesSynchronousQueryBatch) {
+  Graph g = MakeRandomConnected(24, 30, 1, 9, 51);
+  std::unique_ptr<RoutingService> service = MustCreate(std::move(g), /*z=*/8);
+  ASSERT_TRUE(service != nullptr);
+
+  std::vector<KspRequest> requests = {MakeRequest(0, 23, kBackendKspDg, 4),
+                                      MakeRequest(2, 19, kBackendYen, 3),
+                                      MakeRequest(0, 23, kBackendYen, 0)};
+  Result<KspBatchResponse> sync = service->QueryBatch(requests);
+  ASSERT_TRUE(sync.ok());
+
+  std::atomic<int> callbacks{0};
+  BatchTicket ticket = service->SubmitBatch(
+      requests, [&](const Result<KspBatchResponse>& outcome) {
+        EXPECT_TRUE(outcome.ok());
+        callbacks.fetch_add(1);
+      });
+  ASSERT_TRUE(ticket.valid());
+  const Result<KspBatchResponse>& outcome = ticket.Wait();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(ticket.Ready());
+  // The callback fires after the ticket is fulfilled, so Wait() returning
+  // does not imply it ran yet; poll briefly.
+  while (callbacks.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(callbacks.load(), 1);
+  const KspBatchResponse& b = outcome.value();
+  ASSERT_EQ(b.items.size(), 3u);
+  EXPECT_EQ(b.num_ok, 2u);
+  EXPECT_EQ(b.num_rejected, 1u);  // the k = 0 item, as in the sync batch
+  for (size_t i = 0; i < b.items.size(); ++i) {
+    ASSERT_EQ(b.items[i].status.ok(), sync.value().items[i].status.ok()) << i;
+    if (!b.items[i].status.ok()) continue;
+    ExpectSameDistances(b.items[i].response.paths,
+                        sync.value().items[i].response.paths,
+                        "async vs sync item " + std::to_string(i));
+  }
+}
+
+TEST(SubmitBatchTest, TicketsCompleteInSubmissionOrderWithMonotoneEpochs) {
+  Graph g = MakeRandomConnected(24, 30, 1, 9, 53);
+  std::unique_ptr<RoutingService> service = MustCreate(std::move(g), /*z=*/8);
+  ASSERT_TRUE(service != nullptr);
+
+  std::vector<BatchTicket> tickets;
+  for (int round = 0; round < 6; ++round) {
+    std::vector<KspRequest> requests = {
+        MakeRequest(0, 23, kBackendYen, 3),
+        MakeRequest(3, 20, kBackendFindKsp, 3)};
+    tickets.push_back(service->SubmitBatch(std::move(requests)));
+  }
+  uint64_t last_epoch = 0;
+  for (const BatchTicket& ticket : tickets) {
+    const Result<KspBatchResponse>& outcome = ticket.Wait();
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_EQ(outcome.value().num_ok, 2u);
+    EXPECT_GE(outcome.value().epoch, last_epoch);  // FIFO execution
+    last_epoch = outcome.value().epoch;
+  }
+}
+
+// The async analogue of the torn-read test: tickets submitted while
+// uniform-weight traffic batches land must each observe one snapshot (the
+// tsan job repeats all *Concurrent* tests).
+TEST(SubmitBatchTest, ConcurrentSubmitAndUpdatesStayUniform) {
+  Graph g = MakeRandomConnected(32, 40, 1, 1, 57);  // all weights 1
+  const size_t num_edges = g.NumEdges();
+  std::unique_ptr<RoutingService> service = MustCreate(std::move(g), /*z=*/10);
+  ASSERT_TRUE(service != nullptr);
+
+  constexpr uint64_t kBatches = 6;
+  auto level = [](uint64_t epoch) {
+    return 1.0 + 0.25 * static_cast<double>(epoch);
+  };
+  std::atomic<size_t> failures{0};
+  std::atomic<size_t> checks{0};
+  std::atomic<bool> done{false};
+
+  std::thread producer([&] {
+    std::vector<BatchTicket> inflight;
+    size_t i = 1;
+    while (!done.load(std::memory_order_acquire)) {
+      std::vector<KspRequest> requests;
+      for (size_t r = 0; r < 4; ++r) {
+        VertexId s = static_cast<VertexId>((i * 5 + r * 9) % 32);
+        VertexId t = static_cast<VertexId>((i * 11 + r * 13 + 7) % 32);
+        if (s == t) continue;
+        requests.push_back(
+            MakeRequest(s, t, r % 2 == 0 ? kBackendKspDg : kBackendYen, 3));
+      }
+      ++i;
+      inflight.push_back(service->SubmitBatch(std::move(requests)));
+      if (inflight.size() < 3) continue;
+      const Result<KspBatchResponse>& outcome = inflight.front().Wait();
+      if (!outcome.ok()) {
+        failures.fetch_add(1);
+      } else {
+        const double w = level(outcome.value().epoch);
+        for (const KspBatchItem& item : outcome.value().items) {
+          if (!item.status.ok() ||
+              item.response.epoch != outcome.value().epoch) {
+            failures.fetch_add(1);
+            continue;
+          }
+          for (const Path& p : item.response.paths) {
+            const double want = w * static_cast<double>(p.NumEdges());
+            if (std::abs(p.distance - want) > 1e-6 * (1.0 + want)) {
+              failures.fetch_add(1);
+            }
+            checks.fetch_add(1);
+          }
+        }
+      }
+      inflight.erase(inflight.begin());
+    }
+    for (const BatchTicket& ticket : inflight) ticket.Wait();
+  });
+
+  for (uint64_t batch = 1; batch <= kBatches; ++batch) {
+    std::vector<WeightUpdate> updates;
+    updates.reserve(num_edges);
+    const double w = level(batch);
+    for (EdgeId e = 0; e < num_edges; ++e) updates.push_back({e, w, w});
+    ASSERT_TRUE(service->ApplyTrafficBatch(updates).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  done.store(true, std::memory_order_release);
+  producer.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GT(checks.load(), 0u) << "producer never overlapped the updates";
+}
+
+// Destroying the service with accepted batches still queued must drain
+// them: every ticket is fulfilled, none hangs.
+TEST(SubmitBatchTest, DestructionDrainsAcceptedBatches) {
+  Graph g = MakeRandomConnected(20, 26, 1, 9, 59);
+  std::unique_ptr<RoutingService> service = MustCreate(std::move(g), /*z=*/8);
+  ASSERT_TRUE(service != nullptr);
+
+  std::vector<BatchTicket> tickets;
+  for (int round = 0; round < 4; ++round) {
+    tickets.push_back(service->SubmitBatch(
+        {MakeRequest(0, 19, kBackendYen, 3)}));
+  }
+  service.reset();  // drains the submission queue before tearing down
+  for (const BatchTicket& ticket : tickets) {
+    const Result<KspBatchResponse>& outcome = ticket.Wait();
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_EQ(outcome.value().num_ok, 1u);
+  }
+}
+
 TEST(BenchRunnerTest, MixedBenchSmoke) {
   BenchOptions options;
   options.dataset = "NY-S";

@@ -11,6 +11,7 @@
 #include <cmath>
 #include <memory>
 #include <numeric>
+#include <span>
 #include <string>
 #include <thread>
 #include <utility>
@@ -41,11 +42,13 @@ std::unique_ptr<RoutingService> MustCreatePlain(Graph g, uint32_t z) {
 }
 
 std::unique_ptr<ShardedRoutingService> MustCreateSharded(
-    Graph g, uint32_t z, uint32_t num_shards, unsigned apply_threads = 0) {
+    Graph g, uint32_t z, uint32_t num_shards, unsigned apply_threads = 0,
+    unsigned batch_threads = 0) {
   ShardedRoutingServiceOptions options;
   options.dtlp.partition.max_vertices = z;
   options.num_shards = num_shards;
   options.apply_threads = apply_threads;
+  options.batch_threads = batch_threads;
   Result<std::unique_ptr<ShardedRoutingService>> service =
       ShardedRoutingService::Create(std::move(g), std::move(options));
   if (!service.ok()) {
@@ -432,6 +435,372 @@ TEST(ShardedRoutingServiceTest, ConcurrentScatterGatherAndUpdatesStayUniform) {
 }
 
 // ---------------------------------------------------------------------------
+// Sharded QueryBatch: whole batches answered at one multi-shard snapshot,
+// byte-identical to asking an unsharded service sequentially.
+// ---------------------------------------------------------------------------
+
+TEST(ShardedQueryBatchTest, ParityWithUnshardedSequentialOnAllBackends) {
+  const char* backends[] = {kBackendKspDg, kBackendYen, kBackendFindKsp,
+                            kBackendDijkstra};
+  for (uint32_t num_shards : {1u, 2u, 4u}) {
+    for (size_t batch_size : {size_t{1}, size_t{8}}) {
+      Graph g = MakeRandomConnected(40, 52, 1, 9, 71);
+      Graph g_sharded = g;
+      std::unique_ptr<RoutingService> plain =
+          MustCreatePlain(std::move(g), /*z=*/10);
+      std::unique_ptr<ShardedRoutingService> sharded =
+          MustCreateSharded(std::move(g_sharded), /*z=*/10, num_shards);
+      ASSERT_TRUE(plain != nullptr && sharded != nullptr);
+
+      // Move both services off epoch 0 so the parity also covers updated
+      // weights (identical batch => identical snapshots).
+      TrafficModelOptions traffic_options;
+      traffic_options.alpha = 0.4;
+      traffic_options.seed = 77;
+      TrafficModel traffic(plain->graph(), traffic_options);
+      std::vector<WeightUpdate> updates = traffic.NextBatch();
+      ASSERT_TRUE(plain->ApplyTrafficBatch(updates).ok());
+      ASSERT_TRUE(sharded->ApplyTrafficBatch(updates).ok());
+
+      std::vector<KspRequest> requests;
+      for (const char* backend : backends) {
+        uint32_t k = backend == kBackendDijkstra ? 1 : 5;
+        for (const auto& [s, t] : std::vector<std::pair<VertexId, VertexId>>{
+                 {0, 39}, {3, 31}, {17, 22}, {5, 28}}) {
+          requests.push_back(MakeRequest(s, t, backend, k));
+        }
+      }
+      std::vector<std::vector<Path>> expected;
+      for (const KspRequest& request : requests) {
+        Result<KspResponse> want = plain->Query(request);
+        ASSERT_TRUE(want.ok()) << want.status().ToString();
+        expected.push_back(std::move(want).value().paths);
+      }
+
+      size_t next = 0;
+      for (size_t begin = 0; begin < requests.size(); begin += batch_size) {
+        size_t count = std::min(batch_size, requests.size() - begin);
+        Result<KspBatchResponse> batched = sharded->QueryBatch(
+            std::span<const KspRequest>(requests.data() + begin, count));
+        ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+        const KspBatchResponse& b = batched.value();
+        EXPECT_EQ(b.num_ok, count);
+        EXPECT_EQ(b.epoch, 1u);
+        for (const KspBatchItem& item : b.items) {
+          ASSERT_TRUE(item.status.ok()) << item.status.ToString();
+          EXPECT_EQ(item.response.epoch, b.epoch);
+          ExpectIdenticalPaths(
+              item.response.paths, expected[next],
+              "shards=" + std::to_string(num_shards) + " batch_size=" +
+                  std::to_string(batch_size) + " item " +
+                  std::to_string(next));
+          ++next;
+        }
+      }
+      EXPECT_EQ(next, requests.size());
+    }
+  }
+}
+
+TEST(ShardedQueryBatchTest, MixedValidAndInvalidRequests) {
+  Graph g = MakeRandomConnected(20, 24, 1, 9, 73);
+  std::unique_ptr<ShardedRoutingService> service =
+      MustCreateSharded(std::move(g), /*z=*/8, /*num_shards=*/2);
+  ASSERT_TRUE(service != nullptr);
+
+  std::vector<KspRequest> requests;
+  requests.push_back(MakeRequest(0, 19, kBackendYen, 3));        // ok
+  requests.push_back(MakeRequest(0, 19, kBackendYen, 0));        // k = 0
+  requests.push_back(MakeRequest(0, 99, kBackendYen, 2));        // range
+  requests.push_back(MakeRequest(0, 19, "no-such-backend", 2));  // name
+  requests.push_back(MakeRequest(4, 4, kBackendYen, 2));         // s == t
+  requests.push_back(MakeRequest(2, 17, kBackendKspDg, 4));      // ok
+
+  Result<KspBatchResponse> batched = service->QueryBatch(requests);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  const KspBatchResponse& b = batched.value();
+  ASSERT_EQ(b.items.size(), 6u);
+  EXPECT_EQ(b.num_ok, 2u);
+  EXPECT_EQ(b.num_rejected, 4u);
+  EXPECT_TRUE(b.items[0].status.ok());
+  EXPECT_EQ(b.items[1].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(b.items[2].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(b.items[3].status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(b.items[4].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(b.items[5].status.ok());
+
+  ShardedServiceCounters counters = service->counters();
+  EXPECT_EQ(counters.base.queries_ok, 2u);
+  EXPECT_EQ(counters.base.queries_rejected, 4u);
+}
+
+// With one worker, a duplicate KSP-DG query inside one batch must be served
+// from the per-(shard, worker) partial caches: its solve performs zero
+// fresh partial-KSP computations, and the shard-side hit counters move.
+TEST(ShardedQueryBatchTest, PerShardScratchServesDuplicateInBatch) {
+  Graph g = MakeRandomConnected(26, 32, 1, 9, 79);
+  std::unique_ptr<ShardedRoutingService> service =
+      MustCreateSharded(std::move(g), /*z=*/8, /*num_shards=*/2,
+                        /*apply_threads=*/0, /*batch_threads=*/1);
+  ASSERT_TRUE(service != nullptr);
+
+  std::vector<KspRequest> requests = {MakeRequest(0, 25, kBackendKspDg, 5),
+                                      MakeRequest(0, 25, kBackendKspDg, 5)};
+  Result<KspBatchResponse> batched = service->QueryBatch(requests);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  const KspBatchResponse& b = batched.value();
+  ASSERT_EQ(b.num_ok, 2u);
+  ASSERT_FALSE(b.items[0].response.paths.empty());
+  ExpectIdenticalPaths(b.items[1].response.paths, b.items[0].response.paths,
+                       "duplicate query in one sharded batch");
+  const KspDgQueryStats& first = b.items[0].response.stats.engine;
+  const KspDgQueryStats& second = b.items[1].response.stats.engine;
+  ASSERT_GT(first.partial_ksp_computations, 0u);
+  EXPECT_EQ(second.partial_ksp_computations, 0u)
+      << "second identical query should be fully served from the per-shard "
+         "partial caches";
+  EXPECT_GT(service->counters().partial_cache_hits, 0u);
+  uint64_t shard_hits = 0;
+  for (const ShardInfo& info : service->ShardInfos()) {
+    shard_hits += info.partial_cache_hits;
+  }
+  EXPECT_EQ(shard_hits, service->counters().partial_cache_hits);
+
+  // The caches persist across batches while the epoch holds still: a later
+  // batch repeating the query is served warm as well.
+  Result<KspBatchResponse> later =
+      service->QueryBatch(std::span<const KspRequest>(requests.data(), 1));
+  ASSERT_TRUE(later.ok()) << later.status().ToString();
+  ASSERT_EQ(later.value().num_ok, 1u);
+  EXPECT_EQ(
+      later.value().items[0].response.stats.engine.partial_ksp_computations,
+      0u);
+}
+
+// A traffic batch bumps every shard's epoch; the per-shard caches must be
+// flushed — stale partials would answer with the old epoch's distances.
+TEST(ShardedQueryBatchTest, PerShardCachesFlushWhenShardEpochBumps) {
+  Graph g = MakeRandomConnected(26, 32, 1, 1, 83);  // all weights 1
+  const size_t num_edges = g.NumEdges();
+  std::unique_ptr<ShardedRoutingService> service =
+      MustCreateSharded(std::move(g), /*z=*/8, /*num_shards=*/2,
+                        /*apply_threads=*/0, /*batch_threads=*/1);
+  ASSERT_TRUE(service != nullptr);
+
+  std::vector<KspRequest> requests = {MakeRequest(0, 25, kBackendKspDg, 4),
+                                      MakeRequest(0, 25, kBackendYen, 4)};
+  Result<KspBatchResponse> before = service->QueryBatch(requests);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  ASSERT_EQ(before.value().num_ok, 2u);
+
+  // Double every weight; all path distances must exactly double.
+  std::vector<WeightUpdate> updates;
+  updates.reserve(num_edges);
+  for (EdgeId e = 0; e < num_edges; ++e) updates.push_back({e, 2.0, 2.0});
+  ASSERT_TRUE(service->ApplyTrafficBatch(updates).ok());
+
+  Result<KspBatchResponse> after = service->QueryBatch(requests);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  ASSERT_EQ(after.value().num_ok, 2u);
+  EXPECT_EQ(after.value().epoch, before.value().epoch + 1);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const std::vector<Path>& old_paths =
+        before.value().items[i].response.paths;
+    const std::vector<Path>& new_paths = after.value().items[i].response.paths;
+    ASSERT_EQ(new_paths.size(), old_paths.size()) << i;
+    for (size_t p = 0; p < new_paths.size(); ++p) {
+      EXPECT_NEAR(new_paths[p].distance, 2.0 * old_paths[p].distance, 1e-7)
+          << "item " << i << " rank " << p;
+    }
+  }
+}
+
+// A traffic batch touching only ONE shard's subgraphs must not flush the
+// other shards' caches (flush is keyed on the shard's weights stamp, not
+// the published epoch) — and the retained entries must still produce
+// answers byte-identical to a fresh unsharded service at the new snapshot.
+TEST(ShardedQueryBatchTest, UntouchedShardsKeepTheirCachesAcrossTraffic) {
+  Graph g = MakeRandomConnected(48, 60, 1, 9, 91);
+  Graph g_plain = g;
+  std::unique_ptr<ShardedRoutingService> sharded =
+      MustCreateSharded(std::move(g), /*z=*/10, /*num_shards=*/3,
+                        /*apply_threads=*/0, /*batch_threads=*/1);
+  std::unique_ptr<RoutingService> plain =
+      MustCreatePlain(std::move(g_plain), /*z=*/10);
+  ASSERT_TRUE(sharded != nullptr && plain != nullptr);
+
+  // Warm the per-shard caches with a spread of KSP-DG queries.
+  std::vector<KspRequest> requests;
+  for (VertexId s = 0; s < 8; ++s) {
+    requests.push_back(MakeRequest(s, 47 - s, kBackendKspDg, 4));
+  }
+  ASSERT_TRUE(sharded->QueryBatch(requests).ok());
+
+  // Re-apply ONE edge's current weights: the epoch advances and exactly
+  // one shard's slice is written, but every weight stays bit-identical —
+  // so the repeat batch requests exactly the same boundary pairs, and any
+  // fresh computation on an untouched shard can only mean its cache was
+  // wrongly flushed.
+  const Partition& partition = sharded->dtlp().partition();
+  EdgeId edge = 0;
+  SubgraphId owner = partition.subgraph_of_edge[edge];
+  ASSERT_NE(owner, kInvalidSubgraph);
+  ShardId touched_shard = sharded->assignment().shard_of_subgraph[owner];
+  std::vector<WeightUpdate> noop = {{edge, sharded->graph().ForwardWeight(edge),
+                                     sharded->graph().BackwardWeight(edge)}};
+  ASSERT_TRUE(sharded->ApplyTrafficBatch(noop).ok());
+  EXPECT_EQ(sharded->CurrentEpoch(), 1u);
+
+  std::vector<ShardInfo> before = sharded->ShardInfos();
+  Result<KspBatchResponse> repeat = sharded->QueryBatch(requests);
+  ASSERT_TRUE(repeat.ok()) << repeat.status().ToString();
+  ASSERT_EQ(repeat.value().num_ok, requests.size());
+  std::vector<ShardInfo> after_noop = sharded->ShardInfos();
+  for (const ShardInfo& info : after_noop) {
+    if (info.shard == touched_shard) continue;
+    EXPECT_EQ(info.partial_requests, before[info.shard].partial_requests)
+        << "shard " << info.shard
+        << " recomputed partials although its slice never changed";
+  }
+
+  // A real weight change on the same shard: parity against an unsharded
+  // service proves the retained entries on untouched shards are not stale.
+  std::vector<WeightUpdate> update = {{edge, 7.5, 7.5}};
+  ASSERT_TRUE(sharded->ApplyTrafficBatch(update).ok());
+  ASSERT_TRUE(plain->ApplyTrafficBatch(noop).ok());
+  ASSERT_TRUE(plain->ApplyTrafficBatch(update).ok());
+  Result<KspBatchResponse> after = sharded->QueryBatch(requests);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  ASSERT_EQ(after.value().num_ok, requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Result<KspResponse> want = plain->Query(requests[i]);
+    ASSERT_TRUE(want.ok());
+    ExpectIdenticalPaths(after.value().items[i].response.paths,
+                         want.value().paths,
+                         "post-update item " + std::to_string(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Async submission: SubmitBatch tickets complete under concurrent traffic
+// batches and every answered batch stays snapshot-uniform (the tsan job
+// repeats all *Concurrent* tests to shake out flaky interleavings).
+// ---------------------------------------------------------------------------
+
+TEST(ShardedSubmitBatchTest, TicketMatchesSynchronousQueryBatch) {
+  Graph g = MakeRandomConnected(30, 38, 1, 9, 89);
+  std::unique_ptr<ShardedRoutingService> service =
+      MustCreateSharded(std::move(g), /*z=*/8, /*num_shards=*/2);
+  ASSERT_TRUE(service != nullptr);
+
+  std::vector<KspRequest> requests = {MakeRequest(0, 29, kBackendKspDg, 4),
+                                      MakeRequest(3, 21, kBackendYen, 3)};
+  Result<KspBatchResponse> sync = service->QueryBatch(requests);
+  ASSERT_TRUE(sync.ok());
+
+  std::atomic<int> callbacks{0};
+  BatchTicket ticket = service->SubmitBatch(
+      requests, [&](const Result<KspBatchResponse>& outcome) {
+        EXPECT_TRUE(outcome.ok());
+        callbacks.fetch_add(1);
+      });
+  ASSERT_TRUE(ticket.valid());
+  const Result<KspBatchResponse>& outcome = ticket.Wait();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(ticket.Ready());
+  // The callback fires after the ticket is fulfilled, so Wait() returning
+  // does not imply it ran yet; poll briefly.
+  while (callbacks.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(callbacks.load(), 1);
+  ASSERT_EQ(outcome.value().items.size(), requests.size());
+  EXPECT_EQ(outcome.value().num_ok, requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ExpectIdenticalPaths(outcome.value().items[i].response.paths,
+                         sync.value().items[i].response.paths,
+                         "async vs sync item " + std::to_string(i));
+  }
+}
+
+TEST(ShardedSubmitBatchTest, ConcurrentSubmitAndTrafficStayUniform) {
+  Graph g = MakeRandomConnected(40, 50, 1, 1, 97);  // all weights 1
+  const size_t num_edges = g.NumEdges();
+  std::unique_ptr<ShardedRoutingService> service = MustCreateSharded(
+      std::move(g), /*z=*/10, /*num_shards=*/3, /*apply_threads=*/2);
+  ASSERT_TRUE(service != nullptr);
+
+  constexpr uint64_t kBatches = 8;
+  auto level = [](uint64_t epoch) {
+    return 1.0 + 0.25 * static_cast<double>(epoch);
+  };
+
+  std::atomic<bool> done{false};
+  std::atomic<size_t> checks{0};
+  std::atomic<size_t> failures{0};
+
+  // Producer: pipeline async batches (several tickets in flight) while the
+  // main thread applies uniform-weight traffic batches.
+  std::thread producer([&] {
+    const char* backends[] = {kBackendKspDg, kBackendYen, kBackendFindKsp};
+    std::vector<BatchTicket> inflight;
+    size_t i = 1;
+    while (!done.load(std::memory_order_acquire)) {
+      std::vector<KspRequest> requests;
+      for (size_t r = 0; r < 6; ++r) {
+        VertexId s = static_cast<VertexId>((i * 7 + r * 11) % 40);
+        VertexId t = static_cast<VertexId>((i * 13 + r * 17 + 19) % 40);
+        if (s == t) continue;
+        requests.push_back(MakeRequest(s, t, backends[(i + r) % 3], 4));
+      }
+      ++i;
+      inflight.push_back(service->SubmitBatch(std::move(requests)));
+      if (inflight.size() < 3) continue;  // keep a few tickets in flight
+      const Result<KspBatchResponse>& outcome = inflight.front().Wait();
+      if (!outcome.ok()) {
+        failures.fetch_add(1);
+      } else {
+        const KspBatchResponse& b = outcome.value();
+        const double w = level(b.epoch);
+        for (const KspBatchItem& item : b.items) {
+          if (!item.status.ok()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          if (item.response.epoch != b.epoch) failures.fetch_add(1);
+          for (const Path& p : item.response.paths) {
+            const double want = w * static_cast<double>(p.NumEdges());
+            if (std::abs(p.distance - want) > 1e-6 * (1.0 + want)) {
+              failures.fetch_add(1);
+            }
+            checks.fetch_add(1);
+          }
+        }
+      }
+      inflight.erase(inflight.begin());
+    }
+    for (const BatchTicket& ticket : inflight) ticket.Wait();
+  });
+
+  for (uint64_t batch = 1; batch <= kBatches; ++batch) {
+    std::vector<WeightUpdate> updates;
+    updates.reserve(num_edges);
+    const double w = level(batch);
+    for (EdgeId e = 0; e < num_edges; ++e) updates.push_back({e, w, w});
+    Result<TrafficBatchResult> applied = service->ApplyTrafficBatch(updates);
+    ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+    EXPECT_EQ(applied.value().epoch, batch);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  done.store(true, std::memory_order_release);
+  producer.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GT(checks.load(), 0u) << "producer never overlapped the updates";
+  EXPECT_EQ(service->CurrentEpoch(), kBatches);
+}
+
+// ---------------------------------------------------------------------------
 // Bench shard phase.
 // ---------------------------------------------------------------------------
 
@@ -462,6 +831,35 @@ TEST(BenchRunnerTest, ShardPhaseReportsParity) {
   std::string json = report.value().ToJson();
   EXPECT_NE(json.find("\"num_shards\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"mismatches\": 0"), std::string::npos);
+}
+
+TEST(BenchRunnerTest, ShardBatchPhaseReportsParity) {
+  BenchOptions options;
+  options.dataset = "NY-S";
+  options.target_vertices = 256;
+  options.queries_per_backend = 5;
+  options.num_batches = 2;
+  options.query_threads = 2;
+  options.k = 3;
+  options.z = 32;
+  options.shards = 2;
+  options.batch_size = 4;
+  Result<BenchReport> report = RunMixedBench(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const ShardBatchPhaseStats& combined = report.value().shard_batch;
+  EXPECT_EQ(combined.num_shards, 2u);
+  EXPECT_EQ(combined.batch_size, 4u);
+  EXPECT_EQ(combined.requests, 15u);  // 5 queries x 3 default backends
+  EXPECT_EQ(combined.batches_submitted, 4u);  // ceil(15 / 4)
+  EXPECT_EQ(combined.errors, 0u);
+  EXPECT_EQ(combined.mismatches, 0u);
+  EXPECT_EQ(combined.non_uniform_batches, 0u);
+  EXPECT_GT(combined.direct_partials + combined.scattered_partials, 0u);
+  EXPECT_GT(combined.sharded_batch_qps, 0.0);
+  EXPECT_GT(combined.unsharded_sequential_qps, 0.0);
+  std::string json = report.value().ToJson();
+  EXPECT_NE(json.find("\"shard_batch\""), std::string::npos);
+  EXPECT_NE(json.find("\"batches_submitted\": 4"), std::string::npos);
 }
 
 }  // namespace

@@ -20,6 +20,14 @@
 // comparison, routing split (direct vs scatter/gather partials) and both
 // throughputs land in the BENCH JSON under "shard".
 //
+// --shards N --batch-size M together additionally run the combined
+// shard-batch phase: the request list is submitted to the sharded service
+// asynchronously (SubmitBatch tickets, M requests per batch) and every
+// answer is checked against the unsharded sequential reference; parity
+// counters (mismatches, errors, non_uniform_batches — all must be 0),
+// per-shard partial-cache hits and both throughputs land in the BENCH JSON
+// under "shard_batch".
+//
 // Set KSPDG_DATA_DIR to run on real DIMACS files instead of the synthetic
 // stand-ins (see src/workload/datasets.h).
 #include <cstdio>

@@ -40,9 +40,36 @@ BATCH_SCHEMA = {
     "speedup": NUM,
 }
 
+DIVERSE_SCHEMA = {
+    "requests": int,
+    "errors": int,
+    "k": int,
+    "overfetch": int,
+    "theta": NUM,
+    "candidates_total": int,
+    "kept_total": int,
+    "filtered_total": int,
+    "kept_min": int,
+    "kept_max": int,
+    "mean_pairwise_similarity": NUM,
+    "max_pairwise_similarity": NUM,
+    "ep_raw_entries": int,
+    "ep_path_nodes": int,
+    "mfp_compression_ratio": NUM,
+    "p50_micros": NUM,
+    "p95_micros": NUM,
+    "p99_micros": NUM,
+    "plain_micros": NUM,
+    "diverse_micros": NUM,
+    "plain_qps": NUM,
+    "diverse_qps": NUM,
+    "overhead": NUM,
+}
+
 SHARD_SCHEMA = {
     "num_shards": int,
     "requests": int,
+    "diverse_requests": int,
     "errors": int,
     "mismatches": int,
     "batches_applied": int,
@@ -70,6 +97,9 @@ SHARD_BATCH_SCHEMA = {
     "partial_cache_hits": int,
     "direct_partials": int,
     "scattered_partials": int,
+    "p50_micros": NUM,
+    "p95_micros": NUM,
+    "p99_micros": NUM,
     "sharded_batch_micros": NUM,
     "unsharded_sequential_micros": NUM,
     "sharded_batch_qps": NUM,
@@ -107,8 +137,12 @@ TOP_SCHEMA = {
     "update_p50_micros": NUM,
     "update_p95_micros": NUM,
     "update_p99_micros": NUM,
+    "cands_subgraphs_rebuilt": int,
+    "cands_pair_paths_recomputed": int,
+    "cands_rebuild_micros": NUM,
     "final_epoch": int,
     "batch": BATCH_SCHEMA,
+    "diverse": DIVERSE_SCHEMA,
     "shard": SHARD_SCHEMA,
     "shard_batch": SHARD_BATCH_SCHEMA,
     "backends": BACKEND_SCHEMA,  # list of objects

@@ -4,7 +4,7 @@
 // submission queue (core/submission_queue.h) and returns immediately, so a
 // caller can keep producing requests while earlier batches solve. The
 // ticket is the future half of that contract: Wait() blocks until the batch
-// has completed and yields the same Result<KspBatchResponse> a synchronous
+// has completed and yields the same Result<RouteBatchResponse> a synchronous
 // QueryBatch call would have returned; Ready() polls. An optional
 // BatchCallback passed to SubmitBatch fires on the submission worker thread
 // after the ticket is fulfilled, for callers that prefer push over pull.
@@ -35,14 +35,14 @@ namespace kspdg {
 /// Completion callback for SubmitBatch: receives the batch outcome on the
 /// submission worker thread, after the ticket is fulfilled (so Wait()
 /// inside the callback would not deadlock — it returns immediately).
-using BatchCallback = std::function<void(const Result<KspBatchResponse>&)>;
+using BatchCallback = std::function<void(const Result<RouteBatchResponse>&)>;
 
 /// Completion handle for one asynchronously submitted batch (see file
 /// comment). Default-constructed tickets are invalid placeholders.
 class BatchTicket {
  public:
   using Solve =
-      std::function<Result<KspBatchResponse>(std::span<const KspRequest>)>;
+      std::function<Result<RouteBatchResponse>(std::span<const RouteRequest>)>;
 
   BatchTicket() = default;
 
@@ -53,7 +53,7 @@ class BatchTicket {
   /// the ticket — with FailedPrecondition — and still fires the callback
   /// (on the calling thread), so no waiter can hang on a dropped batch.
   static BatchTicket SubmitTo(SubmissionQueue& queue,
-                              std::vector<KspRequest> requests,
+                              std::vector<RouteRequest> requests,
                               BatchCallback callback, Solve solve) {
     auto state = std::make_shared<State>();
     BatchTicket ticket(state);
@@ -88,7 +88,7 @@ class BatchTicket {
   /// or a FailedPrecondition status if the service refused the submission
   /// (shutting down). The reference stays valid while any copy of this
   /// ticket is alive. May be called repeatedly and from several threads.
-  const Result<KspBatchResponse>& Wait() const {
+  const Result<RouteBatchResponse>& Wait() const {
     assert(valid() && "Wait() on an invalid BatchTicket");
     std::unique_lock<std::mutex> guard(state_->mu);
     state_->cv.wait(guard, [&] { return state_->outcome.has_value(); });
@@ -100,9 +100,9 @@ class BatchTicket {
   struct State {
     std::mutex mu;
     std::condition_variable cv;
-    std::optional<Result<KspBatchResponse>> outcome;
+    std::optional<Result<RouteBatchResponse>> outcome;
 
-    void Fulfill(Result<KspBatchResponse> result) {
+    void Fulfill(Result<RouteBatchResponse> result) {
       {
         std::lock_guard<std::mutex> guard(mu);
         assert(!outcome.has_value() && "BatchTicket fulfilled twice");

@@ -25,6 +25,7 @@
 namespace kspdg {
 
 class PartialProvider;
+class CandsIndex;
 
 /// Everything a backend may look at while solving. `options` has been merged
 /// with the service defaults and validated; `graph` and `dtlp` stay frozen
@@ -39,6 +40,11 @@ struct SolverInput {
   /// Ignored by backends that do not use the DTLP. Must stay valid for the
   /// duration of Solve().
   PartialProvider* partials = nullptr;
+  /// The CANDS baseline index (service-owned, maintained by
+  /// ApplyTrafficBatch). nullptr when the service was created with
+  /// enable_cands = false; the "cands" backend then rejects queries with
+  /// kFailedPrecondition. Ignored by every other backend.
+  const CandsIndex* cands = nullptr;
   VertexId source = kInvalidVertex;
   VertexId target = kInvalidVertex;
   RoutingOptions options;
@@ -116,16 +122,50 @@ struct SolverScratchArena {
 
 class SolverRegistry;
 
+/// A validated, kind-resolved request ready to hand to a solver: what
+/// PrepareRoutingQuery produces and FinishRouteResponse consumes.
+struct PreparedRoute {
+  QueryKind kind = QueryKind::kKsp;
+  /// The k the client asked for (what the response reports). For
+  /// kDiverseKsp, `merged.k` has been raised to k' = requested_k *
+  /// overfetch; for every other kind the two are equal.
+  uint32_t requested_k = 0;
+  /// Options the solver sees (merged, kind-adjusted, validated).
+  RoutingOptions merged;
+  const KspSolver* solver = nullptr;
+};
+
 /// Shared request preparation for every service front-end (unsharded and
-/// sharded): merges `defaults` with the request's overrides, validates the
+/// sharded): merges `defaults` with the request's overrides, applies the
+/// kind's semantics (kShortestPath forces k = 1 and defaults to the "cands"
+/// backend; kDiverseKsp over-fetches k' = k * overfetch), validates the
 /// result, resolves the backend in `registry`, and range-checks the
-/// endpoints against `graph`. Fills `merged` and `solver` on success. Every
-/// front-end must route through this one function so they all reject the
-/// same requests with the same status codes.
+/// endpoints against `graph`. Every front-end must route through this one
+/// function so they all reject the same requests with the same status
+/// codes.
 Status PrepareRoutingQuery(const SolverRegistry& registry,
                            const RoutingOptions& defaults, const Graph& graph,
-                           const KspRequest& request, RoutingOptions* merged,
-                           const KspSolver** solver);
+                           const RouteRequest& request, PreparedRoute* out);
+
+/// Builds the CANDS baseline index a service front-end owns when its
+/// enable_cands option is set: the partition/build-thread knobs are derived
+/// from the DTLP options in ONE place, so the sharded and unsharded
+/// services build identical indexes by construction (the shard-parity
+/// guarantee for the "cands" backend depends on it).
+Result<std::unique_ptr<CandsIndex>> BuildCandsIndex(const Graph& graph,
+                                                    const DtlpOptions& dtlp);
+
+/// Shared response shaping for every service front-end: turns a solver
+/// result into the kind-tagged payload. For kDiverseKsp this runs the §4
+/// diversity pipeline (per-query EP-Index + MFP compaction + MinHash/LSH
+/// filter, src/mfp/diversity.h) over the k' candidates — a pure function of
+/// the candidate list, so sharded answers stay byte-identical to unsharded
+/// ones. `options` is the merged options the solve ran with (moved into the
+/// response; passed explicitly because batch workers move it through
+/// SolverInput first); the caller stamps epoch and solve_micros afterwards.
+RouteResponse FinishRouteResponse(QueryKind kind, uint32_t requested_k,
+                                  RoutingOptions options, bool directed,
+                                  KspQueryResult solved);
 
 /// Name -> solver map owned by the service. Not thread-safe for writes;
 /// register all backends before serving queries.

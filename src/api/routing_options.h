@@ -1,11 +1,17 @@
 // Request/response value types and the layered option model of the routing
-// API (the only public surface for k-shortest-path queries).
+// API (the only public surface for route queries).
+//
+// The surface is a typed multi-kind query model: a RouteRequest names a
+// QueryKind (k shortest paths, single shortest path, diversity-aware KSP)
+// plus kind-specific parameters, and a RouteResponse carries a kind-tagged
+// payload — new scenarios plug in as kinds behind this one surface, not as
+// parallel APIs beside it.
 //
 // Options come in two layers: a RoutingService is created with a
-// RoutingOptions holding the service-wide defaults, and every KspRequest may
-// override any subset of those knobs through RoutingOverrides. The merged
-// result is validated once per request; solver backends receive an options
-// struct that is guaranteed well-formed.
+// RoutingOptions holding the service-wide defaults, and every RouteRequest
+// may override any subset of those knobs through RoutingOverrides. The
+// merged result is validated once per request; solver backends receive an
+// options struct that is guaranteed well-formed.
 #ifndef KSPDG_API_ROUTING_OPTIONS_H_
 #define KSPDG_API_ROUTING_OPTIONS_H_
 
@@ -18,6 +24,7 @@
 #include "core/types.h"
 #include "ksp/path.h"
 #include "kspdg/ksp_dg_options.h"
+#include "mfp/diversity.h"
 
 namespace kspdg {
 
@@ -26,6 +33,25 @@ inline constexpr const char* kBackendKspDg = "kspdg";
 inline constexpr const char* kBackendYen = "yen";
 inline constexpr const char* kBackendFindKsp = "findksp";
 inline constexpr const char* kBackendDijkstra = "dijkstra";
+inline constexpr const char* kBackendCands = "cands";
+
+/// What a RouteRequest asks for. Every kind is answered through the same
+/// facade (Query/QueryBatch/SubmitBatch on either service).
+enum class QueryKind : uint8_t {
+  /// k shortest loopless paths (the paper's KSP-DG workload).
+  kKsp = 0,
+  /// Single exact shortest path. Forces k = 1; defaults to the "cands"
+  /// backend (the CANDS baseline index, Yang et al. VLDB'14 — the paper's
+  /// reference [26]) unless the request overrides the backend.
+  kShortestPath = 1,
+  /// Diversity-aware KSP: over-fetch k' = k * overfetch candidates through
+  /// the chosen backend, then keep <= k routes whose pairwise edge-set
+  /// similarity stays <= θ (src/mfp/diversity.h).
+  kDiverseKsp = 2,
+};
+
+/// Stable name for logs and error messages.
+const char* QueryKindName(QueryKind kind);
 
 /// Service-level option set; every knob can be overridden per request.
 /// Folds the former KspDgOptions engine knobs into the public API surface.
@@ -44,6 +70,9 @@ struct RoutingOptions {
   /// up short, partial lists are re-fetched with doubled depth up to this
   /// many times (0 reproduces the paper's plain Algorithm 4).
   uint32_t join_refetch_rounds = 2;
+  /// kDiverseKsp knobs: θ, the over-fetch factor, and the MinHash/LSH
+  /// parameters of the per-query §4 pipeline. Ignored by the other kinds.
+  DiversityOptions diversity;
 
   /// Checks the invariants every solver relies on.
   Status Validate() const;
@@ -60,21 +89,32 @@ struct RoutingOverrides {
   std::optional<uint32_t> max_iterations;
   std::optional<bool> reuse_partials;
   std::optional<uint32_t> join_refetch_rounds;
+  /// kDiverseKsp: shadows RoutingOptions::diversity.theta / .overfetch.
+  std::optional<double> diversity_theta;
+  std::optional<uint32_t> diversity_overfetch;
 };
 
 /// Layers `overrides` on top of `defaults` (no validation).
 RoutingOptions MergeOptions(const RoutingOptions& defaults,
                             const RoutingOverrides& overrides);
 
-/// One k-shortest-paths query q(s, t). Endpoints must be distinct,
+/// One route query q(s, t) of some QueryKind. Endpoints must be distinct,
 /// in-range vertex ids; the service rejects anything else with
 /// kInvalidArgument before touching a solver.
-struct KspRequest {
+struct RouteRequest {
+  /// What is being asked; kind-specific knobs live in `options`
+  /// (diversity_theta / diversity_overfetch for kDiverseKsp).
+  QueryKind kind = QueryKind::kKsp;
   VertexId source = kInvalidVertex;
   VertexId target = kInvalidVertex;
   /// Per-request knobs layered over the service defaults.
   RoutingOverrides options;
 };
+
+/// Compatibility shim for the pre-multi-kind surface: a KspRequest IS a
+/// RouteRequest whose kind defaults to kKsp. Prefer RouteRequest in new
+/// code.
+using KspRequest = RouteRequest;
 
 /// Per-query measurements, filled by every backend.
 struct QueryStats {
@@ -84,32 +124,44 @@ struct QueryStats {
   KspDgQueryStats engine;
 };
 
-struct KspResponse {
-  /// Ascending by distance; fewer than k entries when the graph does not
-  /// contain k simple s-t paths.
+/// Kind-tagged answer to one RouteRequest.
+struct RouteResponse {
+  /// Which kind produced the payload below (mirrors the request's kind).
+  QueryKind kind = QueryKind::kKsp;
+  /// The route payload of every kind: ascending by distance. kKsp returns
+  /// up to k entries (fewer when the graph does not contain k simple s-t
+  /// paths), kShortestPath at most one, kDiverseKsp up to k pairwise-
+  /// dissimilar routes filtered from the k' candidates.
   std::vector<Path> paths;
   /// Weight-snapshot epoch this answer was computed at. The service bumps
   /// the epoch on every applied traffic batch, so two responses with equal
   /// epochs saw identical weights.
   uint64_t epoch = 0;
-  /// Effective k after merging overrides.
+  /// Effective k after merging overrides — the *requested* k for
+  /// kDiverseKsp (the over-fetched k' is reported in `diverse`).
   uint32_t k = 0;
   /// Name of the backend that produced the answer.
   std::string backend;
   QueryStats stats;
+  /// Kind-specific payload: engaged iff kind == kDiverseKsp.
+  std::optional<DiverseStats> diverse;
 };
+
+/// Compatibility shim (see KspRequest). Prefer RouteResponse in new code.
+using KspResponse = RouteResponse;
 
 /// Outcome of one request inside a batch. A bad request never fails its
 /// batch: it gets a non-OK status here while its neighbours are answered.
-struct KspBatchItem {
-  Status status;        // OK iff `response` holds an answer
-  KspResponse response; // meaningful only when status.ok()
+struct RouteBatchItem {
+  Status status;          // OK iff `response` holds an answer
+  RouteResponse response; // meaningful only when status.ok()
 };
+using KspBatchItem = RouteBatchItem;
 
 /// Answer to RoutingService::QueryBatch. Items correspond 1:1 (same order)
 /// to the request span.
-struct KspBatchResponse {
-  std::vector<KspBatchItem> items;
+struct RouteBatchResponse {
+  std::vector<RouteBatchItem> items;
   /// Weight-snapshot epoch shared by *every* answered item: the service
   /// holds its reader lock once across the whole batch, so no item can see
   /// a different snapshot than its neighbours.
@@ -119,6 +171,9 @@ struct KspBatchResponse {
   /// Wall time of the snapshot section (validation excluded).
   double batch_micros = 0;
 };
+
+/// Compatibility shim (see KspRequest). Prefer RouteBatchResponse.
+using KspBatchResponse = RouteBatchResponse;
 
 }  // namespace kspdg
 

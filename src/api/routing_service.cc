@@ -24,6 +24,12 @@ Result<std::unique_ptr<RoutingService>> RoutingService::Create(
       Dtlp::Build(service->graph_, service->options_.dtlp);
   if (!dtlp.ok()) return dtlp.status();
   service->dtlp_ = std::move(dtlp).value();
+  if (service->options_.enable_cands) {
+    Result<std::unique_ptr<CandsIndex>> cands =
+        BuildCandsIndex(service->graph_, service->options_.dtlp);
+    if (!cands.ok()) return cands.status();
+    service->cands_ = std::move(cands).value();
+  }
   service->registry_ = SolverRegistry::Default();
   service->pool_ = std::make_unique<ThreadPool>(
       DefaultBatchThreads(service->options_.batch_threads));
@@ -33,68 +39,67 @@ Result<std::unique_ptr<RoutingService>> RoutingService::Create(
   return service;
 }
 
-Status RoutingService::PrepareQuery(const KspRequest& request,
-                                    RoutingOptions* merged,
-                                    const KspSolver** solver) const {
+Status RoutingService::PrepareQuery(const RouteRequest& request,
+                                    PreparedRoute* prepared) const {
   return PrepareRoutingQuery(registry_, options_.defaults, graph_, request,
-                             merged, solver);
+                             prepared);
 }
 
-Result<KspResponse> RoutingService::Query(const KspRequest& request) const {
-  RoutingOptions merged;
-  const KspSolver* solver = nullptr;
-  Status prepared = PrepareQuery(request, &merged, &solver);
-  if (!prepared.ok()) {
+Result<RouteResponse> RoutingService::Query(const RouteRequest& request) const {
+  MarkServing();
+  PreparedRoute prepared;
+  Status status = PrepareQuery(request, &prepared);
+  if (!status.ok()) {
     queries_rejected_.fetch_add(1, std::memory_order_relaxed);
-    return prepared;
+    return status;
   }
 
   SolverInput input;
   input.graph = &graph_;
   input.dtlp = dtlp_.get();
+  input.cands = cands_.get();
   input.source = request.source;
   input.target = request.target;
-  input.options = merged;
+  input.options = std::move(prepared.merged);
 
   // Snapshot section: weights and DTLP are frozen until the lock drops, so
-  // the whole solve sees one consistent epoch.
+  // the whole solve (including the kDiverseKsp filter, which is a pure
+  // function of the candidate list) sees one consistent epoch.
   std::shared_lock<EpochLock> lock(mu_);
   WallTimer timer;
-  Result<KspQueryResult> solved = solver->Solve(input);
+  Result<KspQueryResult> solved = prepared.solver->Solve(input);
   if (!solved.ok()) {
     queries_rejected_.fetch_add(1, std::memory_order_relaxed);
     return solved.status();
   }
-  KspResponse response;
-  response.paths = std::move(solved.value().paths);
-  response.stats.engine = solved.value().stats;
+  RouteResponse response =
+      FinishRouteResponse(prepared.kind, prepared.requested_k,
+                          std::move(input.options), graph_.directed(),
+                          std::move(solved).value());
   response.stats.solve_micros = timer.ElapsedMicros();
   response.epoch = epoch_;
-  response.k = merged.k;
-  response.backend = merged.backend;
   queries_ok_.fetch_add(1, std::memory_order_relaxed);
   return response;
 }
 
-Result<KspBatchResponse> RoutingService::QueryBatch(
-    std::span<const KspRequest> requests) const {
-  KspBatchResponse batch;
+Result<RouteBatchResponse> RoutingService::QueryBatch(
+    std::span<const RouteRequest> requests) const {
+  MarkServing();
+  RouteBatchResponse batch;
   batch.items.resize(requests.size());
 
   // Phase 1 (outside the lock): validate every request and resolve its
   // backend. Failures become per-item statuses, never a batch failure.
   struct Prepared {
     size_t index = 0;
-    const KspSolver* solver = nullptr;
-    RoutingOptions merged;
+    PreparedRoute route;
   };
   std::vector<Prepared> work;
   work.reserve(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
     Prepared prepared;
     prepared.index = i;
-    Status status =
-        PrepareQuery(requests[i], &prepared.merged, &prepared.solver);
+    Status status = PrepareQuery(requests[i], &prepared.route);
     if (!status.ok()) {
       batch.items[i].status = std::move(status);
       continue;
@@ -106,7 +111,7 @@ Result<KspBatchResponse> RoutingService::QueryBatch(
   // mostly share a solver and its scratch stays warm across them.
   std::stable_sort(work.begin(), work.end(),
                    [](const Prepared& a, const Prepared& b) {
-                     return a.solver->name() < b.solver->name();
+                     return a.route.solver->name() < b.route.solver->name();
                    });
 
   // Phase 3 (snapshot section): ONE reader-lock acquisition covers every
@@ -137,23 +142,25 @@ Result<KspBatchResponse> RoutingService::QueryBatch(
         SolverInput input;
         input.graph = &graph_;
         input.dtlp = dtlp_.get();
+        input.cands = cands_.get();
         input.source = requests[p.index].source;
         input.target = requests[p.index].target;
-        input.options = std::move(p.merged);  // each item runs exactly once
-        KspBatchItem& item = batch.items[p.index];
+        // Each item runs exactly once, so its merged options move through
+        // the input and into the response.
+        input.options = std::move(p.route.merged);
+        RouteBatchItem& item = batch.items[p.index];
         WallTimer solve_timer;
         Result<KspQueryResult> solved =
-            p.solver->Solve(input, arenas_[worker].Get(p.solver));
+            p.route.solver->Solve(input, arenas_[worker].Get(p.route.solver));
         if (!solved.ok()) {
           item.status = solved.status();
           return;
         }
-        item.response.paths = std::move(solved.value().paths);
-        item.response.stats.engine = solved.value().stats;
+        item.response = FinishRouteResponse(
+            p.route.kind, p.route.requested_k, std::move(input.options),
+            graph_.directed(), std::move(solved).value());
         item.response.stats.solve_micros = solve_timer.ElapsedMicros();
         item.response.epoch = epoch;
-        item.response.k = input.options.k;
-        item.response.backend = std::move(input.options.backend);
       });
   lock.unlock();
   batch.batch_micros = timer.ElapsedMicros();
@@ -170,8 +177,9 @@ Result<KspBatchResponse> RoutingService::QueryBatch(
   return batch;
 }
 
-BatchTicket RoutingService::SubmitBatch(std::vector<KspRequest> requests,
+BatchTicket RoutingService::SubmitBatch(std::vector<RouteRequest> requests,
                                         BatchCallback callback) const {
+  MarkServing();
   return BatchTicket::SubmitTo(
       *submit_queue_, std::move(requests), std::move(callback),
       [this](std::span<const KspRequest> batch) { return QueryBatch(batch); });
@@ -196,6 +204,15 @@ Result<TrafficBatchResult> RoutingService::ApplyTrafficBatch(
   for (const WeightUpdate& update : updates) graph_.SetWeight(update);
   TrafficBatchResult result;
   result.dtlp = dtlp_->ApplyUpdates(updates);
+  if (cands_ != nullptr) {
+    // CANDS maintenance: every touched subgraph's exact boundary-pair
+    // shortest paths are recomputed — deliberately inside the exclusive
+    // window so the bench measures the paper's rebuild-vs-incremental
+    // contrast on the same serving path.
+    WallTimer cands_timer;
+    result.cands = cands_->ApplyUpdates(updates);
+    result.cands_micros = cands_timer.ElapsedMicros();
+  }
   result.epoch = ++epoch_;
   batches_applied_.fetch_add(1, std::memory_order_relaxed);
   updates_applied_.fetch_add(updates.size(), std::memory_order_relaxed);

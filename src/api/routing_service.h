@@ -28,6 +28,7 @@
 #include "api/batch_ticket.h"
 #include "api/ksp_solver.h"
 #include "api/routing_options.h"
+#include "cands/cands.h"
 #include "core/epoch_lock.h"
 #include "core/status.h"
 #include "core/submission_queue.h"
@@ -42,6 +43,12 @@ struct RoutingServiceOptions {
   RoutingOptions defaults;
   /// DTLP construction knobs (partition size z, level-1 ξ, build threads).
   DtlpOptions dtlp;
+  /// Build and maintain the CANDS baseline index (exact boundary-pair
+  /// shortest paths per subgraph) so the kShortestPath kind's "cands"
+  /// backend is servable. Its rebuild-on-update maintenance runs inside
+  /// every ApplyTrafficBatch — the paper's Figures 40-41 cost contrast —
+  /// and is reported in TrafficBatchResult. Disable to skip both costs.
+  bool enable_cands = true;
   /// Threads answering one QueryBatch (0 = one per hardware thread, capped
   /// at 16; 1 = batches execute inline on the caller). The pool is owned by
   /// the service and shared by all batches.
@@ -58,6 +65,11 @@ struct TrafficBatchResult {
   uint64_t epoch = 0;
   /// Algorithm 2 maintenance counters.
   DtlpUpdateStats dtlp;
+  /// CANDS rebuild-on-update maintenance (all-zero when enable_cands is
+  /// false): the expensive side of the Figures 40-41 contrast.
+  CandsUpdateStats cands;
+  /// Wall time of the CANDS rebuild within this batch.
+  double cands_micros = 0;
 };
 
 /// Running totals for monitoring (snapshot, not transactional).
@@ -79,10 +91,11 @@ class RoutingService {
   RoutingService(const RoutingService&) = delete;
   RoutingService& operator=(const RoutingService&) = delete;
 
-  /// Answers q(source, target) on the current weight snapshot with the
-  /// backend named by the merged options. Thread-safe; runs concurrently
-  /// with other queries and serialises against ApplyTrafficBatch.
-  Result<KspResponse> Query(const KspRequest& request) const;
+  /// Answers q(source, target) — any QueryKind — on the current weight
+  /// snapshot with the backend named by the merged options. Thread-safe;
+  /// runs concurrently with other queries and serialises against
+  /// ApplyTrafficBatch.
+  Result<RouteResponse> Query(const RouteRequest& request) const;
 
   /// Answers a whole batch of queries on ONE weight snapshot: requests are
   /// validated up front, the reader lock is acquired once, and the valid
@@ -93,8 +106,8 @@ class RoutingService {
   /// receive per-item statuses without failing the batch. Thread-safe;
   /// concurrent batches and single queries run under the same reader lock
   /// and serialise against ApplyTrafficBatch.
-  Result<KspBatchResponse> QueryBatch(
-      std::span<const KspRequest> requests) const;
+  Result<RouteBatchResponse> QueryBatch(
+      std::span<const RouteRequest> requests) const;
 
   /// Asynchronous QueryBatch: enqueues the batch on the service's bounded
   /// submission queue and returns a ticket immediately, so the caller can
@@ -103,7 +116,7 @@ class RoutingService {
   /// submission worker thread once the ticket is fulfilled. Thread-safe;
   /// batches execute in submission order and every accepted batch completes
   /// before the service finishes destruction.
-  BatchTicket SubmitBatch(std::vector<KspRequest> requests,
+  BatchTicket SubmitBatch(std::vector<RouteRequest> requests,
                           BatchCallback callback = nullptr) const;
 
   /// Applies one batch of weight updates atomically: the graph's current
@@ -113,9 +126,19 @@ class RoutingService {
   Result<TrafficBatchResult> ApplyTrafficBatch(
       std::span<const WeightUpdate> updates);
 
-  /// Adds a custom backend (before serving traffic; not thread-safe against
-  /// in-flight queries).
+  /// Adds a custom backend. Must be called before serving traffic — the
+  /// registry reads on the query path take no lock, so registration was
+  /// never safe against in-flight queries. Once the first
+  /// Query/QueryBatch/SubmitBatch has been accepted the registry is frozen
+  /// and registration fails with kFailedPrecondition. (Best-effort
+  /// enforcement of that lifecycle: it rejects any registration that
+  /// happens-after an observed query; truly concurrent first-query vs
+  /// registration remains the caller's setup bug to avoid.)
   Status RegisterSolver(std::unique_ptr<KspSolver> solver) {
+    if (serving_.load(std::memory_order_acquire)) {
+      return Status::FailedPrecondition(
+          "RegisterSolver must run before the first query is served");
+    }
     return registry_.Register(std::move(solver));
   }
 
@@ -131,6 +154,8 @@ class RoutingService {
   /// service is live, all writes must go through ApplyTrafficBatch.
   const Graph& graph() const { return graph_; }
   const Dtlp& dtlp() const { return *dtlp_; }
+  /// nullptr when created with enable_cands = false.
+  const CandsIndex* cands() const { return cands_.get(); }
   const RoutingOptions& defaults() const { return options_.defaults; }
 
  private:
@@ -138,15 +163,29 @@ class RoutingService {
       : graph_(std::move(graph)), options_(std::move(options)) {}
 
   /// Delegates to PrepareRoutingQuery (shared with ShardedRoutingService).
-  /// Fills `merged` and `solver` on success. Does not touch counters;
-  /// callers account rejections themselves.
-  Status PrepareQuery(const KspRequest& request, RoutingOptions* merged,
-                      const KspSolver** solver) const;
+  /// Fills `prepared` on success. Does not touch counters; callers account
+  /// rejections themselves.
+  Status PrepareQuery(const RouteRequest& request,
+                      PreparedRoute* prepared) const;
+
+  /// Marks the registry frozen. Only the first accepted query writes the
+  /// flag, so the hot path stays read-only afterwards.
+  void MarkServing() const {
+    if (!serving_.load(std::memory_order_relaxed)) {
+      serving_.store(true, std::memory_order_release);
+    }
+  }
 
   Graph graph_;
   RoutingServiceOptions options_;
   std::unique_ptr<Dtlp> dtlp_;
+  /// The CANDS baseline index behind the "cands" backend; rebuilt-on-update
+  /// inside ApplyTrafficBatch. Null when enable_cands is false.
+  std::unique_ptr<CandsIndex> cands_;
   SolverRegistry registry_;
+  /// Set by the first served query; freezes the registry (see
+  /// RegisterSolver).
+  mutable std::atomic<bool> serving_{false};
   /// Executes QueryBatch work items; owned so batches reuse warm threads
   /// instead of paying thread creation per call.
   std::unique_ptr<ThreadPool> pool_;

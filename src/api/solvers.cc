@@ -7,20 +7,45 @@
 
 #include "api/ksp_solver.h"
 #include "api/routing_options.h"
+#include "cands/cands.h"
 #include "core/strings.h"
 #include "ksp/dijkstra.h"
 #include "ksp/findksp.h"
 #include "ksp/yen.h"
 #include "kspdg/partial_provider.h"
 #include "kspdg/query_context.h"
+#include "mfp/diversity.h"
 
 namespace kspdg {
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kKsp:
+      return "ksp";
+    case QueryKind::kShortestPath:
+      return "shortest_path";
+    case QueryKind::kDiverseKsp:
+      return "diverse_ksp";
+  }
+  return "unknown";
+}
 
 Status RoutingOptions::Validate() const {
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   if (backend.empty()) return Status::InvalidArgument("backend must be named");
   if (max_iterations == 0) {
     return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+  if (!(diversity.theta >= 0.0) || !(diversity.theta <= 1.0)) {
+    return Status::InvalidArgument("diversity theta must lie in [0, 1]");
+  }
+  if (diversity.overfetch == 0) {
+    return Status::InvalidArgument("diversity overfetch must be >= 1");
+  }
+  if (diversity.lsh.num_hashes == 0 || diversity.lsh.num_bands == 0 ||
+      diversity.lsh.num_hashes % diversity.lsh.num_bands != 0) {
+    return Status::InvalidArgument(
+        "diversity LSH needs num_hashes >= 1 divisible by num_bands >= 1");
   }
   return Status::OK();
 }
@@ -36,13 +61,53 @@ KspDgOptions RoutingOptions::ToEngineOptions() const {
 
 Status PrepareRoutingQuery(const SolverRegistry& registry,
                            const RoutingOptions& defaults, const Graph& graph,
-                           const KspRequest& request, RoutingOptions* merged,
-                           const KspSolver** solver) {
-  *merged = MergeOptions(defaults, request.options);
-  KSPDG_RETURN_NOT_OK(merged->Validate());
-  *solver = registry.Find(merged->backend);
-  if (*solver == nullptr) {
-    return Status::NotFound("unknown backend '" + merged->backend +
+                           const RouteRequest& request, PreparedRoute* out) {
+  out->kind = request.kind;
+  out->merged = MergeOptions(defaults, request.options);
+  // Kind semantics are applied before validation so kind-driven adjustments
+  // (k = 1, k' over-fetch) are themselves validated.
+  switch (request.kind) {
+    case QueryKind::kKsp:
+      break;
+    case QueryKind::kShortestPath:
+      if (request.options.k.has_value() && *request.options.k != 1) {
+        return Status::InvalidArgument(
+            std::string(QueryKindName(request.kind)) +
+            " queries serve exactly k=1 (got k=" +
+            std::to_string(*request.options.k) + ")");
+      }
+      out->merged.k = 1;
+      // The kind's home backend is the CANDS baseline; an explicit override
+      // (dijkstra, kspdg, ...) is respected.
+      if (!request.options.backend.has_value()) {
+        out->merged.backend = kBackendCands;
+      }
+      break;
+    case QueryKind::kDiverseKsp: {
+      uint64_t k_prime = static_cast<uint64_t>(out->merged.k) *
+                         static_cast<uint64_t>(out->merged.diversity.overfetch);
+      // 2^20 candidates is far past any sensible diversity over-fetch and
+      // keeps k' in uint32 range.
+      if (k_prime > (uint64_t{1} << 20)) {
+        return Status::InvalidArgument(
+            std::string(QueryKindName(request.kind)) +
+            " over-fetch k * overfetch = " + std::to_string(k_prime) +
+            " exceeds the 2^20 cap");
+      }
+      out->requested_k = out->merged.k;
+      out->merged.k = static_cast<uint32_t>(k_prime);
+      break;
+    }
+    default:
+      return Status::InvalidArgument("unknown query kind");
+  }
+  if (request.kind != QueryKind::kDiverseKsp) {
+    out->requested_k = out->merged.k;
+  }
+  KSPDG_RETURN_NOT_OK(out->merged.Validate());
+  out->solver = registry.Find(out->merged.backend);
+  if (out->solver == nullptr) {
+    return Status::NotFound("unknown backend '" + out->merged.backend +
                             "' (registered: " + JoinNames(registry.Names()) +
                             ")");
   }
@@ -54,6 +119,33 @@ Status PrepareRoutingQuery(const SolverRegistry& registry,
     return Status::InvalidArgument("source equals target");
   }
   return Status::OK();
+}
+
+Result<std::unique_ptr<CandsIndex>> BuildCandsIndex(const Graph& graph,
+                                                    const DtlpOptions& dtlp) {
+  CandsOptions options;
+  options.partition = dtlp.partition;
+  options.build_threads = dtlp.build_threads;
+  return CandsIndex::Build(graph, options);
+}
+
+RouteResponse FinishRouteResponse(QueryKind kind, uint32_t requested_k,
+                                  RoutingOptions options, bool directed,
+                                  KspQueryResult solved) {
+  RouteResponse response;
+  response.kind = kind;
+  response.k = requested_k;
+  response.stats.engine = solved.stats;
+  if (kind == QueryKind::kDiverseKsp) {
+    std::vector<Path> kept;
+    response.diverse = SelectDiversePaths(solved.paths, requested_k, directed,
+                                          options.diversity, &kept);
+    response.paths = std::move(kept);
+  } else {
+    response.paths = std::move(solved.paths);
+  }
+  response.backend = std::move(options.backend);
+  return response;
 }
 
 RoutingOptions MergeOptions(const RoutingOptions& defaults,
@@ -69,6 +161,12 @@ RoutingOptions MergeOptions(const RoutingOptions& defaults,
   }
   if (overrides.join_refetch_rounds.has_value()) {
     merged.join_refetch_rounds = *overrides.join_refetch_rounds;
+  }
+  if (overrides.diversity_theta.has_value()) {
+    merged.diversity.theta = *overrides.diversity_theta;
+  }
+  if (overrides.diversity_overfetch.has_value()) {
+    merged.diversity.overfetch = *overrides.diversity_overfetch;
   }
   return merged;
 }
@@ -185,6 +283,35 @@ class DijkstraSolver : public KspSolver {
   }
 };
 
+/// CANDS baseline (reference [26]): exact single shortest path over the
+/// service-owned CandsIndex, whose expensive rebuild-on-update maintenance
+/// runs inside ApplyTrafficBatch — the Figures 40-41 contrast to KSP-DG's
+/// incremental DTLP maintenance. The kShortestPath kind routes here by
+/// default.
+class CandsSolver : public KspSolver {
+ public:
+  std::string_view name() const override { return kBackendCands; }
+
+  Result<KspQueryResult> Solve(const SolverInput& input,
+                               SolverScratch*) const override {
+    if (input.options.k != 1) {
+      return Status::InvalidArgument(
+          "cands backend serves only k=1 (got k=" +
+          std::to_string(input.options.k) + ")");
+    }
+    if (input.cands == nullptr) {
+      return Status::FailedPrecondition(
+          "cands backend requires the CANDS index (service created with "
+          "enable_cands = false)");
+    }
+    KspQueryResult result;
+    std::optional<Path> p =
+        input.cands->ShortestPath(input.source, input.target);
+    if (p.has_value()) result.paths.push_back(std::move(*p));
+    return result;
+  }
+};
+
 }  // namespace
 
 SolverRegistry SolverRegistry::Default() {
@@ -193,6 +320,7 @@ SolverRegistry SolverRegistry::Default() {
   if (st.ok()) st = registry.Register(std::make_unique<YenSolver>());
   if (st.ok()) st = registry.Register(std::make_unique<FindKspSolver>());
   if (st.ok()) st = registry.Register(std::make_unique<DijkstraSolver>());
+  if (st.ok()) st = registry.Register(std::make_unique<CandsSolver>());
   assert(st.ok() && "default backends must register cleanly");
   (void)st;
   return registry;

@@ -226,6 +226,12 @@ Result<std::unique_ptr<ShardedRoutingService>> ShardedRoutingService::Create(
       Dtlp::Build(service->graph_, service->options_.dtlp);
   if (!dtlp.ok()) return dtlp.status();
   service->dtlp_ = std::move(dtlp).value();
+  if (service->options_.enable_cands) {
+    Result<std::unique_ptr<CandsIndex>> cands =
+        BuildCandsIndex(service->graph_, service->options_.dtlp);
+    if (!cands.ok()) return cands.status();
+    service->cands_ = std::move(cands).value();
+  }
   Result<ShardAssignment> assignment = AssignShards(
       service->dtlp_->partition(), service->options_.num_shards);
   if (!assignment.ok()) return assignment.status();
@@ -256,21 +262,20 @@ Result<std::unique_ptr<ShardedRoutingService>> ShardedRoutingService::Create(
 
 ShardedRoutingService::~ShardedRoutingService() = default;
 
-Status ShardedRoutingService::PrepareQuery(const KspRequest& request,
-                                           RoutingOptions* merged,
-                                           const KspSolver** solver) const {
+Status ShardedRoutingService::PrepareQuery(const RouteRequest& request,
+                                           PreparedRoute* prepared) const {
   return PrepareRoutingQuery(registry_, options_.defaults, graph_, request,
-                             merged, solver);
+                             prepared);
 }
 
-Result<KspResponse> ShardedRoutingService::Query(
-    const KspRequest& request) const {
-  RoutingOptions merged;
-  const KspSolver* solver = nullptr;
-  Status prepared = PrepareQuery(request, &merged, &solver);
-  if (!prepared.ok()) {
+Result<RouteResponse> ShardedRoutingService::Query(
+    const RouteRequest& request) const {
+  MarkServing();
+  PreparedRoute prepared;
+  Status status = PrepareQuery(request, &prepared);
+  if (!status.ok()) {
     queries_rejected_.fetch_add(1, std::memory_order_relaxed);
-    return prepared;
+    return status;
   }
 
   ShardPartialProvider provider(*this);
@@ -278,9 +283,10 @@ Result<KspResponse> ShardedRoutingService::Query(
   input.graph = &graph_;
   input.dtlp = dtlp_.get();
   input.partials = &provider;  // DTLP-free backends ignore it
+  input.cands = cands_.get();
   input.source = request.source;
   input.target = request.target;
-  input.options = merged;
+  input.options = std::move(prepared.merged);
 
   // Snapshot section: the read pin freezes the flat weights, the skeleton,
   // and every shard's epoch; the shard locks taken inside the provider
@@ -290,18 +296,17 @@ Result<KspResponse> ShardedRoutingService::Query(
   EpochCoordinator::ReadPin pin(*epochs_);
   provider.BindPin(&pin);
   WallTimer timer;
-  Result<KspQueryResult> solved = solver->Solve(input);
+  Result<KspQueryResult> solved = prepared.solver->Solve(input);
   if (!solved.ok()) {
     queries_rejected_.fetch_add(1, std::memory_order_relaxed);
     return solved.status();
   }
-  KspResponse response;
-  response.paths = std::move(solved.value().paths);
-  response.stats.engine = solved.value().stats;
+  RouteResponse response =
+      FinishRouteResponse(prepared.kind, prepared.requested_k,
+                          std::move(input.options), graph_.directed(),
+                          std::move(solved).value());
   response.stats.solve_micros = timer.ElapsedMicros();
   response.epoch = pin.epoch();
-  response.k = merged.k;
-  response.backend = merged.backend;
   size_t touched = provider.ShardsTouched();
   if (touched == 1) {
     single_shard_queries_.fetch_add(1, std::memory_order_relaxed);
@@ -312,25 +317,24 @@ Result<KspResponse> ShardedRoutingService::Query(
   return response;
 }
 
-Result<KspBatchResponse> ShardedRoutingService::QueryBatch(
-    std::span<const KspRequest> requests) const {
-  KspBatchResponse batch;
+Result<RouteBatchResponse> ShardedRoutingService::QueryBatch(
+    std::span<const RouteRequest> requests) const {
+  MarkServing();
+  RouteBatchResponse batch;
   batch.items.resize(requests.size());
 
   // Phase 1 (outside any lock): validate every request and resolve its
   // backend. Failures become per-item statuses, never a batch failure.
   struct Prepared {
     size_t index = 0;
-    const KspSolver* solver = nullptr;
-    RoutingOptions merged;
+    PreparedRoute route;
   };
   std::vector<Prepared> work;
   work.reserve(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
     Prepared prepared;
     prepared.index = i;
-    Status status =
-        PrepareQuery(requests[i], &prepared.merged, &prepared.solver);
+    Status status = PrepareQuery(requests[i], &prepared.route);
     if (!status.ok()) {
       batch.items[i].status = std::move(status);
       continue;
@@ -342,7 +346,7 @@ Result<KspBatchResponse> ShardedRoutingService::QueryBatch(
   // mostly share a solver and its scratch stays warm across them.
   std::stable_sort(work.begin(), work.end(),
                    [](const Prepared& a, const Prepared& b) {
-                     return a.solver->name() < b.solver->name();
+                     return a.route.solver->name() < b.route.solver->name();
                    });
 
   // Phase 3 (snapshot section): ONE read pin covers every solve, so the
@@ -378,31 +382,34 @@ Result<KspBatchResponse> ShardedRoutingService::QueryBatch(
           input.graph = &graph_;
           input.dtlp = dtlp_.get();
           input.partials = worker.provider.get();
+          input.cands = cands_.get();
           input.source = requests[p.index].source;
           input.target = requests[p.index].target;
-          input.options = std::move(p.merged);  // each item runs exactly once
+          // Each item runs exactly once, so its merged options move
+          // through the input and into the response.
+          input.options = std::move(p.route.merged);
           worker.provider->BeginQuery();
           // Backends that route refine work through the provider get their
           // cross-query reuse from the per-shard caches (which flush per
           // shard); handing them a merged scratch cache on top would hide
           // requests from the shard layer. Everyone else pools scratch
           // exactly as in the unsharded batch path.
-          SolverScratch* scratch = p.solver->UsesPartialProvider()
+          SolverScratch* scratch = p.route.solver->UsesPartialProvider()
                                        ? nullptr
-                                       : worker.arena.Get(p.solver);
-          KspBatchItem& item = batch.items[p.index];
+                                       : worker.arena.Get(p.route.solver);
+          RouteBatchItem& item = batch.items[p.index];
           WallTimer solve_timer;
-          Result<KspQueryResult> solved = p.solver->Solve(input, scratch);
+          Result<KspQueryResult> solved =
+              p.route.solver->Solve(input, scratch);
           if (!solved.ok()) {
             item.status = solved.status();
             return;
           }
-          item.response.paths = std::move(solved.value().paths);
-          item.response.stats.engine = solved.value().stats;
+          item.response = FinishRouteResponse(
+              p.route.kind, p.route.requested_k, std::move(input.options),
+              graph_.directed(), std::move(solved).value());
           item.response.stats.solve_micros = solve_timer.ElapsedMicros();
           item.response.epoch = epoch;
-          item.response.k = input.options.k;
-          item.response.backend = std::move(input.options.backend);
           size_t touched = worker.provider->ShardsTouched();
           if (touched == 1) {
             single_shard_queries_.fetch_add(1, std::memory_order_relaxed);
@@ -428,8 +435,9 @@ Result<KspBatchResponse> ShardedRoutingService::QueryBatch(
   return batch;
 }
 
-BatchTicket ShardedRoutingService::SubmitBatch(std::vector<KspRequest> requests,
-                                               BatchCallback callback) const {
+BatchTicket ShardedRoutingService::SubmitBatch(
+    std::vector<RouteRequest> requests, BatchCallback callback) const {
+  MarkServing();
   return BatchTicket::SubmitTo(
       *submit_queue_, std::move(requests), std::move(callback),
       [this](std::span<const KspRequest> batch) { return QueryBatch(batch); });
@@ -516,6 +524,14 @@ Result<TrafficBatchResult> ShardedRoutingService::ApplyTrafficBatch(
   for (SubgraphId sgid : refreshed) {
     dtlp_->PushSubgraphBoundsToSkeleton(sgid);
     result.dtlp.skeleton_pairs_refreshed += dtlp_->index(sgid).pairs().size();
+  }
+  if (cands_ != nullptr) {
+    // CANDS maintenance runs on the coordinator (the index is master-owned
+    // like the flat weights), still inside the exclusive window so sharded
+    // and unsharded services stay answer-identical batch for batch.
+    WallTimer cands_timer;
+    result.cands = cands_->ApplyUpdates(updates);
+    result.cands_micros = cands_timer.ElapsedMicros();
   }
   epochs_->Commit(epoch);
 

@@ -66,6 +66,10 @@ struct ShardedRoutingServiceOptions {
   RoutingOptions defaults;
   /// DTLP construction knobs (partition size z, level-1 ξ, build threads).
   DtlpOptions dtlp;
+  /// Build and maintain the CANDS baseline index (see
+  /// RoutingServiceOptions::enable_cands — identical contract; the index is
+  /// coordinator-owned, not sharded, like the flat weights).
+  bool enable_cands = true;
   /// Number of shards the subgraph set is distributed over (>= 1; shards
   /// beyond the subgraph count own nothing). 1 degenerates to the unsharded
   /// topology while keeping the scatter/gather code path live.
@@ -134,11 +138,12 @@ class ShardedRoutingService {
   /// tearing anything down.
   ~ShardedRoutingService();
 
-  /// Answers q(source, target) on the current global snapshot. Identical
-  /// results to RoutingService::Query over the same graph and weights (the
-  /// sharding is invisible in the answer). Thread-safe; runs concurrently
-  /// with other queries and serialises against ApplyTrafficBatch.
-  Result<KspResponse> Query(const KspRequest& request) const;
+  /// Answers q(source, target) — any QueryKind — on the current global
+  /// snapshot. Identical results to RoutingService::Query over the same
+  /// graph and weights (the sharding is invisible in the answer).
+  /// Thread-safe; runs concurrently with other queries and serialises
+  /// against ApplyTrafficBatch.
+  Result<RouteResponse> Query(const RouteRequest& request) const;
 
   /// Answers a whole batch of queries on ONE multi-shard snapshot: requests
   /// are validated up front, the coordinator's read pin is taken once, and
@@ -150,13 +155,13 @@ class ShardedRoutingService {
   /// the requests sequentially against an unsharded service. Invalid
   /// requests receive per-item statuses without failing the batch.
   /// Thread-safe.
-  Result<KspBatchResponse> QueryBatch(
-      std::span<const KspRequest> requests) const;
+  Result<RouteBatchResponse> QueryBatch(
+      std::span<const RouteRequest> requests) const;
 
   /// Asynchronous QueryBatch: enqueues the batch on the service's bounded
   /// submission queue and returns a ticket immediately (see
   /// RoutingService::SubmitBatch — identical contract).
-  BatchTicket SubmitBatch(std::vector<KspRequest> requests,
+  BatchTicket SubmitBatch(std::vector<RouteRequest> requests,
                           BatchCallback callback = nullptr) const;
 
   /// Applies one batch of weight updates atomically across every shard: the
@@ -167,9 +172,19 @@ class ShardedRoutingService {
   Result<TrafficBatchResult> ApplyTrafficBatch(
       std::span<const WeightUpdate> updates);
 
-  /// Adds a custom backend (before serving traffic; not thread-safe against
-  /// in-flight queries).
+  /// Adds a custom backend. Must be called before serving traffic — the
+  /// registry reads on the query path take no lock, so registration was
+  /// never safe against in-flight queries. Once the first
+  /// Query/QueryBatch/SubmitBatch has been accepted the registry is frozen
+  /// and registration fails with kFailedPrecondition. (Best-effort
+  /// enforcement of that lifecycle: it rejects any registration that
+  /// happens-after an observed query; truly concurrent first-query vs
+  /// registration remains the caller's setup bug to avoid.)
   Status RegisterSolver(std::unique_ptr<KspSolver> solver) {
+    if (serving_.load(std::memory_order_acquire)) {
+      return Status::FailedPrecondition(
+          "RegisterSolver must run before the first query is served");
+    }
     return registry_.Register(std::move(solver));
   }
 
@@ -192,6 +207,8 @@ class ShardedRoutingService {
   /// ApplyTrafficBatch.
   const Graph& graph() const { return graph_; }
   const Dtlp& dtlp() const { return *dtlp_; }
+  /// nullptr when created with enable_cands = false.
+  const CandsIndex* cands() const { return cands_.get(); }
   const RoutingOptions& defaults() const { return options_.defaults; }
 
  private:
@@ -235,13 +252,27 @@ class ShardedRoutingService {
 
   /// Delegates to PrepareRoutingQuery — the same preparation RoutingService
   /// uses, so both services reject the same requests with the same codes.
-  Status PrepareQuery(const KspRequest& request, RoutingOptions* merged,
-                      const KspSolver** solver) const;
+  Status PrepareQuery(const RouteRequest& request,
+                      PreparedRoute* prepared) const;
+
+  /// Marks the registry frozen. Only the first accepted query writes the
+  /// flag, so the hot path stays read-only afterwards.
+  void MarkServing() const {
+    if (!serving_.load(std::memory_order_relaxed)) {
+      serving_.store(true, std::memory_order_release);
+    }
+  }
 
   Graph graph_;
   ShardedRoutingServiceOptions options_;
   std::unique_ptr<Dtlp> dtlp_;
+  /// Coordinator-owned CANDS baseline index (see RoutingService::cands_);
+  /// maintained under the global exclusive lock in ApplyTrafficBatch.
+  std::unique_ptr<CandsIndex> cands_;
   SolverRegistry registry_;
+  /// Set by the first served query; freezes the registry (see
+  /// RegisterSolver).
+  mutable std::atomic<bool> serving_{false};
   ShardAssignment assignment_;
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Owns the global + per-shard locks and the epoch advance protocol; all

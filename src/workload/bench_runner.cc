@@ -79,6 +79,12 @@ std::string BenchReport::ToJson() const {
   out << update_p95_micros << ",\n";
   AppendJsonKey(out, "update_p99_micros", "  ");
   out << update_p99_micros << ",\n";
+  AppendJsonKey(out, "cands_subgraphs_rebuilt", "  ");
+  out << cands_subgraphs_rebuilt << ",\n";
+  AppendJsonKey(out, "cands_pair_paths_recomputed", "  ");
+  out << cands_pair_paths_recomputed << ",\n";
+  AppendJsonKey(out, "cands_rebuild_micros", "  ");
+  out << cands_rebuild_micros << ",\n";
   AppendJsonKey(out, "final_epoch", "  ");
   out << final_epoch << ",\n";
   AppendJsonKey(out, "batch", "  ");
@@ -102,12 +108,63 @@ std::string BenchReport::ToJson() const {
   AppendJsonKey(out, "speedup", "    ");
   out << batch.speedup << "\n";
   out << "  },\n";
+  AppendJsonKey(out, "diverse", "  ");
+  out << "{\n";
+  AppendJsonKey(out, "requests", "    ");
+  out << diverse.requests << ",\n";
+  AppendJsonKey(out, "errors", "    ");
+  out << diverse.errors << ",\n";
+  AppendJsonKey(out, "k", "    ");
+  out << diverse.k << ",\n";
+  AppendJsonKey(out, "overfetch", "    ");
+  out << diverse.overfetch << ",\n";
+  AppendJsonKey(out, "theta", "    ");
+  out << diverse.theta << ",\n";
+  AppendJsonKey(out, "candidates_total", "    ");
+  out << diverse.candidates_total << ",\n";
+  AppendJsonKey(out, "kept_total", "    ");
+  out << diverse.kept_total << ",\n";
+  AppendJsonKey(out, "filtered_total", "    ");
+  out << diverse.filtered_total << ",\n";
+  AppendJsonKey(out, "kept_min", "    ");
+  out << diverse.kept_min << ",\n";
+  AppendJsonKey(out, "kept_max", "    ");
+  out << diverse.kept_max << ",\n";
+  AppendJsonKey(out, "mean_pairwise_similarity", "    ");
+  out << diverse.mean_pairwise_similarity << ",\n";
+  AppendJsonKey(out, "max_pairwise_similarity", "    ");
+  out << diverse.max_pairwise_similarity << ",\n";
+  AppendJsonKey(out, "ep_raw_entries", "    ");
+  out << diverse.ep_raw_entries << ",\n";
+  AppendJsonKey(out, "ep_path_nodes", "    ");
+  out << diverse.ep_path_nodes << ",\n";
+  AppendJsonKey(out, "mfp_compression_ratio", "    ");
+  out << diverse.mfp_compression_ratio << ",\n";
+  AppendJsonKey(out, "p50_micros", "    ");
+  out << diverse.p50_micros << ",\n";
+  AppendJsonKey(out, "p95_micros", "    ");
+  out << diverse.p95_micros << ",\n";
+  AppendJsonKey(out, "p99_micros", "    ");
+  out << diverse.p99_micros << ",\n";
+  AppendJsonKey(out, "plain_micros", "    ");
+  out << diverse.plain_micros << ",\n";
+  AppendJsonKey(out, "diverse_micros", "    ");
+  out << diverse.diverse_micros << ",\n";
+  AppendJsonKey(out, "plain_qps", "    ");
+  out << diverse.plain_qps << ",\n";
+  AppendJsonKey(out, "diverse_qps", "    ");
+  out << diverse.diverse_qps << ",\n";
+  AppendJsonKey(out, "overhead", "    ");
+  out << diverse.overhead << "\n";
+  out << "  },\n";
   AppendJsonKey(out, "shard", "  ");
   out << "{\n";
   AppendJsonKey(out, "num_shards", "    ");
   out << shard.num_shards << ",\n";
   AppendJsonKey(out, "requests", "    ");
   out << shard.requests << ",\n";
+  AppendJsonKey(out, "diverse_requests", "    ");
+  out << shard.diverse_requests << ",\n";
   AppendJsonKey(out, "errors", "    ");
   out << shard.errors << ",\n";
   AppendJsonKey(out, "mismatches", "    ");
@@ -159,6 +216,12 @@ std::string BenchReport::ToJson() const {
   out << shard_batch.direct_partials << ",\n";
   AppendJsonKey(out, "scattered_partials", "    ");
   out << shard_batch.scattered_partials << ",\n";
+  AppendJsonKey(out, "p50_micros", "    ");
+  out << shard_batch.p50_micros << ",\n";
+  AppendJsonKey(out, "p95_micros", "    ");
+  out << shard_batch.p95_micros << ",\n";
+  AppendJsonKey(out, "p99_micros", "    ");
+  out << shard_batch.p99_micros << ",\n";
   AppendJsonKey(out, "sharded_batch_micros", "    ");
   out << shard_batch.sharded_batch_micros << ",\n";
   AppendJsonKey(out, "unsharded_sequential_micros", "    ");
@@ -231,6 +294,8 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
 
   RoutingServiceOptions service_options;
   service_options.defaults.k = options.k;
+  service_options.defaults.diversity.theta = options.diverse_theta;
+  service_options.defaults.diversity.overfetch = options.diverse_overfetch;
   service_options.dtlp.partition.max_vertices =
       options.z != 0 ? options.z : spec->default_z;
   service_options.batch_threads = options.batch_threads;
@@ -324,6 +389,9 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
   size_t updates_applied = 0;
   size_t batches_applied = 0;
   size_t batch_errors = 0;
+  size_t cands_subgraphs_rebuilt = 0;
+  size_t cands_pair_paths = 0;
+  double cands_micros = 0;
   std::thread writer([&]() {
     for (size_t batch = 0; batch < options.num_batches; ++batch) {
       while (next_item.load(std::memory_order_relaxed) <
@@ -342,6 +410,9 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
         update_samples.push_back(micros);
         ++batches_applied;
         updates_applied += applied.value().dtlp.updates_applied;
+        cands_subgraphs_rebuilt += applied.value().cands.subgraphs_rebuilt;
+        cands_pair_paths += applied.value().cands.pair_paths_recomputed;
+        cands_micros += applied.value().cands_micros;
       } else {
         ++batch_errors;
       }
@@ -362,6 +433,9 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
   report.update_p50_micros = Percentile(update_samples, 50);
   report.update_p95_micros = Percentile(update_samples, 95);
   report.update_p99_micros = Percentile(update_samples, 99);
+  report.cands_subgraphs_rebuilt = cands_subgraphs_rebuilt;
+  report.cands_pair_paths_recomputed = cands_pair_paths;
+  report.cands_rebuild_micros = cands_micros;
   report.final_epoch = service->CurrentEpoch();
   for (size_t b = 0; b < stats.size(); ++b) {
     BackendBenchStats& s = stats[b];
@@ -431,6 +505,92 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
     }
   }
 
+  // Diverse phase: the same endpoints and backends answered once as plain
+  // kKsp and once as kDiverseKsp, with no concurrent writer — so `overhead`
+  // isolates the query-path cost of the §4 pipeline (over-fetch, per-query
+  // EP-Index/MFP build, MinHash filter) against plain KSP.
+  if (options.diverse) {
+    DiversePhaseStats& phase = report.diverse;
+    phase.k = options.k;
+    phase.overfetch = options.diverse_overfetch;
+    phase.theta = options.diverse_theta;
+
+    std::vector<RouteRequest> plain_requests;
+    std::vector<RouteRequest> diverse_requests;
+    plain_requests.reserve(work.size());
+    diverse_requests.reserve(work.size());
+    for (const WorkItem& item : work) {
+      RouteRequest request;
+      request.source = item.source;
+      request.target = item.target;
+      request.options.backend = options.backends[item.backend_index];
+      plain_requests.push_back(request);
+      request.kind = QueryKind::kDiverseKsp;
+      diverse_requests.push_back(std::move(request));
+    }
+    phase.requests = diverse_requests.size();
+
+    WallTimer plain_timer;
+    for (const RouteRequest& request : plain_requests) {
+      if (!service->Query(request).ok()) ++phase.errors;
+    }
+    phase.plain_micros = plain_timer.ElapsedMicros();
+
+    std::vector<double> samples;
+    samples.reserve(diverse_requests.size());
+    phase.kept_min = std::numeric_limits<size_t>::max();
+    double mean_sum = 0;
+    size_t mean_count = 0;
+    WallTimer diverse_timer;
+    for (const RouteRequest& request : diverse_requests) {
+      Result<RouteResponse> response = service->Query(request);
+      if (!response.ok() || !response.value().diverse.has_value()) {
+        ++phase.errors;
+        continue;
+      }
+      const DiverseStats& d = *response.value().diverse;
+      phase.candidates_total += d.candidates;
+      phase.kept_total += d.kept;
+      phase.filtered_total += d.filtered;
+      phase.kept_min = std::min<size_t>(phase.kept_min, d.kept);
+      phase.kept_max = std::max<size_t>(phase.kept_max, d.kept);
+      mean_sum += d.mean_pairwise_similarity;
+      ++mean_count;
+      phase.max_pairwise_similarity = std::max(
+          phase.max_pairwise_similarity, d.max_pairwise_similarity);
+      phase.ep_raw_entries += d.ep_raw_entries;
+      phase.ep_path_nodes += d.ep_path_nodes;
+      samples.push_back(response.value().stats.solve_micros);
+    }
+    phase.diverse_micros = diverse_timer.ElapsedMicros();
+    if (phase.kept_min == std::numeric_limits<size_t>::max()) {
+      phase.kept_min = 0;
+    }
+    if (mean_count > 0) {
+      phase.mean_pairwise_similarity =
+          mean_sum / static_cast<double>(mean_count);
+    }
+    if (phase.ep_raw_entries > 0) {
+      phase.mfp_compression_ratio =
+          static_cast<double>(phase.ep_path_nodes) /
+          static_cast<double>(phase.ep_raw_entries);
+    }
+    phase.p50_micros = Percentile(samples, 50);
+    phase.p95_micros = Percentile(samples, 95);
+    phase.p99_micros = Percentile(samples, 99);
+    if (phase.plain_micros > 0) {
+      phase.plain_qps =
+          static_cast<double>(phase.requests) / (phase.plain_micros / 1e6);
+    }
+    if (phase.diverse_micros > 0) {
+      phase.diverse_qps =
+          static_cast<double>(phase.requests) / (phase.diverse_micros / 1e6);
+    }
+    if (phase.plain_micros > 0) {
+      phase.overhead = phase.diverse_micros / phase.plain_micros;
+    }
+  }
+
   // Shard phase: build a sharded and an unsharded service over identical
   // pristine graphs, feed both the identical traffic history, then answer
   // the same request list on both and require path-for-path equality —
@@ -470,13 +630,26 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
     }
 
     std::vector<KspRequest> requests;
-    requests.reserve(work.size());
+    requests.reserve(work.size() * (options.diverse ? 2 : 1));
     for (const WorkItem& item : work) {
       KspRequest request;
       request.source = item.source;
       request.target = item.target;
       request.options.backend = options.backends[item.backend_index];
       requests.push_back(std::move(request));
+    }
+    if (options.diverse) {
+      // Diverse answers must be as shard-invisible as plain ones: append a
+      // kDiverseKsp copy of the request list to the parity workload.
+      for (const WorkItem& item : work) {
+        RouteRequest request;
+        request.kind = QueryKind::kDiverseKsp;
+        request.source = item.source;
+        request.target = item.target;
+        request.options.backend = options.backends[item.backend_index];
+        requests.push_back(std::move(request));
+      }
+      phase.diverse_requests = work.size();
     }
     phase.requests = requests.size();
 
@@ -575,6 +748,8 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
             requests.begin() + begin, requests.begin() + begin + count)));
       }
       combined.batches_submitted = tickets.size();
+      std::vector<double> item_samples;
+      item_samples.reserve(requests.size());
       size_t next = 0;
       for (const BatchTicket& ticket : tickets) {
         const Result<KspBatchResponse>& outcome = ticket.Wait();
@@ -593,6 +768,7 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
             continue;
           }
           if (item.response.epoch != b.epoch) uniform = false;
+          item_samples.push_back(item.response.stats.solve_micros);
           if (!expected_ok[i]) {
             ++combined.errors;  // async side answered, reference side failed
             continue;
@@ -608,6 +784,9 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
         if (!uniform) ++combined.non_uniform_batches;
       }
       combined.sharded_batch_micros = batch_timer.ElapsedMicros();
+      combined.p50_micros = Percentile(item_samples, 50);
+      combined.p95_micros = Percentile(item_samples, 95);
+      combined.p99_micros = Percentile(item_samples, 99);
 
       ShardedServiceCounters after = sharded->counters();
       combined.partial_cache_hits =

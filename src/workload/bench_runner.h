@@ -55,6 +55,16 @@ struct BenchOptions {
   /// and every answer is again checked against the unsharded sequential
   /// reference ("shard_batch" JSON object).
   size_t shards = 0;
+  /// When true, a diversity phase runs after the batch phase: the mixed
+  /// request list is answered once as plain kKsp and once as kDiverseKsp
+  /// (over-fetch + MFP/MinHash filter), contrasting the two throughputs
+  /// ("diverse" JSON object). The shard phase, when enabled, additionally
+  /// appends a kDiverseKsp copy of its request list so diverse answers are
+  /// parity-checked sharded vs unsharded.
+  bool diverse = false;
+  /// θ and over-fetch factor of the diversity phase (service defaults).
+  double diverse_theta = 0.5;
+  uint32_t diverse_overfetch = 4;
 };
 
 struct BackendBenchStats {
@@ -101,6 +111,9 @@ struct ShardPhaseStats {
   /// Shards of the ShardedRoutingService; 0 means the phase did not run.
   size_t num_shards = 0;
   size_t requests = 0;
+  /// kDiverseKsp requests inside `requests` (0 unless --diverse): diverse
+  /// answers are parity-checked like every other kind.
+  size_t diverse_requests = 0;
   /// Query failures across both services (should be 0).
   size_t errors = 0;
   /// Requests whose sharded path set differed from the unsharded one in
@@ -151,6 +164,11 @@ struct ShardBatchPhaseStats {
   /// Boundary-pair routing split during this phase.
   uint64_t direct_partials = 0;
   uint64_t scattered_partials = 0;
+  /// Solve-latency percentiles over the successful async-batch items, so
+  /// latency trajectories are comparable with the batch phase's.
+  double p50_micros = 0;
+  double p95_micros = 0;
+  double p99_micros = 0;
   double sharded_batch_micros = 0;
   double unsharded_sequential_micros = 0;
   double sharded_batch_qps = 0;
@@ -158,6 +176,48 @@ struct ShardBatchPhaseStats {
   /// unsharded_sequential_micros / sharded_batch_micros (> 1 means the
   /// sharded async batch path wins).
   double speedup = 0;
+};
+
+/// Diverse-vs-plain KSP comparison over one request list (diverse phase).
+/// The same endpoints and backends are answered once as kKsp (k paths) and
+/// once as kDiverseKsp (k' = k * overfetch candidates filtered to <= k
+/// pairwise-dissimilar routes), so `overhead` isolates what the §4 pipeline
+/// costs on the query path.
+struct DiversePhaseStats {
+  /// Requests per pass; 0 means the phase did not run.
+  size_t requests = 0;
+  /// Query failures across both passes (should be 0).
+  size_t errors = 0;
+  uint32_t k = 0;
+  uint32_t overfetch = 0;
+  double theta = 0;
+  /// Summed over the diverse responses.
+  size_t candidates_total = 0;
+  size_t kept_total = 0;
+  size_t filtered_total = 0;
+  /// Per-query kept-count range (kept == k everywhere when the graph offers
+  /// enough dissimilar routes).
+  size_t kept_min = 0;
+  size_t kept_max = 0;
+  /// Mean over queries of the per-query mean pairwise similarity, and the
+  /// maximum pairwise similarity any query reported (<= θ by construction).
+  double mean_pairwise_similarity = 0;
+  double max_pairwise_similarity = 0;
+  /// Per-query EP-Index totals: raw (edge, path) incidences vs MFP path
+  /// nodes, and their ratio (< 1 means the trees compressed).
+  size_t ep_raw_entries = 0;
+  size_t ep_path_nodes = 0;
+  double mfp_compression_ratio = 0;
+  /// Solve-latency percentiles over the successful diverse queries.
+  double p50_micros = 0;
+  double p95_micros = 0;
+  double p99_micros = 0;
+  double plain_micros = 0;
+  double diverse_micros = 0;
+  double plain_qps = 0;
+  double diverse_qps = 0;
+  /// diverse_micros / plain_micros (> 1 means diversity costs throughput).
+  double overhead = 0;
 };
 
 struct BenchReport {
@@ -178,10 +238,18 @@ struct BenchReport {
   double update_p50_micros = 0;
   double update_p95_micros = 0;
   double update_p99_micros = 0;
+  /// CANDS rebuild-on-update maintenance across the mixed phase's traffic
+  /// batches (inside update_total_micros): the expensive half of the
+  /// paper's Figures 40-41 contrast with the DTLP's incremental Algorithm 2.
+  size_t cands_subgraphs_rebuilt = 0;
+  size_t cands_pair_paths_recomputed = 0;
+  double cands_rebuild_micros = 0;
   uint64_t final_epoch = 0;
   std::vector<BackendBenchStats> backends;
   /// Batch-vs-sequential phase (batch_size 0 when not requested).
   BatchPhaseStats batch;
+  /// Diverse-vs-plain phase (requests 0 when not requested).
+  DiversePhaseStats diverse;
   /// Sharded-vs-unsharded phase (num_shards 0 when not requested).
   ShardPhaseStats shard;
   /// Combined sharded-batch phase (num_shards 0 when not requested).

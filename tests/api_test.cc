@@ -230,8 +230,9 @@ class NullSolver : public KspSolver {
 
 TEST(SolverRegistryTest, RegistrationRules) {
   SolverRegistry registry = SolverRegistry::Default();
-  EXPECT_EQ(registry.size(), 4u);
+  EXPECT_EQ(registry.size(), 5u);
   EXPECT_NE(registry.Find(kBackendKspDg), nullptr);
+  EXPECT_NE(registry.Find(kBackendCands), nullptr);
   EXPECT_EQ(registry.Find("nope"), nullptr);
   EXPECT_TRUE(registry.Register(std::make_unique<NullSolver>()).ok());
   // Duplicate names are rejected.
@@ -239,8 +240,34 @@ TEST(SolverRegistryTest, RegistrationRules) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(registry.Register(nullptr).code(), StatusCode::kInvalidArgument);
   std::vector<std::string> names = registry.Names();
-  EXPECT_EQ(names.size(), 5u);
+  EXPECT_EQ(names.size(), 6u);
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+// RegisterSolver is documented "before serving traffic"; the serving-started
+// flag turns that from a comment into an enforced precondition.
+TEST(RoutingServiceTest, RegisterSolverAfterServingIsRejected) {
+  Graph g = MakeRandomConnected(12, 14, 1, 9, 61);
+  std::unique_ptr<RoutingService> service = MustCreate(std::move(g));
+  ASSERT_TRUE(service != nullptr);
+  // Before any query: registration is open.
+  ASSERT_TRUE(service->RegisterSolver(std::make_unique<NullSolver>()).ok());
+  ASSERT_TRUE(service->Query(MakeRequest(0, 11, kBackendYen, 2)).ok());
+  // After the first served query the registry is frozen — even a rejected
+  // request counts as serving.
+  Status frozen =
+      service->RegisterSolver(std::make_unique<NullSolver>());
+  EXPECT_EQ(frozen.code(), StatusCode::kFailedPrecondition);
+
+  // The same contract holds when the first touch is a batch.
+  Graph g2 = MakeRandomConnected(12, 14, 1, 9, 62);
+  std::unique_ptr<RoutingService> batch_service = MustCreate(std::move(g2));
+  ASSERT_TRUE(batch_service != nullptr);
+  std::vector<KspRequest> requests = {MakeRequest(0, 11, kBackendYen, 2)};
+  ASSERT_TRUE(batch_service->QueryBatch(requests).ok());
+  EXPECT_EQ(
+      batch_service->RegisterSolver(std::make_unique<NullSolver>()).code(),
+      StatusCode::kFailedPrecondition);
 }
 
 TEST(RoutingServiceTest, CustomSolverServesQueries) {
@@ -756,6 +783,236 @@ TEST(SubmitBatchTest, DestructionDrainsAcceptedBatches) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Multi-kind query surface (RouteRequest / RouteResponse).
+// ---------------------------------------------------------------------------
+
+RouteRequest MakeKindRequest(QueryKind kind, VertexId s, VertexId t) {
+  RouteRequest request;
+  request.kind = kind;
+  request.source = s;
+  request.target = t;
+  return request;
+}
+
+TEST(MultiKindQueryTest, ShortestPathKindRoutesToCandsAndMatchesDijkstra) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Graph g = MakeRandomConnected(30, 40, 1, 9, seed * 19 + 3);
+    std::unique_ptr<RoutingService> service =
+        MustCreate(std::move(g), /*z=*/10);
+    ASSERT_TRUE(service != nullptr);
+
+    TrafficModelOptions traffic_options;
+    traffic_options.alpha = 0.5;
+    traffic_options.seed = seed + 11;
+    TrafficModel traffic(service->graph(), traffic_options);
+
+    // Exact shortest paths before AND after traffic batches: the cands
+    // index must survive rebuild-on-update with exact answers.
+    for (int step = 0; step < 3; ++step) {
+      if (step > 0) {
+        ASSERT_TRUE(service->ApplyTrafficBatch(traffic.NextBatch()).ok());
+      }
+      for (const auto& [s, t] : std::vector<std::pair<VertexId, VertexId>>{
+               {0, 29}, {4, 17}, {9, 23}}) {
+        Result<RouteResponse> cands =
+            service->Query(MakeKindRequest(QueryKind::kShortestPath, s, t));
+        ASSERT_TRUE(cands.ok()) << cands.status().ToString();
+        EXPECT_EQ(cands.value().kind, QueryKind::kShortestPath);
+        EXPECT_EQ(cands.value().backend, kBackendCands);
+        EXPECT_EQ(cands.value().k, 1u);
+        ASSERT_EQ(cands.value().paths.size(), 1u);
+
+        std::vector<Path> dijkstra =
+            MustSolve(*service, s, t, kBackendDijkstra, 1);
+        ASSERT_EQ(dijkstra.size(), 1u);
+        // The CANDS overlay runs on exact distances; only the summation
+        // order differs from flat Dijkstra, so the distances agree to
+        // floating-point noise and the route must be real and consistent
+        // with the current snapshot.
+        EXPECT_NEAR(cands.value().paths[0].distance, dijkstra[0].distance,
+                    1e-9 * (1.0 + dijkstra[0].distance))
+            << "seed " << seed << " step " << step << " q " << s << "->" << t;
+        EXPECT_TRUE(
+            IsValidRoute(service->graph(), cands.value().paths[0].vertices));
+        EXPECT_NEAR(
+            RouteDistance(service->graph(), cands.value().paths[0].vertices),
+            cands.value().paths[0].distance, 1e-9);
+      }
+    }
+    // The maintenance stats must show the rebuild work actually happened.
+    std::vector<WeightUpdate> one = {{0, 3.5, 3.5}};
+    Result<TrafficBatchResult> applied = service->ApplyTrafficBatch(one);
+    ASSERT_TRUE(applied.ok());
+    EXPECT_GE(applied.value().cands.subgraphs_rebuilt, 1u);
+    EXPECT_GT(applied.value().cands.pair_paths_recomputed, 0u);
+  }
+}
+
+TEST(MultiKindQueryTest, ShortestPathKindValidatesAndHonoursOverrides) {
+  Graph g = MakeRandomConnected(16, 20, 1, 9, 71);
+  std::unique_ptr<RoutingService> service = MustCreate(std::move(g));
+  ASSERT_TRUE(service != nullptr);
+
+  // An explicit k != 1 contradicts the kind.
+  RouteRequest bad_k = MakeKindRequest(QueryKind::kShortestPath, 0, 15);
+  bad_k.options.k = 3;
+  EXPECT_EQ(service->Query(bad_k).status().code(),
+            StatusCode::kInvalidArgument);
+  // k = 1 explicitly is fine, and the backend override is respected.
+  RouteRequest via_dijkstra = MakeKindRequest(QueryKind::kShortestPath, 0, 15);
+  via_dijkstra.options.k = 1;
+  via_dijkstra.options.backend = kBackendDijkstra;
+  Result<RouteResponse> overridden = service->Query(via_dijkstra);
+  ASSERT_TRUE(overridden.ok()) << overridden.status().ToString();
+  EXPECT_EQ(overridden.value().backend, kBackendDijkstra);
+  EXPECT_EQ(overridden.value().kind, QueryKind::kShortestPath);
+}
+
+TEST(MultiKindQueryTest, CandsBackendFailsCleanlyWhenDisabled) {
+  Graph g = MakeRandomConnected(16, 20, 1, 9, 73);
+  RoutingServiceOptions options;
+  options.enable_cands = false;
+  Result<std::unique_ptr<RoutingService>> service =
+      RoutingService::Create(std::move(g), std::move(options));
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  Result<RouteResponse> response = service.value()->Query(
+      MakeKindRequest(QueryKind::kShortestPath, 0, 15));
+  EXPECT_EQ(response.status().code(), StatusCode::kFailedPrecondition);
+  // The kind itself stays answerable through an overriding backend.
+  RouteRequest via_dijkstra = MakeKindRequest(QueryKind::kShortestPath, 0, 15);
+  via_dijkstra.options.backend = kBackendDijkstra;
+  EXPECT_TRUE(service.value()->Query(via_dijkstra).ok());
+}
+
+TEST(MultiKindQueryTest, DiverseKindIsDeterministicSubsetWithBoundedTheta) {
+  for (const char* backend : {kBackendKspDg, kBackendYen}) {
+    Graph g = MakeRandomConnected(30, 44, 1, 9, 83);
+    std::unique_ptr<RoutingService> service =
+        MustCreate(std::move(g), /*z=*/10);
+    ASSERT_TRUE(service != nullptr);
+    const uint32_t k = 3;
+    const uint32_t overfetch = 4;
+    const double theta = 0.6;
+
+    RouteRequest diverse = MakeKindRequest(QueryKind::kDiverseKsp, 1, 28);
+    diverse.options.backend = backend;
+    diverse.options.k = k;
+    diverse.options.diversity_theta = theta;
+    diverse.options.diversity_overfetch = overfetch;
+    Result<RouteResponse> response = service->Query(diverse);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    const RouteResponse& r = response.value();
+    EXPECT_EQ(r.kind, QueryKind::kDiverseKsp);
+    EXPECT_EQ(r.k, k);
+    ASSERT_TRUE(r.diverse.has_value());
+    EXPECT_LE(r.paths.size(), k);
+
+    // The kept set is a subset (in order) of the k' = k * overfetch KSP
+    // answer the same backend gives.
+    std::vector<Path> candidates =
+        MustSolve(*service, 1, 28, backend, k * overfetch);
+    EXPECT_EQ(r.diverse->candidates, candidates.size());
+    EXPECT_EQ(r.diverse->kept + r.diverse->filtered, r.diverse->candidates);
+    size_t cursor = 0;
+    for (const Path& p : r.paths) {
+      while (cursor < candidates.size() &&
+             candidates[cursor].vertices != p.vertices) {
+        ++cursor;
+      }
+      ASSERT_LT(cursor, candidates.size())
+          << backend << ": kept route is not a k' candidate";
+      EXPECT_EQ(candidates[cursor].distance, p.distance);
+      ++cursor;
+    }
+    // All pairwise similarities obey θ — recomputed here independently.
+    for (size_t i = 0; i < r.paths.size(); ++i) {
+      for (size_t j = i + 1; j < r.paths.size(); ++j) {
+        EXPECT_LE(RouteEdgeJaccard(r.paths[i], r.paths[j],
+                                   service->graph().directed()),
+                  theta)
+            << backend << " pair " << i << "," << j;
+      }
+    }
+    EXPECT_LE(r.diverse->max_pairwise_similarity, theta);
+    EXPECT_LE(r.diverse->ep_path_nodes, r.diverse->ep_raw_entries);
+
+    // Determinism: asking again yields byte-identical routes and stats.
+    Result<RouteResponse> again = service->Query(diverse);
+    ASSERT_TRUE(again.ok());
+    ASSERT_EQ(again.value().paths.size(), r.paths.size());
+    for (size_t i = 0; i < r.paths.size(); ++i) {
+      EXPECT_EQ(again.value().paths[i].vertices, r.paths[i].vertices);
+      EXPECT_EQ(again.value().paths[i].distance, r.paths[i].distance);
+    }
+    EXPECT_EQ(again.value().diverse->kept, r.diverse->kept);
+    EXPECT_EQ(again.value().diverse->ep_path_nodes, r.diverse->ep_path_nodes);
+  }
+}
+
+TEST(MultiKindQueryTest, DiverseKindValidation) {
+  Graph g = MakeRandomConnected(16, 20, 1, 9, 89);
+  std::unique_ptr<RoutingService> service = MustCreate(std::move(g));
+  ASSERT_TRUE(service != nullptr);
+
+  RouteRequest bad_theta = MakeKindRequest(QueryKind::kDiverseKsp, 0, 15);
+  bad_theta.options.diversity_theta = 1.5;
+  EXPECT_EQ(service->Query(bad_theta).status().code(),
+            StatusCode::kInvalidArgument);
+  RouteRequest bad_overfetch = MakeKindRequest(QueryKind::kDiverseKsp, 0, 15);
+  bad_overfetch.options.diversity_overfetch = 0;
+  EXPECT_EQ(service->Query(bad_overfetch).status().code(),
+            StatusCode::kInvalidArgument);
+  // The dijkstra backend cannot serve a k' > 1 over-fetch.
+  RouteRequest via_dijkstra = MakeKindRequest(QueryKind::kDiverseKsp, 0, 15);
+  via_dijkstra.options.backend = kBackendDijkstra;
+  EXPECT_EQ(service->Query(via_dijkstra).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MultiKindQueryTest, MixedKindsInOneBatchMatchSequentialQueries) {
+  Graph g = MakeRandomConnected(26, 34, 1, 9, 97);
+  std::unique_ptr<RoutingService> service = MustCreate(std::move(g), /*z=*/8);
+  ASSERT_TRUE(service != nullptr);
+
+  std::vector<RouteRequest> requests;
+  requests.push_back(MakeRequest(0, 25, kBackendKspDg, 4));  // kKsp
+  requests.push_back(MakeKindRequest(QueryKind::kShortestPath, 2, 21));
+  RouteRequest diverse = MakeKindRequest(QueryKind::kDiverseKsp, 3, 19);
+  diverse.options.backend = kBackendYen;
+  diverse.options.k = 3;
+  requests.push_back(diverse);
+  RouteRequest bad = MakeKindRequest(QueryKind::kShortestPath, 5, 5);
+  requests.push_back(bad);  // s == t: per-item rejection
+
+  Result<RouteBatchResponse> batched = service->QueryBatch(requests);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  const RouteBatchResponse& b = batched.value();
+  ASSERT_EQ(b.items.size(), 4u);
+  EXPECT_EQ(b.num_ok, 3u);
+  EXPECT_EQ(b.num_rejected, 1u);
+  EXPECT_EQ(b.items[3].status.code(), StatusCode::kInvalidArgument);
+
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(b.items[i].status.ok()) << i;
+    Result<RouteResponse> sequential = service->Query(requests[i]);
+    ASSERT_TRUE(sequential.ok());
+    EXPECT_EQ(b.items[i].response.kind, requests[i].kind);
+    ASSERT_EQ(b.items[i].response.paths.size(),
+              sequential.value().paths.size())
+        << i;
+    for (size_t p = 0; p < b.items[i].response.paths.size(); ++p) {
+      EXPECT_EQ(b.items[i].response.paths[p].vertices,
+                sequential.value().paths[p].vertices);
+      EXPECT_EQ(b.items[i].response.paths[p].distance,
+                sequential.value().paths[p].distance);
+    }
+  }
+  // The diverse item carries its kind-tagged payload through the batch.
+  ASSERT_TRUE(b.items[2].response.diverse.has_value());
+  EXPECT_EQ(b.items[2].response.diverse->kept, b.items[2].response.paths.size());
+}
+
 TEST(BenchRunnerTest, MixedBenchSmoke) {
   BenchOptions options;
   options.dataset = "NY-S";
@@ -766,6 +1023,9 @@ TEST(BenchRunnerTest, MixedBenchSmoke) {
   options.k = 3;
   options.z = 32;
   options.batch_size = 4;
+  options.diverse = true;
+  options.diverse_theta = 0.6;
+  options.diverse_overfetch = 4;
   Result<BenchReport> report = RunMixedBench(options);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   const BenchReport& r = report.value();
@@ -794,11 +1054,35 @@ TEST(BenchRunnerTest, MixedBenchSmoke) {
   EXPECT_EQ(r.batch.non_uniform_batches, 0u);
   EXPECT_GT(r.batch.sequential_qps, 0.0);
   EXPECT_GT(r.batch.batch_qps, 0.0);
+  // CANDS maintenance ran inside the same traffic batches the DTLP
+  // maintenance did (the Figures 40-41 contrast).
+  EXPECT_GT(r.cands_subgraphs_rebuilt, 0u);
+  EXPECT_GT(r.cands_pair_paths_recomputed, 0u);
+  EXPECT_GT(r.cands_rebuild_micros, 0.0);
+  // Diverse phase: every query answered, similarity bound respected, and
+  // the per-query MFP trees compressed the EP incidences.
+  EXPECT_EQ(r.diverse.requests, 18u);
+  EXPECT_EQ(r.diverse.errors, 0u);
+  EXPECT_GE(r.diverse.kept_min, 1u);
+  EXPECT_LE(r.diverse.kept_max, 3u);
+  EXPECT_EQ(r.diverse.kept_total + r.diverse.filtered_total,
+            r.diverse.candidates_total);
+  EXPECT_LE(r.diverse.max_pairwise_similarity, options.diverse_theta);
+  EXPECT_LE(r.diverse.mean_pairwise_similarity,
+            r.diverse.max_pairwise_similarity + 1e-12);
+  EXPECT_GT(r.diverse.ep_raw_entries, 0u);
+  EXPECT_LE(r.diverse.ep_path_nodes, r.diverse.ep_raw_entries);
+  EXPECT_GT(r.diverse.diverse_qps, 0.0);
+  EXPECT_GT(r.diverse.plain_qps, 0.0);
+  EXPECT_LE(r.diverse.p50_micros, r.diverse.p99_micros);
   std::string json = r.ToJson();
   EXPECT_NE(json.find("\"dataset\": \"NY-S\""), std::string::npos);
   EXPECT_NE(json.find("\"backend\": \"kspdg\""), std::string::npos);
   EXPECT_NE(json.find("\"batch_size\": 4"), std::string::npos);
   EXPECT_NE(json.find("\"p95_micros\""), std::string::npos);
+  EXPECT_NE(json.find("\"diverse\""), std::string::npos);
+  EXPECT_NE(json.find("\"mfp_compression_ratio\""), std::string::npos);
+  EXPECT_NE(json.find("\"cands_rebuild_micros\""), std::string::npos);
   BenchOptions bad = options;
   bad.backends = {};
   EXPECT_FALSE(RunMixedBench(bad).ok());

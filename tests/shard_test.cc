@@ -358,6 +358,122 @@ TEST(ShardedRoutingServiceTest, CustomSolversPlugIntoShardedService) {
   Result<KspResponse> response = service->Query(MakeRequest(0, 9, "empty", 2));
   ASSERT_TRUE(response.ok()) << response.status().ToString();
   EXPECT_TRUE(response.value().paths.empty());
+  // Once the first query has been served, the registry is frozen — the
+  // documented "before serving traffic" contract is now enforced.
+  class LateSolver : public KspSolver {
+   public:
+    std::string_view name() const override { return "late"; }
+    Result<KspQueryResult> Solve(const SolverInput&,
+                                 SolverScratch*) const override {
+      return KspQueryResult{};
+    }
+  };
+  EXPECT_EQ(service->RegisterSolver(std::make_unique<LateSolver>()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-kind parity: the kDiverseKsp filter and the cands backend must be
+// invisible to sharding — byte-identical answers at 1/2/4 shards, before
+// and after traffic.
+// ---------------------------------------------------------------------------
+
+TEST(ShardedRoutingServiceTest, DiverseAndShortestPathParityWithUnsharded) {
+  for (uint32_t num_shards : {1u, 2u, 4u}) {
+    Graph g = MakeRandomConnected(40, 54, 1, 9, 271);
+    Graph g_sharded = g;
+    std::unique_ptr<RoutingService> plain =
+        MustCreatePlain(std::move(g), /*z=*/10);
+    std::unique_ptr<ShardedRoutingService> sharded =
+        MustCreateSharded(std::move(g_sharded), /*z=*/10, num_shards);
+    ASSERT_TRUE(plain != nullptr && sharded != nullptr);
+
+    TrafficModelOptions traffic_options;
+    traffic_options.alpha = 0.4;
+    traffic_options.seed = 53;
+    TrafficModel traffic(plain->graph(), traffic_options);
+
+    for (int step = 0; step < 3; ++step) {
+      if (step > 0) {
+        std::vector<WeightUpdate> batch = traffic.NextBatch();
+        ASSERT_TRUE(plain->ApplyTrafficBatch(batch).ok());
+        ASSERT_TRUE(sharded->ApplyTrafficBatch(batch).ok());
+      }
+      for (const auto& [s, t] : std::vector<std::pair<VertexId, VertexId>>{
+               {0, 39}, {5, 33}, {11, 26}}) {
+        // Diversity-aware KSP through the kspdg backend (the interesting
+        // one: its candidates flow through the scatter/gather partials).
+        RouteRequest diverse;
+        diverse.kind = QueryKind::kDiverseKsp;
+        diverse.source = s;
+        diverse.target = t;
+        diverse.options.k = 3;
+        diverse.options.diversity_theta = 0.6;
+        Result<RouteResponse> want = plain->Query(diverse);
+        Result<RouteResponse> got = sharded->Query(diverse);
+        ASSERT_TRUE(want.ok()) << want.status().ToString();
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        ExpectIdenticalPaths(got.value().paths, want.value().paths,
+                             "diverse shards=" + std::to_string(num_shards) +
+                                 " step=" + std::to_string(step));
+        ASSERT_TRUE(want.value().diverse.has_value());
+        ASSERT_TRUE(got.value().diverse.has_value());
+        EXPECT_EQ(got.value().diverse->kept, want.value().diverse->kept);
+        EXPECT_EQ(got.value().diverse->candidates,
+                  want.value().diverse->candidates);
+        EXPECT_EQ(got.value().diverse->ep_path_nodes,
+                  want.value().diverse->ep_path_nodes);
+        EXPECT_EQ(got.value().diverse->max_pairwise_similarity,
+                  want.value().diverse->max_pairwise_similarity);
+
+        // Single shortest path through the coordinator-owned cands index.
+        RouteRequest shortest;
+        shortest.kind = QueryKind::kShortestPath;
+        shortest.source = s;
+        shortest.target = t;
+        Result<RouteResponse> want_sp = plain->Query(shortest);
+        Result<RouteResponse> got_sp = sharded->Query(shortest);
+        ASSERT_TRUE(want_sp.ok() && got_sp.ok());
+        EXPECT_EQ(got_sp.value().backend, kBackendCands);
+        ExpectIdenticalPaths(got_sp.value().paths, want_sp.value().paths,
+                             "cands shards=" + std::to_string(num_shards) +
+                                 " step=" + std::to_string(step));
+      }
+    }
+  }
+}
+
+// Batched diverse queries must equal unsharded sequential ones too (the
+// filter runs inside the batch worker, after the scatter/gather solve).
+TEST(ShardedQueryBatchTest, DiverseBatchParityWithUnshardedSequential) {
+  Graph g = MakeRandomConnected(36, 48, 1, 9, 283);
+  Graph g_sharded = g;
+  std::unique_ptr<RoutingService> plain =
+      MustCreatePlain(std::move(g), /*z=*/10);
+  std::unique_ptr<ShardedRoutingService> sharded =
+      MustCreateSharded(std::move(g_sharded), /*z=*/10, /*num_shards=*/2);
+  ASSERT_TRUE(plain != nullptr && sharded != nullptr);
+
+  std::vector<RouteRequest> requests;
+  for (VertexId s = 0; s < 6; ++s) {
+    RouteRequest request;
+    request.kind = QueryKind::kDiverseKsp;
+    request.source = s;
+    request.target = 35 - s;
+    request.options.k = 3;
+    request.options.backend = s % 2 == 0 ? kBackendKspDg : kBackendYen;
+    requests.push_back(request);
+  }
+  Result<RouteBatchResponse> batched = sharded->QueryBatch(requests);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  ASSERT_EQ(batched.value().num_ok, requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Result<RouteResponse> want = plain->Query(requests[i]);
+    ASSERT_TRUE(want.ok());
+    ExpectIdenticalPaths(batched.value().items[i].response.paths,
+                         want.value().paths,
+                         "diverse batch item " + std::to_string(i));
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -6,6 +6,7 @@
 //               [--batches 6] [--threads 4] [--alpha 0.35] [--tau 0.30]
 //               [--z 0] [--seed 42] [--backends kspdg,yen,findksp]
 //               [--batch-size 0] [--batch-threads 0] [--shards 0]
+//               [--diverse] [--diverse-theta 0.5] [--diverse-overfetch 4]
 //               [--out BENCH_service.json]
 //
 // --batch-size N (N > 0) appends a batch-vs-sequential throughput phase:
@@ -28,6 +29,14 @@
 // per-shard partial-cache hits and both throughputs land in the BENCH JSON
 // under "shard_batch".
 //
+// --diverse appends a diverse-vs-plain phase: the mixed request list is
+// answered once as plain kKsp and once as kDiverseKsp (over-fetch k' =
+// k * overfetch, MFP/MinHash filter down to k routes with pairwise
+// similarity <= theta); kept/filtered counts, the mean pairwise similarity,
+// the per-query MFP compression ratio, and both throughputs land in the
+// BENCH JSON under "diverse". With --shards N, the shard parity phase also
+// answers a kDiverseKsp copy of its request list on both services.
+//
 // Set KSPDG_DATA_DIR to run on real DIMACS files instead of the synthetic
 // stand-ins (see src/workload/datasets.h).
 #include <cstdio>
@@ -48,6 +57,7 @@ void Usage(const char* argv0) {
                "[--queries N] [--batches N] [--threads N] [--alpha F] "
                "[--tau F] [--z N] [--seed N] [--backends a,b,c] "
                "[--batch-size N] [--batch-threads N] [--shards N] "
+               "[--diverse] [--diverse-theta F] [--diverse-overfetch N] "
                "[--out FILE]\n",
                argv0);
 }
@@ -107,6 +117,13 @@ int main(int argc, char** argv) {
           static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--shards") {
       options.shards = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--diverse") {
+      options.diverse = true;
+    } else if (arg == "--diverse-theta") {
+      options.diverse_theta = std::strtod(next(), nullptr);
+    } else if (arg == "--diverse-overfetch") {
+      options.diverse_overfetch =
+          static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--out") {
       out_file = next();
     } else if (arg == "--help" || arg == "-h") {

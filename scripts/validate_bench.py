@@ -17,6 +17,15 @@ change.
 --check expressions are dotted paths into the report compared against a
 numeric literal with one of ==, !=, >=, <=, >, < (applied to every FILE
 given). Exit status is non-zero on any failure.
+
+--baseline PREV.json compares every FILE's throughput against a previous
+report: for each phase whose workload matches the baseline's (same dataset,
+graph size, k, and the phase's own shape — shards, batch size, request
+count), every qps field may not regress by more than --max-regression
+(default 0.20, i.e. 20%). Phases with a different workload are skipped —
+qps at different workloads is not comparable — but if NO phase is
+comparable the check fails, so a silently drifted workload cannot disarm
+the gate.
 """
 
 import argparse
@@ -107,6 +116,32 @@ SHARD_BATCH_SCHEMA = {
     "speedup": NUM,
 }
 
+REMOTE_SHARD_SCHEMA = {
+    "num_shards": int,
+    "requests": int,
+    "diverse_requests": int,
+    "batch_size": int,
+    "batches_submitted": int,
+    "errors": int,
+    "mismatches": int,
+    "batches_applied": int,
+    "final_epoch": int,
+    "rpc_calls": int,
+    "rpc_retries": int,
+    "rpc_deadline_expired": int,
+    "worker_restarts": int,
+    "partial_cache_hits": int,
+    "partial_cache_skips": int,
+    "direct_partials": int,
+    "scattered_partials": int,
+    "remote_micros": NUM,
+    "remote_batch_micros": NUM,
+    "inprocess_micros": NUM,
+    "remote_qps": NUM,
+    "remote_batch_qps": NUM,
+    "inprocess_qps": NUM,
+}
+
 BACKEND_SCHEMA = {
     "backend": str,
     "queries": int,
@@ -145,6 +180,7 @@ TOP_SCHEMA = {
     "diverse": DIVERSE_SCHEMA,
     "shard": SHARD_SCHEMA,
     "shard_batch": SHARD_BATCH_SCHEMA,
+    "remote_shard": REMOTE_SHARD_SCHEMA,
     "backends": BACKEND_SCHEMA,  # list of objects
 }
 
@@ -237,6 +273,113 @@ def run_check(report, where, expr, failures):
         failures.append(f"{where}: check failed: {path} = {value}, wanted {op} {literal}")
 
 
+# --- baseline comparison ---------------------------------------------------
+
+# qps fields per phase, compared only when the phase's workload keys all
+# match the baseline (same shape => comparable throughput).
+PHASE_QPS_FIELDS = {
+    "batch": ["sequential_qps", "batch_qps"],
+    "diverse": ["plain_qps", "diverse_qps"],
+    "shard": ["sharded_qps", "unsharded_qps"],
+    "shard_batch": ["sharded_batch_qps", "unsharded_sequential_qps"],
+    "remote_shard": ["remote_qps", "remote_batch_qps", "inprocess_qps"],
+}
+
+PHASE_WORKLOAD_KEYS = {
+    "batch": ["batch_size", "requests"],
+    "diverse": ["requests", "k", "overfetch"],
+    "shard": ["num_shards", "requests"],
+    "shard_batch": ["num_shards", "batch_size", "requests"],
+    "remote_shard": ["num_shards", "batch_size", "requests"],
+}
+
+
+def compare_baseline(report, baseline, where, max_regression, failures):
+    """Fails on any qps field more than max_regression below the baseline
+    at equal workload; fails if nothing was comparable at all."""
+    for key in ("dataset", "num_vertices", "num_edges", "k"):
+        if report.get(key) != baseline.get(key):
+            failures.append(
+                f"{where}: baseline not comparable: {key} is"
+                f" {json.dumps(report.get(key))} vs baseline"
+                f" {json.dumps(baseline.get(key))}"
+            )
+            return
+    compared = 0
+    floor = 1.0 - max_regression
+
+    def check_qps(path, current, base):
+        nonlocal compared
+        if (
+            not isinstance(current, NUM)
+            or not isinstance(base, NUM)
+            or isinstance(current, bool)
+            or isinstance(base, bool)
+            or base <= 0
+        ):
+            return
+        compared += 1
+        if current < base * floor:
+            failures.append(
+                f"{where}: qps regression: {path} = {current:.1f} vs"
+                f" baseline {base:.1f}"
+                f" ({(1.0 - current / base) * 100.0:.1f}% drop,"
+                f" allowed {max_regression * 100.0:.0f}%)"
+            )
+
+    # Per-backend throughput of the mixed phase (equal query counts and an
+    # error-free run on both sides required for comparability).
+    base_backends = {
+        b.get("backend"): b
+        for b in baseline.get("backends", [])
+        if isinstance(b, dict)
+    }
+    for b in report.get("backends", []):
+        if not isinstance(b, dict):
+            continue
+        base = base_backends.get(b.get("backend"))
+        if (
+            base is None
+            or b.get("queries") != base.get("queries")
+            or b.get("errors") != 0
+            or base.get("errors") != 0
+        ):
+            continue
+        cur_micros = b.get("total_micros")
+        base_micros = base.get("total_micros")
+        if (
+            isinstance(cur_micros, NUM)
+            and isinstance(base_micros, NUM)
+            and cur_micros > 0
+            and base_micros > 0
+        ):
+            check_qps(
+                f"backends[{b['backend']}].qps",
+                b["queries"] / (cur_micros / 1e6),
+                base["queries"] / (base_micros / 1e6),
+            )
+
+    for phase, qps_fields in PHASE_QPS_FIELDS.items():
+        current = report.get(phase)
+        base = baseline.get(phase)
+        if not isinstance(current, dict) or not isinstance(base, dict):
+            continue
+        if current.get("requests", 0) == 0:
+            continue  # phase did not run
+        if any(
+            current.get(k) != base.get(k) for k in PHASE_WORKLOAD_KEYS[phase]
+        ):
+            continue  # different workload: not comparable
+        for field in qps_fields:
+            check_qps(f"{phase}.{field}", current.get(field), base.get(field))
+
+    if compared == 0:
+        failures.append(
+            f"{where}: baseline check compared nothing — no phase ran at the"
+            " baseline's workload (dataset/size/k/shape must match)"
+        )
+
+
 def main(argv):
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
@@ -249,9 +392,32 @@ def main(argv):
         metavar="EXPR",
         help="dotted-path assertion, e.g. 'shard_batch.mismatches==0'",
     )
+    parser.add_argument(
+        "--baseline",
+        metavar="PREV.json",
+        help="previous BENCH report; fail if any qps field at an equal "
+        "workload regresses by more than --max-regression",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        metavar="FRAC",
+        help="allowed fractional qps drop vs --baseline (default 0.20)",
+    )
     args = parser.parse_args(argv)
 
     failures = []
+    baseline = None
+    if args.baseline is not None:
+        try:
+            with open(args.baseline, encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except (OSError, json.JSONDecodeError) as err:
+            failures.append(f"--baseline {args.baseline}: {err}")
+        if baseline is not None and not isinstance(baseline, dict):
+            failures.append(f"--baseline {args.baseline}: not a JSON object")
+            baseline = None
     for path in args.files:
         try:
             with open(path, encoding="utf-8") as fh:
@@ -270,6 +436,10 @@ def main(argv):
         validate_report(report, path, failures)
         for expr in args.check:
             run_check(report, path, expr, failures)
+        if baseline is not None:
+            compare_baseline(
+                report, baseline, path, args.max_regression, failures
+            )
 
     if failures:
         print("BENCH validation FAILED:", file=sys.stderr)

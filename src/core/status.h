@@ -18,6 +18,10 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kIOError,
+  /// A required peer (e.g. a shard worker process) is unreachable or dead.
+  kUnavailable,
+  /// The per-call deadline expired before the peer answered.
+  kDeadlineExceeded,
 };
 
 /// Lightweight status object; cheap to return by value. `ok()` statuses carry
@@ -44,6 +48,12 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,917 @@
+#include "remote/remote_sharded_routing_service.h"
+
+#include <signal.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/timer.h"
+#include "kspdg/partial_provider.h"
+#include "rpc/wire.h"
+
+extern char** environ;
+
+namespace kspdg {
+
+namespace {
+
+unsigned ResolveApplyThreads(unsigned requested, size_t num_workers) {
+  if (requested != 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return static_cast<unsigned>(
+      std::min<size_t>(num_workers, static_cast<size_t>(hw)));
+}
+
+uint64_t PairKey(VertexId a, VertexId b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+/// See RemoteWorkerOptions::worker_binary: explicit path, else the
+/// KSPDG_WORKER_BIN env override, else "shard_worker" next to the current
+/// executable (every CMake target lands in the build root).
+std::string ResolveWorkerBinary(const std::string& configured) {
+  if (!configured.empty()) return configured;
+  const char* env = std::getenv("KSPDG_WORKER_BIN");
+  if (env != nullptr && env[0] != '\0') return env;
+  char buf[4096];
+  ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "shard_worker";
+  buf[n] = '\0';
+  std::string self(buf);
+  size_t slash = self.rfind('/');
+  if (slash == std::string::npos) return "shard_worker";
+  return self.substr(0, slash + 1) + "shard_worker";
+}
+
+std::string ResolveSocketDir(const std::string& configured) {
+  if (!configured.empty()) return configured;
+  const char* tmp = std::getenv("TMPDIR");
+  if (tmp != nullptr && tmp[0] != '\0') return tmp;
+  return "/tmp";
+}
+
+/// Distinguishes sockets of distinct service instances within one process
+/// (and, with the pid, across processes sharing a socket dir).
+std::atomic<uint64_t> g_instance_counter{0};
+
+}  // namespace
+
+// The RPC twin of ShardedRoutingService::ShardPartialProvider: identical
+// grouping, caching, and merge semantics (see that class for the depth/
+// exhaustion reuse rules the parity guarantee rests on), but a fresh
+// computation becomes a PartialsRequest to the worker process owning the
+// shard instead of an inline Yen run under the shard's lock. The request
+// carries the pinned epoch, so a worker that silently missed a traffic
+// batch rejects instead of contributing stale paths.
+//
+// Failure semantics: the first failed fetch poisons the query — the
+// provider records the status, answers this and every later request of the
+// query with an empty exhausted result (stopping the depth schedule cold),
+// and the service discards the solver's output in favour of the recorded
+// error. A dead worker therefore costs each affected query one fast
+// status, never a hang and never a silently wrong answer.
+class RemoteShardedRoutingService::RemotePartialProvider
+    : public PartialProvider {
+ public:
+  explicit RemotePartialProvider(const RemoteShardedRoutingService& service)
+      : service_(service),
+        max_cached_pairs_(service.options_.defaults.partial_cache_pairs),
+        caches_(service.workers_.size()),
+        shard_touched_(service.workers_.size(), 0) {}
+
+  /// Binds the multi-shard read pin whose epoch stamps every request.
+  void BindPin(const EpochCoordinator::ReadPin* pin) { pin_ = pin; }
+
+  /// Resets the per-query state (touch tracking + error; caches persist).
+  void BeginQuery() {
+    std::fill(shard_touched_.begin(), shard_touched_.end(), 0);
+    error_ = Status::OK();
+  }
+
+  /// First RPC/protocol failure of the current query (OK if none). The
+  /// caller must check this after Solve and discard the result on error.
+  const Status& error() const { return error_; }
+
+  size_t ShardsTouched() const {
+    size_t n = 0;
+    for (char touched : shard_touched_) n += touched != 0;
+    return n;
+  }
+
+  PartialResult ComputePartials(VertexId x, VertexId y,
+                                size_t depth) override {
+    PartialResult failed;
+    failed.exhausted = true;  // stop the depth schedule; the query is lost
+    if (!error_.ok()) return failed;
+    const Partition& partition = service_.dtlp_->partition();
+    std::vector<std::pair<ShardId, std::vector<SubgraphId>>> groups;
+    for (SubgraphId sgid : partition.SubgraphsContainingBoth(x, y)) {
+      ShardId shard = service_.assignment_.shard_of_subgraph[sgid];
+      auto it =
+          std::find_if(groups.begin(), groups.end(),
+                       [shard](const auto& g) { return g.first == shard; });
+      if (it == groups.end()) {
+        groups.push_back({shard, {sgid}});
+      } else {
+        it->second.push_back(sgid);
+      }
+    }
+    std::vector<SubgraphPartials> gathered;
+    size_t fresh_runs = 0;
+    const uint64_t key = PairKey(x, y);
+    for (const auto& [shard_id, owned] : groups) {
+      const Worker& worker = *service_.workers_[shard_id];
+      shard_touched_[shard_id] = 1;
+      ShardCache& cache = caches_[shard_id];
+      // Flush against the worker's weights stamp (see ShardPartialProvider:
+      // a batch that never touched this shard leaves its cache warm).
+      const uint64_t weights_epoch =
+          worker.weights_epoch.load(std::memory_order_acquire);
+      if (cache.epoch != weights_epoch) {
+        if (!cache.entries.empty()) {
+          worker.cache_flushes.fetch_add(1, std::memory_order_relaxed);
+          cache.entries.clear();
+        }
+        cache.epoch = weights_epoch;
+      }
+      if (const CacheEntry* hit = cache.Find(key, depth)) {
+        worker.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        gathered.insert(gathered.end(), hit->lists.begin(), hit->lists.end());
+        continue;
+      }
+      CacheEntry entry;
+      entry.depth = depth;
+      Status fetched = FetchFromWorker(worker, owned, x, y, depth, &entry);
+      if (!fetched.ok()) {
+        error_ = std::move(fetched);
+        return failed;
+      }
+      worker.partial_requests.fetch_add(1, std::memory_order_relaxed);
+      worker.yen_runs.fetch_add(owned.size(), std::memory_order_relaxed);
+      fresh_runs += owned.size();
+      entry.exhausted = true;
+      for (const SubgraphPartials& list : entry.lists) {
+        if (list.paths.size() >= depth) entry.exhausted = false;
+      }
+      gathered.insert(gathered.end(), entry.lists.begin(), entry.lists.end());
+      if (max_cached_pairs_ != 0 &&
+          (cache.entries.size() < max_cached_pairs_ ||
+           cache.entries.count(key) != 0)) {
+        cache.entries[key].push_back(std::move(entry));
+      } else {
+        worker.cache_skips.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    PartialResult result = MergeSubgraphPartials(std::move(gathered), depth);
+    result.yen_runs = fresh_runs;
+    if (groups.size() == 1) {
+      service_.direct_partials_.fetch_add(1, std::memory_order_relaxed);
+    } else if (groups.size() > 1) {
+      service_.scattered_partials_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return result;
+  }
+
+ private:
+  struct CacheEntry {
+    size_t depth = 0;
+    bool exhausted = false;
+    std::vector<SubgraphPartials> lists;
+  };
+
+  struct ShardCache {
+    uint64_t epoch = 0;
+    std::unordered_map<uint64_t, std::vector<CacheEntry>> entries;
+
+    const CacheEntry* Find(uint64_t key, size_t depth) const {
+      auto it = entries.find(key);
+      if (it == entries.end()) return nullptr;
+      for (const CacheEntry& entry : it->second) {
+        if (entry.depth == depth ||
+            (entry.exhausted && entry.depth <= depth)) {
+          return &entry;
+        }
+      }
+      return nullptr;
+    }
+  };
+
+  /// One partials round trip to `worker`, validated. Any failure marks the
+  /// worker dead: it cannot serve its shard until restarted, and every
+  /// later query fails fast on the alive flag instead of re-timing-out.
+  Status FetchFromWorker(const Worker& worker,
+                         const std::vector<SubgraphId>& owned, VertexId x,
+                         VertexId y, size_t depth, CacheEntry* entry) {
+    if (!worker.alive.load(std::memory_order_acquire)) {
+      return Status::Unavailable(
+          "shard worker " + std::to_string(worker.shard) +
+          " is dead; its shard is unavailable until restarted");
+    }
+    PartialsRequest request;
+    request.epoch = pin_->epoch();
+    request.x = x;
+    request.y = y;
+    request.depth = depth;
+    request.sgids = owned;
+    std::string reply_payload;
+    Status called;
+    {
+      std::lock_guard<std::mutex> lock(worker.mu);
+      called = worker.client->Call(MessageType::kPartialsRequest,
+                                   request.Encode(),
+                                   MessageType::kPartialsReply,
+                                   &reply_payload);
+    }
+    PartialsReply reply;
+    if (called.ok()) called = PartialsReply::Decode(reply_payload, &reply);
+    if (called.ok() && reply.lists.size() != owned.size()) {
+      called = Status::Internal(
+          "worker " + std::to_string(worker.shard) + " returned " +
+          std::to_string(reply.lists.size()) + " partial lists for " +
+          std::to_string(owned.size()) + " requested subgraphs");
+    }
+    if (called.ok()) {
+      for (size_t i = 0; i < owned.size(); ++i) {
+        if (reply.lists[i].sgid != owned[i]) {
+          called = Status::Internal(
+              "worker " + std::to_string(worker.shard) +
+              " returned partials for the wrong subgraph");
+          break;
+        }
+      }
+    }
+    if (!called.ok()) {
+      service_.MarkWorkerDead(worker);
+      return called;
+    }
+    entry->lists = std::move(reply.lists);
+    return Status::OK();
+  }
+
+  const RemoteShardedRoutingService& service_;
+  const size_t max_cached_pairs_;
+  const EpochCoordinator::ReadPin* pin_ = nullptr;
+  std::vector<ShardCache> caches_;
+  std::vector<char> shard_touched_;
+  Status error_;
+};
+
+RemoteShardedRoutingService::BatchWorker::BatchWorker() = default;
+RemoteShardedRoutingService::BatchWorker::BatchWorker(BatchWorker&&) noexcept =
+    default;
+RemoteShardedRoutingService::BatchWorker&
+RemoteShardedRoutingService::BatchWorker::operator=(BatchWorker&&) noexcept =
+    default;
+RemoteShardedRoutingService::BatchWorker::~BatchWorker() = default;
+
+Result<std::unique_ptr<RemoteShardedRoutingService>>
+RemoteShardedRoutingService::Create(Graph graph,
+                                    RemoteShardedRoutingServiceOptions options) {
+  KSPDG_RETURN_NOT_OK(options.defaults.Validate());
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  // Heap-allocate before building the DTLP: the index keeps a pointer to
+  // the service-owned graph.
+  std::unique_ptr<RemoteShardedRoutingService> service(
+      new RemoteShardedRoutingService(std::move(graph), std::move(options)));
+  // Pristine replay source for worker (re)starts: a restarted worker must
+  // re-derive the exact incrementally-maintained state of its peers, and
+  // rebuilding from the *current* weights would not (a fresh index build
+  // and an incrementally refreshed one can legitimately differ), so
+  // restarts always load this copy and replay the committed history.
+  service->initial_graph_ = service->graph_;
+  Result<std::unique_ptr<Dtlp>> dtlp =
+      Dtlp::Build(service->graph_, service->options_.dtlp);
+  if (!dtlp.ok()) return dtlp.status();
+  service->dtlp_ = std::move(dtlp).value();
+  if (service->options_.enable_cands) {
+    Result<std::unique_ptr<CandsIndex>> cands =
+        BuildCandsIndex(service->graph_, service->options_.dtlp);
+    if (!cands.ok()) return cands.status();
+    service->cands_ = std::move(cands).value();
+  }
+  Result<ShardAssignment> assignment = AssignShards(
+      service->dtlp_->partition(), service->options_.num_shards);
+  if (!assignment.ok()) return assignment.status();
+  service->assignment_ = std::move(assignment).value();
+  service->registry_ = SolverRegistry::Default();
+  service->epochs_ =
+      std::make_unique<EpochCoordinator>(service->assignment_.num_shards);
+  service->apply_pool_ = std::make_unique<ThreadPool>(ResolveApplyThreads(
+      service->options_.apply_threads, service->assignment_.num_shards));
+  service->batch_pool_ = std::make_unique<ThreadPool>(
+      DefaultBatchThreads(service->options_.batch_threads));
+
+  service->worker_binary_ =
+      ResolveWorkerBinary(service->options_.remote.worker_binary);
+  if (access(service->worker_binary_.c_str(), X_OK) != 0) {
+    return Status::InvalidArgument(
+        "shard_worker binary not executable at '" + service->worker_binary_ +
+        "' (set RemoteWorkerOptions::worker_binary or KSPDG_WORKER_BIN)");
+  }
+  const std::string socket_dir =
+      ResolveSocketDir(service->options_.remote.socket_dir);
+  const uint64_t instance =
+      g_instance_counter.fetch_add(1, std::memory_order_relaxed);
+  RpcClientOptions client_options;
+  client_options.deadline_ms = service->options_.remote.rpc_deadline_ms;
+  client_options.max_retries = service->options_.remote.rpc_max_retries;
+  client_options.backoff_ms = service->options_.remote.rpc_backoff_ms;
+  for (ShardId shard = 0; shard < service->assignment_.num_shards; ++shard) {
+    auto worker = std::make_unique<Worker>();
+    worker->shard = shard;
+    worker->socket_path = socket_dir + "/kspdg-" +
+                          std::to_string(static_cast<long>(getpid())) + "-" +
+                          std::to_string(instance) + "-s" +
+                          std::to_string(shard) + ".sock";
+    worker->client =
+        std::make_unique<RpcClient>(worker->socket_path, client_options);
+    service->workers_.push_back(std::move(worker));
+  }
+
+  // Providers size their caches off workers_, so build them after the fleet.
+  service->batch_workers_.reserve(service->batch_pool_->num_threads());
+  for (unsigned w = 0; w < service->batch_pool_->num_threads(); ++w) {
+    BatchWorker worker;
+    worker.provider = std::make_unique<RemotePartialProvider>(*service);
+    service->batch_workers_.push_back(std::move(worker));
+  }
+  service->submit_queue_ = std::make_unique<SubmissionQueue>(
+      service->options_.submit_queue_capacity, /*num_workers=*/1);
+
+  // Spawn last: on any failure the service destructor reaps the workers
+  // already started.
+  for (std::unique_ptr<Worker>& worker : service->workers_) {
+    KSPDG_RETURN_NOT_OK(service->SpawnAndLoadWorker(*worker));
+  }
+  return service;
+}
+
+RemoteShardedRoutingService::~RemoteShardedRoutingService() {
+  // Drain accepted async batches while the fleet still answers partials.
+  submit_queue_.reset();
+  for (std::unique_ptr<Worker>& worker : workers_) {
+    if (worker != nullptr) StopWorker(*worker);
+  }
+}
+
+Status RemoteShardedRoutingService::SpawnAndLoadWorker(Worker& worker) const {
+  std::vector<std::string> args = {
+      worker_binary_, "--socket", worker.socket_path, "--idle-timeout-ms",
+      std::to_string(options_.remote.worker_idle_timeout_ms)};
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+  pid_t pid = -1;
+  int rc = posix_spawn(&pid, worker_binary_.c_str(), /*file_actions=*/nullptr,
+                       /*attrp=*/nullptr, argv.data(), environ);
+  if (rc != 0) {
+    return Status::Internal("posix_spawn(" + worker_binary_ +
+                            "): " + std::strerror(rc));
+  }
+  worker.pid.store(pid, std::memory_order_release);
+
+  // Bootstrap: ship the INITIAL graph (EnsureConnected inside the client
+  // keeps retrying the connect until the deadline, which covers startup).
+  LoadGraphRequest load = LoadGraphRequest::FromGraph(
+      initial_graph_, worker.shard, assignment_.num_shards, options_.dtlp);
+  std::string reply_payload;
+  Status called;
+  {
+    std::lock_guard<std::mutex> lock(worker.mu);
+    called = worker.client->Call(
+        MessageType::kLoadGraphRequest, load.Encode(),
+        MessageType::kLoadGraphReply, &reply_payload,
+        options_.remote.apply_deadline_ms);
+  }
+  LoadGraphReply loaded;
+  if (called.ok()) called = LoadGraphReply::Decode(reply_payload, &loaded);
+  if (called.ok() &&
+      (loaded.subgraphs_owned !=
+           assignment_.subgraphs_of_shard[worker.shard].size() ||
+       loaded.vertices_owned != assignment_.vertices_of_shard[worker.shard])) {
+    // The worker's deterministic rebuild disagreed with ours — nothing it
+    // answers can be trusted.
+    called = Status::Internal(
+        "worker " + std::to_string(worker.shard) +
+        " rebuilt a different shard assignment than the coordinator");
+  }
+  // Replay the committed history so the worker re-derives the exact
+  // incremental index state every live shard has.
+  uint64_t replayed = 0;
+  for (size_t b = 0; called.ok() && b < history_.size(); ++b) {
+    EpochPrepareRequest prepare;
+    prepare.epoch = b + 1;
+    prepare.updates = history_[b];
+    std::string prepare_reply;
+    {
+      std::lock_guard<std::mutex> lock(worker.mu);
+      called = worker.client->Call(
+          MessageType::kEpochPrepareRequest, prepare.Encode(),
+          MessageType::kEpochPrepareReply, &prepare_reply,
+          options_.remote.apply_deadline_ms);
+    }
+    EpochPrepareReply reply;
+    if (called.ok()) called = EpochPrepareReply::Decode(prepare_reply, &reply);
+    if (called.ok()) replayed = prepare.epoch;
+  }
+  if (!called.ok()) {
+    MarkWorkerDead(worker);
+    return called;
+  }
+  worker.epoch.store(replayed, std::memory_order_release);
+  // Conservative stamp: flush any cached partials derived from the previous
+  // incarnation (they would replay identically, but a flush is always safe).
+  worker.weights_epoch.store(epochs_->global(), std::memory_order_release);
+  worker.alive.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+bool RemoteShardedRoutingService::HealthCheckWorker(
+    const Worker& worker) const {
+  static std::atomic<uint64_t> nonce_source{1};
+  PingRequest ping;
+  ping.nonce = nonce_source.fetch_add(1, std::memory_order_relaxed);
+  std::string reply_payload;
+  Status called;
+  {
+    std::lock_guard<std::mutex> lock(worker.mu);
+    called = worker.client->Call(MessageType::kPingRequest, ping.Encode(),
+                                 MessageType::kPingReply, &reply_payload);
+  }
+  PingReply pong;
+  if (called.ok()) called = PingReply::Decode(reply_payload, &pong);
+  if (called.ok() && pong.nonce != ping.nonce) {
+    called = Status::Internal("ping nonce mismatch");
+  }
+  if (!called.ok()) {
+    MarkWorkerDead(worker);
+    return false;
+  }
+  return true;
+}
+
+Status RemoteShardedRoutingService::RestartDeadWorkersLocked() {
+  // A worker that crashed without a failed RPC still looks alive; a cheap
+  // ping flushes silent deaths out before we decide who needs reviving.
+  for (std::unique_ptr<Worker>& worker : workers_) {
+    if (worker->alive.load(std::memory_order_acquire)) {
+      (void)HealthCheckWorker(*worker);
+    }
+  }
+  Status first_failure = Status::OK();
+  for (std::unique_ptr<Worker>& worker : workers_) {
+    if (worker->alive.load(std::memory_order_acquire)) continue;
+    // Reap the previous incarnation (SIGKILL is a no-op if it already
+    // exited; the waitpid prevents zombies either way).
+    pid_t pid = worker->pid.load(std::memory_order_relaxed);
+    if (pid > 0) {
+      kill(pid, SIGKILL);
+      waitpid(pid, nullptr, 0);
+      worker->pid.store(-1, std::memory_order_relaxed);
+    }
+    worker->client->Disconnect();
+    Status spawned = SpawnAndLoadWorker(*worker);
+    if (spawned.ok()) {
+      worker->restarts.fetch_add(1, std::memory_order_relaxed);
+    } else if (first_failure.ok()) {
+      first_failure = std::move(spawned);
+    }
+  }
+  if (!first_failure.ok()) {
+    return Status::Unavailable("worker restart failed: " +
+                               first_failure.ToString());
+  }
+  return Status::OK();
+}
+
+Status RemoteShardedRoutingService::RestartDeadWorkers() {
+  // Exclusive: restarting swaps worker state under queries' feet otherwise.
+  std::unique_lock<EpochLock> lock(epochs_->global_lock());
+  return RestartDeadWorkersLocked();
+}
+
+void RemoteShardedRoutingService::StopWorker(Worker& worker) {
+  if (worker.client != nullptr &&
+      worker.alive.load(std::memory_order_acquire)) {
+    // Graceful half: ask the worker to exit. Short deadline — SIGKILL below
+    // backs it up, and a dead worker should not stall teardown.
+    std::string reply_payload;
+    std::lock_guard<std::mutex> lock(worker.mu);
+    (void)worker.client->Call(MessageType::kShutdownRequest, std::string(),
+                              MessageType::kShutdownReply, &reply_payload,
+                              /*deadline_ms_override=*/500);
+  }
+  pid_t pid = worker.pid.load(std::memory_order_relaxed);
+  if (pid > 0) {
+    bool reaped = false;
+    for (int i = 0; i < 50; ++i) {
+      int wstatus = 0;
+      pid_t r = waitpid(pid, &wstatus, WNOHANG);
+      if (r != 0) {  // exited (or already reaped — nothing left to do)
+        reaped = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (!reaped) {
+      kill(pid, SIGKILL);
+      waitpid(pid, nullptr, 0);
+    }
+    worker.pid.store(-1, std::memory_order_relaxed);
+  }
+  worker.alive.store(false, std::memory_order_release);
+  // The worker unlinks its socket on a graceful exit, but a SIGKILLed one
+  // cannot — remove it here so teardown never litters the socket dir.
+  if (!worker.socket_path.empty()) ::unlink(worker.socket_path.c_str());
+}
+
+Status RemoteShardedRoutingService::PrepareQuery(const RouteRequest& request,
+                                                 PreparedRoute* prepared) const {
+  return PrepareRoutingQuery(registry_, options_.defaults, graph_, request,
+                             prepared);
+}
+
+Result<RouteResponse> RemoteShardedRoutingService::Query(
+    const RouteRequest& request) const {
+  MarkServing();
+  PreparedRoute prepared;
+  Status status = PrepareQuery(request, &prepared);
+  if (!status.ok()) {
+    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return status;
+  }
+
+  RemotePartialProvider provider(*this);
+  SolverInput input;
+  input.graph = &graph_;
+  input.dtlp = dtlp_.get();
+  input.partials = &provider;  // DTLP-free backends ignore it
+  input.cands = cands_.get();
+  input.source = request.source;
+  input.target = request.target;
+  input.options = std::move(prepared.merged);
+
+  // Snapshot section: the read pin freezes the coordinator's master state
+  // AND excludes traffic applies, so every worker sits exactly at the
+  // pinned epoch for the pin's lifetime — the epoch stamp on each partials
+  // request turns any violation of that into an explicit error.
+  EpochCoordinator::ReadPin pin(*epochs_);
+  provider.BindPin(&pin);
+  provider.BeginQuery();
+  WallTimer timer;
+  Result<KspQueryResult> solved = prepared.solver->Solve(input);
+  if (!provider.error().ok()) {
+    // A partial fetch failed mid-solve: whatever the solver produced is
+    // untrustworthy. Degrade to the transport error, never a wrong answer.
+    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    partial_rpc_errors_.fetch_add(1, std::memory_order_relaxed);
+    return provider.error();
+  }
+  if (!solved.ok()) {
+    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return solved.status();
+  }
+  RouteResponse response =
+      FinishRouteResponse(prepared.kind, prepared.requested_k,
+                          std::move(input.options), graph_.directed(),
+                          std::move(solved).value());
+  response.stats.solve_micros = timer.ElapsedMicros();
+  response.epoch = pin.epoch();
+  size_t touched = provider.ShardsTouched();
+  if (touched == 1) {
+    single_shard_queries_.fetch_add(1, std::memory_order_relaxed);
+  } else if (touched > 1) {
+    cross_shard_queries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  queries_ok_.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+Result<RouteBatchResponse> RemoteShardedRoutingService::QueryBatch(
+    std::span<const RouteRequest> requests) const {
+  MarkServing();
+  RouteBatchResponse batch;
+  batch.items.resize(requests.size());
+
+  // Phase 1 (outside any lock): validate every request and resolve its
+  // backend; failures become per-item statuses, never a batch failure.
+  struct Prepared {
+    size_t index = 0;
+    PreparedRoute route;
+  };
+  std::vector<Prepared> work;
+  work.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Prepared prepared;
+    prepared.index = i;
+    Status status = PrepareQuery(requests[i], &prepared.route);
+    if (!status.ok()) {
+      batch.items[i].status = std::move(status);
+      continue;
+    }
+    work.push_back(std::move(prepared));
+  }
+
+  // Phase 2: group by backend so contiguous chunks share a solver.
+  std::stable_sort(work.begin(), work.end(),
+                   [](const Prepared& a, const Prepared& b) {
+                     return a.route.solver->name() < b.route.solver->name();
+                   });
+
+  // Phase 3 (snapshot section): ONE read pin covers every solve — see
+  // ShardedRoutingService::QueryBatch, whose structure this mirrors
+  // exactly; only the provider behind the seam differs.
+  std::lock_guard<std::mutex> batch_guard(batch_mu_);
+  {
+    EpochCoordinator::ReadPin pin(*epochs_);
+    WallTimer timer;
+    const uint64_t epoch = pin.epoch();
+    batch.epoch = epoch;
+    if (arena_epoch_ != epoch) {
+      for (BatchWorker& worker : batch_workers_) worker.arena.OnSnapshotChange();
+      arena_epoch_ = epoch;
+    }
+    for (BatchWorker& worker : batch_workers_) worker.provider->BindPin(&pin);
+    size_t chunk = std::max<size_t>(
+        1, work.size() / (4 * size_t{batch_pool_->num_threads()}));
+    batch_pool_->ParallelFor(
+        work.size(), chunk, [&](unsigned worker_id, size_t j) {
+          Prepared& p = work[j];
+          BatchWorker& worker = batch_workers_[worker_id];
+          SolverInput input;
+          input.graph = &graph_;
+          input.dtlp = dtlp_.get();
+          input.partials = worker.provider.get();
+          input.cands = cands_.get();
+          input.source = requests[p.index].source;
+          input.target = requests[p.index].target;
+          input.options = std::move(p.route.merged);
+          worker.provider->BeginQuery();
+          SolverScratch* scratch = p.route.solver->UsesPartialProvider()
+                                       ? nullptr
+                                       : worker.arena.Get(p.route.solver);
+          RouteBatchItem& item = batch.items[p.index];
+          WallTimer solve_timer;
+          Result<KspQueryResult> solved =
+              p.route.solver->Solve(input, scratch);
+          if (!worker.provider->error().ok()) {
+            item.status = worker.provider->error();
+            partial_rpc_errors_.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          if (!solved.ok()) {
+            item.status = solved.status();
+            return;
+          }
+          item.response = FinishRouteResponse(
+              p.route.kind, p.route.requested_k, std::move(input.options),
+              graph_.directed(), std::move(solved).value());
+          item.response.stats.solve_micros = solve_timer.ElapsedMicros();
+          item.response.epoch = epoch;
+          size_t touched = worker.provider->ShardsTouched();
+          if (touched == 1) {
+            single_shard_queries_.fetch_add(1, std::memory_order_relaxed);
+          } else if (touched > 1) {
+            cross_shard_queries_.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+    for (BatchWorker& worker : batch_workers_) worker.provider->BindPin(nullptr);
+    batch.batch_micros = timer.ElapsedMicros();
+  }
+
+  for (const KspBatchItem& item : batch.items) {
+    if (item.status.ok()) {
+      ++batch.num_ok;
+    } else {
+      ++batch.num_rejected;
+    }
+  }
+  queries_ok_.fetch_add(batch.num_ok, std::memory_order_relaxed);
+  queries_rejected_.fetch_add(batch.num_rejected, std::memory_order_relaxed);
+  return batch;
+}
+
+BatchTicket RemoteShardedRoutingService::SubmitBatch(
+    std::vector<RouteRequest> requests, BatchCallback callback) const {
+  MarkServing();
+  return BatchTicket::SubmitTo(
+      *submit_queue_, std::move(requests), std::move(callback),
+      [this](std::span<const KspRequest> batch) { return QueryBatch(batch); });
+}
+
+Result<TrafficBatchResult> RemoteShardedRoutingService::ApplyTrafficBatch(
+    std::span<const WeightUpdate> updates) {
+  // Validate before taking any lock (mirrors the other services).
+  for (const WeightUpdate& update : updates) {
+    if (update.edge >= graph_.NumEdges()) {
+      return Status::InvalidArgument(
+          "update references edge " + std::to_string(update.edge) +
+          " out of range (graph has " + std::to_string(graph_.NumEdges()) +
+          " edges)");
+    }
+    if (!(update.new_forward > 0) || !(update.new_backward > 0)) {
+      return Status::InvalidArgument("updated weights must be positive");
+    }
+  }
+
+  // Coordinator-side grouping: which shards the batch touches, and how many
+  // updates each worker SHOULD apply — the cross-check that catches a
+  // worker whose deterministic rebuild diverged from ours.
+  const Partition& partition = dtlp_->partition();
+  std::vector<size_t> updates_of_subgraph(dtlp_->NumSubgraphs(), 0);
+  std::vector<SubgraphId> touched;
+  for (const WeightUpdate& update : updates) {
+    SubgraphId sgid = partition.subgraph_of_edge[update.edge];
+    if (sgid == kInvalidSubgraph) continue;
+    if (updates_of_subgraph[sgid] == 0) touched.push_back(sgid);
+    ++updates_of_subgraph[sgid];
+  }
+  std::vector<char> shard_touched(workers_.size(), 0);
+  std::vector<uint64_t> expected_of_shard(workers_.size(), 0);
+  for (SubgraphId sgid : touched) {
+    ShardId shard = assignment_.shard_of_subgraph[sgid];
+    shard_touched[shard] = 1;
+    expected_of_shard[shard] += updates_of_subgraph[sgid];
+  }
+
+  // Exclusive snapshot section: drain every read pin, then move the master
+  // state and every worker to the next global epoch together.
+  std::unique_lock<EpochLock> lock(epochs_->global_lock());
+  if (options_.remote.auto_restart) {
+    // Revive dead workers first so they participate in this epoch instead
+    // of falling another batch behind. Best-effort: a shard that stays dead
+    // degrades its queries, not this batch.
+    (void)RestartDeadWorkersLocked();
+  }
+  const uint64_t epoch = epochs_->BeginAdvance();
+
+  // Phase one: fan the FULL batch out to every live worker (each filters to
+  // its owned subgraphs with the same deterministic grouping). The epoch is
+  // always published coordinator-side — the master state below is the
+  // source of truth, so a failed prepare marks the worker dead (degrading
+  // its shard to per-query errors until restart) instead of failing or
+  // stalling the batch.
+  EpochPrepareRequest prepare;
+  prepare.epoch = epoch;
+  prepare.updates.assign(updates.begin(), updates.end());
+  const std::string prepare_payload = prepare.Encode();
+  apply_pool_->ParallelFor(
+      workers_.size(), /*chunk=*/1, [&](unsigned, size_t si) {
+        Worker& worker = *workers_[si];
+        if (worker.alive.load(std::memory_order_acquire)) {
+          std::string reply_payload;
+          Status called;
+          {
+            std::lock_guard<std::mutex> worker_lock(worker.mu);
+            called = worker.client->Call(
+                MessageType::kEpochPrepareRequest, prepare_payload,
+                MessageType::kEpochPrepareReply, &reply_payload,
+                options_.remote.apply_deadline_ms);
+          }
+          EpochPrepareReply reply;
+          if (called.ok()) {
+            called = EpochPrepareReply::Decode(reply_payload, &reply);
+          }
+          if (called.ok() && reply.epoch != epoch) {
+            called = Status::Internal("worker acknowledged the wrong epoch");
+          }
+          if (called.ok() && reply.updates_applied != expected_of_shard[si]) {
+            called = Status::Internal(
+                "worker " + std::to_string(si) + " applied " +
+                std::to_string(reply.updates_applied) + " updates where the " +
+                "coordinator expected " +
+                std::to_string(expected_of_shard[si]) +
+                " (divergent shard state)");
+          }
+          if (called.ok()) {
+            worker.epoch.store(epoch, std::memory_order_release);
+            if (shard_touched[si] != 0) {
+              worker.weights_epoch.store(epoch, std::memory_order_release);
+            }
+          } else {
+            MarkWorkerDead(worker);
+          }
+        }
+        epochs_->PublishShard(si, epoch);
+      });
+
+  // Master apply: identical to RoutingService::ApplyTrafficBatch, so the
+  // filter step (bounds, skeleton, CANDS) stays answer-identical batch for
+  // batch.
+  for (const WeightUpdate& update : updates) graph_.SetWeight(update);
+  TrafficBatchResult result;
+  result.dtlp = dtlp_->ApplyUpdates(updates);
+  if (cands_ != nullptr) {
+    WallTimer cands_timer;
+    result.cands = cands_->ApplyUpdates(updates);
+    result.cands_micros = cands_timer.ElapsedMicros();
+  }
+  epochs_->Commit(epoch);
+  // Only committed batches enter the replay log (== the epoch sequence).
+  history_.emplace_back(updates.begin(), updates.end());
+
+  // Phase two: best-effort commit acknowledgements (pure bookkeeping — a
+  // worker that misses one learns the epoch from its next prepare).
+  EpochCommitRequest commit;
+  commit.epoch = epoch;
+  const std::string commit_payload = commit.Encode();
+  apply_pool_->ParallelFor(
+      workers_.size(), /*chunk=*/1, [&](unsigned, size_t si) {
+        Worker& worker = *workers_[si];
+        if (!worker.alive.load(std::memory_order_acquire)) return;
+        std::string reply_payload;
+        Status called;
+        {
+          std::lock_guard<std::mutex> worker_lock(worker.mu);
+          called = worker.client->Call(
+              MessageType::kEpochCommitRequest, commit_payload,
+              MessageType::kEpochCommitReply, &reply_payload);
+        }
+        if (!called.ok()) MarkWorkerDead(worker);
+      });
+
+  result.epoch = epoch;
+  batches_applied_.fetch_add(1, std::memory_order_relaxed);
+  updates_applied_.fetch_add(updates.size(), std::memory_order_relaxed);
+  return result;
+}
+
+RemoteServiceCounters RemoteShardedRoutingService::counters() const {
+  RemoteServiceCounters counters;
+  counters.sharded.base.queries_ok =
+      queries_ok_.load(std::memory_order_relaxed);
+  counters.sharded.base.queries_rejected =
+      queries_rejected_.load(std::memory_order_relaxed);
+  counters.sharded.base.batches_applied =
+      batches_applied_.load(std::memory_order_relaxed);
+  counters.sharded.base.updates_applied =
+      updates_applied_.load(std::memory_order_relaxed);
+  counters.sharded.single_shard_queries =
+      single_shard_queries_.load(std::memory_order_relaxed);
+  counters.sharded.cross_shard_queries =
+      cross_shard_queries_.load(std::memory_order_relaxed);
+  counters.sharded.direct_partial_requests =
+      direct_partials_.load(std::memory_order_relaxed);
+  counters.sharded.scattered_partial_requests =
+      scattered_partials_.load(std::memory_order_relaxed);
+  counters.partial_rpc_errors =
+      partial_rpc_errors_.load(std::memory_order_relaxed);
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    counters.sharded.partial_cache_hits +=
+        worker->cache_hits.load(std::memory_order_relaxed);
+    counters.sharded.partial_cache_skips +=
+        worker->cache_skips.load(std::memory_order_relaxed);
+    counters.sharded.partial_cache_flushes +=
+        worker->cache_flushes.load(std::memory_order_relaxed);
+    counters.rpc_calls += worker->client->calls();
+    counters.rpc_retries += worker->client->retries();
+    counters.rpc_deadline_expired += worker->client->deadline_expired();
+    counters.worker_restarts +=
+        worker->restarts.load(std::memory_order_relaxed);
+  }
+  return counters;
+}
+
+std::vector<RemoteWorkerInfo> RemoteShardedRoutingService::WorkerInfos()
+    const {
+  std::vector<RemoteWorkerInfo> infos;
+  infos.reserve(workers_.size());
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    RemoteWorkerInfo info;
+    info.shard = worker->shard;
+    info.pid = worker->pid.load(std::memory_order_relaxed);
+    info.socket_path = worker->socket_path;
+    info.alive = worker->alive.load(std::memory_order_acquire);
+    info.epoch = worker->epoch.load(std::memory_order_relaxed);
+    info.restarts = worker->restarts.load(std::memory_order_relaxed);
+    info.subgraphs = assignment_.subgraphs_of_shard[worker->shard].size();
+    info.vertices = assignment_.vertices_of_shard[worker->shard];
+    info.partial_requests =
+        worker->partial_requests.load(std::memory_order_relaxed);
+    info.yen_runs = worker->yen_runs.load(std::memory_order_relaxed);
+    info.partial_cache_hits =
+        worker->cache_hits.load(std::memory_order_relaxed);
+    info.rpc_calls = worker->client->calls();
+    info.rpc_retries = worker->client->retries();
+    info.rpc_deadline_expired = worker->client->deadline_expired();
+    infos.push_back(std::move(info));
+  }
+  return infos;
+}
+
+}  // namespace kspdg

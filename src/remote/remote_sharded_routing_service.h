@@ -1,0 +1,349 @@
+// RemoteShardedRoutingService: the RoutingService contract served by N
+// out-of-process shard workers — the process-boundary deployment of the
+// paper's distributed Storm topology (§4), grown out of the in-process
+// ShardedRoutingService by cutting at the seams PR 3 left for it.
+//
+// Topology: one coordinator (this class) plus num_shards `shard_worker`
+// processes, each owning one shard of the DTLP partition (the same
+// deterministic AssignShards split the in-process service uses). The
+// coordinator spawns the workers, ships each the graph + DTLP knobs over a
+// unix-socket RPC (src/rpc), and keeps a master copy of the whole state —
+// flat weights, every level-1 index, the skeleton, CANDS — exactly like
+// RoutingService, because the KSP-DG filter step reads per-subgraph lower
+// bounds on every query. What moves across the process boundary is the
+// refine step: boundary-pair partial KSP requests are routed to the worker
+// owning each subgraph through the same PartialProvider seam the sharded
+// service uses, and merged through the same MergeSubgraphPartials, so
+// remote answers are byte-identical to the in-process services by
+// construction. (Keeping the level-1 indexes on the coordinator as well is
+// a deliberate deviation from the paper's pure deployment; it is what lets
+// one node answer the filter step without a network hop per bound lookup.)
+//
+//   Query / QueryBatch / SubmitBatch
+//                   identical surface and snapshot semantics to
+//                   ShardedRoutingService (one EpochCoordinator::ReadPin per
+//                   batch); partial requests become PartialsRequest RPCs to
+//                   the owning workers, with the same per-(shard, worker)
+//                   caches and cap/flush telemetry.
+//   ApplyTrafficBatch
+//                   two-phase cross-process epoch commit under the global
+//                   exclusive lock: BeginAdvance, then EpochPrepare RPCs fan
+//                   the full batch out (each worker filters to its owned
+//                   subgraphs and applies its slice of Algorithm 2, then the
+//                   coordinator publishes that shard), then the coordinator
+//                   applies its master copy, Commits the global epoch, and
+//                   sends best-effort EpochCommit acknowledgements.
+//
+// Fault model: every RPC has a per-attempt deadline and a bounded retry
+// budget (all protocol requests are idempotent — prepares replay their
+// stored reply, partials are reads), so a slow or dead worker degrades to a
+// clean kUnavailable/kDeadlineExceeded per-query status, never a hang and
+// never a wrong answer (a failed partial fetch poisons the query, and its
+// result is discarded). The coordinator keeps the committed batch history;
+// RestartDeadWorkers() (also run by ApplyTrafficBatch when auto_restart is
+// set) respawns a dead worker, reloads the initial graph, and replays the
+// history so the worker re-derives the exact incremental state every other
+// shard has.
+#ifndef KSPDG_REMOTE_REMOTE_SHARDED_ROUTING_SERVICE_H_
+#define KSPDG_REMOTE_REMOTE_SHARDED_ROUTING_SERVICE_H_
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/batch_ticket.h"
+#include "api/ksp_solver.h"
+#include "api/routing_options.h"
+#include "api/routing_service.h"
+#include "core/epoch_coordinator.h"
+#include "core/epoch_lock.h"
+#include "core/status.h"
+#include "core/submission_queue.h"
+#include "core/thread_pool.h"
+#include "dtlp/dtlp.h"
+#include "graph/graph.h"
+#include "partition/shard_assignment.h"
+#include "rpc/client.h"
+#include "shard/sharded_routing_service.h"
+
+namespace kspdg {
+
+/// Knobs for the worker fleet and its RPC transport.
+struct RemoteWorkerOptions {
+  /// Path of the shard_worker binary. Empty = $KSPDG_WORKER_BIN if set,
+  /// else "shard_worker" next to the current executable (all build targets
+  /// land in the build root).
+  std::string worker_binary;
+  /// Directory for the per-worker unix sockets. Empty = $TMPDIR or /tmp.
+  std::string socket_dir;
+  /// Per-attempt deadline for query-path RPCs (partials, pings).
+  int64_t rpc_deadline_ms = 5000;
+  /// Retries after the first attempt (transport failures only; a worker
+  /// that answers with an error is not retried).
+  uint32_t rpc_max_retries = 2;
+  /// Backoff before retry r is rpc_backoff_ms << (r - 1).
+  int64_t rpc_backoff_ms = 20;
+  /// Per-attempt deadline for load-graph and epoch-prepare RPCs (index
+  /// build / Algorithm 2 can legitimately outlast the query deadline).
+  int64_t apply_deadline_ms = 120'000;
+  /// Idle-accept timeout handed to each worker: a worker whose coordinator
+  /// died exits on its own after this long without a connection.
+  int64_t worker_idle_timeout_ms = 120'000;
+  /// Respawn + replay dead workers at the start of every ApplyTrafficBatch
+  /// (RestartDeadWorkers can always be called explicitly).
+  bool auto_restart = true;
+};
+
+struct RemoteShardedRoutingServiceOptions {
+  /// Service-wide defaults; any field can be overridden per request.
+  RoutingOptions defaults;
+  /// DTLP construction knobs — shipped to every worker verbatim, so both
+  /// sides build the identical index.
+  DtlpOptions dtlp;
+  /// Coordinator-owned CANDS baseline index (same contract as the other
+  /// services).
+  bool enable_cands = true;
+  /// Worker processes == shards of the subgraph partition (>= 1).
+  uint32_t num_shards = 2;
+  /// Threads fanning one ApplyTrafficBatch's prepare RPCs across workers
+  /// (0 = one per worker, capped at the hardware thread count).
+  unsigned apply_threads = 0;
+  /// Threads answering one QueryBatch (0 = auto, capped at 16).
+  unsigned batch_threads = 0;
+  /// SubmitBatch queue capacity (0 is treated as 1).
+  size_t submit_queue_capacity = 8;
+  RemoteWorkerOptions remote;
+};
+
+/// Point-in-time view of one worker process (monitoring + tests).
+struct RemoteWorkerInfo {
+  ShardId shard = kInvalidShard;
+  pid_t pid = -1;
+  std::string socket_path;
+  /// False once an RPC to this worker failed terminally (or a health check
+  /// did); a dead worker fails queries fast until restarted.
+  bool alive = false;
+  /// Last epoch this worker acknowledged applying.
+  uint64_t epoch = 0;
+  /// Times this worker was respawned (0 for the original process).
+  uint64_t restarts = 0;
+  /// Static ownership and per-shard traffic, as in ShardInfo.
+  size_t subgraphs = 0;
+  size_t vertices = 0;
+  uint64_t partial_requests = 0;
+  uint64_t yen_runs = 0;
+  uint64_t partial_cache_hits = 0;
+  /// Transport counters for this worker's connection.
+  uint64_t rpc_calls = 0;
+  uint64_t rpc_retries = 0;
+  uint64_t rpc_deadline_expired = 0;
+};
+
+/// Counters of the remote service: the sharded-service telemetry (the
+/// remote layer reuses it wholesale) plus the transport/fleet counters.
+struct RemoteServiceCounters {
+  ShardedServiceCounters sharded;
+  uint64_t rpc_calls = 0;
+  uint64_t rpc_retries = 0;
+  uint64_t rpc_deadline_expired = 0;
+  uint64_t worker_restarts = 0;
+  /// Queries that failed because a partial RPC failed (each also counts as
+  /// a rejected query in `sharded.base`).
+  uint64_t partial_rpc_errors = 0;
+};
+
+class RemoteShardedRoutingService {
+ public:
+  /// Takes ownership of `graph`, builds the coordinator's master state
+  /// (DTLP, CANDS, shard assignment — exactly as the in-process services
+  /// do), then spawns one shard_worker per shard and ships each the graph.
+  /// Fails if the worker binary cannot be found/spawned or a worker fails
+  /// to load the graph; already-spawned workers are torn down on failure.
+  static Result<std::unique_ptr<RemoteShardedRoutingService>> Create(
+      Graph graph, RemoteShardedRoutingServiceOptions options = {});
+
+  RemoteShardedRoutingService(const RemoteShardedRoutingService&) = delete;
+  RemoteShardedRoutingService& operator=(const RemoteShardedRoutingService&) =
+      delete;
+
+  /// Drains the async submission queue, then shuts the workers down
+  /// (graceful Shutdown RPC first, SIGKILL after a grace period) and reaps
+  /// every child process.
+  ~RemoteShardedRoutingService();
+
+  /// Answers q(source, target) — any QueryKind — on the current global
+  /// snapshot. Byte-identical to ShardedRoutingService::Query over the same
+  /// graph and traffic history. A query whose partials live on a dead
+  /// worker returns kUnavailable/kDeadlineExceeded instead of hanging.
+  Result<RouteResponse> Query(const RouteRequest& request) const;
+
+  /// Batch counterpart, same contract as ShardedRoutingService::QueryBatch
+  /// (one multi-shard snapshot, per-item statuses, per-(shard, worker)
+  /// partial caches on the batch pool).
+  Result<RouteBatchResponse> QueryBatch(
+      std::span<const RouteRequest> requests) const;
+
+  /// Asynchronous QueryBatch (same ticket contract as the other services).
+  BatchTicket SubmitBatch(std::vector<RouteRequest> requests,
+                          BatchCallback callback = nullptr) const;
+
+  /// Applies one batch of weight updates atomically across the coordinator
+  /// and every worker via the two-phase epoch commit (see file comment).
+  /// The batch succeeds as long as the coordinator's master state applies;
+  /// a worker that fails its prepare is marked dead (its shard degrades to
+  /// per-query errors until restarted) rather than failing the batch.
+  Result<TrafficBatchResult> ApplyTrafficBatch(
+      std::span<const WeightUpdate> updates);
+
+  /// Health-checks every worker and respawns + replays the dead ones.
+  /// Returns OK when every worker is alive afterwards; kUnavailable when
+  /// any worker could not be revived (the others still serve).
+  Status RestartDeadWorkers();
+
+  /// Adds a custom backend (same freeze-on-first-query contract as the
+  /// other services).
+  Status RegisterSolver(std::unique_ptr<KspSolver> solver) {
+    if (serving_.load(std::memory_order_acquire)) {
+      return Status::FailedPrecondition(
+          "RegisterSolver must run before the first query is served");
+    }
+    return registry_.Register(std::move(solver));
+  }
+
+  /// Committed global epoch (0 until the first batch).
+  uint64_t CurrentEpoch() const { return epochs_->global(); }
+
+  std::vector<std::string> BackendNames() const { return registry_.Names(); }
+
+  RemoteServiceCounters counters() const;
+
+  /// Per-worker fleet snapshot, indexed by ShardId.
+  std::vector<RemoteWorkerInfo> WorkerInfos() const;
+
+  uint32_t num_shards() const { return assignment_.num_shards; }
+  const ShardAssignment& assignment() const { return assignment_; }
+
+  /// Read-only views of the coordinator's master state.
+  const Graph& graph() const { return graph_; }
+  const Dtlp& dtlp() const { return *dtlp_; }
+  const CandsIndex* cands() const { return cands_.get(); }
+  const RoutingOptions& defaults() const { return options_.defaults; }
+
+ private:
+  /// One worker process: transport handle, liveness, and the per-shard
+  /// counters the in-process service keeps on its Shard struct. `mu`
+  /// serialises calls on the single connection; `epoch`/`pid` are written
+  /// only under the coordinator's global exclusive lock (or during Create)
+  /// and read through atomics for monitoring.
+  struct Worker {
+    ShardId shard = kInvalidShard;
+    std::string socket_path;
+    std::atomic<pid_t> pid{-1};
+    std::unique_ptr<RpcClient> client;
+    /// Serialises RPCs on this worker's connection (several batch-pool
+    /// threads may need the same worker).
+    mutable std::mutex mu;
+    /// Mutable: the const query path marks a worker dead on RPC failure.
+    mutable std::atomic<bool> alive{false};
+    std::atomic<uint64_t> epoch{0};
+    std::atomic<uint64_t> restarts{0};
+    /// Same cache-flush stamp semantics as Shard::weights_epoch.
+    std::atomic<uint64_t> weights_epoch{0};
+    mutable std::atomic<uint64_t> partial_requests{0};
+    mutable std::atomic<uint64_t> yen_runs{0};
+    mutable std::atomic<uint64_t> cache_hits{0};
+    mutable std::atomic<uint64_t> cache_skips{0};
+    mutable std::atomic<uint64_t> cache_flushes{0};
+  };
+
+  class RemotePartialProvider;
+
+  /// Persistent per-batch-pool-worker state (see ShardedRoutingService).
+  struct BatchWorker {
+    SolverScratchArena arena;
+    std::unique_ptr<RemotePartialProvider> provider;
+
+    BatchWorker();
+    BatchWorker(BatchWorker&&) noexcept;
+    BatchWorker& operator=(BatchWorker&&) noexcept;
+    ~BatchWorker();
+  };
+
+  RemoteShardedRoutingService(Graph graph,
+                              RemoteShardedRoutingServiceOptions options)
+      : graph_(std::move(graph)), options_(std::move(options)) {}
+
+  Status PrepareQuery(const RouteRequest& request,
+                      PreparedRoute* prepared) const;
+
+  void MarkServing() const {
+    if (!serving_.load(std::memory_order_relaxed)) {
+      serving_.store(true, std::memory_order_release);
+    }
+  }
+
+  /// Spawns the process for `worker` (which must not have a live child) and
+  /// ships it the initial graph + the committed history replay. On success
+  /// the worker is alive at the current epoch.
+  Status SpawnAndLoadWorker(Worker& worker) const;
+
+  /// RestartDeadWorkers body; caller holds the global exclusive lock.
+  Status RestartDeadWorkersLocked();
+
+  /// Pings `worker`; marks it dead on failure.
+  bool HealthCheckWorker(const Worker& worker) const;
+
+  /// Marks a worker dead after a terminal RPC failure.
+  void MarkWorkerDead(const Worker& worker) const {
+    worker.alive.store(false, std::memory_order_release);
+  }
+
+  /// Best-effort graceful shutdown + SIGKILL + reap of one worker process.
+  void StopWorker(Worker& worker);
+
+  Graph graph_;
+  RemoteShardedRoutingServiceOptions options_;
+  /// Pristine copy of the graph at Create time: what a (re)spawned worker
+  /// is loaded with before the committed history is replayed onto it.
+  Graph initial_graph_;
+  /// Committed traffic batches, in commit order — the worker-restart replay
+  /// log. Grows with the batch count; guarded by the global exclusive lock.
+  std::vector<std::vector<WeightUpdate>> history_;
+  std::unique_ptr<Dtlp> dtlp_;
+  std::unique_ptr<CandsIndex> cands_;
+  SolverRegistry registry_;
+  mutable std::atomic<bool> serving_{false};
+  ShardAssignment assignment_;
+  /// Resolved worker binary path (see RemoteWorkerOptions::worker_binary).
+  std::string worker_binary_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<EpochCoordinator> epochs_;
+  std::unique_ptr<ThreadPool> apply_pool_;
+  std::unique_ptr<ThreadPool> batch_pool_;
+
+  mutable std::mutex batch_mu_;
+  mutable std::vector<BatchWorker> batch_workers_;
+  mutable uint64_t arena_epoch_ = 0;
+
+  mutable std::atomic<uint64_t> queries_ok_{0};
+  mutable std::atomic<uint64_t> queries_rejected_{0};
+  mutable std::atomic<uint64_t> single_shard_queries_{0};
+  mutable std::atomic<uint64_t> cross_shard_queries_{0};
+  mutable std::atomic<uint64_t> direct_partials_{0};
+  mutable std::atomic<uint64_t> scattered_partials_{0};
+  mutable std::atomic<uint64_t> partial_rpc_errors_{0};
+  std::atomic<uint64_t> batches_applied_{0};
+  std::atomic<uint64_t> updates_applied_{0};
+
+  /// Declared last so it is destroyed FIRST (drains accepted batches).
+  std::unique_ptr<SubmissionQueue> submit_queue_;
+};
+
+}  // namespace kspdg
+
+#endif  // KSPDG_REMOTE_REMOTE_SHARDED_ROUTING_SERVICE_H_

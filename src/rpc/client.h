@@ -1,0 +1,84 @@
+// Blocking RPC client for one shard-worker connection.
+//
+// One client owns one unix-domain-socket connection to one worker and
+// serialises calls over it (the worker's loop is single-threaded anyway;
+// callers that share a client across threads must hold their own lock —
+// the remote service keeps one client + mutex per worker). Every Call
+// observes a per-attempt deadline and a bounded retry budget with
+// exponential backoff: a slow or dead worker degrades to a clean
+// kDeadlineExceeded / kUnavailable status, never a hang. Reconnection is
+// automatic per attempt, so a worker restarted under the same socket path
+// is picked up transparently — which is safe because every protocol
+// request is idempotent (partials and pings are reads; epoch prepare
+// replays its stored reply; load-graph resets the worker).
+#ifndef KSPDG_RPC_CLIENT_H_
+#define KSPDG_RPC_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+#include "rpc/frame.h"
+#include "rpc/wire.h"
+
+namespace kspdg {
+
+struct RpcClientOptions {
+  /// Per-attempt deadline for one request/reply round trip.
+  int64_t deadline_ms = 2000;
+  /// Retries after the first attempt (0 = fail on the first error).
+  uint32_t max_retries = 2;
+  /// Backoff before retry r is backoff_ms << (r - 1).
+  int64_t backoff_ms = 20;
+};
+
+class RpcClient {
+ public:
+  RpcClient(std::string socket_path, RpcClientOptions options)
+      : socket_path_(std::move(socket_path)), options_(options) {}
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+  ~RpcClient() { Disconnect(); }
+
+  /// One request/reply round trip with reconnect + retry + backoff. An
+  /// ErrorReply frame decodes to its carried Status and is returned without
+  /// retrying (the worker answered; it just said no). Transport failures
+  /// (connect/read/write error, deadline expiry, unexpected reply type)
+  /// retry up to the budget, then return the last failure.
+  /// `deadline_ms_override` > 0 replaces the per-attempt deadline (traffic
+  /// applies may legitimately outlast the query deadline).
+  Status Call(MessageType request_type, const std::string& request_payload,
+              MessageType expected_reply_type, std::string* reply_payload,
+              int64_t deadline_ms_override = 0);
+
+  /// Drops the connection; the next Call reconnects.
+  void Disconnect();
+
+  const std::string& socket_path() const { return socket_path_; }
+
+  uint64_t calls() const { return calls_.load(std::memory_order_relaxed); }
+  uint64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+  uint64_t deadline_expired() const {
+    return deadline_expired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Connects (non-blocking) if not already connected, waiting for the
+  /// socket to appear/accept until the deadline — covers worker startup.
+  Status EnsureConnected(RpcDeadline deadline);
+
+  std::string socket_path_;
+  RpcClientOptions options_;
+  int fd_ = -1;
+  std::atomic<uint64_t> calls_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> deadline_expired_{0};
+};
+
+}  // namespace kspdg
+
+#endif  // KSPDG_RPC_CLIENT_H_

@@ -1,0 +1,170 @@
+#include "rpc/frame.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace kspdg {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  char bytes[4];
+  bytes[0] = static_cast<char>(v & 0xFF);
+  bytes[1] = static_cast<char>((v >> 8) & 0xFF);
+  bytes[2] = static_cast<char>((v >> 16) & 0xFF);
+  bytes[3] = static_cast<char>((v >> 24) & 0xFF);
+  out->append(bytes, 4);
+}
+
+uint32_t GetU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24);
+}
+
+/// Milliseconds until `deadline`, clamped to [0, INT_MAX] for poll(2).
+int RemainingMillis(RpcDeadline deadline) {
+  auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  if (remaining.count() <= 0) return 0;
+  if (remaining.count() > 0x7FFFFFFF) return 0x7FFFFFFF;
+  return static_cast<int>(remaining.count());
+}
+
+Status PollFor(int fd, short events, RpcDeadline deadline) {
+  for (;;) {
+    int timeout = RemainingMillis(deadline);
+    if (timeout == 0) {
+      return Status::DeadlineExceeded("rpc call deadline expired");
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    int rc = poll(&pfd, 1, timeout);
+    if (rc > 0) {
+      // Readable/writable OR an error/hangup the following read/write will
+      // surface precisely; either way, stop polling.
+      return Status::OK();
+    }
+    if (rc == 0) {
+      return Status::DeadlineExceeded("rpc call deadline expired");
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError(std::string("poll failed: ") +
+                           std::strerror(errno));
+  }
+}
+
+/// Reads exactly `len` bytes into `buf`. kUnavailable on EOF.
+Status ReadFull(int fd, char* buf, size_t len, RpcDeadline deadline) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = recv(fd, buf + done, len - done, 0);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      return Status::Unavailable("peer closed the connection");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      KSPDG_RETURN_NOT_OK(PollFor(fd, POLLIN, deadline));
+      continue;
+    }
+    return Status::Unavailable(std::string("recv failed: ") +
+                               std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+/// Writes exactly `len` bytes. MSG_NOSIGNAL so a dead peer surfaces as a
+/// Status instead of SIGPIPE.
+Status WriteFull(int fd, const char* buf, size_t len, RpcDeadline deadline) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = send(fd, buf + done, len - done, MSG_NOSIGNAL);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      KSPDG_RETURN_NOT_OK(PollFor(fd, POLLOUT, deadline));
+      continue;
+    }
+    return Status::Unavailable(std::string("send failed: ") +
+                               std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeFrame(uint8_t type, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&out, kFrameMagic);
+  out.push_back(static_cast<char>(type));
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+Status DecodeFrameHeader(const char* header, uint8_t* type,
+                         uint32_t* length) {
+  uint32_t magic = GetU32(header);
+  if (magic != kFrameMagic) {
+    return Status::IOError("bad frame magic: stream is corrupt or not a "
+                           "kspdg worker connection");
+  }
+  *type = static_cast<uint8_t>(header[4]);
+  uint32_t len = GetU32(header + 5);
+  if (len > kMaxFramePayload) {
+    return Status::IOError("frame payload length " + std::to_string(len) +
+                           " exceeds the " +
+                           std::to_string(kMaxFramePayload) + " byte cap");
+  }
+  *length = len;
+  return Status::OK();
+}
+
+Status WriteFrame(int fd, uint8_t type, std::string_view payload,
+                  RpcDeadline deadline) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload exceeds the size cap");
+  }
+  std::string frame = EncodeFrame(type, payload);
+  return WriteFull(fd, frame.data(), frame.size(), deadline);
+}
+
+Status ReadFrame(int fd, uint8_t* type, std::string* payload,
+                 RpcDeadline deadline) {
+  char header[kFrameHeaderBytes];
+  KSPDG_RETURN_NOT_OK(ReadFull(fd, header, sizeof(header), deadline));
+  uint32_t length = 0;
+  KSPDG_RETURN_NOT_OK(DecodeFrameHeader(header, type, &length));
+  payload->resize(length);
+  if (length > 0) {
+    KSPDG_RETURN_NOT_OK(ReadFull(fd, payload->data(), length, deadline));
+  }
+  return Status::OK();
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError(std::string("fcntl(O_NONBLOCK) failed: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace kspdg

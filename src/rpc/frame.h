@@ -1,0 +1,68 @@
+// Length-prefixed frame codec for the shard-worker protocol, plus blocking
+// file-descriptor I/O with per-call deadlines.
+//
+// Every message on a worker connection is one frame:
+//
+//   [magic u32][type u8][payload length u32][payload bytes]
+//
+// all integers little-endian. The magic word rejects garbage and misaligned
+// streams immediately; the length field is capped (kMaxFramePayload) so a
+// corrupt header can never make the receiver allocate unbounded memory. The
+// codec half (EncodeFrame / DecodeFrameHeader) is pure and testable without
+// sockets; the I/O half (ReadFrame / WriteFrame) drives a non-blocking fd
+// with poll(2) so every call observes a hard deadline — a stalled or dead
+// peer yields kDeadlineExceeded, never a hang.
+#ifndef KSPDG_RPC_FRAME_H_
+#define KSPDG_RPC_FRAME_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+
+namespace kspdg {
+
+/// "KSPD" little-endian: the first four bytes of every valid frame.
+inline constexpr uint32_t kFrameMagic = 0x4450534Bu;
+
+/// Fixed header size: magic + type + payload length.
+inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 4;
+
+/// Hard cap on one frame's payload (a scaled road network serialises to a
+/// few MiB; 256 MiB leaves room for full-size graphs while still bounding a
+/// corrupt length field).
+inline constexpr uint32_t kMaxFramePayload = 256u * 1024u * 1024u;
+
+/// Monotonic deadline for one blocking call.
+using RpcDeadline = std::chrono::steady_clock::time_point;
+
+inline RpcDeadline DeadlineAfterMillis(int64_t ms) {
+  return std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+}
+
+/// Serialises one frame (header + payload) into a byte string.
+std::string EncodeFrame(uint8_t type, std::string_view payload);
+
+/// Validates a header (exactly kFrameHeaderBytes at `header`): checks the
+/// magic word and the payload-length cap. On success fills type and length.
+Status DecodeFrameHeader(const char* header, uint8_t* type, uint32_t* length);
+
+/// Writes one whole frame to `fd` (which must be non-blocking), polling for
+/// writability until done or the deadline expires.
+Status WriteFrame(int fd, uint8_t type, std::string_view payload,
+                  RpcDeadline deadline);
+
+/// Reads one whole frame from `fd` (which must be non-blocking), polling for
+/// readability until done or the deadline expires. A peer that closes the
+/// connection mid-frame (or before one) yields kUnavailable; a header that
+/// fails DecodeFrameHeader yields its error without consuming further bytes.
+Status ReadFrame(int fd, uint8_t* type, std::string* payload,
+                 RpcDeadline deadline);
+
+/// Marks `fd` non-blocking (all frame I/O requires it).
+Status SetNonBlocking(int fd);
+
+}  // namespace kspdg
+
+#endif  // KSPDG_RPC_FRAME_H_

@@ -1,0 +1,130 @@
+#include "rpc/server.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "rpc/frame.h"
+
+namespace kspdg {
+
+namespace {
+
+/// Server-side write deadline: a coordinator that stops draining its socket
+/// for this long is treated as gone and the connection recycled.
+constexpr int64_t kWriteDeadlineMs = 60'000;
+
+/// "No deadline" for reads on an established connection: a coordinator may
+/// legitimately idle between queries for arbitrarily long.
+RpcDeadline FarFuture() {
+  return std::chrono::steady_clock::time_point::max();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RpcServer>> RpcServer::Listen(const std::string& path) {
+  sockaddr_un addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + path);
+  }
+  memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket failed: ") + strerror(errno));
+  }
+  unlink(path.c_str());  // stale socket from a crashed predecessor
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int err = errno;
+    close(fd);
+    return Status::IOError("bind(" + path + ") failed: " + strerror(err));
+  }
+  if (listen(fd, /*backlog=*/4) != 0) {
+    int err = errno;
+    close(fd);
+    return Status::IOError("listen(" + path +
+                           ") failed: " + strerror(err));
+  }
+  return std::unique_ptr<RpcServer>(new RpcServer(path, fd));
+}
+
+RpcServer::~RpcServer() {
+  if (listen_fd_ >= 0) close(listen_fd_);
+  unlink(path_.c_str());
+}
+
+Status RpcServer::Serve(const Handler& handler, int64_t idle_timeout_ms) {
+  for (;;) {
+    // Wait for a connection, bounded by the idle timeout (orphan guard).
+    struct pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int timeout = idle_timeout_ms > 0x7FFFFFFF
+                      ? 0x7FFFFFFF
+                      : static_cast<int>(idle_timeout_ms);
+    int rc = poll(&pfd, 1, timeout);
+    if (rc == 0) {
+      return Status::DeadlineExceeded(
+          "no coordinator connected within the idle timeout");
+    }
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("poll failed: ") + strerror(errno));
+    }
+    int conn = accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return Status::IOError(std::string("accept failed: ") +
+                             strerror(errno));
+    }
+    Status nb = SetNonBlocking(conn);
+    if (!nb.ok()) {
+      close(conn);
+      return nb;
+    }
+
+    // Connection loop: one request at a time until the peer goes away or
+    // the handler asks to shut down.
+    for (;;) {
+      uint8_t type = 0;
+      std::string payload;
+      Status read = ReadFrame(conn, &type, &payload, FarFuture());
+      if (!read.ok()) {
+        // EOF, a corrupt stream, or a transport error: recycle to accept —
+        // the coordinator reconnects on its next attempt.
+        close(conn);
+        conn = -1;
+        break;
+      }
+      MessageType reply_type = MessageType::kErrorReply;
+      std::string reply_payload;
+      bool shutdown = false;
+      Status handled = handler(static_cast<MessageType>(type), payload,
+                               &reply_type, &reply_payload, &shutdown);
+      if (!handled.ok()) {
+        reply_type = MessageType::kErrorReply;
+        reply_payload = ErrorReply::FromStatus(handled).Encode();
+      }
+      Status written =
+          WriteFrame(conn, static_cast<uint8_t>(reply_type), reply_payload,
+                     DeadlineAfterMillis(kWriteDeadlineMs));
+      if (shutdown) {
+        close(conn);
+        return Status::OK();
+      }
+      if (!written.ok()) {
+        close(conn);
+        conn = -1;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace kspdg

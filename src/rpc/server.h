@@ -1,0 +1,62 @@
+// Single-threaded RPC server loop for the shard worker.
+//
+// The worker's concurrency model is the simplest that serves the protocol:
+// one listening unix socket, one accepted connection at a time, one request
+// in flight at a time. That serialises partials against epoch applies on
+// the worker for free (the coordinator's locking already guarantees it
+// globally), keeps the worker allocation-light, and makes reconnection
+// after a coordinator-side timeout trivial — the stale connection is
+// dropped and the next accept starts a clean stream.
+#ifndef KSPDG_RPC_SERVER_H_
+#define KSPDG_RPC_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/status.h"
+#include "rpc/wire.h"
+
+namespace kspdg {
+
+class RpcServer {
+ public:
+  /// Handles one decoded request: fills the reply type + payload, or
+  /// returns a non-OK status (sent back as an ErrorReply frame without
+  /// closing the connection). Setting *shutdown ends Serve() after the
+  /// reply is written.
+  using Handler = std::function<Status(
+      MessageType type, const std::string& payload, MessageType* reply_type,
+      std::string* reply_payload, bool* shutdown)>;
+
+  /// Binds and listens on `path` (an existing stale socket file is
+  /// unlinked first). The socket file is removed on destruction.
+  static Result<std::unique_ptr<RpcServer>> Listen(const std::string& path);
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+  ~RpcServer();
+
+  /// Accept/dispatch loop. While no client is connected, waits up to
+  /// `idle_timeout_ms` for one and returns kDeadlineExceeded when none
+  /// arrives — the worker's orphan guard: a worker whose coordinator died
+  /// exits instead of lingering. While a client is connected the loop
+  /// blocks on its requests indefinitely (an idle coordinator is normal);
+  /// a closed or corrupt connection just recycles to accept. Returns OK
+  /// when the handler requests shutdown.
+  Status Serve(const Handler& handler, int64_t idle_timeout_ms);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  RpcServer(std::string path, int listen_fd)
+      : path_(std::move(path)), listen_fd_(listen_fd) {}
+
+  std::string path_;
+  int listen_fd_ = -1;
+};
+
+}  // namespace kspdg
+
+#endif  // KSPDG_RPC_SERVER_H_

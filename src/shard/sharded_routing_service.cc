@@ -58,6 +58,7 @@ class ShardedRoutingService::ShardPartialProvider : public PartialProvider {
  public:
   explicit ShardPartialProvider(const ShardedRoutingService& service)
       : service_(service),
+        max_cached_pairs_(service.options_.defaults.partial_cache_pairs),
         caches_(service.shards_.size()),
         shard_touched_(service.shards_.size(), 0) {}
 
@@ -115,7 +116,10 @@ class ShardedRoutingService::ShardPartialProvider : public PartialProvider {
       const uint64_t weights_epoch =
           shard.weights_epoch.load(std::memory_order_acquire);
       if (cache.epoch != weights_epoch) {
-        cache.entries.clear();
+        if (!cache.entries.empty()) {
+          shard.cache_flushes.fetch_add(1, std::memory_order_relaxed);
+          cache.entries.clear();
+        }
         cache.epoch = weights_epoch;
       }
       if (const CacheEntry* hit = cache.Find(key, depth)) {
@@ -144,11 +148,15 @@ class ShardedRoutingService::ShardPartialProvider : public PartialProvider {
       gathered.insert(gathered.end(), entry.lists.begin(), entry.lists.end());
       // Bound the memoisation: between flushes a read-heavy workload could
       // otherwise accumulate path lists for every boundary pair it ever
-      // touched. Past the cap, new pairs are computed but not cached (the
-      // cache is an optimisation; correctness never depends on a hit).
-      if (cache.entries.size() < ShardCache::kMaxCachedPairs ||
-          cache.entries.count(key) != 0) {
+      // touched. Past the cap (RoutingOptions::partial_cache_pairs), new
+      // pairs are computed but not cached (the cache is an optimisation;
+      // correctness never depends on a hit).
+      if (max_cached_pairs_ != 0 &&
+          (cache.entries.size() < max_cached_pairs_ ||
+           cache.entries.count(key) != 0)) {
         cache.entries[key].push_back(std::move(entry));
+      } else {
+        shard.cache_skips.fetch_add(1, std::memory_order_relaxed);
       }
     }
     // Gather: the shared merge (see MergeSubgraphPartials) replays the
@@ -175,10 +183,6 @@ class ShardedRoutingService::ShardPartialProvider : public PartialProvider {
   };
 
   struct ShardCache {
-    /// Distinct boundary pairs one worker memoises per shard between
-    /// flushes; beyond this, requests still compute but stop caching.
-    static constexpr size_t kMaxCachedPairs = 4096;
-
     /// Weights stamp (Shard::weights_epoch) the entries were computed at;
     /// a change flushes them.
     uint64_t epoch = 0;
@@ -200,6 +204,8 @@ class ShardedRoutingService::ShardPartialProvider : public PartialProvider {
   };
 
   const ShardedRoutingService& service_;
+  /// RoutingOptions::partial_cache_pairs, frozen at provider construction.
+  const size_t max_cached_pairs_;
   const EpochCoordinator::ReadPin* pin_ = nullptr;
   std::vector<ShardCache> caches_;
   std::vector<char> shard_touched_;
@@ -563,6 +569,10 @@ ShardedServiceCounters ShardedRoutingService::counters() const {
   for (const std::unique_ptr<Shard>& shard : shards_) {
     counters.partial_cache_hits +=
         shard->cache_hits.load(std::memory_order_relaxed);
+    counters.partial_cache_skips +=
+        shard->cache_skips.load(std::memory_order_relaxed);
+    counters.partial_cache_flushes +=
+        shard->cache_flushes.load(std::memory_order_relaxed);
   }
   return counters;
 }

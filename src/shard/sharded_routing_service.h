@@ -120,6 +120,13 @@ struct ShardedServiceCounters {
   /// Per-shard partial-list computations avoided by the per-(shard, worker)
   /// batch caches (summed over shards).
   uint64_t partial_cache_hits = 0;
+  /// Fresh computations NOT memoised because the cache already held
+  /// RoutingOptions::partial_cache_pairs distinct pairs (or caching is
+  /// disabled with a cap of 0).
+  uint64_t partial_cache_skips = 0;
+  /// Times a non-empty per-(shard, worker) cache was dropped because its
+  /// shard's weights moved to a new epoch.
+  uint64_t partial_cache_flushes = 0;
 };
 
 class ShardedRoutingService {
@@ -228,6 +235,8 @@ class ShardedRoutingService {
     mutable std::atomic<uint64_t> partial_requests{0};
     mutable std::atomic<uint64_t> yen_runs{0};
     mutable std::atomic<uint64_t> cache_hits{0};
+    mutable std::atomic<uint64_t> cache_skips{0};
+    mutable std::atomic<uint64_t> cache_flushes{0};
   };
 
   class ShardPartialProvider;

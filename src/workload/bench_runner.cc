@@ -16,6 +16,7 @@
 #include "core/timer.h"
 #include "graph/traffic_model.h"
 #include "ksp/path.h"
+#include "remote/remote_sharded_routing_service.h"
 #include "shard/sharded_routing_service.h"
 #include "workload/datasets.h"
 #include "workload/query_gen.h"
@@ -233,6 +234,55 @@ std::string BenchReport::ToJson() const {
   AppendJsonKey(out, "speedup", "    ");
   out << shard_batch.speedup << "\n";
   out << "  },\n";
+  AppendJsonKey(out, "remote_shard", "  ");
+  out << "{\n";
+  AppendJsonKey(out, "num_shards", "    ");
+  out << remote_shard.num_shards << ",\n";
+  AppendJsonKey(out, "requests", "    ");
+  out << remote_shard.requests << ",\n";
+  AppendJsonKey(out, "diverse_requests", "    ");
+  out << remote_shard.diverse_requests << ",\n";
+  AppendJsonKey(out, "batch_size", "    ");
+  out << remote_shard.batch_size << ",\n";
+  AppendJsonKey(out, "batches_submitted", "    ");
+  out << remote_shard.batches_submitted << ",\n";
+  AppendJsonKey(out, "errors", "    ");
+  out << remote_shard.errors << ",\n";
+  AppendJsonKey(out, "mismatches", "    ");
+  out << remote_shard.mismatches << ",\n";
+  AppendJsonKey(out, "batches_applied", "    ");
+  out << remote_shard.batches_applied << ",\n";
+  AppendJsonKey(out, "final_epoch", "    ");
+  out << remote_shard.final_epoch << ",\n";
+  AppendJsonKey(out, "rpc_calls", "    ");
+  out << remote_shard.rpc_calls << ",\n";
+  AppendJsonKey(out, "rpc_retries", "    ");
+  out << remote_shard.rpc_retries << ",\n";
+  AppendJsonKey(out, "rpc_deadline_expired", "    ");
+  out << remote_shard.rpc_deadline_expired << ",\n";
+  AppendJsonKey(out, "worker_restarts", "    ");
+  out << remote_shard.worker_restarts << ",\n";
+  AppendJsonKey(out, "partial_cache_hits", "    ");
+  out << remote_shard.partial_cache_hits << ",\n";
+  AppendJsonKey(out, "partial_cache_skips", "    ");
+  out << remote_shard.partial_cache_skips << ",\n";
+  AppendJsonKey(out, "direct_partials", "    ");
+  out << remote_shard.direct_partials << ",\n";
+  AppendJsonKey(out, "scattered_partials", "    ");
+  out << remote_shard.scattered_partials << ",\n";
+  AppendJsonKey(out, "remote_micros", "    ");
+  out << remote_shard.remote_micros << ",\n";
+  AppendJsonKey(out, "remote_batch_micros", "    ");
+  out << remote_shard.remote_batch_micros << ",\n";
+  AppendJsonKey(out, "inprocess_micros", "    ");
+  out << remote_shard.inprocess_micros << ",\n";
+  AppendJsonKey(out, "remote_qps", "    ");
+  out << remote_shard.remote_qps << ",\n";
+  AppendJsonKey(out, "remote_batch_qps", "    ");
+  out << remote_shard.remote_batch_qps << ",\n";
+  AppendJsonKey(out, "inprocess_qps", "    ");
+  out << remote_shard.inprocess_qps << "\n";
+  out << "  },\n";
   AppendJsonKey(out, "backends", "  ");
   out << "[\n";
   for (size_t i = 0; i < backends.size(); ++i) {
@@ -287,10 +337,17 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
   Graph graph = options.target_vertices == 0
                     ? LoadDataset(*spec)
                     : LoadScaledDataset(*spec, options.target_vertices);
-  // The shard phase builds two fresh services over the pristine graph, so
-  // keep a copy before the mixed-workload service takes ownership.
+  // The shard and remote phases build fresh services over the pristine
+  // graph, so keep copies before the mixed-workload service takes
+  // ownership.
   Graph pristine_graph;
   if (options.shards > 0) pristine_graph = graph;
+  Graph remote_graph;
+  Graph remote_reference_graph;
+  if (options.remote_shards > 0) {
+    remote_graph = graph;
+    remote_reference_graph = graph;
+  }
 
   RoutingServiceOptions service_options;
   service_options.defaults.k = options.k;
@@ -807,6 +864,160 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
         combined.speedup = combined.unsharded_sequential_micros /
                            combined.sharded_batch_micros;
       }
+    }
+  }
+
+  // Remote phase: the same drill as the shard phase, but the shards live in
+  // worker processes — a RemoteShardedRoutingService (coordinator + fleet)
+  // against an in-process ShardedRoutingService reference, identical
+  // traffic history (two-phase epoch commit on the remote side), identical
+  // request list, path-by-path parity. A batched leg then answers the list
+  // again through the remote QueryBatch, amortising RPC round trips across
+  // the batch pool.
+  if (options.remote_shards > 0) {
+    RemoteShardPhaseStats& phase = report.remote_shard;
+    phase.num_shards = options.remote_shards;
+
+    ShardedRoutingServiceOptions reference_options;
+    reference_options.defaults = service_options.defaults;
+    reference_options.dtlp = service_options.dtlp;
+    reference_options.num_shards =
+        static_cast<uint32_t>(options.remote_shards);
+    reference_options.batch_threads = options.batch_threads;
+    Result<std::unique_ptr<ShardedRoutingService>> reference_or =
+        ShardedRoutingService::Create(std::move(remote_reference_graph),
+                                      reference_options);
+    if (!reference_or.ok()) return reference_or.status();
+    std::unique_ptr<ShardedRoutingService> reference =
+        std::move(reference_or).value();
+
+    RemoteShardedRoutingServiceOptions remote_options;
+    remote_options.defaults = service_options.defaults;
+    remote_options.dtlp = service_options.dtlp;
+    remote_options.num_shards = static_cast<uint32_t>(options.remote_shards);
+    remote_options.batch_threads = options.batch_threads;
+    remote_options.remote.worker_binary = options.worker_binary;
+    Result<std::unique_ptr<RemoteShardedRoutingService>> remote_or =
+        RemoteShardedRoutingService::Create(std::move(remote_graph),
+                                            remote_options);
+    if (!remote_or.ok()) return remote_or.status();
+    std::unique_ptr<RemoteShardedRoutingService> remote =
+        std::move(remote_or).value();
+
+    TrafficModelOptions replay_options = traffic_options;
+    replay_options.seed = options.seed + 3;
+    TrafficModel replay(reference->graph(), replay_options);
+    for (size_t b = 0; b < options.num_batches; ++b) {
+      std::vector<WeightUpdate> batch = replay.NextBatch();
+      bool ok = reference->ApplyTrafficBatch(batch).ok();
+      ok = remote->ApplyTrafficBatch(batch).ok() && ok;
+      if (ok) ++phase.batches_applied;
+    }
+
+    std::vector<RouteRequest> requests;
+    requests.reserve(work.size() * (options.diverse ? 2 : 1));
+    for (const WorkItem& item : work) {
+      RouteRequest request;
+      request.source = item.source;
+      request.target = item.target;
+      request.options.backend = options.backends[item.backend_index];
+      requests.push_back(std::move(request));
+    }
+    if (options.diverse) {
+      for (const WorkItem& item : work) {
+        RouteRequest request;
+        request.kind = QueryKind::kDiverseKsp;
+        request.source = item.source;
+        request.target = item.target;
+        request.options.backend = options.backends[item.backend_index];
+        requests.push_back(std::move(request));
+      }
+      phase.diverse_requests = work.size();
+    }
+    phase.requests = requests.size();
+
+    std::vector<std::vector<Path>> expected(requests.size());
+    std::vector<char> expected_ok(requests.size(), 0);
+    WallTimer inprocess_timer;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      Result<RouteResponse> response = reference->Query(requests[i]);
+      if (!response.ok()) {
+        ++phase.errors;
+        continue;
+      }
+      expected_ok[i] = 1;
+      expected[i] = std::move(response).value().paths;
+    }
+    phase.inprocess_micros = inprocess_timer.ElapsedMicros();
+
+    auto check_parity = [&](size_t i, const std::vector<Path>& got) {
+      if (!expected_ok[i]) return;
+      bool same = got.size() == expected[i].size();
+      for (size_t p = 0; same && p < got.size(); ++p) {
+        same = got[p].vertices == expected[i][p].vertices &&
+               got[p].distance == expected[i][p].distance;
+      }
+      if (!same) ++phase.mismatches;
+    };
+
+    // Single-query leg.
+    WallTimer remote_timer;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      Result<RouteResponse> response = remote->Query(requests[i]);
+      if (!response.ok()) {
+        ++phase.errors;
+        continue;
+      }
+      check_parity(i, response.value().paths);
+    }
+    phase.remote_micros = remote_timer.ElapsedMicros();
+
+    // Batched leg.
+    phase.batch_size = options.batch_size > 0 ? options.batch_size : 8;
+    WallTimer batch_timer;
+    for (size_t begin = 0; begin < requests.size();
+         begin += phase.batch_size) {
+      size_t count = std::min(phase.batch_size, requests.size() - begin);
+      Result<RouteBatchResponse> batched = remote->QueryBatch(
+          std::span<const RouteRequest>(requests.data() + begin, count));
+      ++phase.batches_submitted;
+      if (!batched.ok()) {
+        phase.errors += count;
+        continue;
+      }
+      const RouteBatchResponse& b = batched.value();
+      for (size_t j = 0; j < b.items.size(); ++j) {
+        if (!b.items[j].status.ok()) {
+          ++phase.errors;
+          continue;
+        }
+        check_parity(begin + j, b.items[j].response.paths);
+      }
+    }
+    phase.remote_batch_micros = batch_timer.ElapsedMicros();
+
+    phase.final_epoch = remote->CurrentEpoch();
+    if (reference->CurrentEpoch() != remote->CurrentEpoch()) ++phase.errors;
+    RemoteServiceCounters counters = remote->counters();
+    phase.rpc_calls = counters.rpc_calls;
+    phase.rpc_retries = counters.rpc_retries;
+    phase.rpc_deadline_expired = counters.rpc_deadline_expired;
+    phase.worker_restarts = counters.worker_restarts;
+    phase.partial_cache_hits = counters.sharded.partial_cache_hits;
+    phase.partial_cache_skips = counters.sharded.partial_cache_skips;
+    phase.direct_partials = counters.sharded.direct_partial_requests;
+    phase.scattered_partials = counters.sharded.scattered_partial_requests;
+    if (phase.inprocess_micros > 0) {
+      phase.inprocess_qps = static_cast<double>(phase.requests) /
+                            (phase.inprocess_micros / 1e6);
+    }
+    if (phase.remote_micros > 0) {
+      phase.remote_qps =
+          static_cast<double>(phase.requests) / (phase.remote_micros / 1e6);
+    }
+    if (phase.remote_batch_micros > 0) {
+      phase.remote_batch_qps = static_cast<double>(phase.requests) /
+                               (phase.remote_batch_micros / 1e6);
     }
   }
   return report;

@@ -55,6 +55,18 @@ struct BenchOptions {
   /// and every answer is again checked against the unsharded sequential
   /// reference ("shard_batch" JSON object).
   size_t shards = 0;
+  /// When > 0, a remote-shard phase runs after the shard phases: a
+  /// RemoteShardedRoutingService with this many out-of-process shard
+  /// workers and an in-process ShardedRoutingService receive the identical
+  /// traffic history (cross-process two-phase epoch commit vs in-process
+  /// fan-out) and answer the same request list — once via sequential remote
+  /// Query calls and once via remote QueryBatch — and every remote answer
+  /// is checked path-by-path against the in-process one ("remote_shard"
+  /// JSON object).
+  size_t remote_shards = 0;
+  /// shard_worker binary for the remote phase (empty = auto-locate next to
+  /// the current executable, or $KSPDG_WORKER_BIN).
+  std::string worker_binary;
   /// When true, a diversity phase runs after the batch phase: the mixed
   /// request list is answered once as plain kKsp and once as kDiverseKsp
   /// (over-fetch + MFP/MinHash filter), contrasting the two throughputs
@@ -178,6 +190,50 @@ struct ShardBatchPhaseStats {
   double speedup = 0;
 };
 
+/// Remote-vs-in-process sharded comparison over one request list (remote
+/// phase). The parity counters must come out zero: moving the shards out of
+/// process may add RPC hops, never change answers — remote responses are
+/// byte-identical (exact routes, bit-exact distances) to the in-process
+/// sharded service fed the same traffic history.
+struct RemoteShardPhaseStats {
+  /// Worker processes of the remote service; 0 means the phase did not run.
+  size_t num_shards = 0;
+  size_t requests = 0;
+  /// kDiverseKsp requests inside `requests` (0 unless --diverse).
+  size_t diverse_requests = 0;
+  /// Requests per QueryBatch call on the batched leg.
+  size_t batch_size = 0;
+  size_t batches_submitted = 0;
+  /// Query failures across all legs (must be 0 with healthy workers).
+  size_t errors = 0;
+  /// Remote answers that differed from the in-process ones in route or
+  /// distance, across both legs (must be 0).
+  size_t mismatches = 0;
+  /// Traffic batches applied identically to both services (two-phase epoch
+  /// commit across the worker fleet on the remote side).
+  size_t batches_applied = 0;
+  /// Global epoch both services ended at (they must agree).
+  uint64_t final_epoch = 0;
+  /// Transport totals across the worker fleet.
+  uint64_t rpc_calls = 0;
+  uint64_t rpc_retries = 0;
+  uint64_t rpc_deadline_expired = 0;
+  /// Workers respawned during the phase (must be 0: nobody dies in a bench).
+  uint64_t worker_restarts = 0;
+  /// Per-(shard, worker) partial-cache traffic on the coordinator.
+  uint64_t partial_cache_hits = 0;
+  uint64_t partial_cache_skips = 0;
+  /// Boundary-pair partials routed to exactly one worker vs gathered.
+  uint64_t direct_partials = 0;
+  uint64_t scattered_partials = 0;
+  double remote_micros = 0;
+  double remote_batch_micros = 0;
+  double inprocess_micros = 0;
+  double remote_qps = 0;
+  double remote_batch_qps = 0;
+  double inprocess_qps = 0;
+};
+
 /// Diverse-vs-plain KSP comparison over one request list (diverse phase).
 /// The same endpoints and backends are answered once as kKsp (k paths) and
 /// once as kDiverseKsp (k' = k * overfetch candidates filtered to <= k
@@ -254,6 +310,8 @@ struct BenchReport {
   ShardPhaseStats shard;
   /// Combined sharded-batch phase (num_shards 0 when not requested).
   ShardBatchPhaseStats shard_batch;
+  /// Remote-vs-in-process sharded phase (num_shards 0 when not requested).
+  RemoteShardPhaseStats remote_shard;
 
   /// Pretty-printed JSON object (stable key order).
   std::string ToJson() const;

@@ -1,0 +1,550 @@
+// Tests for the out-of-process serving layer (src/remote + the
+// shard_worker binary): byte-identical parity with the in-process
+// ShardedRoutingService at 1/2/4 shards for every QueryKind, single and
+// batched, before and after traffic; the cross-process two-phase epoch
+// commit; and the fault model — killed workers degrade to clean per-query
+// Status errors (never a hang, never a wrong answer) and come back via
+// restart + history replay with their exact incremental state.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/types.h>
+
+#include <chrono>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/routing_options.h"
+#include "graph/generators.h"
+#include "graph/traffic_model.h"
+#include "ksp/path.h"
+#include "remote/remote_sharded_routing_service.h"
+#include "shard/sharded_routing_service.h"
+#include "workload/bench_runner.h"
+
+namespace kspdg {
+namespace {
+
+std::unique_ptr<ShardedRoutingService> MustCreateSharded(Graph g, uint32_t z,
+                                                         uint32_t num_shards) {
+  ShardedRoutingServiceOptions options;
+  options.dtlp.partition.max_vertices = z;
+  options.num_shards = num_shards;
+  Result<std::unique_ptr<ShardedRoutingService>> service =
+      ShardedRoutingService::Create(std::move(g), std::move(options));
+  if (!service.ok()) {
+    ADD_FAILURE() << service.status().ToString();
+    return nullptr;
+  }
+  return std::move(service).value();
+}
+
+// Short RPC deadlines: dead-worker detection costs up to
+// deadline_ms * (1 + retries) per first-failing call, so the fault tests
+// keep the budget tight. The apply deadline stays generous — load-graph
+// rebuilds the DTLP index on the worker.
+std::unique_ptr<RemoteShardedRoutingService> MustCreateRemote(
+    Graph g, uint32_t z, uint32_t num_shards) {
+  RemoteShardedRoutingServiceOptions options;
+  options.dtlp.partition.max_vertices = z;
+  options.num_shards = num_shards;
+  options.remote.rpc_deadline_ms = 2000;
+  options.remote.rpc_max_retries = 1;
+  options.remote.rpc_backoff_ms = 5;
+  Result<std::unique_ptr<RemoteShardedRoutingService>> service =
+      RemoteShardedRoutingService::Create(std::move(g), std::move(options));
+  if (!service.ok()) {
+    ADD_FAILURE() << service.status().ToString();
+    return nullptr;
+  }
+  return std::move(service).value();
+}
+
+RouteRequest MakeRequest(VertexId s, VertexId t, const std::string& backend,
+                         uint32_t k) {
+  RouteRequest request;
+  request.source = s;
+  request.target = t;
+  request.options.backend = backend;
+  request.options.k = k;
+  return request;
+}
+
+/// Byte-level parity: same routes, same exact doubles — the remote service
+/// runs the identical arithmetic on identical weights, so not even the last
+/// bit may differ.
+void ExpectIdenticalPaths(const std::vector<Path>& got,
+                          const std::vector<Path>& want,
+                          const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].vertices, want[i].vertices) << label << " rank " << i;
+    EXPECT_EQ(got[i].distance, want[i].distance) << label << " rank " << i;
+  }
+}
+
+void KillAllWorkers(const RemoteShardedRoutingService& service) {
+  for (const RemoteWorkerInfo& info : service.WorkerInfos()) {
+    ASSERT_GT(info.pid, 0);
+    ASSERT_EQ(kill(info.pid, SIGKILL), 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parity with the in-process sharded service: every kind, pre/post traffic.
+// ---------------------------------------------------------------------------
+
+TEST(RemoteShardedRoutingServiceTest, ParityWithInProcessAcrossKindsAndTraffic) {
+  for (uint32_t num_shards : {1u, 2u, 4u}) {
+    Graph g = MakeRandomConnected(40, 52, 1, 9, 307);
+    Graph g_remote = g;
+    std::unique_ptr<ShardedRoutingService> sharded =
+        MustCreateSharded(std::move(g), /*z=*/10, num_shards);
+    std::unique_ptr<RemoteShardedRoutingService> remote =
+        MustCreateRemote(std::move(g_remote), /*z=*/10, num_shards);
+    ASSERT_TRUE(sharded != nullptr && remote != nullptr);
+    ASSERT_EQ(remote->num_shards(), num_shards);
+    ASSERT_EQ(remote->assignment().shard_of_subgraph,
+              sharded->assignment().shard_of_subgraph);
+
+    TrafficModelOptions traffic_options;
+    traffic_options.alpha = 0.5;
+    traffic_options.seed = 41;
+    TrafficModel traffic(sharded->graph(), traffic_options);
+
+    for (int step = 0; step < 3; ++step) {
+      if (step > 0) {
+        std::vector<WeightUpdate> batch = traffic.NextBatch();
+        Result<TrafficBatchResult> want_applied =
+            sharded->ApplyTrafficBatch(batch);
+        Result<TrafficBatchResult> got_applied =
+            remote->ApplyTrafficBatch(batch);
+        ASSERT_TRUE(want_applied.ok()) << want_applied.status().ToString();
+        ASSERT_TRUE(got_applied.ok()) << got_applied.status().ToString();
+        EXPECT_EQ(got_applied.value().epoch, want_applied.value().epoch);
+        // Identical Algorithm 2 maintenance on the coordinator's master
+        // copy: the remote fan-out composes the same primitives.
+        EXPECT_EQ(got_applied.value().dtlp.updates_applied,
+                  want_applied.value().dtlp.updates_applied);
+        EXPECT_EQ(got_applied.value().dtlp.subgraphs_touched,
+                  want_applied.value().dtlp.subgraphs_touched);
+      }
+      const std::string tag = " shards=" + std::to_string(num_shards) +
+                              " step=" + std::to_string(step);
+      for (const auto& [s, t] : std::vector<std::pair<VertexId, VertexId>>{
+               {0, 39}, {3, 31}, {17, 22}}) {
+        // kKsp on every stock backend (kspdg is the one whose refine step
+        // crosses the process boundary).
+        for (const char* backend :
+             {kBackendKspDg, kBackendYen, kBackendDijkstra}) {
+          uint32_t k = backend == kBackendDijkstra ? 1 : 5;
+          RouteRequest request = MakeRequest(s, t, backend, k);
+          Result<RouteResponse> want = sharded->Query(request);
+          Result<RouteResponse> got = remote->Query(request);
+          ASSERT_TRUE(want.ok()) << want.status().ToString();
+          ASSERT_TRUE(got.ok()) << got.status().ToString();
+          EXPECT_EQ(got.value().epoch, want.value().epoch);
+          ExpectIdenticalPaths(got.value().paths, want.value().paths,
+                               std::string(backend) + tag);
+        }
+
+        // kShortestPath through the coordinator-owned CANDS index.
+        RouteRequest shortest;
+        shortest.kind = QueryKind::kShortestPath;
+        shortest.source = s;
+        shortest.target = t;
+        Result<RouteResponse> want_sp = sharded->Query(shortest);
+        Result<RouteResponse> got_sp = remote->Query(shortest);
+        ASSERT_TRUE(want_sp.ok() && got_sp.ok());
+        EXPECT_EQ(got_sp.value().backend, kBackendCands);
+        ExpectIdenticalPaths(got_sp.value().paths, want_sp.value().paths,
+                             "cands" + tag);
+
+        // kDiverseKsp: candidates flow through the remote partials.
+        RouteRequest diverse;
+        diverse.kind = QueryKind::kDiverseKsp;
+        diverse.source = s;
+        diverse.target = t;
+        diverse.options.k = 3;
+        diverse.options.diversity_theta = 0.6;
+        Result<RouteResponse> want_div = sharded->Query(diverse);
+        Result<RouteResponse> got_div = remote->Query(diverse);
+        ASSERT_TRUE(want_div.ok() && got_div.ok());
+        ExpectIdenticalPaths(got_div.value().paths, want_div.value().paths,
+                             "diverse" + tag);
+        ASSERT_TRUE(got_div.value().diverse.has_value());
+        ASSERT_TRUE(want_div.value().diverse.has_value());
+        EXPECT_EQ(got_div.value().diverse->kept,
+                  want_div.value().diverse->kept);
+        EXPECT_EQ(got_div.value().diverse->candidates,
+                  want_div.value().diverse->candidates);
+      }
+    }
+    EXPECT_EQ(remote->CurrentEpoch(), 2u);
+    // Every worker acknowledged both epochs.
+    for (const RemoteWorkerInfo& info : remote->WorkerInfos()) {
+      EXPECT_TRUE(info.alive) << "shard " << info.shard;
+      EXPECT_EQ(info.epoch, 2u) << "shard " << info.shard;
+      EXPECT_EQ(info.restarts, 0u) << "shard " << info.shard;
+    }
+  }
+}
+
+TEST(RemoteShardedRoutingServiceTest, BatchAndSubmitParityWithInProcess) {
+  Graph g = MakeRandomConnected(36, 48, 1, 9, 311);
+  Graph g_remote = g;
+  std::unique_ptr<ShardedRoutingService> sharded =
+      MustCreateSharded(std::move(g), /*z=*/10, /*num_shards=*/2);
+  std::unique_ptr<RemoteShardedRoutingService> remote =
+      MustCreateRemote(std::move(g_remote), /*z=*/10, /*num_shards=*/2);
+  ASSERT_TRUE(sharded != nullptr && remote != nullptr);
+
+  // Move both off epoch 0 so batches run against updated weights.
+  TrafficModelOptions traffic_options;
+  traffic_options.alpha = 0.4;
+  traffic_options.seed = 59;
+  TrafficModel traffic(sharded->graph(), traffic_options);
+  std::vector<WeightUpdate> updates = traffic.NextBatch();
+  ASSERT_TRUE(sharded->ApplyTrafficBatch(updates).ok());
+  ASSERT_TRUE(remote->ApplyTrafficBatch(updates).ok());
+
+  std::vector<RouteRequest> requests;
+  for (VertexId s = 0; s < 6; ++s) {
+    RouteRequest request =
+        MakeRequest(s, 35 - s, s % 2 == 0 ? kBackendKspDg : kBackendYen, 4);
+    if (s % 3 == 0) {
+      request.kind = QueryKind::kDiverseKsp;
+      request.options.k = 3;
+    }
+    requests.push_back(request);
+  }
+
+  Result<RouteBatchResponse> want = sharded->QueryBatch(requests);
+  Result<RouteBatchResponse> got = remote->QueryBatch(requests);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(got.value().num_ok, requests.size());
+  EXPECT_EQ(got.value().epoch, want.value().epoch);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(got.value().items[i].status.ok())
+        << got.value().items[i].status.ToString();
+    ExpectIdenticalPaths(got.value().items[i].response.paths,
+                         want.value().items[i].response.paths,
+                         "batch item " + std::to_string(i));
+  }
+
+  // Async submission answers the identical batch.
+  BatchTicket ticket = remote->SubmitBatch(requests);
+  ASSERT_TRUE(ticket.valid());
+  const Result<RouteBatchResponse>& async = ticket.Wait();
+  ASSERT_TRUE(async.ok()) << async.status().ToString();
+  ASSERT_EQ(async.value().num_ok, requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ExpectIdenticalPaths(async.value().items[i].response.paths,
+                         want.value().items[i].response.paths,
+                         "async item " + std::to_string(i));
+  }
+}
+
+TEST(RemoteShardedRoutingServiceTest, RejectsInvalidRequestsAndCounts) {
+  Graph g = MakeRandomConnected(16, 14, 1, 9, 313);
+  std::unique_ptr<RemoteShardedRoutingService> service =
+      MustCreateRemote(std::move(g), /*z=*/8, /*num_shards=*/2);
+  ASSERT_TRUE(service != nullptr);
+  EXPECT_EQ(service->Query(MakeRequest(0, 5, kBackendYen, 0)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service->Query(MakeRequest(0, 99, kBackendYen, 2)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      service->Query(MakeRequest(0, 5, "no-such-backend", 2)).status().code(),
+      StatusCode::kNotFound);
+  RemoteServiceCounters counters = service->counters();
+  EXPECT_EQ(counters.sharded.base.queries_ok, 0u);
+  EXPECT_EQ(counters.sharded.base.queries_rejected, 3u);
+  EXPECT_EQ(counters.partial_rpc_errors, 0u);
+}
+
+TEST(RemoteShardedRoutingServiceTest, CreateRejectsMissingWorkerBinary) {
+  Graph g = MakeRandomConnected(12, 10, 1, 9, 317);
+  RemoteShardedRoutingServiceOptions options;
+  options.remote.worker_binary = "/nonexistent/shard_worker";
+  EXPECT_FALSE(
+      RemoteShardedRoutingService::Create(std::move(g), options).ok());
+}
+
+TEST(RemoteShardedRoutingServiceTest, WorkerFleetTelemetryIsCoherent) {
+  Graph g = MakeRandomConnected(60, 80, 1, 9, 331);
+  std::unique_ptr<RemoteShardedRoutingService> service =
+      MustCreateRemote(std::move(g), /*z=*/10, /*num_shards=*/3);
+  ASSERT_TRUE(service != nullptr);
+  for (VertexId s = 0; s < 10; ++s) {
+    ASSERT_TRUE(service->Query(MakeRequest(s, 59 - s, kBackendKspDg, 4)).ok());
+  }
+  std::vector<RemoteWorkerInfo> infos = service->WorkerInfos();
+  ASSERT_EQ(infos.size(), 3u);
+  size_t subgraphs = 0;
+  uint64_t worker_partials = 0;
+  for (const RemoteWorkerInfo& info : infos) {
+    EXPECT_TRUE(info.alive) << info.shard;
+    EXPECT_GT(info.pid, 0) << info.shard;
+    subgraphs += info.subgraphs;
+    worker_partials += info.partial_requests;
+    EXPECT_GE(info.yen_runs, info.partial_requests) << info.shard;
+  }
+  EXPECT_EQ(subgraphs, service->dtlp().NumSubgraphs());
+  RemoteServiceCounters counters = service->counters();
+  EXPECT_EQ(counters.sharded.base.queries_ok, 10u);
+  EXPECT_GT(counters.rpc_calls, 0u);
+  EXPECT_EQ(counters.worker_restarts, 0u);
+  EXPECT_GE(worker_partials, counters.sharded.direct_partial_requests +
+                                 counters.sharded.scattered_partial_requests);
+}
+
+// Duplicate KSP-DG queries inside one batch are served from the
+// per-(shard, worker) partial caches — no second round of partials RPCs.
+TEST(RemoteShardedRoutingServiceTest, PartialCachesServeDuplicateInBatch) {
+  Graph g = MakeRandomConnected(26, 32, 1, 9, 337);
+  RemoteShardedRoutingServiceOptions options;
+  options.dtlp.partition.max_vertices = 8;
+  options.num_shards = 2;
+  options.batch_threads = 1;
+  Result<std::unique_ptr<RemoteShardedRoutingService>> created =
+      RemoteShardedRoutingService::Create(std::move(g), std::move(options));
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  std::unique_ptr<RemoteShardedRoutingService> service =
+      std::move(created).value();
+
+  std::vector<RouteRequest> requests = {MakeRequest(0, 25, kBackendKspDg, 5),
+                                        MakeRequest(0, 25, kBackendKspDg, 5)};
+  Result<RouteBatchResponse> batched = service->QueryBatch(requests);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  ASSERT_EQ(batched.value().num_ok, 2u);
+  ASSERT_FALSE(batched.value().items[0].response.paths.empty());
+  ExpectIdenticalPaths(batched.value().items[1].response.paths,
+                       batched.value().items[0].response.paths,
+                       "duplicate query in one remote batch");
+  EXPECT_GT(service->counters().sharded.partial_cache_hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault model: killed workers degrade to per-query errors, never a hang or
+// a wrong answer; restart + replay restores the exact state.
+// ---------------------------------------------------------------------------
+
+// Fault-suite options: tight per-attempt deadline so a dead worker is
+// detected in well under a second.
+std::unique_ptr<RemoteShardedRoutingService> MustCreateRemoteFastFail(
+    Graph g, uint32_t z, uint32_t num_shards, bool auto_restart) {
+  RemoteShardedRoutingServiceOptions options;
+  options.dtlp.partition.max_vertices = z;
+  options.num_shards = num_shards;
+  options.remote.rpc_deadline_ms = 300;
+  options.remote.rpc_max_retries = 0;
+  options.remote.rpc_backoff_ms = 1;
+  options.remote.auto_restart = auto_restart;
+  Result<std::unique_ptr<RemoteShardedRoutingService>> service =
+      RemoteShardedRoutingService::Create(std::move(g), std::move(options));
+  if (!service.ok()) {
+    ADD_FAILURE() << service.status().ToString();
+    return nullptr;
+  }
+  return std::move(service).value();
+}
+
+TEST(RemoteFaultTest, KilledWorkersYieldCleanErrorsNeverHangsOrWrongAnswers) {
+  Graph g = MakeRandomConnected(26, 32, 1, 9, 347);
+  Graph g_ref = g;
+  std::unique_ptr<RemoteShardedRoutingService> service =
+      MustCreateRemoteFastFail(std::move(g), /*z=*/8, /*num_shards=*/2,
+                               /*auto_restart=*/false);
+  std::unique_ptr<ShardedRoutingService> reference =
+      MustCreateSharded(std::move(g_ref), /*z=*/8, /*num_shards=*/2);
+  ASSERT_TRUE(service != nullptr && reference != nullptr);
+
+  KillAllWorkers(*service);
+
+  const auto start = std::chrono::steady_clock::now();
+  size_t errors = 0;
+  for (VertexId s = 0; s < 8; ++s) {
+    RouteRequest request = MakeRequest(s, 25 - s, kBackendKspDg, 4);
+    Result<RouteResponse> got = service->Query(request);
+    if (!got.ok()) {
+      // The documented degradation: a clean transport status, per query.
+      EXPECT_TRUE(got.status().code() == StatusCode::kUnavailable ||
+                  got.status().code() == StatusCode::kDeadlineExceeded)
+          << got.status().ToString();
+      ++errors;
+      continue;
+    }
+    // A query that needed no remote partials is answered entirely from the
+    // coordinator's master state — and must still be exactly right.
+    Result<RouteResponse> want = reference->Query(request);
+    ASSERT_TRUE(want.ok());
+    ExpectIdenticalPaths(got.value().paths, want.value().paths,
+                         "surviving query " + std::to_string(s));
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GT(errors, 0u) << "no query exercised the dead workers";
+  // Fast-fail: the first failure marks the worker dead; later queries skip
+  // the deadline wait entirely. Generous bound, but a hang would blow it.
+  EXPECT_LT(elapsed.count(), 30);
+
+  RemoteServiceCounters counters = service->counters();
+  EXPECT_EQ(counters.partial_rpc_errors, errors);
+  EXPECT_EQ(counters.sharded.base.queries_rejected, errors);
+
+  // Backends that never leave the coordinator still serve every query.
+  for (VertexId s = 0; s < 4; ++s) {
+    RouteRequest request = MakeRequest(s, 25 - s, kBackendDijkstra, 1);
+    Result<RouteResponse> got = service->Query(request);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    Result<RouteResponse> want = reference->Query(request);
+    ASSERT_TRUE(want.ok());
+    ExpectIdenticalPaths(got.value().paths, want.value().paths,
+                         "dijkstra under dead workers");
+  }
+}
+
+TEST(RemoteFaultTest, RestartDeadWorkersReplaysHistoryAndRestoresParity) {
+  Graph g = MakeRandomConnected(30, 38, 1, 9, 349);
+  Graph g_ref = g;
+  std::unique_ptr<RemoteShardedRoutingService> service =
+      MustCreateRemoteFastFail(std::move(g), /*z=*/8, /*num_shards=*/2,
+                               /*auto_restart=*/false);
+  std::unique_ptr<ShardedRoutingService> reference =
+      MustCreateSharded(std::move(g_ref), /*z=*/8, /*num_shards=*/2);
+  ASSERT_TRUE(service != nullptr && reference != nullptr);
+
+  // Commit real history first: the restarted workers must re-derive the
+  // exact incrementally-maintained state, not a rebuild from flat weights.
+  TrafficModelOptions traffic_options;
+  traffic_options.alpha = 0.5;
+  traffic_options.seed = 61;
+  TrafficModel traffic(reference->graph(), traffic_options);
+  for (int step = 0; step < 2; ++step) {
+    std::vector<WeightUpdate> batch = traffic.NextBatch();
+    ASSERT_TRUE(reference->ApplyTrafficBatch(batch).ok());
+    ASSERT_TRUE(service->ApplyTrafficBatch(batch).ok());
+  }
+
+  KillAllWorkers(*service);
+  // Surface the deaths (RestartDeadWorkers health-checks anyway, but this
+  // exercises the query-path detection too).
+  (void)service->Query(MakeRequest(0, 29, kBackendKspDg, 4));
+
+  Status restarted = service->RestartDeadWorkers();
+  ASSERT_TRUE(restarted.ok()) << restarted.ToString();
+  uint64_t total_restarts = 0;
+  for (const RemoteWorkerInfo& info : service->WorkerInfos()) {
+    EXPECT_TRUE(info.alive) << "shard " << info.shard;
+    EXPECT_EQ(info.epoch, 2u) << "shard " << info.shard;
+    total_restarts += info.restarts;
+  }
+  EXPECT_GT(total_restarts, 0u);
+  EXPECT_EQ(service->counters().worker_restarts, total_restarts);
+
+  // Full parity at the committed snapshot: replay reconstructed the state.
+  for (VertexId s = 0; s < 6; ++s) {
+    for (const char* backend : {kBackendKspDg, kBackendYen}) {
+      RouteRequest request = MakeRequest(s, 29 - s, backend, 4);
+      Result<RouteResponse> got = service->Query(request);
+      Result<RouteResponse> want = reference->Query(request);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ASSERT_TRUE(want.ok());
+      EXPECT_EQ(got.value().epoch, 2u);
+      ExpectIdenticalPaths(got.value().paths, want.value().paths,
+                           std::string(backend) + " after restart, q " +
+                               std::to_string(s));
+    }
+  }
+}
+
+TEST(RemoteFaultTest, ApplyTrafficBatchAutoRestartsDeadWorkers) {
+  Graph g = MakeRandomConnected(26, 32, 1, 9, 353);
+  Graph g_ref = g;
+  std::unique_ptr<RemoteShardedRoutingService> service =
+      MustCreateRemoteFastFail(std::move(g), /*z=*/8, /*num_shards=*/2,
+                               /*auto_restart=*/true);
+  std::unique_ptr<ShardedRoutingService> reference =
+      MustCreateSharded(std::move(g_ref), /*z=*/8, /*num_shards=*/2);
+  ASSERT_TRUE(service != nullptr && reference != nullptr);
+
+  TrafficModelOptions traffic_options;
+  traffic_options.alpha = 0.5;
+  traffic_options.seed = 67;
+  TrafficModel traffic(reference->graph(), traffic_options);
+  std::vector<WeightUpdate> first = traffic.NextBatch();
+  ASSERT_TRUE(reference->ApplyTrafficBatch(first).ok());
+  ASSERT_TRUE(service->ApplyTrafficBatch(first).ok());
+
+  KillAllWorkers(*service);
+
+  // The next traffic batch revives the fleet (replaying batch 1), then
+  // commits epoch 2 across it.
+  std::vector<WeightUpdate> second = traffic.NextBatch();
+  ASSERT_TRUE(reference->ApplyTrafficBatch(second).ok());
+  Result<TrafficBatchResult> applied = service->ApplyTrafficBatch(second);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(applied.value().epoch, 2u);
+
+  uint64_t total_restarts = 0;
+  for (const RemoteWorkerInfo& info : service->WorkerInfos()) {
+    EXPECT_TRUE(info.alive) << "shard " << info.shard;
+    EXPECT_EQ(info.epoch, 2u) << "shard " << info.shard;
+    total_restarts += info.restarts;
+  }
+  EXPECT_EQ(total_restarts, 2u) << "both workers were killed once";
+
+  for (VertexId s = 0; s < 6; ++s) {
+    RouteRequest request = MakeRequest(s, 25 - s, kBackendKspDg, 4);
+    Result<RouteResponse> got = service->Query(request);
+    Result<RouteResponse> want = reference->Query(request);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_TRUE(want.ok());
+    ExpectIdenticalPaths(got.value().paths, want.value().paths,
+                         "post-auto-restart q " + std::to_string(s));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bench remote_shard phase: the parity gate CI reads from the JSON.
+// ---------------------------------------------------------------------------
+
+TEST(BenchRunnerTest, RemoteShardPhaseReportsParity) {
+  BenchOptions options;
+  options.dataset = "NY-S";
+  options.target_vertices = 256;
+  options.queries_per_backend = 5;
+  options.num_batches = 2;
+  options.query_threads = 2;
+  options.k = 3;
+  options.z = 32;
+  options.remote_shards = 2;
+  Result<BenchReport> report = RunMixedBench(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const RemoteShardPhaseStats& phase = report.value().remote_shard;
+  EXPECT_EQ(phase.num_shards, 2u);
+  EXPECT_EQ(phase.requests, 15u);  // 5 queries x 3 default backends
+  EXPECT_EQ(phase.errors, 0u);
+  EXPECT_EQ(phase.mismatches, 0u);
+  EXPECT_EQ(phase.batches_applied, 2u);
+  EXPECT_EQ(phase.final_epoch, 2u);
+  EXPECT_EQ(phase.worker_restarts, 0u);
+  EXPECT_EQ(phase.rpc_deadline_expired, 0u);
+  EXPECT_GT(phase.rpc_calls, 0u);
+  EXPECT_EQ(phase.batch_size, 8u);  // default batched leg
+  EXPECT_EQ(phase.batches_submitted, 2u);  // ceil(15 / 8)
+  EXPECT_GT(phase.remote_qps, 0.0);
+  EXPECT_GT(phase.remote_batch_qps, 0.0);
+  EXPECT_GT(phase.inprocess_qps, 0.0);
+  std::string json = report.value().ToJson();
+  EXPECT_NE(json.find("\"remote_shard\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker_restarts\": 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kspdg

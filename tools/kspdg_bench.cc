@@ -6,6 +6,7 @@
 //               [--batches 6] [--threads 4] [--alpha 0.35] [--tau 0.30]
 //               [--z 0] [--seed 42] [--backends kspdg,yen,findksp]
 //               [--batch-size 0] [--batch-threads 0] [--shards 0]
+//               [--remote-shards 0] [--worker-binary PATH]
 //               [--diverse] [--diverse-theta 0.5] [--diverse-overfetch 4]
 //               [--out BENCH_service.json]
 //
@@ -28,6 +29,17 @@
 // counters (mismatches, errors, non_uniform_batches — all must be 0),
 // per-shard partial-cache hits and both throughputs land in the BENCH JSON
 // under "shard_batch".
+//
+// --remote-shards N (N > 0) appends the remote-shard phase: a
+// RemoteShardedRoutingService spawns N out-of-process shard_worker
+// processes (unix-socket RPC, two-phase epoch commit), receives the same
+// traffic history as a fresh in-process ShardedRoutingService, and answers
+// the same request list through a sequential and a batched leg; every
+// remote answer is checked path-by-path against the in-process one. Parity
+// counters (mismatches, errors, worker_restarts — all must be 0),
+// transport totals and all three throughputs land in the BENCH JSON under
+// "remote_shard". --worker-binary overrides the shard_worker auto-location
+// (next to the kspdg_bench executable, or $KSPDG_WORKER_BIN).
 //
 // --diverse appends a diverse-vs-plain phase: the mixed request list is
 // answered once as plain kKsp and once as kDiverseKsp (over-fetch k' =
@@ -57,6 +69,7 @@ void Usage(const char* argv0) {
                "[--queries N] [--batches N] [--threads N] [--alpha F] "
                "[--tau F] [--z N] [--seed N] [--backends a,b,c] "
                "[--batch-size N] [--batch-threads N] [--shards N] "
+               "[--remote-shards N] [--worker-binary PATH] "
                "[--diverse] [--diverse-theta F] [--diverse-overfetch N] "
                "[--out FILE]\n",
                argv0);
@@ -117,6 +130,10 @@ int main(int argc, char** argv) {
           static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--shards") {
       options.shards = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--remote-shards") {
+      options.remote_shards = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--worker-binary") {
+      options.worker_binary = next();
     } else if (arg == "--diverse") {
       options.diverse = true;
     } else if (arg == "--diverse-theta") {

@@ -14,9 +14,11 @@ right JSON type, and unknown fields fail the check — if you add a field to
 ToJson, teach this validator (and docs/BENCHMARKING.md) about it in the same
 change.
 
---check expressions are dotted paths into the report compared against a
-numeric literal with one of ==, !=, >=, <=, >, < (applied to every FILE
-given). Exit status is non-zero on any failure.
+--check expressions are dotted paths into the report compared with one of
+==, !=, >=, <=, >, < against either a numeric literal or another dotted
+path (applied to every FILE given), e.g.
+'metrics.mixed.queries_total==metrics.mixed.issued_requests'. Exit status
+is non-zero on any failure.
 
 --baseline PREV.json compares every FILE's throughput against a previous
 report: for each phase whose workload matches the baseline's (same dataset,
@@ -142,6 +144,27 @@ REMOTE_SHARD_SCHEMA = {
     "inprocess_qps": NUM,
 }
 
+# Registry cross-check: each phase pairs what the harness issued with what
+# the service's metrics registry accounted for (queries_total must equal
+# issued_requests on a healthy run — CI asserts this via --check).
+MIXED_METRICS_SCHEMA = {
+    "issued_requests": int,
+    "queries_total": int,
+    "queries_rejected_total": int,
+}
+
+SHARD_BATCH_METRICS_SCHEMA = dict(MIXED_METRICS_SCHEMA, partial_cache_hits=int)
+
+REMOTE_SHARD_METRICS_SCHEMA = dict(
+    SHARD_BATCH_METRICS_SCHEMA, worker_snapshots=int
+)
+
+METRICS_SCHEMA = {
+    "mixed": MIXED_METRICS_SCHEMA,
+    "shard_batch": SHARD_BATCH_METRICS_SCHEMA,
+    "remote_shard": REMOTE_SHARD_METRICS_SCHEMA,
+}
+
 BACKEND_SCHEMA = {
     "backend": str,
     "queries": int,
@@ -181,6 +204,7 @@ TOP_SCHEMA = {
     "shard": SHARD_SCHEMA,
     "shard_batch": SHARD_BATCH_SCHEMA,
     "remote_shard": REMOTE_SHARD_SCHEMA,
+    "metrics": METRICS_SCHEMA,
     "backends": BACKEND_SCHEMA,  # list of objects
 }
 
@@ -230,7 +254,14 @@ def validate_report(report, where, failures):
         check_object(backend, BACKEND_SCHEMA, f"{where}.backends[{i}]", failures)
 
 
-CHECK_RE = re.compile(r"^([A-Za-z0-9_.\[\]]+?)\s*(==|!=|>=|<=|>|<)\s*(-?[0-9.]+)$")
+# RHS is a numeric literal or another dotted path (a path never starts with
+# a digit or '-', so the two alternatives cannot collide).
+CHECK_RE = re.compile(
+    r"^([A-Za-z0-9_.\[\]]+?)\s*(==|!=|>=|<=|>|<)"
+    r"\s*(-?[0-9.]+|[A-Za-z_][A-Za-z0-9_.\[\]]*)$"
+)
+
+NUMBER_RE = re.compile(r"-?[0-9.]+")
 
 OPS = {
     "==": lambda a, b: a == b,
@@ -257,20 +288,35 @@ def lookup(report, path):
 def run_check(report, where, expr, failures):
     match = CHECK_RE.match(expr)
     if match is None:
-        failures.append(f"--check {expr!r}: cannot parse (PATH OP NUMBER)")
+        failures.append(f"--check {expr!r}: cannot parse (PATH OP NUMBER|PATH)")
         return
-    path, op, literal = match.groups()
-    try:
-        value = lookup(report, path)
-    except (KeyError, IndexError, TypeError):
-        failures.append(f"{where}: --check {expr!r}: no field {path!r}")
+    path, op, rhs = match.groups()
+
+    def resolve(p):
+        try:
+            value = lookup(report, p)
+        except (KeyError, IndexError, TypeError):
+            failures.append(f"{where}: --check {expr!r}: no field {p!r}")
+            return None
+        if not isinstance(value, NUM) or isinstance(value, bool):
+            failures.append(f"{where}: --check {expr!r}: {p} is not numeric")
+            return None
+        return value
+
+    value = resolve(path)
+    if value is None:
         return
-    if not isinstance(value, NUM) or isinstance(value, bool):
-        failures.append(f"{where}: --check {expr!r}: {path} is not numeric")
-        return
-    want = float(literal) if "." in literal else int(literal)
+    if NUMBER_RE.fullmatch(rhs):
+        want = float(rhs) if "." in rhs else int(rhs)
+    else:
+        want = resolve(rhs)
+        if want is None:
+            return
     if not OPS[op](value, want):
-        failures.append(f"{where}: check failed: {path} = {value}, wanted {op} {literal}")
+        failures.append(
+            f"{where}: check failed: {path} = {value}, wanted {op} {rhs}"
+            + (f" (= {want})" if not NUMBER_RE.fullmatch(rhs) else "")
+        )
 
 
 # --- baseline comparison ---------------------------------------------------

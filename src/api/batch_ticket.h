@@ -32,6 +32,8 @@
 
 namespace kspdg {
 
+class RoutingServiceInterface;
+
 /// Completion callback for SubmitBatch: receives the batch outcome on the
 /// submission worker thread, after the ticket is fulfilled (so Wait()
 /// inside the callback would not deadlock — it returns immediately).
@@ -70,6 +72,17 @@ class BatchTicket {
     }
     return ticket;
   }
+
+  /// Interface-typed convenience: enqueues `service.QueryBatch(requests)`.
+  /// This is the one SubmitBatch body every implementation shares — the
+  /// service passes its own queue and itself. Defined out of line (in
+  /// routing_service_interface.cc) because the interface is incomplete
+  /// here. `service` must outlive the queue it hands in, which every
+  /// implementation guarantees by owning the queue as its last member.
+  static BatchTicket SubmitTo(SubmissionQueue& queue,
+                              const RoutingServiceInterface& service,
+                              std::vector<RouteRequest> requests,
+                              BatchCallback callback);
 
   /// False only for default-constructed (placeholder) tickets; SubmitBatch
   /// always returns a valid ticket, even when the submission was refused.

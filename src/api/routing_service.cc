@@ -34,9 +34,53 @@ Result<std::unique_ptr<RoutingService>> RoutingService::Create(
   service->pool_ = std::make_unique<ThreadPool>(
       DefaultBatchThreads(service->options_.batch_threads));
   service->arenas_.resize(service->pool_->num_threads());
+
+  // Wire instrumentation before any traffic: every hot-path handle is
+  // resolved here, so serving pays one relaxed fetch_add per event and
+  // never touches the registry mutex.
+  service->svc_metrics_.Init(service->metrics_, service->registry_.Names());
+  service->mu_.InstrumentWriter(
+      service->metrics_.GetCounter("epoch_writer_drains_total"),
+      service->metrics_.GetHistogram("epoch_writer_wait_micros", {},
+                                     LatencyBucketsMicros()));
+  service->metrics_.AddGaugeCallback(
+      "epoch", {}, [svc = service.get()] {
+        return static_cast<int64_t>(
+            svc->epoch_.load(std::memory_order_relaxed));
+      });
+
+  SubmissionQueueMetrics queue_metrics;
+  queue_metrics.enqueue_blocked_total =
+      service->metrics_.GetCounter("submission_queue_enqueue_blocked_total");
+  queue_metrics.enqueue_block_micros = service->metrics_.GetHistogram(
+      "submission_queue_enqueue_block_micros", {}, LatencyBucketsMicros());
   service->submit_queue_ = std::make_unique<SubmissionQueue>(
-      service->options_.submit_queue_capacity, /*num_workers=*/1);
+      service->options_.submit_queue_capacity, /*num_workers=*/1,
+      std::move(queue_metrics));
+  service->metrics_.AddGaugeCallback(
+      "submission_queue_depth", {}, [queue = service->submit_queue_.get()] {
+        return static_cast<int64_t>(queue->pending());
+      });
+  service->metrics_.AddCounterCallback(
+      "submission_queue_submitted_total", {},
+      [queue = service->submit_queue_.get()] { return queue->submitted(); });
+  service->metrics_.AddCounterCallback(
+      "submission_queue_completed_total", {},
+      [queue = service->submit_queue_.get()] { return queue->completed(); });
   return service;
+}
+
+Status RoutingService::RegisterSolver(std::unique_ptr<KspSolver> solver) {
+  if (serving_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "RegisterSolver must run before the first query is served");
+  }
+  const std::string name(solver->name());
+  KSPDG_RETURN_NOT_OK(registry_.Register(std::move(solver)));
+  // Pre-register the backend's queries_total{kind,backend} cells so the
+  // query hot path stays registration-free.
+  svc_metrics_.AddBackend(metrics_, name);
+  return Status::OK();
 }
 
 Status RoutingService::PrepareQuery(const RouteRequest& request,
@@ -50,7 +94,7 @@ Result<RouteResponse> RoutingService::Query(const RouteRequest& request) const {
   PreparedRoute prepared;
   Status status = PrepareQuery(request, &prepared);
   if (!status.ok()) {
-    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    svc_metrics_.RecordRejected();
     return status;
   }
 
@@ -69,7 +113,7 @@ Result<RouteResponse> RoutingService::Query(const RouteRequest& request) const {
   WallTimer timer;
   Result<KspQueryResult> solved = prepared.solver->Solve(input);
   if (!solved.ok()) {
-    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    svc_metrics_.RecordRejected();
     return solved.status();
   }
   RouteResponse response =
@@ -77,8 +121,9 @@ Result<RouteResponse> RoutingService::Query(const RouteRequest& request) const {
                           std::move(input.options), graph_.directed(),
                           std::move(solved).value());
   response.stats.solve_micros = timer.ElapsedMicros();
-  response.epoch = epoch_;
-  queries_ok_.fetch_add(1, std::memory_order_relaxed);
+  response.epoch = epoch_.load(std::memory_order_relaxed);
+  svc_metrics_.RecordQuery(prepared.kind, response.backend,
+                           response.stats.solve_micros);
   return response;
 }
 
@@ -124,7 +169,7 @@ Result<RouteBatchResponse> RoutingService::QueryBatch(
   std::lock_guard<std::mutex> batch_guard(batch_mu_);
   std::shared_lock<EpochLock> lock(mu_);
   WallTimer timer;
-  const uint64_t epoch = epoch_;
+  const uint64_t epoch = epoch_.load(std::memory_order_relaxed);
   batch.epoch = epoch;
   if (arena_epoch_ != epoch) {
     // Weights moved since the arenas were last warm: weight-derived caches
@@ -161,6 +206,8 @@ Result<RouteBatchResponse> RoutingService::QueryBatch(
             graph_.directed(), std::move(solved).value());
         item.response.stats.solve_micros = solve_timer.ElapsedMicros();
         item.response.epoch = epoch;
+        svc_metrics_.RecordQuery(p.route.kind, item.response.backend,
+                                 item.response.stats.solve_micros);
       });
   lock.unlock();
   batch.batch_micros = timer.ElapsedMicros();
@@ -172,17 +219,17 @@ Result<RouteBatchResponse> RoutingService::QueryBatch(
       ++batch.num_rejected;
     }
   }
-  queries_ok_.fetch_add(batch.num_ok, std::memory_order_relaxed);
-  queries_rejected_.fetch_add(batch.num_rejected, std::memory_order_relaxed);
+  // Accepted items were recorded per solve (kind/backend/latency); only the
+  // rejection total is settled here.
+  svc_metrics_.RecordRejected(batch.num_rejected);
   return batch;
 }
 
 BatchTicket RoutingService::SubmitBatch(std::vector<RouteRequest> requests,
                                         BatchCallback callback) const {
   MarkServing();
-  return BatchTicket::SubmitTo(
-      *submit_queue_, std::move(requests), std::move(callback),
-      [this](std::span<const KspRequest> batch) { return QueryBatch(batch); });
+  return BatchTicket::SubmitTo(*submit_queue_, *this, std::move(requests),
+                               std::move(callback));
 }
 
 Result<TrafficBatchResult> RoutingService::ApplyTrafficBatch(
@@ -213,23 +260,23 @@ Result<TrafficBatchResult> RoutingService::ApplyTrafficBatch(
     result.cands = cands_->ApplyUpdates(updates);
     result.cands_micros = cands_timer.ElapsedMicros();
   }
-  result.epoch = ++epoch_;
-  batches_applied_.fetch_add(1, std::memory_order_relaxed);
-  updates_applied_.fetch_add(updates.size(), std::memory_order_relaxed);
+  result.epoch = epoch_.load(std::memory_order_relaxed) + 1;
+  epoch_.store(result.epoch, std::memory_order_relaxed);
+  svc_metrics_.RecordTrafficBatch(updates.size());
   return result;
 }
 
 uint64_t RoutingService::CurrentEpoch() const {
   std::shared_lock<EpochLock> lock(mu_);
-  return epoch_;
+  return epoch_.load(std::memory_order_relaxed);
 }
 
 ServiceCounters RoutingService::counters() const {
   ServiceCounters counters;
-  counters.queries_ok = queries_ok_.load(std::memory_order_relaxed);
-  counters.queries_rejected = queries_rejected_.load(std::memory_order_relaxed);
-  counters.batches_applied = batches_applied_.load(std::memory_order_relaxed);
-  counters.updates_applied = updates_applied_.load(std::memory_order_relaxed);
+  counters.queries_ok = svc_metrics_.queries_ok.value();
+  counters.queries_rejected = svc_metrics_.queries_rejected.value();
+  counters.batches_applied = svc_metrics_.traffic_batches.value();
+  counters.updates_applied = svc_metrics_.weight_updates.value();
   return counters;
 }
 

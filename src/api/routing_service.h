@@ -28,6 +28,8 @@
 #include "api/batch_ticket.h"
 #include "api/ksp_solver.h"
 #include "api/routing_options.h"
+#include "api/routing_service_interface.h"
+#include "api/service_metrics.h"
 #include "cands/cands.h"
 #include "core/epoch_lock.h"
 #include "core/status.h"
@@ -35,6 +37,7 @@
 #include "core/thread_pool.h"
 #include "dtlp/dtlp.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 
 namespace kspdg {
 
@@ -58,21 +61,8 @@ struct RoutingServiceOptions {
   size_t submit_queue_capacity = 8;
 };
 
-/// Result of one applied traffic batch.
-struct TrafficBatchResult {
-  /// Epoch the service entered by applying this batch; responses computed
-  /// after this batch carry an epoch >= this value.
-  uint64_t epoch = 0;
-  /// Algorithm 2 maintenance counters.
-  DtlpUpdateStats dtlp;
-  /// CANDS rebuild-on-update maintenance (all-zero when enable_cands is
-  /// false): the expensive side of the Figures 40-41 contrast.
-  CandsUpdateStats cands;
-  /// Wall time of the CANDS rebuild within this batch.
-  double cands_micros = 0;
-};
-
-/// Running totals for monitoring (snapshot, not transactional).
+/// Running totals for monitoring — a *view* computed from the service's
+/// metrics registry (snapshot, not transactional).
 struct ServiceCounters {
   uint64_t queries_ok = 0;
   uint64_t queries_rejected = 0;
@@ -80,7 +70,7 @@ struct ServiceCounters {
   uint64_t updates_applied = 0;
 };
 
-class RoutingService {
+class RoutingService : public RoutingServiceInterface {
  public:
   /// Takes ownership of `graph`, partitions it and builds the DTLP
   /// (Algorithm 1), and loads the default backends. Fails if the service
@@ -95,7 +85,7 @@ class RoutingService {
   /// snapshot with the backend named by the merged options. Thread-safe;
   /// runs concurrently with other queries and serialises against
   /// ApplyTrafficBatch.
-  Result<RouteResponse> Query(const RouteRequest& request) const;
+  Result<RouteResponse> Query(const RouteRequest& request) const override;
 
   /// Answers a whole batch of queries on ONE weight snapshot: requests are
   /// validated up front, the reader lock is acquired once, and the valid
@@ -107,7 +97,7 @@ class RoutingService {
   /// concurrent batches and single queries run under the same reader lock
   /// and serialise against ApplyTrafficBatch.
   Result<RouteBatchResponse> QueryBatch(
-      std::span<const RouteRequest> requests) const;
+      std::span<const RouteRequest> requests) const override;
 
   /// Asynchronous QueryBatch: enqueues the batch on the service's bounded
   /// submission queue and returns a ticket immediately, so the caller can
@@ -117,14 +107,14 @@ class RoutingService {
   /// batches execute in submission order and every accepted batch completes
   /// before the service finishes destruction.
   BatchTicket SubmitBatch(std::vector<RouteRequest> requests,
-                          BatchCallback callback = nullptr) const;
+                          BatchCallback callback = nullptr) const override;
 
   /// Applies one batch of weight updates atomically: the graph's current
   /// weights and the DTLP (Algorithm 2) move to the next epoch together,
   /// with all concurrent queries drained. The batch is validated up front
   /// and rejected as a whole on any bad entry. Thread-safe.
   Result<TrafficBatchResult> ApplyTrafficBatch(
-      std::span<const WeightUpdate> updates);
+      std::span<const WeightUpdate> updates) override;
 
   /// Adds a custom backend. Must be called before serving traffic — the
   /// registry reads on the query path take no lock, so registration was
@@ -134,19 +124,20 @@ class RoutingService {
   /// enforcement of that lifecycle: it rejects any registration that
   /// happens-after an observed query; truly concurrent first-query vs
   /// registration remains the caller's setup bug to avoid.)
-  Status RegisterSolver(std::unique_ptr<KspSolver> solver) {
-    if (serving_.load(std::memory_order_acquire)) {
-      return Status::FailedPrecondition(
-          "RegisterSolver must run before the first query is served");
-    }
-    return registry_.Register(std::move(solver));
-  }
+  Status RegisterSolver(std::unique_ptr<KspSolver> solver);
 
   /// Epoch of the current weight snapshot (0 until the first batch).
-  uint64_t CurrentEpoch() const;
+  uint64_t CurrentEpoch() const override;
 
   /// Registered backend names, sorted.
-  std::vector<std::string> BackendNames() const { return registry_.Names(); }
+  std::vector<std::string> BackendNames() const override {
+    return registry_.Names();
+  }
+
+  /// Consistent scrape of the service's metrics registry: query totals by
+  /// kind/backend, solve-latency histograms, queue depth, epoch-drain
+  /// telemetry. Never blocks queries or updates.
+  MetricsSnapshot Metrics() const override { return metrics_.Snapshot(); }
 
   ServiceCounters counters() const;
 
@@ -178,6 +169,11 @@ class RoutingService {
 
   Graph graph_;
   RoutingServiceOptions options_;
+  /// Owns every metric cell the members below hold handles into. Declared
+  /// before them so it is destroyed LAST — in particular after
+  /// submit_queue_, whose destructor still drains batches that bump
+  /// counters.
+  MetricsRegistry metrics_;
   std::unique_ptr<Dtlp> dtlp_;
   /// The CANDS baseline index behind the "cands" backend; rebuilt-on-update
   /// inside ApplyTrafficBatch. Null when enable_cands is false.
@@ -202,12 +198,14 @@ class RoutingService {
   /// Guards graph_ weights, the DTLP, and epoch_ (readers shared, updates
   /// exclusive; write-preferring so traffic batches cannot starve).
   mutable EpochLock mu_;
-  uint64_t epoch_ = 0;
+  /// Written under the exclusive lock, read under the shared lock; atomic
+  /// so the registry's epoch gauge callback can sample it during a scrape
+  /// without joining the lock protocol.
+  std::atomic<uint64_t> epoch_{0};
 
-  mutable std::atomic<uint64_t> queries_ok_{0};
-  mutable std::atomic<uint64_t> queries_rejected_{0};
-  std::atomic<uint64_t> batches_applied_{0};
-  std::atomic<uint64_t> updates_applied_{0};
+  /// Query/update handles into metrics_ (shared bundle; ServiceCounters is
+  /// a view over these).
+  ServiceMetrics svc_metrics_;
 
   /// Async SubmitBatch queue. Declared last so it is destroyed FIRST:
   /// destruction drains the accepted batches, which still run QueryBatch

@@ -1,0 +1,17 @@
+#include "api/routing_service_interface.h"
+
+#include <utility>
+
+namespace kspdg {
+
+BatchTicket BatchTicket::SubmitTo(SubmissionQueue& queue,
+                                  const RoutingServiceInterface& service,
+                                  std::vector<RouteRequest> requests,
+                                  BatchCallback callback) {
+  return SubmitTo(queue, std::move(requests), std::move(callback),
+                  [&service](std::span<const RouteRequest> batch) {
+                    return service.QueryBatch(batch);
+                  });
+}
+
+}  // namespace kspdg

@@ -1,0 +1,96 @@
+// RoutingServiceInterface: the one serving contract every implementation
+// answers to.
+//
+// Three services serve the same workload from different topologies — the
+// in-process RoutingService, the N-shard ShardedRoutingService, and the
+// out-of-process RemoteShardedRoutingService. Their public surfaces were
+// grown to be call-compatible; this interface makes that an enforced
+// contract instead of a convention, so harnesses that only care about the
+// contract (the bench runner, the parity tests, the async ticket plumbing)
+// are written once against the abstract type and run unchanged over any
+// implementation or any pair of them.
+//
+// The contract is the serving surface plus observability:
+//
+//   Query / QueryBatch / SubmitBatch   answer traffic on one epoch snapshot
+//   ApplyTrafficBatch                  move every replica of the weights to
+//                                      the next epoch atomically
+//   CurrentEpoch / BackendNames        introspection used by harnesses
+//   Metrics                            a consistent MetricsSnapshot of the
+//                                      implementation's registry (for the
+//                                      remote service: master + the fleet
+//                                      of worker registries, shard-tagged)
+#ifndef KSPDG_API_ROUTING_SERVICE_INTERFACE_H_
+#define KSPDG_API_ROUTING_SERVICE_INTERFACE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/batch_ticket.h"
+#include "api/routing_options.h"
+#include "cands/cands.h"
+#include "core/status.h"
+#include "dtlp/dtlp.h"
+#include "graph/graph.h"
+#include "obs/metrics.h"
+
+namespace kspdg {
+
+/// Result of one applied traffic batch (identical across implementations).
+struct TrafficBatchResult {
+  /// Epoch the service entered by applying this batch; responses computed
+  /// after this batch carry an epoch >= this value.
+  uint64_t epoch = 0;
+  /// Algorithm 2 maintenance counters.
+  DtlpUpdateStats dtlp;
+  /// CANDS rebuild-on-update maintenance (all-zero when enable_cands is
+  /// false): the expensive side of the Figures 40-41 contrast.
+  CandsUpdateStats cands;
+  /// Wall time of the CANDS rebuild within this batch.
+  double cands_micros = 0;
+};
+
+/// Abstract serving surface (see file comment). All methods are
+/// thread-safe on every implementation; queries run concurrently with each
+/// other and serialise against ApplyTrafficBatch.
+class RoutingServiceInterface {
+ public:
+  virtual ~RoutingServiceInterface() = default;
+
+  /// Answers q(source, target) — any QueryKind — on the current weight
+  /// snapshot.
+  virtual Result<RouteResponse> Query(const RouteRequest& request) const = 0;
+
+  /// Answers a whole batch of queries on ONE weight snapshot; invalid
+  /// requests receive per-item statuses without failing the batch.
+  virtual Result<RouteBatchResponse> QueryBatch(
+      std::span<const RouteRequest> requests) const = 0;
+
+  /// Asynchronous QueryBatch: enqueues on the implementation's bounded
+  /// submission queue and returns a ticket immediately; blocks only when
+  /// the queue is full (backpressure).
+  virtual BatchTicket SubmitBatch(std::vector<RouteRequest> requests,
+                                  BatchCallback callback = nullptr) const = 0;
+
+  /// Applies one batch of weight updates atomically; validated up front
+  /// and rejected as a whole on any bad entry.
+  virtual Result<TrafficBatchResult> ApplyTrafficBatch(
+      std::span<const WeightUpdate> updates) = 0;
+
+  /// Epoch of the current committed weight snapshot (0 until the first
+  /// applied batch).
+  virtual uint64_t CurrentEpoch() const = 0;
+
+  /// Registered backend names, sorted.
+  virtual std::vector<std::string> BackendNames() const = 0;
+
+  /// Consistent snapshot of the implementation's metrics registry. Safe to
+  /// call while serving: scrapes never block queries or updates.
+  virtual MetricsSnapshot Metrics() const = 0;
+};
+
+}  // namespace kspdg
+
+#endif  // KSPDG_API_ROUTING_SERVICE_INTERFACE_H_

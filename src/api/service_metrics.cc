@@ -1,0 +1,47 @@
+#include "api/service_metrics.h"
+
+namespace kspdg {
+namespace {
+
+constexpr std::array<QueryKind, 3> kAllKinds = {
+    QueryKind::kKsp, QueryKind::kShortestPath, QueryKind::kDiverseKsp};
+
+}  // namespace
+
+void ServiceMetrics::Init(MetricsRegistry& registry,
+                          const std::vector<std::string>& backends) {
+  queries_ok = registry.GetCounter("queries_ok_total");
+  queries_rejected = registry.GetCounter("queries_rejected_total");
+  traffic_batches = registry.GetCounter("traffic_batches_total");
+  weight_updates = registry.GetCounter("weight_updates_total");
+  for (QueryKind kind : kAllKinds) {
+    solve_latency[static_cast<size_t>(kind)] = registry.GetHistogram(
+        "solve_latency_micros", {{"kind", QueryKindName(kind)}},
+        LatencyBucketsMicros());
+  }
+  for (const std::string& backend : backends) AddBackend(registry, backend);
+}
+
+void ServiceMetrics::AddBackend(MetricsRegistry& registry,
+                                std::string_view backend) {
+  auto [it, inserted] =
+      per_backend.try_emplace(std::string(backend));
+  if (!inserted) return;
+  for (QueryKind kind : kAllKinds) {
+    it->second[static_cast<size_t>(kind)] = registry.GetCounter(
+        "queries_total", {{"kind", QueryKindName(kind)},
+                          {"backend", std::string(backend)}});
+  }
+}
+
+void ServiceMetrics::RecordQuery(QueryKind kind, std::string_view backend,
+                                 double solve_micros) const {
+  queries_ok.Increment();
+  solve_latency[static_cast<size_t>(kind)].Observe(solve_micros);
+  auto it = per_backend.find(backend);
+  if (it != per_backend.end()) {
+    it->second[static_cast<size_t>(kind)].Increment();
+  }
+}
+
+}  // namespace kspdg

@@ -1,0 +1,68 @@
+// ServiceMetrics: the instrumentation bundle every serving front-end owns.
+//
+// All three RoutingServiceInterface implementations record the same
+// query-path events — accepted/rejected totals, queries_total{kind,backend},
+// per-kind solve-latency histograms, traffic-batch totals. This bundle
+// pre-registers every handle at service construction (registration takes
+// the registry mutex; the registry is frozen against new backends once the
+// first query is served), so the hot path is pure handle increments: no
+// lock, no string building, one relaxed fetch_add per counter touched.
+//
+// The legacy ServiceCounters / ShardedServiceCounters structs are now
+// *views* computed from these handles — the registry is the single source
+// of truth.
+#ifndef KSPDG_API_SERVICE_METRICS_H_
+#define KSPDG_API_SERVICE_METRICS_H_
+
+#include <array>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/routing_options.h"
+#include "obs/metrics.h"
+
+namespace kspdg {
+
+struct ServiceMetrics {
+  /// Registers the service-wide handles plus a queries_total{kind,backend}
+  /// counter matrix for every backend name. Call once at Create, before
+  /// any query is served.
+  void Init(MetricsRegistry& registry,
+            const std::vector<std::string>& backends);
+
+  /// Extends the matrix for a backend registered after Init (custom
+  /// solvers). Must be called before the first query, like RegisterSolver.
+  void AddBackend(MetricsRegistry& registry, std::string_view backend);
+
+  /// One accepted query: bumps queries_ok_total,
+  /// queries_total{kind,backend}, and the kind's latency histogram.
+  /// Lock-free; safe from any number of threads.
+  void RecordQuery(QueryKind kind, std::string_view backend,
+                   double solve_micros) const;
+
+  /// `n` rejected queries (validation or solve failures).
+  void RecordRejected(uint64_t n = 1) const { queries_rejected.Increment(n); }
+
+  /// One applied traffic batch of `updates` weight updates.
+  void RecordTrafficBatch(uint64_t updates) const {
+    traffic_batches.Increment();
+    weight_updates.Increment(updates);
+  }
+
+  Counter queries_ok;
+  Counter queries_rejected;
+  Counter traffic_batches;
+  Counter weight_updates;
+  /// Indexed by static_cast<size_t>(QueryKind).
+  std::array<Histogram, 3> solve_latency;
+  /// queries_total{kind,backend}: one pre-registered counter per cell.
+  /// Read-only while serving (std::less<> enables string_view lookups
+  /// without a temporary string).
+  std::map<std::string, std::array<Counter, 3>, std::less<>> per_backend;
+};
+
+}  // namespace kspdg
+
+#endif  // KSPDG_API_SERVICE_METRICS_H_

@@ -16,6 +16,9 @@
 #include <cstdint>
 #include <mutex>
 
+#include "core/timer.h"
+#include "obs/metrics.h"
+
 namespace kspdg {
 
 /// Write-preferring shared/exclusive lock (see file comment). Readers hold
@@ -30,16 +33,30 @@ class EpochLock {
 
   // --- exclusive (writer) ---------------------------------------------------
 
+  /// Wires writer-drain telemetry: `drains` counts exclusive acquisitions
+  /// and `wait_micros` records how long each writer waited for the active
+  /// readers to drain. Handles are stored under the internal mutex, so
+  /// instrumentation may be attached while the lock is in use (services do
+  /// it once at Create).
+  void InstrumentWriter(Counter drains, Histogram wait_micros) {
+    std::lock_guard<std::mutex> guard(mu_);
+    writer_drains_ = drains;
+    writer_wait_micros_ = wait_micros;
+  }
+
   /// Acquires the lock exclusively: registers as a waiting writer (which
   /// blocks new readers), waits for the active readers to drain, then owns
   /// the state alone until unlock(). Blocking; not reentrant.
   void lock() {
+    WallTimer drain_timer;
     std::unique_lock<std::mutex> guard(mu_);
     ++waiting_writers_;
     cv_writers_.wait(guard,
                      [&] { return !writer_active_ && active_readers_ == 0; });
     --waiting_writers_;
     writer_active_ = true;
+    writer_drains_.Increment();
+    writer_wait_micros_.Observe(drain_timer.ElapsedMicros());
   }
 
   /// Acquires exclusively iff no reader or writer currently holds the lock;
@@ -103,6 +120,10 @@ class EpochLock {
   uint32_t active_readers_ = 0;
   uint32_t waiting_writers_ = 0;
   bool writer_active_ = false;
+  /// Optional telemetry (no-op handles until InstrumentWriter); touched
+  /// only under mu_, on the writer path.
+  Counter writer_drains_;
+  Histogram writer_wait_micros_;
 };
 
 }  // namespace kspdg

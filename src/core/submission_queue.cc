@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/timer.h"
+
 namespace kspdg {
 
-SubmissionQueue::SubmissionQueue(size_t capacity, unsigned num_workers)
-    : capacity_(std::max<size_t>(1, capacity)) {
+SubmissionQueue::SubmissionQueue(size_t capacity, unsigned num_workers,
+                                 SubmissionQueueMetrics metrics)
+    : capacity_(std::max<size_t>(1, capacity)), metrics_(std::move(metrics)) {
   unsigned n = std::max(1u, num_workers);
   workers_.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
@@ -22,8 +25,15 @@ SubmissionQueue::~SubmissionQueue() {
 bool SubmissionQueue::Submit(std::function<void()> job) {
   {
     std::unique_lock<std::mutex> guard(mu_);
-    cv_not_full_.wait(
-        guard, [&] { return shutdown_ || jobs_.size() < capacity_; });
+    if (!shutdown_ && jobs_.size() >= capacity_) {
+      // Backpressure engaged: count the stall and time it, so queue sizing
+      // decisions can be made from exported metrics instead of guesswork.
+      metrics_.enqueue_blocked_total.Increment();
+      WallTimer stall_timer;
+      cv_not_full_.wait(
+          guard, [&] { return shutdown_ || jobs_.size() < capacity_; });
+      metrics_.enqueue_block_micros.Observe(stall_timer.ElapsedMicros());
+    }
     if (shutdown_) return false;
     jobs_.push_back(std::move(job));
     ++submitted_;

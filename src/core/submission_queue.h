@@ -18,7 +18,19 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace kspdg {
+
+/// Optional telemetry for one SubmissionQueue (no-op handles by default).
+/// Depth is exported by the owning service as a gauge callback over
+/// pending(); these cover the part only the queue can see — backpressure.
+struct SubmissionQueueMetrics {
+  /// Submit calls that found the queue full and had to wait.
+  Counter enqueue_blocked_total;
+  /// How long each blocked Submit stalled before its job was accepted.
+  Histogram enqueue_block_micros;
+};
 
 /// Bounded multi-producer job queue with owned worker threads (see file
 /// comment). All methods are thread-safe.
@@ -26,7 +38,8 @@ class SubmissionQueue {
  public:
   /// A queue admitting up to `capacity` pending jobs (0 is treated as 1),
   /// drained by `num_workers` dedicated threads (0 is treated as 1).
-  explicit SubmissionQueue(size_t capacity, unsigned num_workers = 1);
+  explicit SubmissionQueue(size_t capacity, unsigned num_workers = 1,
+                           SubmissionQueueMetrics metrics = {});
 
   /// Shutdown() + join: blocks until every accepted job has run.
   ~SubmissionQueue();
@@ -57,6 +70,7 @@ class SubmissionQueue {
   void WorkerLoop();
 
   const size_t capacity_;
+  const SubmissionQueueMetrics metrics_;
   mutable std::mutex mu_;
   std::condition_variable cv_not_full_;   // producers wait here
   std::condition_variable cv_not_empty_;  // workers wait here

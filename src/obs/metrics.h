@@ -1,0 +1,282 @@
+// Lock-free metrics registry for the serving path.
+//
+// The design splits registration (cold, mutex-guarded, interned by
+// name + sorted labels) from updates (hot, one relaxed fetch_add per
+// event through a pre-resolved handle). A Counter/Gauge/Histogram handle
+// is a raw pointer into registry-owned storage with stable addresses;
+// default-constructed handles are valid no-ops, so instrumented code
+// never branches on "is telemetry wired up".
+//
+// Scrapes are wait-free for writers: MetricsRegistry::Snapshot() reads
+// every cell with relaxed loads (plus the registration mutex, which the
+// update path never takes) and returns a MetricsSnapshot value — a plain
+// struct that can be merged across processes (the shard-worker fleet
+// ships snapshots back in Ping replies), tagged with extra labels, and
+// exported as human text or strict JSON. A histogram's count is derived
+// from its bucket sums at snapshot time, so a snapshot can never show a
+// count that disagrees with its own buckets.
+#ifndef KSPDG_OBS_METRICS_H_
+#define KSPDG_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+
+namespace kspdg {
+
+/// Key/value metric labels, e.g. {{"kind", "ksp"}, {"backend", "yen"}}.
+/// The registry sorts them by key at registration, so two label sets that
+/// differ only in order intern to the same cell.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+namespace obs_internal {
+
+struct CounterCell {
+  std::atomic<uint64_t> value{0};
+};
+
+struct GaugeCell {
+  std::atomic<int64_t> value{0};
+};
+
+/// fetch_add for atomic<double> via CAS, portable across the toolchains CI
+/// builds with (atomic<double>::fetch_add is C++20 but arrived late in
+/// standard libraries).
+inline void AtomicAddDouble(std::atomic<double>& cell, double v) {
+  double current = cell.load(std::memory_order_relaxed);
+  while (!cell.compare_exchange_weak(current, current + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+struct HistogramCell {
+  /// Ascending upper bounds; observations > bounds.back() land in the
+  /// implicit overflow bucket, so there are bounds.size() + 1 buckets.
+  std::vector<double> bounds;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets;
+  std::atomic<double> sum{0};
+};
+
+}  // namespace obs_internal
+
+/// Monotonic event counter handle. Copyable; default-constructed handles
+/// drop updates and read 0. One relaxed fetch_add per Increment.
+class Counter {
+ public:
+  Counter() = default;
+
+  void Increment(uint64_t n = 1) const {
+    if (cell_ != nullptr) cell_->value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t value() const {
+    return cell_ == nullptr ? 0 : cell_->value.load(std::memory_order_relaxed);
+  }
+
+  bool valid() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(obs_internal::CounterCell* cell) : cell_(cell) {}
+  obs_internal::CounterCell* cell_ = nullptr;
+};
+
+/// Point-in-time value handle (queue depth, epoch). Same no-op contract as
+/// Counter.
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void Set(int64_t v) const {
+    if (cell_ != nullptr) cell_->value.store(v, std::memory_order_relaxed);
+  }
+
+  void Add(int64_t delta) const {
+    if (cell_ != nullptr)
+      cell_->value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  int64_t value() const {
+    return cell_ == nullptr ? 0 : cell_->value.load(std::memory_order_relaxed);
+  }
+
+  bool valid() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(obs_internal::GaugeCell* cell) : cell_(cell) {}
+  obs_internal::GaugeCell* cell_ = nullptr;
+};
+
+/// Fixed-bucket distribution handle. Observe is two relaxed atomic adds
+/// (bucket count + sum); the bucket is found by a linear scan over the
+/// bounds, which beats binary search at the dozen-bucket sizes used here.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void Observe(double v) const {
+    if (cell_ == nullptr) return;
+    size_t bucket = 0;
+    while (bucket < cell_->bounds.size() && v > cell_->bounds[bucket]) {
+      ++bucket;
+    }
+    cell_->buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+    obs_internal::AtomicAddDouble(cell_->sum, v);
+  }
+
+  bool valid() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(obs_internal::HistogramCell* cell) : cell_(cell) {}
+  obs_internal::HistogramCell* cell_ = nullptr;
+};
+
+/// Default bucket bounds (microseconds) for latency histograms: solve
+/// latency, epoch writer-drain waits, enqueue-block time. Shared so every
+/// latency distribution in an export is bucket-compatible and mergeable.
+const std::vector<double>& LatencyBucketsMicros();
+
+struct CounterSample {
+  std::string name;
+  MetricLabels labels;
+  uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  MetricLabels labels;
+  int64_t value = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  MetricLabels labels;
+  std::vector<double> bounds;
+  /// bounds.size() + 1 entries; the last is the overflow bucket.
+  std::vector<uint64_t> buckets;
+  /// Always == sum of `buckets` (derived at snapshot, never stored
+  /// separately — a snapshot cannot contradict its own buckets).
+  uint64_t count = 0;
+  double sum = 0;
+};
+
+/// A consistent point-in-time copy of a registry (or a merge of several).
+/// Plain data: copy it, ship it over the wire, diff two of them.
+class MetricsSnapshot {
+ public:
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  /// Folds `other` in: counters with an identical (name, labels) key sum,
+  /// gauges take the incoming value, histograms with identical keys and
+  /// bounds add bucket-wise; everything else appends. Used by the remote
+  /// coordinator to build the fleet-wide view from worker snapshots.
+  void Merge(const MetricsSnapshot& other);
+
+  /// Adds (or overwrites) one label on every sample — e.g. tagging a
+  /// worker's snapshot with its shard id before merging fleet-wide.
+  void AddLabel(const std::string& key, const std::string& value);
+
+  /// Sum of the named counter across all label sets (0 when absent).
+  uint64_t CounterTotal(std::string_view name) const;
+
+  /// Samples of the named gauge across label sets (fleet cardinality
+  /// probes, e.g. how many workers reported an epoch).
+  size_t GaugeSampleCount(std::string_view name) const;
+
+  /// Prometheus-style text: `name{k="v"} value` lines, histograms expanded
+  /// into cumulative _bucket/_sum/_count series.
+  std::string ToText() const;
+
+  /// Strict JSON document with "counters" / "gauges" / "histograms" arrays
+  /// (stable ordering; the overflow bucket's bound serialises as "+Inf").
+  std::string ToJson() const;
+
+  /// Compact length-checked binary encoding for the Ping-reply transport.
+  /// Corrupt or truncated payloads are rejected, never trusted.
+  std::string EncodeWire() const;
+  static Status DecodeWire(std::string_view payload, MetricsSnapshot* out);
+};
+
+/// Handle factory + scrape surface. Registration interns by
+/// (name, sorted labels): asking twice returns a handle to the same cell.
+/// Callback metrics expose values that already live elsewhere as atomics
+/// (RPC client counters, queue depth, epochs) without double bookkeeping —
+/// the callback runs at snapshot time and must be thread-safe.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter GetCounter(std::string_view name, MetricLabels labels = {});
+  Gauge GetGauge(std::string_view name, MetricLabels labels = {});
+  /// `bounds` must ascend; the bounds of the first registration win for a
+  /// given (name, labels) key.
+  Histogram GetHistogram(std::string_view name, MetricLabels labels,
+                         std::vector<double> bounds);
+
+  void AddCounterCallback(std::string_view name, MetricLabels labels,
+                          std::function<uint64_t()> fn);
+  void AddGaugeCallback(std::string_view name, MetricLabels labels,
+                        std::function<int64_t()> fn);
+
+  /// Consistent scrape: every cell read once (relaxed), callbacks
+  /// evaluated, samples sorted by (name, labels). Never blocks writers.
+  MetricsSnapshot Snapshot() const;
+
+  std::string ExportText() const { return Snapshot().ToText(); }
+  std::string ExportJson() const { return Snapshot().ToJson(); }
+
+ private:
+  struct CounterEntry {
+    std::string name;
+    MetricLabels labels;
+    obs_internal::CounterCell cell;
+  };
+  struct GaugeEntry {
+    std::string name;
+    MetricLabels labels;
+    obs_internal::GaugeCell cell;
+  };
+  struct HistogramEntry {
+    std::string name;
+    MetricLabels labels;
+    obs_internal::HistogramCell cell;
+  };
+  struct CounterCallback {
+    std::string name;
+    MetricLabels labels;
+    std::function<uint64_t()> fn;
+  };
+  struct GaugeCallback {
+    std::string name;
+    MetricLabels labels;
+    std::function<int64_t()> fn;
+  };
+
+  /// Guards registration and snapshot only; Increment/Observe never take
+  /// it. Deques keep cell addresses stable as entries are appended.
+  mutable std::mutex mu_;
+  std::deque<CounterEntry> counters_;
+  std::deque<GaugeEntry> gauges_;
+  std::deque<HistogramEntry> histograms_;
+  std::vector<CounterCallback> counter_callbacks_;
+  std::vector<GaugeCallback> gauge_callbacks_;
+};
+
+}  // namespace kspdg
+
+#endif  // KSPDG_OBS_METRICS_H_

@@ -141,13 +141,13 @@ class RemoteShardedRoutingService::RemotePartialProvider
           worker.weights_epoch.load(std::memory_order_acquire);
       if (cache.epoch != weights_epoch) {
         if (!cache.entries.empty()) {
-          worker.cache_flushes.fetch_add(1, std::memory_order_relaxed);
+          worker.cache_flushes.Increment();
           cache.entries.clear();
         }
         cache.epoch = weights_epoch;
       }
       if (const CacheEntry* hit = cache.Find(key, depth)) {
-        worker.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        worker.cache_hits.Increment();
         gathered.insert(gathered.end(), hit->lists.begin(), hit->lists.end());
         continue;
       }
@@ -158,8 +158,8 @@ class RemoteShardedRoutingService::RemotePartialProvider
         error_ = std::move(fetched);
         return failed;
       }
-      worker.partial_requests.fetch_add(1, std::memory_order_relaxed);
-      worker.yen_runs.fetch_add(owned.size(), std::memory_order_relaxed);
+      worker.partial_requests.Increment();
+      worker.yen_runs.Increment(owned.size());
       fresh_runs += owned.size();
       entry.exhausted = true;
       for (const SubgraphPartials& list : entry.lists) {
@@ -171,15 +171,15 @@ class RemoteShardedRoutingService::RemotePartialProvider
            cache.entries.count(key) != 0)) {
         cache.entries[key].push_back(std::move(entry));
       } else {
-        worker.cache_skips.fetch_add(1, std::memory_order_relaxed);
+        worker.cache_skips.Increment();
       }
     }
     PartialResult result = MergeSubgraphPartials(std::move(gathered), depth);
     result.yen_runs = fresh_runs;
     if (groups.size() == 1) {
-      service_.direct_partials_.fetch_add(1, std::memory_order_relaxed);
+      service_.direct_partials_.Increment();
     } else if (groups.size() > 1) {
-      service_.scattered_partials_.fetch_add(1, std::memory_order_relaxed);
+      service_.scattered_partials_.Increment();
     }
     return result;
   }
@@ -339,8 +339,72 @@ RemoteShardedRoutingService::Create(Graph graph,
                           std::to_string(shard) + ".sock";
     worker->client =
         std::make_unique<RpcClient>(worker->socket_path, client_options);
+    // Per-shard serving counters plus callbacks over the client's
+    // (monotonic, see RpcClient) transport atomics — the registry is the
+    // export surface, the client stays the owner.
+    const MetricLabels labels = {{"shard", std::to_string(shard)}};
+    worker->partial_requests =
+        service->metrics_.GetCounter("partial_requests_total", labels);
+    worker->yen_runs = service->metrics_.GetCounter("yen_runs_total", labels);
+    worker->cache_hits =
+        service->metrics_.GetCounter("partial_cache_hits_total", labels);
+    worker->cache_skips =
+        service->metrics_.GetCounter("partial_cache_skips_total", labels);
+    worker->cache_flushes =
+        service->metrics_.GetCounter("partial_cache_flushes_total", labels);
+    RpcClient* client = worker->client.get();
+    service->metrics_.AddCounterCallback("rpc_calls_total", labels,
+                                         [client] { return client->calls(); });
+    service->metrics_.AddCounterCallback(
+        "rpc_retries_total", labels, [client] { return client->retries(); });
+    service->metrics_.AddCounterCallback(
+        "rpc_deadline_expired_total", labels,
+        [client] { return client->deadline_expired(); });
+    service->metrics_.AddCounterCallback(
+        "rpc_bytes_sent_total", labels,
+        [client] { return client->bytes_sent(); });
+    service->metrics_.AddCounterCallback(
+        "rpc_bytes_received_total", labels,
+        [client] { return client->bytes_received(); });
+    Worker* raw = worker.get();
+    service->metrics_.AddGaugeCallback(
+        "worker_alive", labels, [raw] {
+          return raw->alive.load(std::memory_order_acquire) ? 1 : 0;
+        });
+    service->metrics_.AddGaugeCallback(
+        "shard_epoch", labels, [raw] {
+          return static_cast<int64_t>(
+              raw->epoch.load(std::memory_order_relaxed));
+        });
     service->workers_.push_back(std::move(worker));
   }
+  service->svc_metrics_.Init(service->metrics_, service->registry_.Names());
+  service->single_shard_queries_ =
+      service->metrics_.GetCounter("single_shard_queries_total");
+  service->cross_shard_queries_ =
+      service->metrics_.GetCounter("cross_shard_queries_total");
+  service->direct_partials_ =
+      service->metrics_.GetCounter("direct_partial_requests_total");
+  service->scattered_partials_ =
+      service->metrics_.GetCounter("scattered_partial_requests_total");
+  service->partial_rpc_errors_ =
+      service->metrics_.GetCounter("partial_rpc_errors_total");
+  service->metrics_.AddCounterCallback(
+      "worker_restarts_total", {}, [svc = service.get()] {
+        uint64_t restarts = 0;
+        for (const std::unique_ptr<Worker>& w : svc->workers_) {
+          restarts += w->restarts.load(std::memory_order_relaxed);
+        }
+        return restarts;
+      });
+  service->epochs_->global_lock().InstrumentWriter(
+      service->metrics_.GetCounter("epoch_writer_drains_total"),
+      service->metrics_.GetHistogram("epoch_writer_wait_micros", {},
+                                     LatencyBucketsMicros()));
+  service->metrics_.AddGaugeCallback(
+      "epoch", {}, [epochs = service->epochs_.get()] {
+        return static_cast<int64_t>(epochs->global());
+      });
 
   // Providers size their caches off workers_, so build them after the fleet.
   service->batch_workers_.reserve(service->batch_pool_->num_threads());
@@ -349,8 +413,24 @@ RemoteShardedRoutingService::Create(Graph graph,
     worker.provider = std::make_unique<RemotePartialProvider>(*service);
     service->batch_workers_.push_back(std::move(worker));
   }
+  SubmissionQueueMetrics queue_metrics;
+  queue_metrics.enqueue_blocked_total =
+      service->metrics_.GetCounter("submission_queue_enqueue_blocked_total");
+  queue_metrics.enqueue_block_micros = service->metrics_.GetHistogram(
+      "submission_queue_enqueue_block_micros", {}, LatencyBucketsMicros());
   service->submit_queue_ = std::make_unique<SubmissionQueue>(
-      service->options_.submit_queue_capacity, /*num_workers=*/1);
+      service->options_.submit_queue_capacity, /*num_workers=*/1,
+      std::move(queue_metrics));
+  service->metrics_.AddGaugeCallback(
+      "submission_queue_depth", {}, [queue = service->submit_queue_.get()] {
+        return static_cast<int64_t>(queue->pending());
+      });
+  service->metrics_.AddCounterCallback(
+      "submission_queue_submitted_total", {},
+      [queue = service->submit_queue_.get()] { return queue->submitted(); });
+  service->metrics_.AddCounterCallback(
+      "submission_queue_completed_total", {},
+      [queue = service->submit_queue_.get()] { return queue->completed(); });
 
   // Spawn last: on any failure the service destructor reaps the workers
   // already started.
@@ -462,7 +542,51 @@ bool RemoteShardedRoutingService::HealthCheckWorker(
     MarkWorkerDead(worker);
     return false;
   }
+  // Every successful ping refreshes the worker's cached metrics snapshot —
+  // the fleet-wide export falls back to it when the worker is unreachable.
+  MetricsSnapshot worker_metrics;
+  if (MetricsSnapshot::DecodeWire(pong.metrics_blob, &worker_metrics).ok()) {
+    std::lock_guard<std::mutex> metrics_lock(worker.metrics_mu);
+    worker.last_metrics = std::move(worker_metrics);
+    worker.has_metrics = true;
+  }
   return true;
+}
+
+MetricsSnapshot RemoteShardedRoutingService::Metrics() const {
+  MetricsSnapshot fleet = metrics_.Snapshot();
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    if (worker->alive.load(std::memory_order_acquire)) {
+      // Refreshes the cached snapshot on success; a failed ping marks the
+      // worker dead and the cache below still provides its last state.
+      (void)HealthCheckWorker(*worker);
+    }
+    MetricsSnapshot worker_metrics;
+    bool have = false;
+    {
+      std::lock_guard<std::mutex> metrics_lock(worker->metrics_mu);
+      if (worker->has_metrics) {
+        worker_metrics = worker->last_metrics;
+        have = true;
+      }
+    }
+    if (!have) continue;
+    worker_metrics.AddLabel("shard", std::to_string(worker->shard));
+    fleet.Merge(worker_metrics);
+  }
+  return fleet;
+}
+
+Status RemoteShardedRoutingService::RegisterSolver(
+    std::unique_ptr<KspSolver> solver) {
+  if (serving_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "RegisterSolver must run before the first query is served");
+  }
+  const std::string name(solver->name());
+  KSPDG_RETURN_NOT_OK(registry_.Register(std::move(solver)));
+  svc_metrics_.AddBackend(metrics_, name);
+  return Status::OK();
 }
 
 Status RemoteShardedRoutingService::RestartDeadWorkersLocked() {
@@ -552,7 +676,7 @@ Result<RouteResponse> RemoteShardedRoutingService::Query(
   PreparedRoute prepared;
   Status status = PrepareQuery(request, &prepared);
   if (!status.ok()) {
-    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    svc_metrics_.RecordRejected();
     return status;
   }
 
@@ -578,12 +702,12 @@ Result<RouteResponse> RemoteShardedRoutingService::Query(
   if (!provider.error().ok()) {
     // A partial fetch failed mid-solve: whatever the solver produced is
     // untrustworthy. Degrade to the transport error, never a wrong answer.
-    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
-    partial_rpc_errors_.fetch_add(1, std::memory_order_relaxed);
+    svc_metrics_.RecordRejected();
+    partial_rpc_errors_.Increment();
     return provider.error();
   }
   if (!solved.ok()) {
-    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    svc_metrics_.RecordRejected();
     return solved.status();
   }
   RouteResponse response =
@@ -594,11 +718,12 @@ Result<RouteResponse> RemoteShardedRoutingService::Query(
   response.epoch = pin.epoch();
   size_t touched = provider.ShardsTouched();
   if (touched == 1) {
-    single_shard_queries_.fetch_add(1, std::memory_order_relaxed);
+    single_shard_queries_.Increment();
   } else if (touched > 1) {
-    cross_shard_queries_.fetch_add(1, std::memory_order_relaxed);
+    cross_shard_queries_.Increment();
   }
-  queries_ok_.fetch_add(1, std::memory_order_relaxed);
+  svc_metrics_.RecordQuery(prepared.kind, response.backend,
+                           response.stats.solve_micros);
   return response;
 }
 
@@ -671,7 +796,7 @@ Result<RouteBatchResponse> RemoteShardedRoutingService::QueryBatch(
               p.route.solver->Solve(input, scratch);
           if (!worker.provider->error().ok()) {
             item.status = worker.provider->error();
-            partial_rpc_errors_.fetch_add(1, std::memory_order_relaxed);
+            partial_rpc_errors_.Increment();
             return;
           }
           if (!solved.ok()) {
@@ -685,10 +810,12 @@ Result<RouteBatchResponse> RemoteShardedRoutingService::QueryBatch(
           item.response.epoch = epoch;
           size_t touched = worker.provider->ShardsTouched();
           if (touched == 1) {
-            single_shard_queries_.fetch_add(1, std::memory_order_relaxed);
+            single_shard_queries_.Increment();
           } else if (touched > 1) {
-            cross_shard_queries_.fetch_add(1, std::memory_order_relaxed);
+            cross_shard_queries_.Increment();
           }
+          svc_metrics_.RecordQuery(p.route.kind, item.response.backend,
+                                   item.response.stats.solve_micros);
         });
     for (BatchWorker& worker : batch_workers_) worker.provider->BindPin(nullptr);
     batch.batch_micros = timer.ElapsedMicros();
@@ -701,17 +828,17 @@ Result<RouteBatchResponse> RemoteShardedRoutingService::QueryBatch(
       ++batch.num_rejected;
     }
   }
-  queries_ok_.fetch_add(batch.num_ok, std::memory_order_relaxed);
-  queries_rejected_.fetch_add(batch.num_rejected, std::memory_order_relaxed);
+  // Accepted items were recorded per solve (kind/backend/latency); only the
+  // rejection total is settled here.
+  svc_metrics_.RecordRejected(batch.num_rejected);
   return batch;
 }
 
 BatchTicket RemoteShardedRoutingService::SubmitBatch(
     std::vector<RouteRequest> requests, BatchCallback callback) const {
   MarkServing();
-  return BatchTicket::SubmitTo(
-      *submit_queue_, std::move(requests), std::move(callback),
-      [this](std::span<const KspRequest> batch) { return QueryBatch(batch); });
+  return BatchTicket::SubmitTo(*submit_queue_, *this, std::move(requests),
+                               std::move(callback));
 }
 
 Result<TrafficBatchResult> RemoteShardedRoutingService::ApplyTrafficBatch(
@@ -846,38 +973,26 @@ Result<TrafficBatchResult> RemoteShardedRoutingService::ApplyTrafficBatch(
       });
 
   result.epoch = epoch;
-  batches_applied_.fetch_add(1, std::memory_order_relaxed);
-  updates_applied_.fetch_add(updates.size(), std::memory_order_relaxed);
+  svc_metrics_.RecordTrafficBatch(updates.size());
   return result;
 }
 
 RemoteServiceCounters RemoteShardedRoutingService::counters() const {
   RemoteServiceCounters counters;
-  counters.sharded.base.queries_ok =
-      queries_ok_.load(std::memory_order_relaxed);
+  counters.sharded.base.queries_ok = svc_metrics_.queries_ok.value();
   counters.sharded.base.queries_rejected =
-      queries_rejected_.load(std::memory_order_relaxed);
-  counters.sharded.base.batches_applied =
-      batches_applied_.load(std::memory_order_relaxed);
-  counters.sharded.base.updates_applied =
-      updates_applied_.load(std::memory_order_relaxed);
-  counters.sharded.single_shard_queries =
-      single_shard_queries_.load(std::memory_order_relaxed);
-  counters.sharded.cross_shard_queries =
-      cross_shard_queries_.load(std::memory_order_relaxed);
-  counters.sharded.direct_partial_requests =
-      direct_partials_.load(std::memory_order_relaxed);
-  counters.sharded.scattered_partial_requests =
-      scattered_partials_.load(std::memory_order_relaxed);
-  counters.partial_rpc_errors =
-      partial_rpc_errors_.load(std::memory_order_relaxed);
+      svc_metrics_.queries_rejected.value();
+  counters.sharded.base.batches_applied = svc_metrics_.traffic_batches.value();
+  counters.sharded.base.updates_applied = svc_metrics_.weight_updates.value();
+  counters.sharded.single_shard_queries = single_shard_queries_.value();
+  counters.sharded.cross_shard_queries = cross_shard_queries_.value();
+  counters.sharded.direct_partial_requests = direct_partials_.value();
+  counters.sharded.scattered_partial_requests = scattered_partials_.value();
+  counters.partial_rpc_errors = partial_rpc_errors_.value();
   for (const std::unique_ptr<Worker>& worker : workers_) {
-    counters.sharded.partial_cache_hits +=
-        worker->cache_hits.load(std::memory_order_relaxed);
-    counters.sharded.partial_cache_skips +=
-        worker->cache_skips.load(std::memory_order_relaxed);
-    counters.sharded.partial_cache_flushes +=
-        worker->cache_flushes.load(std::memory_order_relaxed);
+    counters.sharded.partial_cache_hits += worker->cache_hits.value();
+    counters.sharded.partial_cache_skips += worker->cache_skips.value();
+    counters.sharded.partial_cache_flushes += worker->cache_flushes.value();
     counters.rpc_calls += worker->client->calls();
     counters.rpc_retries += worker->client->retries();
     counters.rpc_deadline_expired += worker->client->deadline_expired();
@@ -901,11 +1016,9 @@ std::vector<RemoteWorkerInfo> RemoteShardedRoutingService::WorkerInfos()
     info.restarts = worker->restarts.load(std::memory_order_relaxed);
     info.subgraphs = assignment_.subgraphs_of_shard[worker->shard].size();
     info.vertices = assignment_.vertices_of_shard[worker->shard];
-    info.partial_requests =
-        worker->partial_requests.load(std::memory_order_relaxed);
-    info.yen_runs = worker->yen_runs.load(std::memory_order_relaxed);
-    info.partial_cache_hits =
-        worker->cache_hits.load(std::memory_order_relaxed);
+    info.partial_requests = worker->partial_requests.value();
+    info.yen_runs = worker->yen_runs.value();
+    info.partial_cache_hits = worker->cache_hits.value();
     info.rpc_calls = worker->client->calls();
     info.rpc_retries = worker->client->retries();
     info.rpc_deadline_expired = worker->client->deadline_expired();

@@ -60,6 +60,8 @@
 #include "api/ksp_solver.h"
 #include "api/routing_options.h"
 #include "api/routing_service.h"
+#include "api/routing_service_interface.h"
+#include "api/service_metrics.h"
 #include "core/epoch_coordinator.h"
 #include "core/epoch_lock.h"
 #include "core/status.h"
@@ -67,6 +69,7 @@
 #include "core/thread_pool.h"
 #include "dtlp/dtlp.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 #include "partition/shard_assignment.h"
 #include "rpc/client.h"
 #include "shard/sharded_routing_service.h"
@@ -157,7 +160,7 @@ struct RemoteServiceCounters {
   uint64_t partial_rpc_errors = 0;
 };
 
-class RemoteShardedRoutingService {
+class RemoteShardedRoutingService : public RoutingServiceInterface {
  public:
   /// Takes ownership of `graph`, builds the coordinator's master state
   /// (DTLP, CANDS, shard assignment — exactly as the in-process services
@@ -174,23 +177,23 @@ class RemoteShardedRoutingService {
   /// Drains the async submission queue, then shuts the workers down
   /// (graceful Shutdown RPC first, SIGKILL after a grace period) and reaps
   /// every child process.
-  ~RemoteShardedRoutingService();
+  ~RemoteShardedRoutingService() override;
 
   /// Answers q(source, target) — any QueryKind — on the current global
   /// snapshot. Byte-identical to ShardedRoutingService::Query over the same
   /// graph and traffic history. A query whose partials live on a dead
   /// worker returns kUnavailable/kDeadlineExceeded instead of hanging.
-  Result<RouteResponse> Query(const RouteRequest& request) const;
+  Result<RouteResponse> Query(const RouteRequest& request) const override;
 
   /// Batch counterpart, same contract as ShardedRoutingService::QueryBatch
   /// (one multi-shard snapshot, per-item statuses, per-(shard, worker)
   /// partial caches on the batch pool).
   Result<RouteBatchResponse> QueryBatch(
-      std::span<const RouteRequest> requests) const;
+      std::span<const RouteRequest> requests) const override;
 
   /// Asynchronous QueryBatch (same ticket contract as the other services).
   BatchTicket SubmitBatch(std::vector<RouteRequest> requests,
-                          BatchCallback callback = nullptr) const;
+                          BatchCallback callback = nullptr) const override;
 
   /// Applies one batch of weight updates atomically across the coordinator
   /// and every worker via the two-phase epoch commit (see file comment).
@@ -198,7 +201,7 @@ class RemoteShardedRoutingService {
   /// a worker that fails its prepare is marked dead (its shard degrades to
   /// per-query errors until restarted) rather than failing the batch.
   Result<TrafficBatchResult> ApplyTrafficBatch(
-      std::span<const WeightUpdate> updates);
+      std::span<const WeightUpdate> updates) override;
 
   /// Health-checks every worker and respawns + replays the dead ones.
   /// Returns OK when every worker is alive afterwards; kUnavailable when
@@ -207,18 +210,22 @@ class RemoteShardedRoutingService {
 
   /// Adds a custom backend (same freeze-on-first-query contract as the
   /// other services).
-  Status RegisterSolver(std::unique_ptr<KspSolver> solver) {
-    if (serving_.load(std::memory_order_acquire)) {
-      return Status::FailedPrecondition(
-          "RegisterSolver must run before the first query is served");
-    }
-    return registry_.Register(std::move(solver));
-  }
+  Status RegisterSolver(std::unique_ptr<KspSolver> solver);
 
   /// Committed global epoch (0 until the first batch).
-  uint64_t CurrentEpoch() const { return epochs_->global(); }
+  uint64_t CurrentEpoch() const override { return epochs_->global(); }
 
-  std::vector<std::string> BackendNames() const { return registry_.Names(); }
+  std::vector<std::string> BackendNames() const override {
+    return registry_.Names();
+  }
+
+  /// Fleet-wide scrape: the coordinator's own registry merged with every
+  /// worker's latest snapshot. Live workers are pinged (each ping carries
+  /// the worker's registry back in the reply); a worker that cannot be
+  /// reached contributes its last successfully fetched snapshot instead,
+  /// so the export degrades to slightly stale worker data rather than
+  /// dropping a shard. Worker samples are tagged {shard="<id>"}.
+  MetricsSnapshot Metrics() const override;
 
   RemoteServiceCounters counters() const;
 
@@ -254,11 +261,18 @@ class RemoteShardedRoutingService {
     std::atomic<uint64_t> restarts{0};
     /// Same cache-flush stamp semantics as Shard::weights_epoch.
     std::atomic<uint64_t> weights_epoch{0};
-    mutable std::atomic<uint64_t> partial_requests{0};
-    mutable std::atomic<uint64_t> yen_runs{0};
-    mutable std::atomic<uint64_t> cache_hits{0};
-    mutable std::atomic<uint64_t> cache_skips{0};
-    mutable std::atomic<uint64_t> cache_flushes{0};
+    /// Registry handles labelled {shard="<id>"}, wired at Create.
+    Counter partial_requests;
+    Counter yen_runs;
+    Counter cache_hits;
+    Counter cache_skips;
+    Counter cache_flushes;
+    /// Last snapshot this worker shipped back in a ping reply (the
+    /// fallback when the worker is unreachable at scrape time). Guarded by
+    /// metrics_mu, never by `mu` — caching must not serialise with RPCs.
+    mutable std::mutex metrics_mu;
+    mutable MetricsSnapshot last_metrics;
+    mutable bool has_metrics = false;
   };
 
   class RemotePartialProvider;
@@ -308,6 +322,10 @@ class RemoteShardedRoutingService {
 
   Graph graph_;
   RemoteShardedRoutingServiceOptions options_;
+  /// Owns every metric cell the members below hold handles into. Declared
+  /// before them so it is destroyed LAST — after submit_queue_, whose
+  /// destructor still drains batches that bump counters.
+  MetricsRegistry metrics_;
   /// Pristine copy of the graph at Create time: what a (re)spawned worker
   /// is loaded with before the committed history is replayed onto it.
   Graph initial_graph_;
@@ -330,15 +348,14 @@ class RemoteShardedRoutingService {
   mutable std::vector<BatchWorker> batch_workers_;
   mutable uint64_t arena_epoch_ = 0;
 
-  mutable std::atomic<uint64_t> queries_ok_{0};
-  mutable std::atomic<uint64_t> queries_rejected_{0};
-  mutable std::atomic<uint64_t> single_shard_queries_{0};
-  mutable std::atomic<uint64_t> cross_shard_queries_{0};
-  mutable std::atomic<uint64_t> direct_partials_{0};
-  mutable std::atomic<uint64_t> scattered_partials_{0};
-  mutable std::atomic<uint64_t> partial_rpc_errors_{0};
-  std::atomic<uint64_t> batches_applied_{0};
-  std::atomic<uint64_t> updates_applied_{0};
+  /// Query/update handles into metrics_ (RemoteServiceCounters is a view
+  /// over these plus the per-worker handles and the RPC client atomics).
+  ServiceMetrics svc_metrics_;
+  Counter single_shard_queries_;
+  Counter cross_shard_queries_;
+  Counter direct_partials_;
+  Counter scattered_partials_;
+  Counter partial_rpc_errors_;
 
   /// Declared last so it is destroyed FIRST (drains accepted batches).
   std::unique_ptr<SubmissionQueue> submit_queue_;

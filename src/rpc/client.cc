@@ -103,6 +103,8 @@ Status RpcClient::Call(MessageType request_type,
       Disconnect();
       continue;
     }
+    bytes_sent_.fetch_add(kFrameHeaderBytes + request_payload.size(),
+                          std::memory_order_relaxed);
     uint8_t reply_type = 0;
     last = ReadFrame(fd_, &reply_type, reply_payload, deadline);
     if (!last.ok()) {
@@ -112,6 +114,8 @@ Status RpcClient::Call(MessageType request_type,
       Disconnect();
       continue;
     }
+    bytes_received_.fetch_add(kFrameHeaderBytes + reply_payload->size(),
+                              std::memory_order_relaxed);
     if (reply_type == static_cast<uint8_t>(MessageType::kErrorReply)) {
       // Application-level rejection: the worker is alive and the stream is
       // in sync, so surface the carried status without retrying.

@@ -58,12 +58,25 @@ class RpcClient {
 
   const std::string& socket_path() const { return socket_path_; }
 
+  // Transport counters. All of them are strictly monotonic for the lifetime
+  // of the client: they live on the client object, never on the connection,
+  // so Disconnect/reconnect cycles and per-attempt reconnects cannot reset
+  // them. The remote service exposes them as registry counter callbacks,
+  // which assume monotonicity (a scrape that ever saw a counter go
+  // backwards would break rate computations downstream).
   uint64_t calls() const { return calls_.load(std::memory_order_relaxed); }
   uint64_t retries() const {
     return retries_.load(std::memory_order_relaxed);
   }
   uint64_t deadline_expired() const {
     return deadline_expired_.load(std::memory_order_relaxed);
+  }
+  /// Payload + frame-header bytes successfully written / read.
+  uint64_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_received() const {
+    return bytes_received_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -77,6 +90,8 @@ class RpcClient {
   std::atomic<uint64_t> calls_{0};
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> deadline_expired_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
 };
 
 }  // namespace kspdg

@@ -102,6 +102,9 @@ Status RpcServer::Serve(const Handler& handler, int64_t idle_timeout_ms) {
         conn = -1;
         break;
       }
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      bytes_received_.fetch_add(kFrameHeaderBytes + payload.size(),
+                                std::memory_order_relaxed);
       MessageType reply_type = MessageType::kErrorReply;
       std::string reply_payload;
       bool shutdown = false;
@@ -114,6 +117,10 @@ Status RpcServer::Serve(const Handler& handler, int64_t idle_timeout_ms) {
       Status written =
           WriteFrame(conn, static_cast<uint8_t>(reply_type), reply_payload,
                      DeadlineAfterMillis(kWriteDeadlineMs));
+      if (written.ok()) {
+        bytes_sent_.fetch_add(kFrameHeaderBytes + reply_payload.size(),
+                              std::memory_order_relaxed);
+      }
       if (shutdown) {
         close(conn);
         return Status::OK();

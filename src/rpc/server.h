@@ -10,6 +10,7 @@
 #ifndef KSPDG_RPC_SERVER_H_
 #define KSPDG_RPC_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -49,12 +50,29 @@ class RpcServer {
 
   const std::string& path() const { return path_; }
 
+  // Transport counters, monotonic for the server's lifetime. Serve() runs
+  // on one thread but the worker's registry scrapes them from a Ping
+  // handler on that same thread via counter callbacks — atomics keep them
+  // safe for any future scraper thread too.
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_received() const {
+    return bytes_received_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+
  private:
   RpcServer(std::string path, int listen_fd)
       : path_(std::move(path)), listen_fd_(listen_fd) {}
 
   std::string path_;
   int listen_fd_ = -1;
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
 };
 
 }  // namespace kspdg

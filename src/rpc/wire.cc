@@ -415,6 +415,7 @@ std::string PingReply::Encode() const {
   w.U64(nonce);
   w.U64(epoch);
   w.U32(shard_id);
+  w.Str(metrics_blob);
   return w.Take();
 }
 
@@ -423,6 +424,7 @@ Status PingReply::Decode(std::string_view payload, PingReply* out) {
   KSPDG_RETURN_NOT_OK(r.U64(&out->nonce));
   KSPDG_RETURN_NOT_OK(r.U64(&out->epoch));
   KSPDG_RETURN_NOT_OK(r.U32(&out->shard_id));
+  KSPDG_RETURN_NOT_OK(r.Str(&out->metrics_blob));
   return r.ExpectEnd();
 }
 

@@ -201,6 +201,12 @@ struct PingReply {
   uint64_t nonce = 0;
   uint64_t epoch = 0;
   ShardId shard_id = kInvalidShard;
+  /// The worker's metrics registry, encoded with
+  /// MetricsSnapshot::EncodeWire (opaque at this layer — the rpc module
+  /// ships it, src/obs owns the codec). Empty when the worker exports no
+  /// metrics; the coordinator tags decoded snapshots with the shard id and
+  /// merges them into the fleet-wide export.
+  std::string metrics_blob;
 
   std::string Encode() const;
   static Status Decode(std::string_view payload, PingReply* out);

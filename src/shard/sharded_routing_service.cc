@@ -117,18 +117,18 @@ class ShardedRoutingService::ShardPartialProvider : public PartialProvider {
           shard.weights_epoch.load(std::memory_order_acquire);
       if (cache.epoch != weights_epoch) {
         if (!cache.entries.empty()) {
-          shard.cache_flushes.fetch_add(1, std::memory_order_relaxed);
+          shard.cache_flushes.Increment();
           cache.entries.clear();
         }
         cache.epoch = weights_epoch;
       }
       if (const CacheEntry* hit = cache.Find(key, depth)) {
-        shard.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        shard.cache_hits.Increment();
         gathered.insert(gathered.end(), hit->lists.begin(), hit->lists.end());
         continue;
       }
-      shard.partial_requests.fetch_add(1, std::memory_order_relaxed);
-      shard.yen_runs.fetch_add(owned.size(), std::memory_order_relaxed);
+      shard.partial_requests.Increment();
+      shard.yen_runs.Increment(owned.size());
       fresh_runs += owned.size();
       CacheEntry entry;
       entry.depth = depth;
@@ -156,7 +156,7 @@ class ShardedRoutingService::ShardPartialProvider : public PartialProvider {
            cache.entries.count(key) != 0)) {
         cache.entries[key].push_back(std::move(entry));
       } else {
-        shard.cache_skips.fetch_add(1, std::memory_order_relaxed);
+        shard.cache_skips.Increment();
       }
     }
     // Gather: the shared merge (see MergeSubgraphPartials) replays the
@@ -166,9 +166,9 @@ class ShardedRoutingService::ShardPartialProvider : public PartialProvider {
     // Cached lists cost no Yen invocations; report only the fresh work.
     result.yen_runs = fresh_runs;
     if (groups.size() == 1) {
-      service_.direct_partials_.fetch_add(1, std::memory_order_relaxed);
+      service_.direct_partials_.Increment();
     } else if (groups.size() > 1) {
-      service_.scattered_partials_.fetch_add(1, std::memory_order_relaxed);
+      service_.scattered_partials_.Increment();
     }
     return result;
   }
@@ -247,6 +247,17 @@ Result<std::unique_ptr<ShardedRoutingService>> ShardedRoutingService::Create(
   for (ShardId shard = 0; shard < service->assignment_.num_shards; ++shard) {
     auto owned = std::make_unique<Shard>();
     owned->subgraphs = service->assignment_.subgraphs_of_shard[shard];
+    // Per-shard partial traffic, labelled so one scrape shows the split.
+    const MetricLabels labels = {{"shard", std::to_string(shard)}};
+    owned->partial_requests =
+        service->metrics_.GetCounter("partial_requests_total", labels);
+    owned->yen_runs = service->metrics_.GetCounter("yen_runs_total", labels);
+    owned->cache_hits =
+        service->metrics_.GetCounter("partial_cache_hits_total", labels);
+    owned->cache_skips =
+        service->metrics_.GetCounter("partial_cache_skips_total", labels);
+    owned->cache_flushes =
+        service->metrics_.GetCounter("partial_cache_flushes_total", labels);
     service->shards_.push_back(std::move(owned));
   }
   service->epochs_ =
@@ -261,12 +272,66 @@ Result<std::unique_ptr<ShardedRoutingService>> ShardedRoutingService::Create(
     worker.provider = std::make_unique<ShardPartialProvider>(*service);
     service->batch_workers_.push_back(std::move(worker));
   }
+  // Wire the remaining instrumentation before any traffic: the hot path
+  // only ever touches pre-resolved handles.
+  service->svc_metrics_.Init(service->metrics_, service->registry_.Names());
+  service->single_shard_queries_ =
+      service->metrics_.GetCounter("single_shard_queries_total");
+  service->cross_shard_queries_ =
+      service->metrics_.GetCounter("cross_shard_queries_total");
+  service->direct_partials_ =
+      service->metrics_.GetCounter("direct_partial_requests_total");
+  service->scattered_partials_ =
+      service->metrics_.GetCounter("scattered_partial_requests_total");
+  service->epochs_->global_lock().InstrumentWriter(
+      service->metrics_.GetCounter("epoch_writer_drains_total"),
+      service->metrics_.GetHistogram("epoch_writer_wait_micros", {},
+                                     LatencyBucketsMicros()));
+  service->metrics_.AddGaugeCallback(
+      "epoch", {}, [epochs = service->epochs_.get()] {
+        return static_cast<int64_t>(epochs->global());
+      });
+  for (size_t shard = 0; shard < service->shards_.size(); ++shard) {
+    service->metrics_.AddGaugeCallback(
+        "shard_epoch", {{"shard", std::to_string(shard)}},
+        [epochs = service->epochs_.get(), shard] {
+          return static_cast<int64_t>(epochs->shard(shard));
+        });
+  }
+
+  SubmissionQueueMetrics queue_metrics;
+  queue_metrics.enqueue_blocked_total =
+      service->metrics_.GetCounter("submission_queue_enqueue_blocked_total");
+  queue_metrics.enqueue_block_micros = service->metrics_.GetHistogram(
+      "submission_queue_enqueue_block_micros", {}, LatencyBucketsMicros());
   service->submit_queue_ = std::make_unique<SubmissionQueue>(
-      service->options_.submit_queue_capacity, /*num_workers=*/1);
+      service->options_.submit_queue_capacity, /*num_workers=*/1,
+      std::move(queue_metrics));
+  service->metrics_.AddGaugeCallback(
+      "submission_queue_depth", {}, [queue = service->submit_queue_.get()] {
+        return static_cast<int64_t>(queue->pending());
+      });
+  service->metrics_.AddCounterCallback(
+      "submission_queue_submitted_total", {},
+      [queue = service->submit_queue_.get()] { return queue->submitted(); });
+  service->metrics_.AddCounterCallback(
+      "submission_queue_completed_total", {},
+      [queue = service->submit_queue_.get()] { return queue->completed(); });
   return service;
 }
 
 ShardedRoutingService::~ShardedRoutingService() = default;
+
+Status ShardedRoutingService::RegisterSolver(std::unique_ptr<KspSolver> solver) {
+  if (serving_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "RegisterSolver must run before the first query is served");
+  }
+  const std::string name(solver->name());
+  KSPDG_RETURN_NOT_OK(registry_.Register(std::move(solver)));
+  svc_metrics_.AddBackend(metrics_, name);
+  return Status::OK();
+}
 
 Status ShardedRoutingService::PrepareQuery(const RouteRequest& request,
                                            PreparedRoute* prepared) const {
@@ -280,7 +345,7 @@ Result<RouteResponse> ShardedRoutingService::Query(
   PreparedRoute prepared;
   Status status = PrepareQuery(request, &prepared);
   if (!status.ok()) {
-    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    svc_metrics_.RecordRejected();
     return status;
   }
 
@@ -304,7 +369,7 @@ Result<RouteResponse> ShardedRoutingService::Query(
   WallTimer timer;
   Result<KspQueryResult> solved = prepared.solver->Solve(input);
   if (!solved.ok()) {
-    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    svc_metrics_.RecordRejected();
     return solved.status();
   }
   RouteResponse response =
@@ -315,11 +380,12 @@ Result<RouteResponse> ShardedRoutingService::Query(
   response.epoch = pin.epoch();
   size_t touched = provider.ShardsTouched();
   if (touched == 1) {
-    single_shard_queries_.fetch_add(1, std::memory_order_relaxed);
+    single_shard_queries_.Increment();
   } else if (touched > 1) {
-    cross_shard_queries_.fetch_add(1, std::memory_order_relaxed);
+    cross_shard_queries_.Increment();
   }
-  queries_ok_.fetch_add(1, std::memory_order_relaxed);
+  svc_metrics_.RecordQuery(prepared.kind, response.backend,
+                           response.stats.solve_micros);
   return response;
 }
 
@@ -418,10 +484,12 @@ Result<RouteBatchResponse> ShardedRoutingService::QueryBatch(
           item.response.epoch = epoch;
           size_t touched = worker.provider->ShardsTouched();
           if (touched == 1) {
-            single_shard_queries_.fetch_add(1, std::memory_order_relaxed);
+            single_shard_queries_.Increment();
           } else if (touched > 1) {
-            cross_shard_queries_.fetch_add(1, std::memory_order_relaxed);
+            cross_shard_queries_.Increment();
           }
+          svc_metrics_.RecordQuery(p.route.kind, item.response.backend,
+                                   item.response.stats.solve_micros);
         });
     // The pin dies with this scope; unbind so a stale pointer can never be
     // dereferenced by a later mis-sequenced call.
@@ -436,17 +504,17 @@ Result<RouteBatchResponse> ShardedRoutingService::QueryBatch(
       ++batch.num_rejected;
     }
   }
-  queries_ok_.fetch_add(batch.num_ok, std::memory_order_relaxed);
-  queries_rejected_.fetch_add(batch.num_rejected, std::memory_order_relaxed);
+  // Accepted items were recorded per solve (kind/backend/latency); only the
+  // rejection total is settled here.
+  svc_metrics_.RecordRejected(batch.num_rejected);
   return batch;
 }
 
 BatchTicket ShardedRoutingService::SubmitBatch(
     std::vector<RouteRequest> requests, BatchCallback callback) const {
   MarkServing();
-  return BatchTicket::SubmitTo(
-      *submit_queue_, std::move(requests), std::move(callback),
-      [this](std::span<const KspRequest> batch) { return QueryBatch(batch); });
+  return BatchTicket::SubmitTo(*submit_queue_, *this, std::move(requests),
+                               std::move(callback));
 }
 
 Result<TrafficBatchResult> ShardedRoutingService::ApplyTrafficBatch(
@@ -544,35 +612,24 @@ Result<TrafficBatchResult> ShardedRoutingService::ApplyTrafficBatch(
   result.epoch = epoch;
   result.dtlp.updates_applied = applied_total.load(std::memory_order_relaxed);
   result.dtlp.subgraphs_touched = touched.size();
-  batches_applied_.fetch_add(1, std::memory_order_relaxed);
-  updates_applied_.fetch_add(updates.size(), std::memory_order_relaxed);
+  svc_metrics_.RecordTrafficBatch(updates.size());
   return result;
 }
 
 ShardedServiceCounters ShardedRoutingService::counters() const {
   ShardedServiceCounters counters;
-  counters.base.queries_ok = queries_ok_.load(std::memory_order_relaxed);
-  counters.base.queries_rejected =
-      queries_rejected_.load(std::memory_order_relaxed);
-  counters.base.batches_applied =
-      batches_applied_.load(std::memory_order_relaxed);
-  counters.base.updates_applied =
-      updates_applied_.load(std::memory_order_relaxed);
-  counters.single_shard_queries =
-      single_shard_queries_.load(std::memory_order_relaxed);
-  counters.cross_shard_queries =
-      cross_shard_queries_.load(std::memory_order_relaxed);
-  counters.direct_partial_requests =
-      direct_partials_.load(std::memory_order_relaxed);
-  counters.scattered_partial_requests =
-      scattered_partials_.load(std::memory_order_relaxed);
+  counters.base.queries_ok = svc_metrics_.queries_ok.value();
+  counters.base.queries_rejected = svc_metrics_.queries_rejected.value();
+  counters.base.batches_applied = svc_metrics_.traffic_batches.value();
+  counters.base.updates_applied = svc_metrics_.weight_updates.value();
+  counters.single_shard_queries = single_shard_queries_.value();
+  counters.cross_shard_queries = cross_shard_queries_.value();
+  counters.direct_partial_requests = direct_partials_.value();
+  counters.scattered_partial_requests = scattered_partials_.value();
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    counters.partial_cache_hits +=
-        shard->cache_hits.load(std::memory_order_relaxed);
-    counters.partial_cache_skips +=
-        shard->cache_skips.load(std::memory_order_relaxed);
-    counters.partial_cache_flushes +=
-        shard->cache_flushes.load(std::memory_order_relaxed);
+    counters.partial_cache_hits += shard->cache_hits.value();
+    counters.partial_cache_skips += shard->cache_skips.value();
+    counters.partial_cache_flushes += shard->cache_flushes.value();
   }
   return counters;
 }
@@ -587,9 +644,9 @@ std::vector<ShardInfo> ShardedRoutingService::ShardInfos() const {
     info.subgraphs = s.subgraphs.size();
     info.vertices = assignment_.vertices_of_shard[shard];
     info.epoch = epochs_->shard(shard);
-    info.partial_requests = s.partial_requests.load(std::memory_order_relaxed);
-    info.yen_runs = s.yen_runs.load(std::memory_order_relaxed);
-    info.partial_cache_hits = s.cache_hits.load(std::memory_order_relaxed);
+    info.partial_requests = s.partial_requests.value();
+    info.yen_runs = s.yen_runs.value();
+    info.partial_cache_hits = s.cache_hits.value();
     infos.push_back(info);
   }
   return infos;

@@ -50,6 +50,8 @@
 #include "api/ksp_solver.h"
 #include "api/routing_options.h"
 #include "api/routing_service.h"
+#include "api/routing_service_interface.h"
+#include "api/service_metrics.h"
 #include "core/epoch_coordinator.h"
 #include "core/epoch_lock.h"
 #include "core/status.h"
@@ -57,6 +59,7 @@
 #include "core/thread_pool.h"
 #include "dtlp/dtlp.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 #include "partition/shard_assignment.h"
 
 namespace kspdg {
@@ -129,7 +132,7 @@ struct ShardedServiceCounters {
   uint64_t partial_cache_flushes = 0;
 };
 
-class ShardedRoutingService {
+class ShardedRoutingService : public RoutingServiceInterface {
  public:
   /// Takes ownership of `graph`, builds the DTLP (Algorithm 1), and
   /// distributes its subgraphs over `options.num_shards` shards. Fails if
@@ -143,14 +146,14 @@ class ShardedRoutingService {
 
   /// Drains the async submission queue (accepted batches complete) before
   /// tearing anything down.
-  ~ShardedRoutingService();
+  ~ShardedRoutingService() override;
 
   /// Answers q(source, target) — any QueryKind — on the current global
   /// snapshot. Identical results to RoutingService::Query over the same
   /// graph and weights (the sharding is invisible in the answer).
   /// Thread-safe; runs concurrently with other queries and serialises
   /// against ApplyTrafficBatch.
-  Result<RouteResponse> Query(const RouteRequest& request) const;
+  Result<RouteResponse> Query(const RouteRequest& request) const override;
 
   /// Answers a whole batch of queries on ONE multi-shard snapshot: requests
   /// are validated up front, the coordinator's read pin is taken once, and
@@ -163,13 +166,13 @@ class ShardedRoutingService {
   /// requests receive per-item statuses without failing the batch.
   /// Thread-safe.
   Result<RouteBatchResponse> QueryBatch(
-      std::span<const RouteRequest> requests) const;
+      std::span<const RouteRequest> requests) const override;
 
   /// Asynchronous QueryBatch: enqueues the batch on the service's bounded
   /// submission queue and returns a ticket immediately (see
   /// RoutingService::SubmitBatch — identical contract).
   BatchTicket SubmitBatch(std::vector<RouteRequest> requests,
-                          BatchCallback callback = nullptr) const;
+                          BatchCallback callback = nullptr) const override;
 
   /// Applies one batch of weight updates atomically across every shard: the
   /// flat weights, each shard's subgraph copies (fanned out in parallel,
@@ -177,7 +180,7 @@ class ShardedRoutingService {
   /// epoch together. Validated up front and rejected as a whole on any bad
   /// entry. Thread-safe.
   Result<TrafficBatchResult> ApplyTrafficBatch(
-      std::span<const WeightUpdate> updates);
+      std::span<const WeightUpdate> updates) override;
 
   /// Adds a custom backend. Must be called before serving traffic — the
   /// registry reads on the query path take no lock, so registration was
@@ -187,20 +190,21 @@ class ShardedRoutingService {
   /// enforcement of that lifecycle: it rejects any registration that
   /// happens-after an observed query; truly concurrent first-query vs
   /// registration remains the caller's setup bug to avoid.)
-  Status RegisterSolver(std::unique_ptr<KspSolver> solver) {
-    if (serving_.load(std::memory_order_acquire)) {
-      return Status::FailedPrecondition(
-          "RegisterSolver must run before the first query is served");
-    }
-    return registry_.Register(std::move(solver));
-  }
+  Status RegisterSolver(std::unique_ptr<KspSolver> solver);
 
   /// Committed global epoch (0 until the first batch). All shards sit at
   /// this epoch whenever no ApplyTrafficBatch is in flight.
-  uint64_t CurrentEpoch() const { return epochs_->global(); }
+  uint64_t CurrentEpoch() const override { return epochs_->global(); }
 
   /// Registered backend names, sorted.
-  std::vector<std::string> BackendNames() const { return registry_.Names(); }
+  std::vector<std::string> BackendNames() const override {
+    return registry_.Names();
+  }
+
+  /// Consistent scrape of the service's registry: query totals by kind and
+  /// backend, per-shard partial-cache traffic, routing split, epoch gauges.
+  /// Never blocks queries or updates.
+  MetricsSnapshot Metrics() const override { return metrics_.Snapshot(); }
 
   ShardedServiceCounters counters() const;
 
@@ -232,11 +236,13 @@ class ShardedRoutingService {
     /// per-(shard, worker) caches flush against this stamp: a batch that
     /// never touched this shard leaves its cached partials warm and valid.
     std::atomic<uint64_t> weights_epoch{0};
-    mutable std::atomic<uint64_t> partial_requests{0};
-    mutable std::atomic<uint64_t> yen_runs{0};
-    mutable std::atomic<uint64_t> cache_hits{0};
-    mutable std::atomic<uint64_t> cache_skips{0};
-    mutable std::atomic<uint64_t> cache_flushes{0};
+    /// Registry handles labelled {shard="<id>"}, wired at Create — the
+    /// single source of truth behind ShardInfo and the counters() view.
+    Counter partial_requests;
+    Counter yen_runs;
+    Counter cache_hits;
+    Counter cache_skips;
+    Counter cache_flushes;
   };
 
   class ShardPartialProvider;
@@ -274,6 +280,11 @@ class ShardedRoutingService {
 
   Graph graph_;
   ShardedRoutingServiceOptions options_;
+  /// Owns every metric cell the members below hold handles into. Declared
+  /// before them so it is destroyed LAST — in particular after
+  /// submit_queue_, whose destructor still drains batches that bump
+  /// counters.
+  MetricsRegistry metrics_;
   std::unique_ptr<Dtlp> dtlp_;
   /// Coordinator-owned CANDS baseline index (see RoutingService::cands_);
   /// maintained under the global exclusive lock in ApplyTrafficBatch.
@@ -306,14 +317,13 @@ class ShardedRoutingService {
   /// partial caches flush themselves per shard, against that shard's epoch.
   mutable uint64_t arena_epoch_ = 0;
 
-  mutable std::atomic<uint64_t> queries_ok_{0};
-  mutable std::atomic<uint64_t> queries_rejected_{0};
-  mutable std::atomic<uint64_t> single_shard_queries_{0};
-  mutable std::atomic<uint64_t> cross_shard_queries_{0};
-  mutable std::atomic<uint64_t> direct_partials_{0};
-  mutable std::atomic<uint64_t> scattered_partials_{0};
-  std::atomic<uint64_t> batches_applied_{0};
-  std::atomic<uint64_t> updates_applied_{0};
+  /// Query/update handles into metrics_ (shared bundle; the counters()
+  /// view reads these).
+  ServiceMetrics svc_metrics_;
+  Counter single_shard_queries_;
+  Counter cross_shard_queries_;
+  Counter direct_partials_;
+  Counter scattered_partials_;
 
   /// Async SubmitBatch queue. Declared last so it is destroyed FIRST:
   /// destruction drains the accepted batches, which still run QueryBatch

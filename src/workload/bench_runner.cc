@@ -12,10 +12,12 @@
 #include <utility>
 
 #include "api/routing_service.h"
+#include "api/routing_service_interface.h"
 #include "core/strings.h"
 #include "core/timer.h"
 #include "graph/traffic_model.h"
 #include "ksp/path.h"
+#include "obs/metrics.h"
 #include "remote/remote_sharded_routing_service.h"
 #include "shard/sharded_routing_service.h"
 #include "workload/datasets.h"
@@ -45,6 +47,66 @@ double Percentile(std::vector<double>& samples, double q) {
   if (index > 0) --index;
   if (index >= samples.size()) index = samples.size() - 1;
   return samples[index];
+}
+
+/// One timed sequential Query pass over a request list. All parity phases
+/// run this once per service — the service only has to speak
+/// RoutingServiceInterface, so plain, sharded and remote services share the
+/// identical harness code.
+struct QueryPassResult {
+  std::vector<std::vector<Path>> paths;
+  std::vector<char> answered;
+  size_t errors = 0;
+  double elapsed_micros = 0;
+};
+
+QueryPassResult RunQueryPass(RoutingServiceInterface& service,
+                             const std::vector<RouteRequest>& requests) {
+  QueryPassResult result;
+  result.paths.resize(requests.size());
+  result.answered.assign(requests.size(), 0);
+  WallTimer timer;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Result<RouteResponse> response = service.Query(requests[i]);
+    if (!response.ok()) {
+      ++result.errors;
+      continue;
+    }
+    result.answered[i] = 1;
+    result.paths[i] = std::move(response).value().paths;
+  }
+  result.elapsed_micros = timer.ElapsedMicros();
+  return result;
+}
+
+bool SamePaths(const std::vector<Path>& got, const std::vector<Path>& want) {
+  if (got.size() != want.size()) return false;
+  for (size_t p = 0; p < got.size(); ++p) {
+    if (got[p].vertices != want[p].vertices ||
+        got[p].distance != want[p].distance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Requests answered by both passes whose path sets differ in route or
+/// distance. Failed queries are already counted in `errors`.
+size_t CountMismatches(const QueryPassResult& expected,
+                       const QueryPassResult& actual) {
+  size_t mismatches = 0;
+  for (size_t i = 0; i < expected.paths.size(); ++i) {
+    if (!expected.answered[i] || !actual.answered[i]) continue;
+    if (!SamePaths(actual.paths[i], expected.paths[i])) ++mismatches;
+  }
+  return mismatches;
+}
+
+/// queries_ok_total + queries_rejected_total across every label set: the
+/// "one accounting event per issued request" side of the CI invariant.
+uint64_t QueriesTotal(const MetricsSnapshot& snapshot) {
+  return snapshot.CounterTotal("queries_ok_total") +
+         snapshot.CounterTotal("queries_rejected_total");
 }
 
 }  // namespace
@@ -283,6 +345,42 @@ std::string BenchReport::ToJson() const {
   AppendJsonKey(out, "inprocess_qps", "    ");
   out << remote_shard.inprocess_qps << "\n";
   out << "  },\n";
+  AppendJsonKey(out, "metrics", "  ");
+  out << "{\n";
+  AppendJsonKey(out, "mixed", "    ");
+  out << "{\n";
+  AppendJsonKey(out, "issued_requests", "      ");
+  out << metrics.mixed.issued_requests << ",\n";
+  AppendJsonKey(out, "queries_total", "      ");
+  out << metrics.mixed.queries_total << ",\n";
+  AppendJsonKey(out, "queries_rejected_total", "      ");
+  out << metrics.mixed.queries_rejected_total << "\n";
+  out << "    },\n";
+  AppendJsonKey(out, "shard_batch", "    ");
+  out << "{\n";
+  AppendJsonKey(out, "issued_requests", "      ");
+  out << metrics.shard_batch.issued_requests << ",\n";
+  AppendJsonKey(out, "queries_total", "      ");
+  out << metrics.shard_batch.queries_total << ",\n";
+  AppendJsonKey(out, "queries_rejected_total", "      ");
+  out << metrics.shard_batch.queries_rejected_total << ",\n";
+  AppendJsonKey(out, "partial_cache_hits", "      ");
+  out << metrics.shard_batch.partial_cache_hits << "\n";
+  out << "    },\n";
+  AppendJsonKey(out, "remote_shard", "    ");
+  out << "{\n";
+  AppendJsonKey(out, "issued_requests", "      ");
+  out << metrics.remote_shard.issued_requests << ",\n";
+  AppendJsonKey(out, "queries_total", "      ");
+  out << metrics.remote_shard.queries_total << ",\n";
+  AppendJsonKey(out, "queries_rejected_total", "      ");
+  out << metrics.remote_shard.queries_rejected_total << ",\n";
+  AppendJsonKey(out, "partial_cache_hits", "      ");
+  out << metrics.remote_shard.partial_cache_hits << ",\n";
+  AppendJsonKey(out, "worker_snapshots", "      ");
+  out << metrics.worker_snapshots << "\n";
+  out << "    }\n";
+  out << "  },\n";
   AppendJsonKey(out, "backends", "  ");
   out << "[\n";
   for (size_t i = 0; i < backends.size(); ++i) {
@@ -362,6 +460,13 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
   report.num_vertices = graph.NumVertices();
   report.num_edges = graph.NumEdges();
   report.k = options.k;
+
+  // Accumulates each service's final registry snapshot, tagged with a
+  // service label, for the --metrics-out export.
+  MetricsSnapshot fleet_export;
+  // Requests handed to the mixed service across all its phases; its
+  // registry must account for every one of them.
+  size_t mixed_issued = 0;
 
   WallTimer build_timer;
   Result<std::unique_ptr<RoutingService>> service_or =
@@ -482,6 +587,7 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
   for (size_t i = 0; i < num_threads; ++i) readers.emplace_back(reader);
   for (std::thread& t : readers) t.join();
   writer.join();
+  mixed_issued += work.size();
 
   report.batches_applied = batches_applied;
   report.batch_errors = batch_errors;
@@ -529,6 +635,7 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
       if (!service->Query(request).ok()) ++phase.errors;
     }
     phase.sequential_micros = sequential_timer.ElapsedMicros();
+    mixed_issued += requests.size();
 
     WallTimer batch_timer;
     for (size_t begin = 0; begin < requests.size();
@@ -540,6 +647,7 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
         phase.errors += count;
         continue;
       }
+      mixed_issued += count;
       const KspBatchResponse& b = batched.value();
       phase.errors += b.num_rejected;
       for (const KspBatchItem& item : b.items) {
@@ -592,6 +700,7 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
       if (!service->Query(request).ok()) ++phase.errors;
     }
     phase.plain_micros = plain_timer.ElapsedMicros();
+    mixed_issued += plain_requests.size();
 
     std::vector<double> samples;
     samples.reserve(diverse_requests.size());
@@ -620,6 +729,7 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
       samples.push_back(response.value().stats.solve_micros);
     }
     phase.diverse_micros = diverse_timer.ElapsedMicros();
+    mixed_issued += diverse_requests.size();
     if (phase.kept_min == std::numeric_limits<size_t>::max()) {
       phase.kept_min = 0;
     }
@@ -646,6 +756,19 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
     if (phase.plain_micros > 0) {
       phase.overhead = phase.diverse_micros / phase.plain_micros;
     }
+  }
+
+  // Registry cross-check for the mixed service: its own counters must
+  // account for every request the harness issued across the phases above
+  // (the CI metrics gate asserts the equality).
+  {
+    MetricsSnapshot snapshot = service->Metrics();
+    report.metrics.mixed.issued_requests = mixed_issued;
+    report.metrics.mixed.queries_total = QueriesTotal(snapshot);
+    report.metrics.mixed.queries_rejected_total =
+        snapshot.CounterTotal("queries_rejected_total");
+    snapshot.AddLabel("service", "mixed");
+    fleet_export.Merge(snapshot);
   }
 
   // Shard phase: build a sharded and an unsharded service over identical
@@ -710,49 +833,18 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
     }
     phase.requests = requests.size();
 
-    // Both timed loops do the same work per request (query + store), so
-    // the qps comparison is symmetric; the path-by-path check runs after
-    // the timers.
-    std::vector<std::vector<Path>> expected(requests.size());
-    std::vector<char> expected_ok(requests.size(), 0);
-    WallTimer unsharded_timer;
-    for (size_t i = 0; i < requests.size(); ++i) {
-      Result<KspResponse> response = plain->Query(requests[i]);
-      if (!response.ok()) {
-        ++phase.errors;
-        continue;
-      }
-      expected_ok[i] = 1;
-      expected[i] = std::move(response).value().paths;
-    }
-    phase.unsharded_micros = unsharded_timer.ElapsedMicros();
+    // Both passes run the identical interface-typed harness, so the qps
+    // comparison is symmetric; the path-by-path check runs after the
+    // timers.
+    QueryPassResult expected = RunQueryPass(*plain, requests);
+    phase.errors += expected.errors;
+    phase.unsharded_micros = expected.elapsed_micros;
 
-    std::vector<std::vector<Path>> actual(requests.size());
-    std::vector<char> actual_ok(requests.size(), 0);
-    WallTimer sharded_timer;
-    for (size_t i = 0; i < requests.size(); ++i) {
-      Result<KspResponse> response = sharded->Query(requests[i]);
-      if (!response.ok()) {
-        ++phase.errors;
-        continue;
-      }
-      actual_ok[i] = 1;
-      actual[i] = std::move(response).value().paths;
-    }
-    phase.sharded_micros = sharded_timer.ElapsedMicros();
+    QueryPassResult actual = RunQueryPass(*sharded, requests);
+    phase.errors += actual.errors;
+    phase.sharded_micros = actual.elapsed_micros;
 
-    for (size_t i = 0; i < requests.size(); ++i) {
-      // A failed query is already counted in `errors`; only answered pairs
-      // are parity-compared.
-      if (!expected_ok[i] || !actual_ok[i]) continue;
-      const std::vector<Path>& got = actual[i];
-      bool same = got.size() == expected[i].size();
-      for (size_t p = 0; same && p < got.size(); ++p) {
-        same = got[p].vertices == expected[i][p].vertices &&
-               got[p].distance == expected[i][p].distance;
-      }
-      if (!same) ++phase.mismatches;
-    }
+    phase.mismatches += CountMismatches(expected, actual);
 
     phase.final_epoch = sharded->CurrentEpoch();
     if (plain->CurrentEpoch() != sharded->CurrentEpoch()) ++phase.errors;
@@ -794,6 +886,8 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
       combined.requests = requests.size();
       combined.unsharded_sequential_micros = phase.unsharded_micros;
       ShardedServiceCounters before = sharded->counters();
+      MetricsSnapshot registry_before = sharded->Metrics();
+      size_t combined_issued = 0;
 
       std::vector<BatchTicket> tickets;
       tickets.reserve(requests.size() / options.batch_size + 1);
@@ -817,6 +911,7 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
           continue;
         }
         const KspBatchResponse& b = outcome.value();
+        combined_issued += b.items.size();
         bool uniform = true;
         for (const KspBatchItem& item : b.items) {
           size_t i = next++;
@@ -826,17 +921,13 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
           }
           if (item.response.epoch != b.epoch) uniform = false;
           item_samples.push_back(item.response.stats.solve_micros);
-          if (!expected_ok[i]) {
+          if (!expected.answered[i]) {
             ++combined.errors;  // async side answered, reference side failed
             continue;
           }
-          const std::vector<Path>& got = item.response.paths;
-          bool same = got.size() == expected[i].size();
-          for (size_t p = 0; same && p < got.size(); ++p) {
-            same = got[p].vertices == expected[i][p].vertices &&
-                   got[p].distance == expected[i][p].distance;
+          if (!SamePaths(item.response.paths, expected.paths[i])) {
+            ++combined.mismatches;
           }
-          if (!same) ++combined.mismatches;
         }
         if (!uniform) ++combined.non_uniform_batches;
       }
@@ -846,6 +937,18 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
       combined.p99_micros = Percentile(item_samples, 99);
 
       ShardedServiceCounters after = sharded->counters();
+      // Registry cross-check for the async phase: counter deltas between
+      // the two scrapes must match what the tickets delivered.
+      MetricsSnapshot registry_after = sharded->Metrics();
+      report.metrics.shard_batch.issued_requests = combined_issued;
+      report.metrics.shard_batch.queries_total =
+          QueriesTotal(registry_after) - QueriesTotal(registry_before);
+      report.metrics.shard_batch.queries_rejected_total =
+          registry_after.CounterTotal("queries_rejected_total") -
+          registry_before.CounterTotal("queries_rejected_total");
+      report.metrics.shard_batch.partial_cache_hits =
+          registry_after.CounterTotal("partial_cache_hits_total") -
+          registry_before.CounterTotal("partial_cache_hits_total");
       combined.partial_cache_hits =
           after.partial_cache_hits - before.partial_cache_hits;
       combined.direct_partials =
@@ -865,6 +968,10 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
                            combined.sharded_batch_micros;
       }
     }
+
+    MetricsSnapshot sharded_snapshot = sharded->Metrics();
+    sharded_snapshot.AddLabel("service", "sharded");
+    fleet_export.Merge(sharded_snapshot);
   }
 
   // Remote phase: the same drill as the shard phase, but the shards live in
@@ -936,41 +1043,24 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
     }
     phase.requests = requests.size();
 
-    std::vector<std::vector<Path>> expected(requests.size());
-    std::vector<char> expected_ok(requests.size(), 0);
-    WallTimer inprocess_timer;
-    for (size_t i = 0; i < requests.size(); ++i) {
-      Result<RouteResponse> response = reference->Query(requests[i]);
-      if (!response.ok()) {
-        ++phase.errors;
-        continue;
-      }
-      expected_ok[i] = 1;
-      expected[i] = std::move(response).value().paths;
-    }
-    phase.inprocess_micros = inprocess_timer.ElapsedMicros();
+    QueryPassResult expected = RunQueryPass(*reference, requests);
+    phase.errors += expected.errors;
+    phase.inprocess_micros = expected.elapsed_micros;
 
     auto check_parity = [&](size_t i, const std::vector<Path>& got) {
-      if (!expected_ok[i]) return;
-      bool same = got.size() == expected[i].size();
-      for (size_t p = 0; same && p < got.size(); ++p) {
-        same = got[p].vertices == expected[i][p].vertices &&
-               got[p].distance == expected[i][p].distance;
-      }
-      if (!same) ++phase.mismatches;
+      if (!expected.answered[i]) return;
+      if (!SamePaths(got, expected.paths[i])) ++phase.mismatches;
     };
 
-    // Single-query leg.
-    WallTimer remote_timer;
-    for (size_t i = 0; i < requests.size(); ++i) {
-      Result<RouteResponse> response = remote->Query(requests[i]);
-      if (!response.ok()) {
-        ++phase.errors;
-        continue;
-      }
-      check_parity(i, response.value().paths);
-    }
-    phase.remote_micros = remote_timer.ElapsedMicros();
+    MetricsSnapshot registry_before = remote->Metrics();
+    size_t remote_issued = 0;
+
+    // Single-query leg: the same interface-typed pass as the reference.
+    QueryPassResult remote_pass = RunQueryPass(*remote, requests);
+    phase.errors += remote_pass.errors;
+    phase.remote_micros = remote_pass.elapsed_micros;
+    phase.mismatches += CountMismatches(expected, remote_pass);
+    remote_issued += requests.size();
 
     // Batched leg.
     phase.batch_size = options.batch_size > 0 ? options.batch_size : 8;
@@ -986,6 +1076,7 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
         continue;
       }
       const RouteBatchResponse& b = batched.value();
+      remote_issued += b.items.size();
       for (size_t j = 0; j < b.items.size(); ++j) {
         if (!b.items[j].status.ok()) {
           ++phase.errors;
@@ -998,6 +1089,25 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
 
     phase.final_epoch = remote->CurrentEpoch();
     if (reference->CurrentEpoch() != remote->CurrentEpoch()) ++phase.errors;
+
+    // Registry cross-check for the remote legs, plus the fleet snapshot:
+    // Metrics() pings every live worker, so the merged result carries each
+    // worker's own registry tagged with its shard label.
+    MetricsSnapshot registry_after = remote->Metrics();
+    report.metrics.remote_shard.issued_requests = remote_issued;
+    report.metrics.remote_shard.queries_total =
+        QueriesTotal(registry_after) - QueriesTotal(registry_before);
+    report.metrics.remote_shard.queries_rejected_total =
+        registry_after.CounterTotal("queries_rejected_total") -
+        registry_before.CounterTotal("queries_rejected_total");
+    report.metrics.remote_shard.partial_cache_hits =
+        registry_after.CounterTotal("partial_cache_hits_total") -
+        registry_before.CounterTotal("partial_cache_hits_total");
+    report.metrics.worker_snapshots =
+        registry_after.GaugeSampleCount("worker_epoch");
+    registry_after.AddLabel("service", "remote");
+    fleet_export.Merge(registry_after);
+
     RemoteServiceCounters counters = remote->counters();
     phase.rpc_calls = counters.rpc_calls;
     phase.rpc_retries = counters.rpc_retries;
@@ -1020,6 +1130,8 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
                                (phase.remote_batch_micros / 1e6);
     }
   }
+
+  report.metrics_export = fleet_export.ToJson();
   return report;
 }
 

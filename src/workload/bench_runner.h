@@ -276,6 +276,37 @@ struct DiversePhaseStats {
   double overhead = 0;
 };
 
+/// Registry-derived counter deltas for one bench phase, paired with the
+/// number of requests the harness actually handed to that service, so the
+/// invariant "every issued request is accounted exactly once as ok or
+/// rejected" is checkable from the JSON alone.
+struct PhaseMetricsSummary {
+  /// Requests the harness issued: every Query call, plus every item of a
+  /// batch call that returned a response.
+  size_t issued_requests = 0;
+  /// queries_ok_total + queries_rejected_total over the phase (must equal
+  /// issued_requests).
+  uint64_t queries_total = 0;
+  uint64_t queries_rejected_total = 0;
+  /// partial_cache_hits_total over the phase (sharded services only).
+  uint64_t partial_cache_hits = 0;
+};
+
+/// Metrics-registry cross-check of the bench ("metrics" JSON object): the
+/// services' own registries must agree with what the harness issued.
+struct BenchMetricsSummary {
+  /// Mixed-workload service, cumulative over the mixed, batch and diverse
+  /// phases.
+  PhaseMetricsSummary mixed;
+  /// Sharded service, delta over the async shard-batch phase only.
+  PhaseMetricsSummary shard_batch;
+  /// Remote service, delta over both remote legs.
+  PhaseMetricsSummary remote_shard;
+  /// Worker registries present in the remote fleet snapshot (one per
+  /// reporting worker; 0 when the remote phase did not run).
+  size_t worker_snapshots = 0;
+};
+
 struct BenchReport {
   std::string dataset;
   size_t num_vertices = 0;
@@ -312,6 +343,14 @@ struct BenchReport {
   ShardBatchPhaseStats shard_batch;
   /// Remote-vs-in-process sharded phase (num_shards 0 when not requested).
   RemoteShardPhaseStats remote_shard;
+  /// Registry cross-check over the phases above ("metrics" JSON object).
+  BenchMetricsSummary metrics;
+  /// Full merged metrics snapshot of every service the bench built, each
+  /// sample tagged {service="mixed"|"sharded"|"remote"} (the remote fleet's
+  /// worker registries ride along with their shard labels). Strict JSON;
+  /// written to a separate file via kspdg_bench --metrics-out, not embedded
+  /// in ToJson().
+  std::string metrics_export;
 
   /// Pretty-printed JSON object (stable key order).
   std::string ToJson() const;

@@ -152,6 +152,55 @@ TEST(RoutingServiceTest, InvalidRequestsAreRejected) {
   EXPECT_EQ(counters.queries_rejected, 7u);
 }
 
+// The registry behind counters(): every Query lands in exactly one of
+// queries_ok_total / queries_rejected_total, the per-(kind, backend)
+// queries_total split sums to the same total, and every accepted query
+// observed one solve-latency sample.
+TEST(RoutingServiceTest, MetricsRegistryAccountsForEveryQuery) {
+  Graph g = MakeRandomConnected(20, 24, 1, 9, 17);
+  std::unique_ptr<RoutingService> service = MustCreate(std::move(g), /*z=*/8);
+  ASSERT_TRUE(service != nullptr);
+
+  for (VertexId s = 0; s < 4; ++s) {
+    ASSERT_TRUE(service->Query(MakeRequest(s, 19 - s, kBackendYen, 3)).ok());
+  }
+  ASSERT_TRUE(service->Query(MakeRequest(0, 19, kBackendKspDg, 3)).ok());
+  EXPECT_FALSE(service->Query(MakeRequest(0, 5, kBackendYen, 0)).ok());
+  EXPECT_FALSE(service->Query(MakeRequest(0, 99, kBackendYen, 2)).ok());
+
+  MetricsSnapshot snapshot = service->Metrics();
+  EXPECT_EQ(snapshot.CounterTotal("queries_ok_total"), 5u);
+  EXPECT_EQ(snapshot.CounterTotal("queries_rejected_total"), 2u);
+  EXPECT_EQ(snapshot.CounterTotal("queries_total"), 5u);
+  uint64_t yen_total = 0;
+  for (const CounterSample& counter : snapshot.counters) {
+    if (counter.name != "queries_total") continue;
+    for (const auto& [key, value] : counter.labels) {
+      if (key == "backend" && value == kBackendYen) yen_total += counter.value;
+    }
+  }
+  EXPECT_EQ(yen_total, 4u);
+  uint64_t latency_samples = 0;
+  for (const HistogramSample& histogram : snapshot.histograms) {
+    if (histogram.name == "solve_latency_micros") {
+      latency_samples += histogram.count;
+    }
+  }
+  EXPECT_EQ(latency_samples, 5u);
+
+  // The legacy counters() struct is a view over the same registry.
+  ServiceCounters counters = service->counters();
+  EXPECT_EQ(counters.queries_ok, 5u);
+  EXPECT_EQ(counters.queries_rejected, 2u);
+
+  // Traffic-path accounting rides in the same snapshot.
+  std::vector<WeightUpdate> update = {{0, 4.0, 4.0}};
+  ASSERT_TRUE(service->ApplyTrafficBatch(update).ok());
+  snapshot = service->Metrics();
+  EXPECT_EQ(snapshot.CounterTotal("traffic_batches_total"), 1u);
+  EXPECT_EQ(snapshot.CounterTotal("weight_updates_total"), 1u);
+}
+
 TEST(RoutingServiceTest, TrafficBatchValidationIsAtomic) {
   Graph g = MakeRandomConnected(12, 10, 2, 9, 4);
   std::unique_ptr<RoutingService> service = MustCreate(std::move(g));

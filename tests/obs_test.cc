@@ -1,0 +1,304 @@
+// Tests for the src/obs metrics registry: handle interning, histogram
+// bucketing, snapshot consistency, wire/JSON export, and scrape-under-load
+// safety (the *Concurrent* test is the one CI runs under tsan).
+#include "obs/metrics.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace kspdg {
+namespace {
+
+TEST(MetricsRegistryTest, CounterInternsByNameAndLabels) {
+  MetricsRegistry registry;
+  Counter a = registry.GetCounter("requests_total", {{"kind", "ksp"}});
+  // Same key, labels given in a different order: must intern to one cell.
+  Counter b = registry.GetCounter("requests_total", {{"kind", "ksp"}});
+  Counter other = registry.GetCounter("requests_total", {{"kind", "sp"}});
+  a.Increment();
+  b.Increment(4);
+  other.Increment(100);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(b.value(), 5u);
+  EXPECT_EQ(other.value(), 100u);
+
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.CounterTotal("requests_total"), 105u);
+}
+
+TEST(MetricsRegistryTest, LabelOrderDoesNotSplitCells) {
+  MetricsRegistry registry;
+  Counter a = registry.GetCounter("queries_total",
+                                  {{"kind", "ksp"}, {"backend", "yen"}});
+  Counter b = registry.GetCounter("queries_total",
+                                  {{"backend", "yen"}, {"kind", "ksp"}});
+  a.Increment();
+  b.Increment();
+  EXPECT_EQ(a.value(), 2u);
+  EXPECT_EQ(registry.Snapshot().counters.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, DefaultHandlesAreValidNoOps) {
+  Counter counter;
+  Gauge gauge;
+  Histogram histogram;
+  EXPECT_FALSE(counter.valid());
+  EXPECT_FALSE(gauge.valid());
+  EXPECT_FALSE(histogram.valid());
+  counter.Increment();
+  gauge.Set(7);
+  gauge.Add(2);
+  histogram.Observe(1.0);
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(gauge.value(), 0);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge depth = registry.GetGauge("queue_depth");
+  depth.Set(10);
+  depth.Add(-3);
+  EXPECT_EQ(depth.value(), 7);
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 7);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsObservations) {
+  MetricsRegistry registry;
+  Histogram h = registry.GetHistogram("latency", {}, {10.0, 100.0, 1000.0});
+  h.Observe(5);      // bucket 0 (<= 10)
+  h.Observe(10);     // bucket 0 (boundary lands in its bucket)
+  h.Observe(50);     // bucket 1
+  h.Observe(999);    // bucket 2
+  h.Observe(5000);   // overflow bucket
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSample& sample = snap.histograms[0];
+  ASSERT_EQ(sample.buckets.size(), 4u);
+  EXPECT_EQ(sample.buckets[0], 2u);
+  EXPECT_EQ(sample.buckets[1], 1u);
+  EXPECT_EQ(sample.buckets[2], 1u);
+  EXPECT_EQ(sample.buckets[3], 1u);
+  EXPECT_EQ(sample.count, 5u);
+  EXPECT_DOUBLE_EQ(sample.sum, 5 + 10 + 50 + 999 + 5000);
+}
+
+TEST(MetricsRegistryTest, HistogramCountAlwaysMatchesBucketSum) {
+  MetricsRegistry registry;
+  Histogram h = registry.GetHistogram("latency", {}, LatencyBucketsMicros());
+  for (int i = 0; i < 1000; ++i) h.Observe(i * 37 % 200000);
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  uint64_t bucket_sum = 0;
+  for (uint64_t b : snap.histograms[0].buckets) bucket_sum += b;
+  EXPECT_EQ(snap.histograms[0].count, bucket_sum);
+  EXPECT_EQ(bucket_sum, 1000u);
+}
+
+TEST(MetricsRegistryTest, CallbacksEvaluateAtSnapshotTime) {
+  MetricsRegistry registry;
+  std::atomic<uint64_t> external{41};
+  std::atomic<int64_t> depth{3};
+  registry.AddCounterCallback("external_total", {}, [&] {
+    return external.load(std::memory_order_relaxed);
+  });
+  registry.AddGaugeCallback("external_depth", {}, [&] {
+    return depth.load(std::memory_order_relaxed);
+  });
+  external.store(42);
+  depth.store(9);
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterTotal("external_total"), 42u);
+  ASSERT_EQ(snap.GaugeSampleCount("external_depth"), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 9);
+}
+
+TEST(MetricsRegistryTest, SnapshotSamplesAreSorted) {
+  MetricsRegistry registry;
+  registry.GetCounter("zzz").Increment();
+  registry.GetCounter("aaa", {{"x", "2"}}).Increment();
+  registry.GetCounter("aaa", {{"x", "1"}}).Increment();
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "aaa");
+  EXPECT_EQ(snap.counters[0].labels[0].second, "1");
+  EXPECT_EQ(snap.counters[1].labels[0].second, "2");
+  EXPECT_EQ(snap.counters[2].name, "zzz");
+}
+
+TEST(MetricsSnapshotTest, MergeSumsCountersAndAppendsNewKeys) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.GetCounter("shared_total").Increment(3);
+  b.GetCounter("shared_total").Increment(4);
+  b.GetCounter("only_b_total").Increment(1);
+  a.GetGauge("epoch").Set(5);
+  b.GetGauge("epoch").Set(9);
+  Histogram ha = a.GetHistogram("lat", {}, {1.0, 2.0});
+  Histogram hb = b.GetHistogram("lat", {}, {1.0, 2.0});
+  ha.Observe(0.5);
+  hb.Observe(1.5);
+
+  MetricsSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.CounterTotal("shared_total"), 7u);
+  EXPECT_EQ(merged.CounterTotal("only_b_total"), 1u);
+  // Gauges take the incoming value.
+  ASSERT_EQ(merged.GaugeSampleCount("epoch"), 1u);
+  EXPECT_EQ(merged.gauges[0].value, 9);
+  // Same bounds: histograms add bucket-wise.
+  ASSERT_EQ(merged.histograms.size(), 1u);
+  EXPECT_EQ(merged.histograms[0].count, 2u);
+  EXPECT_EQ(merged.histograms[0].buckets[0], 1u);
+  EXPECT_EQ(merged.histograms[0].buckets[1], 1u);
+}
+
+TEST(MetricsSnapshotTest, AddLabelKeepsSamplesDistinctAcrossWorkers) {
+  MetricsRegistry w0;
+  MetricsRegistry w1;
+  w0.GetCounter("worker_pings_total").Increment(2);
+  w1.GetCounter("worker_pings_total").Increment(5);
+  MetricsSnapshot s0 = w0.Snapshot();
+  MetricsSnapshot s1 = w1.Snapshot();
+  s0.AddLabel("shard", "0");
+  s1.AddLabel("shard", "1");
+  MetricsSnapshot fleet;
+  fleet.Merge(s0);
+  fleet.Merge(s1);
+  // Different shard labels: two samples, but the total still sums.
+  ASSERT_EQ(fleet.counters.size(), 2u);
+  EXPECT_EQ(fleet.CounterTotal("worker_pings_total"), 7u);
+}
+
+TEST(MetricsSnapshotTest, WireRoundTripPreservesEverything) {
+  MetricsRegistry registry;
+  registry.GetCounter("queries_total", {{"kind", "ksp"}, {"backend", "yen"}})
+      .Increment(12);
+  registry.GetGauge("epoch").Set(-3);
+  Histogram h = registry.GetHistogram("lat", {}, {10.0, 100.0});
+  h.Observe(7);
+  h.Observe(70);
+  h.Observe(700);
+  MetricsSnapshot original = registry.Snapshot();
+
+  std::string wire = original.EncodeWire();
+  MetricsSnapshot decoded;
+  ASSERT_TRUE(MetricsSnapshot::DecodeWire(wire, &decoded).ok());
+  ASSERT_EQ(decoded.counters.size(), 1u);
+  EXPECT_EQ(decoded.counters[0].name, "queries_total");
+  ASSERT_EQ(decoded.counters[0].labels.size(), 2u);
+  EXPECT_EQ(decoded.counters[0].value, 12u);
+  ASSERT_EQ(decoded.gauges.size(), 1u);
+  EXPECT_EQ(decoded.gauges[0].value, -3);
+  ASSERT_EQ(decoded.histograms.size(), 1u);
+  EXPECT_EQ(decoded.histograms[0].count, 3u);
+  EXPECT_EQ(decoded.histograms[0].buckets,
+            (std::vector<uint64_t>{1, 1, 1}));
+  EXPECT_DOUBLE_EQ(decoded.histograms[0].sum, 777.0);
+}
+
+TEST(MetricsSnapshotTest, WireDecodeRejectsCorruptPayloads) {
+  MetricsRegistry registry;
+  registry.GetCounter("a_total").Increment();
+  std::string wire = registry.Snapshot().EncodeWire();
+  MetricsSnapshot out;
+  // Truncations at every prefix length must fail cleanly, never crash.
+  for (size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(
+        MetricsSnapshot::DecodeWire(std::string_view(wire).substr(0, len), &out)
+            .ok());
+  }
+  // Flipping the sample-count header to a huge value must be rejected.
+  std::string corrupt = wire;
+  corrupt[0] = '\xff';
+  corrupt[1] = '\xff';
+  corrupt[2] = '\xff';
+  corrupt[3] = '\xff';
+  EXPECT_FALSE(MetricsSnapshot::DecodeWire(corrupt, &out).ok());
+}
+
+TEST(MetricsSnapshotTest, TextExportUsesPrometheusShape) {
+  MetricsRegistry registry;
+  registry.GetCounter("queries_total", {{"kind", "ksp"}}).Increment(3);
+  Histogram h = registry.GetHistogram("lat", {}, {10.0});
+  h.Observe(5);
+  h.Observe(50);
+  std::string text = registry.ExportText();
+  EXPECT_NE(text.find("queries_total{kind=\"ksp\"} 3"), std::string::npos);
+  // Cumulative buckets: le="10" holds 1, le="+Inf" holds both.
+  EXPECT_NE(text.find("lat_bucket{le=\"10\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_count 2"), std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, JsonExportIsStrict) {
+  MetricsRegistry registry;
+  registry.GetCounter("queries_total", {{"kind", "k\"sp"}}).Increment(1);
+  registry.GetGauge("epoch").Set(4);
+  registry.GetHistogram("lat", {}, {10.0}).Observe(3);
+  std::string json = registry.ExportJson();
+  // Quotes in label values must be escaped, the overflow bound must be the
+  // string "+Inf", and the three top-level arrays must be present.
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("k\\\"sp"), std::string::npos);
+  EXPECT_NE(json.find("\"+Inf\""), std::string::npos);
+}
+
+// Scrape-under-load: writers hammer counters/histograms from several threads
+// while a scraper snapshots in a loop. Run under tsan in CI; also asserts
+// that no snapshot ever shows a histogram count that disagrees with its own
+// buckets, and that the final totals balance.
+TEST(MetricsRegistryTest, ConcurrentScrapeWhileServing) {
+  MetricsRegistry registry;
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 20000;
+  std::vector<Counter> counters;
+  std::vector<Histogram> histograms;
+  for (int w = 0; w < kWriters; ++w) {
+    counters.push_back(
+        registry.GetCounter("events_total", {{"writer", std::to_string(w)}}));
+    histograms.push_back(
+        registry.GetHistogram("work_micros", {}, {10.0, 100.0, 1000.0}));
+  }
+  std::atomic<bool> done{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        counters[w].Increment();
+        histograms[w].Observe(static_cast<double>(i % 2000));
+      }
+    });
+  }
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      MetricsSnapshot snap = registry.Snapshot();
+      for (const HistogramSample& h : snap.histograms) {
+        uint64_t bucket_sum = 0;
+        for (uint64_t b : h.buckets) bucket_sum += b;
+        ASSERT_EQ(h.count, bucket_sum);
+      }
+      ASSERT_LE(snap.CounterTotal("events_total"), kWriters * kPerWriter);
+    }
+  });
+  for (std::thread& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  scraper.join();
+  MetricsSnapshot final_snap = registry.Snapshot();
+  EXPECT_EQ(final_snap.CounterTotal("events_total"), kWriters * kPerWriter);
+  ASSERT_EQ(final_snap.histograms.size(), 1u);
+  EXPECT_EQ(final_snap.histograms[0].count, kWriters * kPerWriter);
+}
+
+}  // namespace
+}  // namespace kspdg

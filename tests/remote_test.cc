@@ -12,6 +12,7 @@
 
 #include <chrono>
 #include <memory>
+#include <set>
 #include <span>
 #include <string>
 #include <utility>
@@ -21,70 +22,13 @@
 #include "graph/generators.h"
 #include "graph/traffic_model.h"
 #include "ksp/path.h"
+#include "parity_harness.h"
 #include "remote/remote_sharded_routing_service.h"
 #include "shard/sharded_routing_service.h"
 #include "workload/bench_runner.h"
 
 namespace kspdg {
 namespace {
-
-std::unique_ptr<ShardedRoutingService> MustCreateSharded(Graph g, uint32_t z,
-                                                         uint32_t num_shards) {
-  ShardedRoutingServiceOptions options;
-  options.dtlp.partition.max_vertices = z;
-  options.num_shards = num_shards;
-  Result<std::unique_ptr<ShardedRoutingService>> service =
-      ShardedRoutingService::Create(std::move(g), std::move(options));
-  if (!service.ok()) {
-    ADD_FAILURE() << service.status().ToString();
-    return nullptr;
-  }
-  return std::move(service).value();
-}
-
-// Short RPC deadlines: dead-worker detection costs up to
-// deadline_ms * (1 + retries) per first-failing call, so the fault tests
-// keep the budget tight. The apply deadline stays generous — load-graph
-// rebuilds the DTLP index on the worker.
-std::unique_ptr<RemoteShardedRoutingService> MustCreateRemote(
-    Graph g, uint32_t z, uint32_t num_shards) {
-  RemoteShardedRoutingServiceOptions options;
-  options.dtlp.partition.max_vertices = z;
-  options.num_shards = num_shards;
-  options.remote.rpc_deadline_ms = 2000;
-  options.remote.rpc_max_retries = 1;
-  options.remote.rpc_backoff_ms = 5;
-  Result<std::unique_ptr<RemoteShardedRoutingService>> service =
-      RemoteShardedRoutingService::Create(std::move(g), std::move(options));
-  if (!service.ok()) {
-    ADD_FAILURE() << service.status().ToString();
-    return nullptr;
-  }
-  return std::move(service).value();
-}
-
-RouteRequest MakeRequest(VertexId s, VertexId t, const std::string& backend,
-                         uint32_t k) {
-  RouteRequest request;
-  request.source = s;
-  request.target = t;
-  request.options.backend = backend;
-  request.options.k = k;
-  return request;
-}
-
-/// Byte-level parity: same routes, same exact doubles — the remote service
-/// runs the identical arithmetic on identical weights, so not even the last
-/// bit may differ.
-void ExpectIdenticalPaths(const std::vector<Path>& got,
-                          const std::vector<Path>& want,
-                          const std::string& label) {
-  ASSERT_EQ(got.size(), want.size()) << label;
-  for (size_t i = 0; i < got.size(); ++i) {
-    EXPECT_EQ(got[i].vertices, want[i].vertices) << label << " rank " << i;
-    EXPECT_EQ(got[i].distance, want[i].distance) << label << " rank " << i;
-  }
-}
 
 void KillAllWorkers(const RemoteShardedRoutingService& service) {
   for (const RemoteWorkerInfo& info : service.WorkerInfos()) {
@@ -141,14 +85,8 @@ TEST(RemoteShardedRoutingServiceTest, ParityWithInProcessAcrossKindsAndTraffic) 
         for (const char* backend :
              {kBackendKspDg, kBackendYen, kBackendDijkstra}) {
           uint32_t k = backend == kBackendDijkstra ? 1 : 5;
-          RouteRequest request = MakeRequest(s, t, backend, k);
-          Result<RouteResponse> want = sharded->Query(request);
-          Result<RouteResponse> got = remote->Query(request);
-          ASSERT_TRUE(want.ok()) << want.status().ToString();
-          ASSERT_TRUE(got.ok()) << got.status().ToString();
-          EXPECT_EQ(got.value().epoch, want.value().epoch);
-          ExpectIdenticalPaths(got.value().paths, want.value().paths,
-                               std::string(backend) + tag);
+          ExpectQueryParity(*remote, *sharded, MakeRequest(s, t, backend, k),
+                            std::string(backend) + tag);
         }
 
         // kShortestPath through the coordinator-owned CANDS index.
@@ -301,6 +239,45 @@ TEST(RemoteShardedRoutingServiceTest, WorkerFleetTelemetryIsCoherent) {
   EXPECT_EQ(counters.worker_restarts, 0u);
   EXPECT_GE(worker_partials, counters.sharded.direct_partial_requests +
                                  counters.sharded.scattered_partial_requests);
+}
+
+// Worker-registry round-trip: each shard_worker keeps its own
+// MetricsRegistry and ships an encoded snapshot back in every Ping reply;
+// the coordinator's Metrics() merges those snapshots into the fleet view,
+// tagging each worker's samples with its shard id.
+TEST(RemoteShardedRoutingServiceTest, FleetMetricsMergeWorkerRegistries) {
+  Graph g = MakeRandomConnected(40, 52, 1, 9, 359);
+  std::unique_ptr<RemoteShardedRoutingService> service =
+      MustCreateRemote(std::move(g), /*z=*/10, /*num_shards=*/2);
+  ASSERT_TRUE(service != nullptr);
+  for (VertexId s = 0; s < 6; ++s) {
+    ASSERT_TRUE(service->Query(MakeRequest(s, 39 - s, kBackendKspDg, 4)).ok());
+  }
+
+  MetricsSnapshot fleet = service->Metrics();
+  // Coordinator-side accounting covers every issued query.
+  EXPECT_EQ(fleet.CounterTotal("queries_ok_total"), 6u);
+  EXPECT_EQ(fleet.CounterTotal("queries_rejected_total"), 0u);
+  // Both workers reported a registry (one worker_epoch gauge each).
+  EXPECT_EQ(fleet.GaugeSampleCount("worker_epoch"), 2u);
+
+  std::set<std::string> shards;
+  uint64_t worker_pings = 0;
+  for (const CounterSample& counter : fleet.counters) {
+    if (counter.name.rfind("worker_", 0) != 0) continue;
+    for (const auto& [key, value] : counter.labels) {
+      if (key == "shard") shards.insert(value);
+    }
+    if (counter.name == "worker_pings_total") worker_pings += counter.value;
+  }
+  EXPECT_EQ(shards, (std::set<std::string>{"0", "1"}));
+  // The scrape itself pings the fleet, so every worker saw >= 1 ping.
+  EXPECT_GT(worker_pings, 0u);
+  // The workers' own partials accounting rode along with the merge.
+  RemoteServiceCounters counters = service->counters();
+  EXPECT_GE(fleet.CounterTotal("worker_partials_requests_total"),
+            counters.sharded.direct_partial_requests +
+                counters.sharded.scattered_partial_requests);
 }
 
 // Duplicate KSP-DG queries inside one batch are served from the

@@ -17,6 +17,7 @@
 
 #include "graph/generators.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 #include "rpc/client.h"
 #include "rpc/frame.h"
 #include "rpc/server.h"
@@ -328,11 +329,31 @@ TEST(WireTest, EpochAndPingMessagesRoundTrip) {
   pong.nonce = 77;
   pong.epoch = 3;
   pong.shard_id = 1;
+  // The metrics blob is opaque at this layer but must survive the trip:
+  // encode a real worker-style snapshot and decode it back on the far side.
+  MetricsRegistry worker_registry;
+  worker_registry.GetCounter("worker_pings_total").Increment(5);
+  worker_registry.GetGauge("worker_epoch").Set(3);
+  pong.metrics_blob = worker_registry.Snapshot().EncodeWire();
   PingReply got_pong;
   ASSERT_TRUE(PingReply::Decode(pong.Encode(), &got_pong).ok());
   EXPECT_EQ(got_pong.nonce, 77u);
   EXPECT_EQ(got_pong.epoch, 3u);
   EXPECT_EQ(got_pong.shard_id, 1u);
+  MetricsSnapshot carried;
+  ASSERT_TRUE(
+      MetricsSnapshot::DecodeWire(got_pong.metrics_blob, &carried).ok());
+  EXPECT_EQ(carried.CounterTotal("worker_pings_total"), 5u);
+  EXPECT_EQ(carried.GaugeSampleCount("worker_epoch"), 1u);
+
+  // A worker that exports no metrics sends an empty blob; that must
+  // round-trip too (older replies are exactly this shape).
+  PingReply bare;
+  bare.nonce = 78;
+  PingReply got_bare;
+  ASSERT_TRUE(PingReply::Decode(bare.Encode(), &got_bare).ok());
+  EXPECT_EQ(got_bare.nonce, 78u);
+  EXPECT_TRUE(got_bare.metrics_blob.empty());
 
   LoadGraphReply loaded;
   loaded.subgraphs_owned = 5;
@@ -480,6 +501,71 @@ TEST(RpcClientServerTest, StalledServerYieldsDeadlineExceeded) {
   EXPECT_LT(elapsed, 5000);
   close(listener);
   unlink(path.c_str());
+}
+
+// The client's transport counters are strictly monotonic over the life of
+// the object: Disconnect/reconnect cycles never reset them. The registry
+// callbacks that export these (rpc_calls_total and friends) — and any
+// rate computed from two scrapes — depend on a counter never going
+// backwards.
+TEST(RpcClientServerTest, CountersStayMonotonicAcrossReconnects) {
+  std::string path = TestSocketPath("monotonic");
+  Result<std::unique_ptr<RpcServer>> server = RpcServer::Listen(path);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  std::thread serving([&] {
+    RpcServer::Handler handler =
+        [](MessageType type, const std::string& payload,
+           MessageType* reply_type, std::string* reply_payload,
+           bool* shutdown) -> Status {
+      if (type == MessageType::kShutdownRequest) {
+        *reply_type = MessageType::kShutdownReply;
+        *shutdown = true;
+        return Status::OK();
+      }
+      *reply_type = MessageType::kPingReply;
+      *reply_payload = payload;  // echo
+      return Status::OK();
+    };
+    Status served = server.value()->Serve(handler, /*idle_timeout_ms=*/10000);
+    EXPECT_TRUE(served.ok()) << served.ToString();
+  });
+
+  RpcClientOptions options;
+  options.deadline_ms = 2000;
+  RpcClient client(path, options);
+  uint64_t last_calls = 0;
+  uint64_t last_sent = 0;
+  uint64_t last_received = 0;
+  for (int round = 0; round < 3; ++round) {
+    PingRequest ping;
+    ping.nonce = static_cast<uint64_t>(round);
+    std::string reply_payload;
+    Status called = client.Call(MessageType::kPingRequest, ping.Encode(),
+                                MessageType::kPingReply, &reply_payload);
+    ASSERT_TRUE(called.ok()) << "round " << round << ": " << called.ToString();
+    EXPECT_GT(client.calls(), last_calls) << round;
+    EXPECT_GT(client.bytes_sent(), last_sent) << round;
+    EXPECT_GT(client.bytes_received(), last_received) << round;
+    last_calls = client.calls();
+    last_sent = client.bytes_sent();
+    last_received = client.bytes_received();
+    // Tear the transport down; the next round reconnects. The counters
+    // must carry forward, never restart from zero.
+    client.Disconnect();
+    EXPECT_EQ(client.calls(), last_calls) << round;
+    EXPECT_EQ(client.bytes_sent(), last_sent) << round;
+    EXPECT_EQ(client.bytes_received(), last_received) << round;
+  }
+  EXPECT_EQ(client.calls(), 3u);
+  EXPECT_EQ(client.retries(), 0u);
+  EXPECT_EQ(client.deadline_expired(), 0u);
+
+  std::string reply_payload;
+  EXPECT_TRUE(client
+                  .Call(MessageType::kShutdownRequest, "",
+                        MessageType::kShutdownReply, &reply_payload)
+                  .ok());
+  serving.join();
 }
 
 TEST(RpcClientServerTest, ConnectToMissingSocketIsBoundedAndUnavailable) {

@@ -22,64 +22,13 @@
 #include "graph/generators.h"
 #include "graph/traffic_model.h"
 #include "ksp/path.h"
+#include "parity_harness.h"
 #include "partition/shard_assignment.h"
 #include "shard/sharded_routing_service.h"
 #include "workload/bench_runner.h"
 
 namespace kspdg {
 namespace {
-
-std::unique_ptr<RoutingService> MustCreatePlain(Graph g, uint32_t z) {
-  RoutingServiceOptions options;
-  options.dtlp.partition.max_vertices = z;
-  Result<std::unique_ptr<RoutingService>> service =
-      RoutingService::Create(std::move(g), std::move(options));
-  if (!service.ok()) {
-    ADD_FAILURE() << service.status().ToString();
-    return nullptr;
-  }
-  return std::move(service).value();
-}
-
-std::unique_ptr<ShardedRoutingService> MustCreateSharded(
-    Graph g, uint32_t z, uint32_t num_shards, unsigned apply_threads = 0,
-    unsigned batch_threads = 0) {
-  ShardedRoutingServiceOptions options;
-  options.dtlp.partition.max_vertices = z;
-  options.num_shards = num_shards;
-  options.apply_threads = apply_threads;
-  options.batch_threads = batch_threads;
-  Result<std::unique_ptr<ShardedRoutingService>> service =
-      ShardedRoutingService::Create(std::move(g), std::move(options));
-  if (!service.ok()) {
-    ADD_FAILURE() << service.status().ToString();
-    return nullptr;
-  }
-  return std::move(service).value();
-}
-
-KspRequest MakeRequest(VertexId s, VertexId t, const std::string& backend,
-                       uint32_t k) {
-  KspRequest request;
-  request.source = s;
-  request.target = t;
-  request.options.backend = backend;
-  request.options.k = k;
-  return request;
-}
-
-/// Byte-level parity: same number of paths, same routes, same distances
-/// (exact doubles — both services run the identical arithmetic on the
-/// identical weights, so not even the last bit may differ).
-void ExpectIdenticalPaths(const std::vector<Path>& got,
-                          const std::vector<Path>& want,
-                          const std::string& label) {
-  ASSERT_EQ(got.size(), want.size()) << label;
-  for (size_t i = 0; i < got.size(); ++i) {
-    EXPECT_EQ(got[i].vertices, want[i].vertices) << label << " rank " << i;
-    EXPECT_EQ(got[i].distance, want[i].distance) << label << " rank " << i;
-  }
-}
 
 // ---------------------------------------------------------------------------
 // Shard assignment.
@@ -181,13 +130,8 @@ TEST(ShardedRoutingServiceTest, ParityWithUnshardedOnAllBackends) {
         uint32_t k = backend == kBackendDijkstra ? 1 : 6;
         for (const auto& [s, t] : std::vector<std::pair<VertexId, VertexId>>{
                  {0, 39}, {3, 31}, {17, 22}}) {
-          KspRequest request = MakeRequest(s, t, backend, k);
-          Result<KspResponse> want = plain->Query(request);
-          Result<KspResponse> got = sharded->Query(request);
-          ASSERT_TRUE(want.ok()) << want.status().ToString();
-          ASSERT_TRUE(got.ok()) << got.status().ToString();
-          ExpectIdenticalPaths(
-              got.value().paths, want.value().paths,
+          ExpectQueryParity(
+              *sharded, *plain, MakeRequest(s, t, backend, k),
               std::string(backend) + " shards=" + std::to_string(num_shards) +
                   " seed=" + std::to_string(seed) + " q=" + std::to_string(s) +
                   "->" + std::to_string(t));

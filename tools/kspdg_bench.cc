@@ -8,7 +8,7 @@
 //               [--batch-size 0] [--batch-threads 0] [--shards 0]
 //               [--remote-shards 0] [--worker-binary PATH]
 //               [--diverse] [--diverse-theta 0.5] [--diverse-overfetch 4]
-//               [--out BENCH_service.json]
+//               [--out BENCH_service.json] [--metrics-out METRICS.json]
 //
 // --batch-size N (N > 0) appends a batch-vs-sequential throughput phase:
 // the mixed request list is answered once through sequential Query calls
@@ -49,6 +49,12 @@
 // BENCH JSON under "diverse". With --shards N, the shard parity phase also
 // answers a kDiverseKsp copy of its request list on both services.
 //
+// --metrics-out FILE writes the merged metrics-registry snapshot of every
+// service the bench built (each sample tagged service="mixed"/"sharded"/
+// "remote"; the remote fleet's worker registries ride along with shard
+// labels) as strict JSON. The BENCH JSON itself always carries a "metrics"
+// object cross-checking those registries against the issued request counts.
+//
 // Set KSPDG_DATA_DIR to run on real DIMACS files instead of the synthetic
 // stand-ins (see src/workload/datasets.h).
 #include <cstdio>
@@ -71,7 +77,7 @@ void Usage(const char* argv0) {
                "[--batch-size N] [--batch-threads N] [--shards N] "
                "[--remote-shards N] [--worker-binary PATH] "
                "[--diverse] [--diverse-theta F] [--diverse-overfetch N] "
-               "[--out FILE]\n",
+               "[--out FILE] [--metrics-out FILE]\n",
                argv0);
 }
 
@@ -92,6 +98,7 @@ std::vector<std::string> SplitCsv(const std::string& csv) {
 int main(int argc, char** argv) {
   kspdg::BenchOptions options;
   std::string out_file;
+  std::string metrics_out_file;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -143,6 +150,8 @@ int main(int argc, char** argv) {
           static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--out") {
       out_file = next();
+    } else if (arg == "--metrics-out") {
+      metrics_out_file = next();
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;
@@ -171,6 +180,15 @@ int main(int argc, char** argv) {
     }
     out << json;
     std::fprintf(stderr, "wrote %s\n", out_file.c_str());
+  }
+  if (!metrics_out_file.empty()) {
+    std::ofstream out(metrics_out_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out_file.c_str());
+      return 1;
+    }
+    out << report.value().metrics_export;
+    std::fprintf(stderr, "wrote %s\n", metrics_out_file.c_str());
   }
   return 0;
 }

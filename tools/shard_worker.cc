@@ -37,6 +37,7 @@
 #include "dtlp/dtlp.h"
 #include "graph/graph.h"
 #include "kspdg/partial_provider.h"
+#include "obs/metrics.h"
 #include "partition/shard_assignment.h"
 #include "rpc/server.h"
 #include "rpc/wire.h"
@@ -46,6 +47,25 @@ namespace {
 
 class WorkerState {
  public:
+  explicit WorkerState(const RpcServer& server) {
+    // worker_-prefixed so a merged fleet export never collides with the
+    // coordinator's own serving metrics; the coordinator adds the shard
+    // label when it merges.
+    partials_requests_ = metrics_.GetCounter("worker_partials_requests_total");
+    yen_runs_ = metrics_.GetCounter("worker_yen_runs_total");
+    epoch_prepares_ = metrics_.GetCounter("worker_epoch_prepares_total");
+    updates_applied_ = metrics_.GetCounter("worker_updates_applied_total");
+    pings_ = metrics_.GetCounter("worker_pings_total");
+    graph_loads_ = metrics_.GetCounter("worker_graph_loads_total");
+    epoch_gauge_ = metrics_.GetGauge("worker_epoch");
+    metrics_.AddCounterCallback("worker_rpc_requests_total", {},
+                                [&server] { return server.requests_served(); });
+    metrics_.AddCounterCallback("worker_rpc_bytes_received_total", {},
+                                [&server] { return server.bytes_received(); });
+    metrics_.AddCounterCallback("worker_rpc_bytes_sent_total", {},
+                                [&server] { return server.bytes_sent(); });
+  }
+
   Status HandleLoadGraph(const std::string& payload, std::string* reply) {
     LoadGraphRequest request;
     KSPDG_RETURN_NOT_OK(LoadGraphRequest::Decode(payload, &request));
@@ -74,6 +94,8 @@ class WorkerState {
     }
     epoch_ = 0;
     last_prepare_reply_.clear();
+    graph_loads_.Increment();
+    epoch_gauge_.Set(0);
 
     LoadGraphReply loaded;
     loaded.subgraphs_owned = assignment_.subgraphs_of_shard[shard_id_].size();
@@ -108,6 +130,8 @@ class WorkerState {
           {sgid, LocalPartialProvider::PartialsInSubgraph(
                      sg, request.x, request.y, request.depth)});
     }
+    partials_requests_.Increment();
+    yen_runs_.Increment(request.sgids.size());
     *reply = result.Encode();
     return Status::OK();
   }
@@ -160,6 +184,9 @@ class WorkerState {
     }
     applied.subgraphs_touched = touched.size();
     epoch_ = request.epoch;
+    epoch_prepares_.Increment();
+    updates_applied_.Increment(applied.updates_applied);
+    epoch_gauge_.Set(static_cast<int64_t>(epoch_));
     last_prepare_reply_ = applied.Encode();
     *reply = last_prepare_reply_;
     return Status::OK();
@@ -185,10 +212,15 @@ class WorkerState {
   Status HandlePing(const std::string& payload, std::string* reply) {
     PingRequest request;
     KSPDG_RETURN_NOT_OK(PingRequest::Decode(payload, &request));
+    pings_.Increment();
     PingReply pong;
     pong.nonce = request.nonce;
     pong.epoch = epoch_;
     pong.shard_id = shard_id_;
+    // Every ping doubles as a metrics scrape: the whole worker registry
+    // rides back in the reply, so the coordinator's fleet-wide export needs
+    // no extra protocol message.
+    pong.metrics_blob = metrics_.Snapshot().EncodeWire();
     *reply = pong.Encode();
     return Status::OK();
   }
@@ -210,6 +242,15 @@ class WorkerState {
   /// treats prepare as apply; commit is bookkeeping).
   uint64_t epoch_ = 0;
   std::string last_prepare_reply_;
+
+  MetricsRegistry metrics_;
+  Counter partials_requests_;
+  Counter yen_runs_;
+  Counter epoch_prepares_;
+  Counter updates_applied_;
+  Counter pings_;
+  Counter graph_loads_;
+  Gauge epoch_gauge_;
 };
 
 int Run(const std::string& socket_path, int64_t idle_timeout_ms) {
@@ -219,7 +260,7 @@ int Run(const std::string& socket_path, int64_t idle_timeout_ms) {
                  server.status().ToString().c_str());
     return 1;
   }
-  WorkerState state;
+  WorkerState state(*server.value());
   RpcServer::Handler handler =
       [&state](MessageType type, const std::string& payload,
                MessageType* reply_type, std::string* reply_payload,

@@ -120,6 +120,7 @@ SHARD_BATCH_SCHEMA = {
 
 REMOTE_SHARD_SCHEMA = {
     "num_shards": int,
+    "num_replicas": int,
     "requests": int,
     "diverse_requests": int,
     "batch_size": int,
@@ -132,6 +133,12 @@ REMOTE_SHARD_SCHEMA = {
     "rpc_retries": int,
     "rpc_deadline_expired": int,
     "worker_restarts": int,
+    "replica_catchups": int,
+    "reads_by_replica": list,  # one read-count per (shard, replica) worker
+    "baseline_r1_qps": NUM,
+    "failover_requests": int,
+    "failover_errors": int,
+    "failover_mismatches": int,
     "partial_cache_hits": int,
     "partial_cache_skips": int,
     "direct_partials": int,
@@ -235,6 +242,14 @@ def check_object(obj, schema, where, failures):
             if key == "backends":  # handled by caller
                 continue
             check_object(value, expected, f"{where}.{key}", failures)
+        elif expected is list:
+            if not isinstance(value, list) or any(
+                not isinstance(v, int) or isinstance(v, bool) for v in value
+            ):
+                failures.append(
+                    f"{where}.{key}: expected an array of integers,"
+                    f" got {json.dumps(value)}"
+                )
         elif not isinstance(value, expected) or isinstance(value, bool):
             failures.append(
                 f"{where}.{key}: expected {type_name(expected)},"
@@ -336,7 +351,10 @@ PHASE_WORKLOAD_KEYS = {
     "diverse": ["requests", "k", "overfetch"],
     "shard": ["num_shards", "requests"],
     "shard_batch": ["num_shards", "batch_size", "requests"],
-    "remote_shard": ["num_shards", "batch_size", "requests"],
+    # num_replicas is part of the shape: a replicated run also pays for the
+    # R=1 baseline fleet and the failover drill, so its qps is only
+    # comparable against another run at the same replica count.
+    "remote_shard": ["num_shards", "num_replicas", "batch_size", "requests"],
 }
 
 

@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -71,16 +72,24 @@ std::atomic<uint64_t> g_instance_counter{0};
 // The RPC twin of ShardedRoutingService::ShardPartialProvider: identical
 // grouping, caching, and merge semantics (see that class for the depth/
 // exhaustion reuse rules the parity guarantee rests on), but a fresh
-// computation becomes a PartialsRequest to the worker process owning the
-// shard instead of an inline Yen run under the shard's lock. The request
-// carries the pinned epoch, so a worker that silently missed a traffic
-// batch rejects instead of contributing stale paths.
+// computation becomes a PartialsRequest to a worker process of the shard's
+// replica set instead of an inline Yen run under the shard's lock. The
+// request carries the pinned epoch, so a worker that silently missed a
+// traffic batch rejects instead of contributing stale paths.
 //
-// Failure semantics: the first failed fetch poisons the query — the
-// provider records the status, answers this and every later request of the
-// query with an empty exhausted result (stopping the depth schedule cold),
-// and the service discards the solver's output in favour of the recorded
-// error. A dead worker therefore costs each affected query one fast
+// Replica routing: each fetch starts at the shard's round-robin cursor and
+// walks the replica set, skipping replicas that are dead or have not
+// committed the pinned epoch; a transport failure marks that replica dead
+// and fails over to the next sibling. Every replica replays the same epoch
+// sequence, so whichever one answers, the bytes are identical. The caches
+// are therefore per shard, not per replica.
+//
+// Failure semantics: the first failed fetch (meaning: no replica of some
+// shard could serve it) poisons the query — the provider records the
+// status, answers this and every later request of the query with an empty
+// exhausted result (stopping the depth schedule cold), and the service
+// discards the solver's output in favour of the recorded error. An
+// all-replicas-dead shard therefore costs each affected query one fast
 // status, never a hang and never a silently wrong answer.
 class RemoteShardedRoutingService::RemotePartialProvider
     : public PartialProvider {
@@ -88,8 +97,8 @@ class RemoteShardedRoutingService::RemotePartialProvider
   explicit RemotePartialProvider(const RemoteShardedRoutingService& service)
       : service_(service),
         max_cached_pairs_(service.options_.defaults.partial_cache_pairs),
-        caches_(service.workers_.size()),
-        shard_touched_(service.workers_.size(), 0) {}
+        caches_(service.assignment_.num_shards),
+        shard_touched_(service.assignment_.num_shards, 0) {}
 
   /// Binds the multi-shard read pin whose epoch stamps every request.
   void BindPin(const EpochCoordinator::ReadPin* pin) { pin_ = pin; }
@@ -132,34 +141,33 @@ class RemoteShardedRoutingService::RemotePartialProvider
     size_t fresh_runs = 0;
     const uint64_t key = PairKey(x, y);
     for (const auto& [shard_id, owned] : groups) {
-      const Worker& worker = *service_.workers_[shard_id];
+      const ShardSlice& slice = *service_.slices_[shard_id];
       shard_touched_[shard_id] = 1;
       ShardCache& cache = caches_[shard_id];
-      // Flush against the worker's weights stamp (see ShardPartialProvider:
-      // a batch that never touched this shard leaves its cache warm).
+      // Flush against the shard's weights stamp (see ShardPartialProvider:
+      // a batch that never touched this shard leaves its cache warm). The
+      // stamp is replica-shared — every replica serves identical bytes.
       const uint64_t weights_epoch =
-          worker.weights_epoch.load(std::memory_order_acquire);
+          slice.weights_epoch.load(std::memory_order_acquire);
       if (cache.epoch != weights_epoch) {
         if (!cache.entries.empty()) {
-          worker.cache_flushes.Increment();
+          slice.cache_flushes.Increment();
           cache.entries.clear();
         }
         cache.epoch = weights_epoch;
       }
       if (const CacheEntry* hit = cache.Find(key, depth)) {
-        worker.cache_hits.Increment();
+        slice.cache_hits.Increment();
         gathered.insert(gathered.end(), hit->lists.begin(), hit->lists.end());
         continue;
       }
       CacheEntry entry;
       entry.depth = depth;
-      Status fetched = FetchFromWorker(worker, owned, x, y, depth, &entry);
+      Status fetched = FetchFromShard(shard_id, owned, x, y, depth, &entry);
       if (!fetched.ok()) {
         error_ = std::move(fetched);
         return failed;
       }
-      worker.partial_requests.Increment();
-      worker.yen_runs.Increment(owned.size());
       fresh_runs += owned.size();
       entry.exhausted = true;
       for (const SubgraphPartials& list : entry.lists) {
@@ -171,7 +179,7 @@ class RemoteShardedRoutingService::RemotePartialProvider
            cache.entries.count(key) != 0)) {
         cache.entries[key].push_back(std::move(entry));
       } else {
-        worker.cache_skips.Increment();
+        slice.cache_skips.Increment();
       }
     }
     PartialResult result = MergeSubgraphPartials(std::move(gathered), depth);
@@ -208,16 +216,55 @@ class RemoteShardedRoutingService::RemotePartialProvider
     }
   };
 
-  /// One partials round trip to `worker`, validated. Any failure marks the
-  /// worker dead: it cannot serve its shard until restarted, and every
-  /// later query fails fast on the alive flag instead of re-timing-out.
+  /// Routes one fetch across the shard's replica set: round-robin start,
+  /// skip replicas that are dead or lagging the pinned epoch, fail over on
+  /// transport errors. Succeeds as long as ANY replica can serve.
+  Status FetchFromShard(ShardId shard_id,
+                        const std::vector<SubgraphId>& owned, VertexId x,
+                        VertexId y, size_t depth, CacheEntry* entry) {
+    const ShardSlice& slice = *service_.slices_[shard_id];
+    const uint32_t replicas = service_.options_.num_replicas;
+    const uint64_t pinned = pin_->epoch();
+    const uint64_t start =
+        slice.next_replica.fetch_add(1, std::memory_order_relaxed);
+    Status last_error;  // stays OK while every replica is merely skipped
+    for (uint32_t i = 0; i < replicas; ++i) {
+      const Worker& worker = service_.WorkerAt(
+          shard_id, static_cast<uint32_t>((start + i) % replicas));
+      if (!worker.alive.load(std::memory_order_acquire)) continue;
+      // A lagging replica (missed one or more epochs) is out of the read
+      // rotation until it catches up; the worker-side epoch check would
+      // reject the request anyway, this just skips the round trip.
+      if (worker.epoch.load(std::memory_order_acquire) != pinned) continue;
+      Status fetched = FetchFromWorker(worker, owned, x, y, depth, entry);
+      if (fetched.ok()) {
+        worker.partial_requests.Increment();
+        worker.yen_runs.Increment(owned.size());
+        worker.reads.Increment();
+        return Status::OK();
+      }
+      last_error = std::move(fetched);  // fail over to the next sibling
+    }
+    if (last_error.ok()) {
+      return Status::Unavailable(
+          "all replicas of shard " + std::to_string(shard_id) +
+          " are dead or lagging; the shard is unavailable until restarted");
+    }
+    return last_error;
+  }
+
+  /// One partials round trip to `worker`, validated. A transport or
+  /// protocol failure marks the worker dead — it cannot serve its shard
+  /// until restarted, and later fetches skip it on the alive flag instead
+  /// of re-timing-out. An epoch-mismatch rejection only means the replica
+  /// is lagging: it stays alive for catch-up while its siblings serve.
   Status FetchFromWorker(const Worker& worker,
                          const std::vector<SubgraphId>& owned, VertexId x,
                          VertexId y, size_t depth, CacheEntry* entry) {
     if (!worker.alive.load(std::memory_order_acquire)) {
       return Status::Unavailable(
-          "shard worker " + std::to_string(worker.shard) +
-          " is dead; its shard is unavailable until restarted");
+          "shard worker " + std::to_string(worker.shard) + " replica " +
+          std::to_string(worker.replica) + " is dead");
     }
     PartialsRequest request;
     request.epoch = pin_->epoch();
@@ -253,7 +300,9 @@ class RemoteShardedRoutingService::RemotePartialProvider
       }
     }
     if (!called.ok()) {
-      service_.MarkWorkerDead(worker);
+      if (called.code() != StatusCode::kFailedPrecondition) {
+        service_.MarkWorkerDead(worker);
+      }
       return called;
     }
     entry->lists = std::move(reply.lists);
@@ -283,16 +332,23 @@ RemoteShardedRoutingService::Create(Graph graph,
   if (options.num_shards == 0) {
     return Status::InvalidArgument("num_shards must be >= 1");
   }
+  if (options.num_replicas == 0) {
+    return Status::InvalidArgument("num_replicas must be >= 1");
+  }
+  if (options.max_history_batches == 0) options.max_history_batches = 1;
   // Heap-allocate before building the DTLP: the index keeps a pointer to
   // the service-owned graph.
   std::unique_ptr<RemoteShardedRoutingService> service(
       new RemoteShardedRoutingService(std::move(graph), std::move(options)));
-  // Pristine replay source for worker (re)starts: a restarted worker must
-  // re-derive the exact incrementally-maintained state of its peers, and
-  // rebuilding from the *current* weights would not (a fresh index build
-  // and an incrementally refreshed one can legitimately differ), so
-  // restarts always load this copy and replay the committed history.
-  service->initial_graph_ = service->graph_;
+  // Replay source for worker (re)starts: a restarted worker must re-derive
+  // the exact incrementally-maintained state of its peers, so it loads the
+  // latest checkpoint and replays the retained history. Until the first
+  // checkpoint that is the pristine Create-time graph at epoch 0. (Safe
+  // because the partition is weight-independent and worker partials read
+  // only subgraph weight copies: replaying from a checkpoint lands on the
+  // same bytes as replaying from scratch.)
+  service->checkpoint_graph_ = service->graph_;
+  service->checkpoint_epoch_ = 0;
   Result<std::unique_ptr<Dtlp>> dtlp =
       Dtlp::Build(service->graph_, service->options_.dtlp);
   if (!dtlp.ok()) return dtlp.status();
@@ -310,8 +366,10 @@ RemoteShardedRoutingService::Create(Graph graph,
   service->registry_ = SolverRegistry::Default();
   service->epochs_ =
       std::make_unique<EpochCoordinator>(service->assignment_.num_shards);
-  service->apply_pool_ = std::make_unique<ThreadPool>(ResolveApplyThreads(
-      service->options_.apply_threads, service->assignment_.num_shards));
+  const size_t fleet_size = static_cast<size_t>(service->assignment_.num_shards) *
+                            service->options_.num_replicas;
+  service->apply_pool_ = std::make_unique<ThreadPool>(
+      ResolveApplyThreads(service->options_.apply_threads, fleet_size));
   service->batch_pool_ = std::make_unique<ThreadPool>(
       DefaultBatchThreads(service->options_.batch_threads));
 
@@ -331,52 +389,75 @@ RemoteShardedRoutingService::Create(Graph graph,
   client_options.max_retries = service->options_.remote.rpc_max_retries;
   client_options.backoff_ms = service->options_.remote.rpc_backoff_ms;
   for (ShardId shard = 0; shard < service->assignment_.num_shards; ++shard) {
-    auto worker = std::make_unique<Worker>();
-    worker->shard = shard;
-    worker->socket_path = socket_dir + "/kspdg-" +
-                          std::to_string(static_cast<long>(getpid())) + "-" +
-                          std::to_string(instance) + "-s" +
-                          std::to_string(shard) + ".sock";
-    worker->client =
-        std::make_unique<RpcClient>(worker->socket_path, client_options);
-    // Per-shard serving counters plus callbacks over the client's
-    // (monotonic, see RpcClient) transport atomics — the registry is the
-    // export surface, the client stays the owner.
-    const MetricLabels labels = {{"shard", std::to_string(shard)}};
-    worker->partial_requests =
-        service->metrics_.GetCounter("partial_requests_total", labels);
-    worker->yen_runs = service->metrics_.GetCounter("yen_runs_total", labels);
-    worker->cache_hits =
-        service->metrics_.GetCounter("partial_cache_hits_total", labels);
-    worker->cache_skips =
-        service->metrics_.GetCounter("partial_cache_skips_total", labels);
-    worker->cache_flushes =
-        service->metrics_.GetCounter("partial_cache_flushes_total", labels);
-    RpcClient* client = worker->client.get();
-    service->metrics_.AddCounterCallback("rpc_calls_total", labels,
-                                         [client] { return client->calls(); });
-    service->metrics_.AddCounterCallback(
-        "rpc_retries_total", labels, [client] { return client->retries(); });
-    service->metrics_.AddCounterCallback(
-        "rpc_deadline_expired_total", labels,
-        [client] { return client->deadline_expired(); });
-    service->metrics_.AddCounterCallback(
-        "rpc_bytes_sent_total", labels,
-        [client] { return client->bytes_sent(); });
-    service->metrics_.AddCounterCallback(
-        "rpc_bytes_received_total", labels,
-        [client] { return client->bytes_received(); });
-    Worker* raw = worker.get();
+    // Replica-shared per-shard state: the cache telemetry keeps its
+    // {shard} label (the caches are per shard), and shard_epoch exports
+    // the coordinator's published per-shard epoch.
+    auto slice = std::make_unique<ShardSlice>();
+    const MetricLabels shard_labels = {{"shard", std::to_string(shard)}};
+    slice->cache_hits =
+        service->metrics_.GetCounter("partial_cache_hits_total", shard_labels);
+    slice->cache_skips =
+        service->metrics_.GetCounter("partial_cache_skips_total", shard_labels);
+    slice->cache_flushes = service->metrics_.GetCounter(
+        "partial_cache_flushes_total", shard_labels);
     service->metrics_.AddGaugeCallback(
-        "worker_alive", labels, [raw] {
-          return raw->alive.load(std::memory_order_acquire) ? 1 : 0;
+        "shard_epoch", shard_labels,
+        [epochs = service->epochs_.get(), shard] {
+          return static_cast<int64_t>(epochs->shard(shard));
         });
-    service->metrics_.AddGaugeCallback(
-        "shard_epoch", labels, [raw] {
-          return static_cast<int64_t>(
-              raw->epoch.load(std::memory_order_relaxed));
-        });
-    service->workers_.push_back(std::move(worker));
+    service->slices_.push_back(std::move(slice));
+    for (uint32_t replica = 0; replica < service->options_.num_replicas;
+         ++replica) {
+      auto worker = std::make_unique<Worker>();
+      worker->shard = shard;
+      worker->replica = replica;
+      worker->socket_path = socket_dir + "/kspdg-" +
+                            std::to_string(static_cast<long>(getpid())) + "-" +
+                            std::to_string(instance) + "-s" +
+                            std::to_string(shard) + "r" +
+                            std::to_string(replica) + ".sock";
+      worker->client =
+          std::make_unique<RpcClient>(worker->socket_path, client_options);
+      // Per-replica serving counters plus callbacks over the client's
+      // (monotonic, see RpcClient) transport atomics — the registry is the
+      // export surface, the client stays the owner.
+      const MetricLabels labels = {{"shard", std::to_string(shard)},
+                                   {"replica", std::to_string(replica)}};
+      worker->partial_requests =
+          service->metrics_.GetCounter("partial_requests_total", labels);
+      worker->yen_runs =
+          service->metrics_.GetCounter("yen_runs_total", labels);
+      worker->reads = service->metrics_.GetCounter("reads_by_replica", labels);
+      RpcClient* client = worker->client.get();
+      service->metrics_.AddCounterCallback(
+          "rpc_calls_total", labels, [client] { return client->calls(); });
+      service->metrics_.AddCounterCallback(
+          "rpc_retries_total", labels, [client] { return client->retries(); });
+      service->metrics_.AddCounterCallback(
+          "rpc_deadline_expired_total", labels,
+          [client] { return client->deadline_expired(); });
+      service->metrics_.AddCounterCallback(
+          "rpc_bytes_sent_total", labels,
+          [client] { return client->bytes_sent(); });
+      service->metrics_.AddCounterCallback(
+          "rpc_bytes_received_total", labels,
+          [client] { return client->bytes_received(); });
+      Worker* raw = worker.get();
+      service->metrics_.AddGaugeCallback(
+          "worker_alive", labels, [raw] {
+            return raw->alive.load(std::memory_order_acquire) ? 1 : 0;
+          });
+      service->metrics_.AddGaugeCallback(
+          "replica_epoch", labels, [raw] {
+            return static_cast<int64_t>(
+                raw->epoch.load(std::memory_order_relaxed));
+          });
+      service->metrics_.AddCounterCallback(
+          "replica_catchups_total", labels, [raw] {
+            return raw->catchups.load(std::memory_order_relaxed);
+          });
+      service->workers_.push_back(std::move(worker));
+    }
   }
   service->svc_metrics_.Init(service->metrics_, service->registry_.Names());
   service->single_shard_queries_ =
@@ -448,27 +529,14 @@ RemoteShardedRoutingService::~RemoteShardedRoutingService() {
   }
 }
 
-Status RemoteShardedRoutingService::SpawnAndLoadWorker(Worker& worker) const {
-  std::vector<std::string> args = {
-      worker_binary_, "--socket", worker.socket_path, "--idle-timeout-ms",
-      std::to_string(options_.remote.worker_idle_timeout_ms)};
-  std::vector<char*> argv;
-  argv.reserve(args.size() + 1);
-  for (std::string& arg : args) argv.push_back(arg.data());
-  argv.push_back(nullptr);
-  pid_t pid = -1;
-  int rc = posix_spawn(&pid, worker_binary_.c_str(), /*file_actions=*/nullptr,
-                       /*attrp=*/nullptr, argv.data(), environ);
-  if (rc != 0) {
-    return Status::Internal("posix_spawn(" + worker_binary_ +
-                            "): " + std::strerror(rc));
-  }
-  worker.pid.store(pid, std::memory_order_release);
-
-  // Bootstrap: ship the INITIAL graph (EnsureConnected inside the client
-  // keeps retrying the connect until the deadline, which covers startup).
+// Ships the checkpoint graph to the worker process (which rebuilds the
+// partition + index deterministically and resets to checkpoint_epoch_) and
+// cross-checks the rebuilt ownership against the coordinator's.
+Status RemoteShardedRoutingService::LoadCheckpoint(Worker& worker) const {
   LoadGraphRequest load = LoadGraphRequest::FromGraph(
-      initial_graph_, worker.shard, assignment_.num_shards, options_.dtlp);
+      checkpoint_graph_, worker.shard, assignment_.num_shards, options_.dtlp);
+  load.replica_id = worker.replica;
+  load.base_epoch = checkpoint_epoch_;
   std::string reply_payload;
   Status called;
   {
@@ -490,12 +558,19 @@ Status RemoteShardedRoutingService::SpawnAndLoadWorker(Worker& worker) const {
         "worker " + std::to_string(worker.shard) +
         " rebuilt a different shard assignment than the coordinator");
   }
-  // Replay the committed history so the worker re-derives the exact
-  // incremental index state every live shard has.
-  uint64_t replayed = 0;
+  return called;
+}
+
+// Replays every retained batch with epoch > from_epoch in commit order;
+// prepares are idempotent, so a retry after a lost reply is safe.
+Status RemoteShardedRoutingService::ReplayRetainedHistory(
+    Worker& worker, uint64_t from_epoch) const {
+  Status called;
   for (size_t b = 0; called.ok() && b < history_.size(); ++b) {
+    const uint64_t epoch = checkpoint_epoch_ + b + 1;
+    if (epoch <= from_epoch) continue;
     EpochPrepareRequest prepare;
-    prepare.epoch = b + 1;
+    prepare.epoch = epoch;
     prepare.updates = history_[b];
     std::string prepare_reply;
     {
@@ -507,17 +582,66 @@ Status RemoteShardedRoutingService::SpawnAndLoadWorker(Worker& worker) const {
     }
     EpochPrepareReply reply;
     if (called.ok()) called = EpochPrepareReply::Decode(prepare_reply, &reply);
-    if (called.ok()) replayed = prepare.epoch;
   }
+  return called;
+}
+
+Status RemoteShardedRoutingService::SpawnAndLoadWorker(Worker& worker) const {
+  std::vector<std::string> args = {
+      worker_binary_, "--socket", worker.socket_path, "--idle-timeout-ms",
+      std::to_string(options_.remote.worker_idle_timeout_ms)};
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+  pid_t pid = -1;
+  int rc = posix_spawn(&pid, worker_binary_.c_str(), /*file_actions=*/nullptr,
+                       /*attrp=*/nullptr, argv.data(), environ);
+  if (rc != 0) {
+    return Status::Internal("posix_spawn(" + worker_binary_ +
+                            "): " + std::strerror(rc));
+  }
+  worker.pid.store(pid, std::memory_order_release);
+
+  // Bootstrap: ship the checkpoint (EnsureConnected inside the client keeps
+  // retrying the connect until the deadline, which covers startup), then
+  // replay the retained history so the worker re-derives the exact
+  // incremental index state every live replica has.
+  Status called = LoadCheckpoint(worker);
+  if (called.ok()) called = ReplayRetainedHistory(worker, checkpoint_epoch_);
   if (!called.ok()) {
     MarkWorkerDead(worker);
     return called;
   }
-  worker.epoch.store(replayed, std::memory_order_release);
+  worker.epoch.store(checkpoint_epoch_ + history_.size(),
+                     std::memory_order_release);
   // Conservative stamp: flush any cached partials derived from the previous
   // incarnation (they would replay identically, but a flush is always safe).
-  worker.weights_epoch.store(epochs_->global(), std::memory_order_release);
+  slices_[worker.shard]->weights_epoch.store(epochs_->global(),
+                                             std::memory_order_release);
   worker.alive.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Status RemoteShardedRoutingService::CatchUpWorker(Worker& worker) const {
+  const uint64_t target = checkpoint_epoch_ + history_.size();
+  uint64_t at = worker.epoch.load(std::memory_order_acquire);
+  if (at >= target) return Status::OK();
+  Status called;
+  if (at < checkpoint_epoch_) {
+    // The replica fell behind the log truncation point: its missing epochs
+    // are no longer retained individually, so reload it from the
+    // checkpoint before replaying what is.
+    called = LoadCheckpoint(worker);
+    at = checkpoint_epoch_;
+  }
+  if (called.ok()) called = ReplayRetainedHistory(worker, at);
+  if (!called.ok()) {
+    MarkWorkerDead(worker);
+    return called;
+  }
+  worker.epoch.store(target, std::memory_order_release);
+  worker.catchups.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -538,10 +662,17 @@ bool RemoteShardedRoutingService::HealthCheckWorker(
   if (called.ok() && pong.nonce != ping.nonce) {
     called = Status::Internal("ping nonce mismatch");
   }
+  if (called.ok() &&
+      (pong.shard_id != worker.shard || pong.replica_id != worker.replica)) {
+    called = Status::Internal("ping answered by the wrong worker identity");
+  }
   if (!called.ok()) {
     MarkWorkerDead(worker);
     return false;
   }
+  // The pong carries the worker's own epoch — the authoritative lag signal
+  // that takes a replica out of (or back into) the read rotation.
+  worker.epoch.store(pong.epoch, std::memory_order_release);
   // Every successful ping refreshes the worker's cached metrics snapshot —
   // the fleet-wide export falls back to it when the worker is unreachable.
   MetricsSnapshot worker_metrics;
@@ -572,6 +703,7 @@ MetricsSnapshot RemoteShardedRoutingService::Metrics() const {
     }
     if (!have) continue;
     worker_metrics.AddLabel("shard", std::to_string(worker->shard));
+    worker_metrics.AddLabel("replica", std::to_string(worker->replica));
     fleet.Merge(worker_metrics);
   }
   return fleet;
@@ -591,15 +723,27 @@ Status RemoteShardedRoutingService::RegisterSolver(
 
 Status RemoteShardedRoutingService::RestartDeadWorkersLocked() {
   // A worker that crashed without a failed RPC still looks alive; a cheap
-  // ping flushes silent deaths out before we decide who needs reviving.
+  // ping flushes silent deaths out (and refreshes each survivor's reported
+  // epoch) before we decide who needs reviving or catching up.
   for (std::unique_ptr<Worker>& worker : workers_) {
     if (worker->alive.load(std::memory_order_acquire)) {
       (void)HealthCheckWorker(*worker);
     }
   }
+  const uint64_t committed = epochs_->global();
   Status first_failure = Status::OK();
   for (std::unique_ptr<Worker>& worker : workers_) {
-    if (worker->alive.load(std::memory_order_acquire)) continue;
+    if (worker->alive.load(std::memory_order_acquire)) {
+      // Alive but lagging (it missed prepares — dropped RPCs, or revived
+      // after the fact): replay it back in place, no respawn needed.
+      if (worker->epoch.load(std::memory_order_acquire) < committed) {
+        Status caught = CatchUpWorker(*worker);
+        if (!caught.ok() && first_failure.ok()) {
+          first_failure = std::move(caught);
+        }
+      }
+      continue;
+    }
     // Reap the previous incarnation (SIGKILL is a no-op if it already
     // exited; the waitpid prevents zombies either way).
     pid_t pid = worker->pid.load(std::memory_order_relaxed);
@@ -612,6 +756,11 @@ Status RemoteShardedRoutingService::RestartDeadWorkersLocked() {
     Status spawned = SpawnAndLoadWorker(*worker);
     if (spawned.ok()) {
       worker->restarts.fetch_add(1, std::memory_order_relaxed);
+      // A respawn past epoch 0 replayed history to rejoin the rotation —
+      // that is a catch-up in the replication sense.
+      if (committed > 0) {
+        worker->catchups.fetch_add(1, std::memory_order_relaxed);
+      }
     } else if (first_failure.ok()) {
       first_failure = std::move(spawned);
     }
@@ -868,8 +1017,8 @@ Result<TrafficBatchResult> RemoteShardedRoutingService::ApplyTrafficBatch(
     if (updates_of_subgraph[sgid] == 0) touched.push_back(sgid);
     ++updates_of_subgraph[sgid];
   }
-  std::vector<char> shard_touched(workers_.size(), 0);
-  std::vector<uint64_t> expected_of_shard(workers_.size(), 0);
+  std::vector<char> shard_touched(assignment_.num_shards, 0);
+  std::vector<uint64_t> expected_of_shard(assignment_.num_shards, 0);
   for (SubgraphId sgid : touched) {
     ShardId shard = assignment_.shard_of_subgraph[sgid];
     shard_touched[shard] = 1;
@@ -877,65 +1026,82 @@ Result<TrafficBatchResult> RemoteShardedRoutingService::ApplyTrafficBatch(
   }
 
   // Exclusive snapshot section: drain every read pin, then move the master
-  // state and every worker to the next global epoch together.
+  // state and every replica to the next global epoch together.
   std::unique_lock<EpochLock> lock(epochs_->global_lock());
   if (options_.remote.auto_restart) {
-    // Revive dead workers first so they participate in this epoch instead
-    // of falling another batch behind. Best-effort: a shard that stays dead
-    // degrades its queries, not this batch.
+    // Revive dead replicas and catch up lagging ones first so they
+    // participate in this epoch instead of falling another batch behind.
+    // Best-effort: a replica that stays dead degrades to sibling reads (or
+    // per-query errors once the whole shard is dead), not this batch.
     (void)RestartDeadWorkersLocked();
   }
   const uint64_t epoch = epochs_->BeginAdvance();
 
-  // Phase one: fan the FULL batch out to every live worker (each filters to
-  // its owned subgraphs with the same deterministic grouping). The epoch is
-  // always published coordinator-side — the master state below is the
-  // source of truth, so a failed prepare marks the worker dead (degrading
-  // its shard to per-query errors until restart) instead of failing or
-  // stalling the batch.
+  // Phase one: fan the FULL batch out to every replica that is alive at
+  // the preceding epoch (each filters to its owned subgraphs with the same
+  // deterministic grouping). The epoch is always published
+  // coordinator-side — the master state below is the source of truth, so a
+  // failed prepare marks the replica dead (its reads fail over to
+  // siblings until restart) instead of failing or stalling the batch. A
+  // replica already lagging is skipped — prepares apply strictly in epoch
+  // order — and stays out of the read rotation until the next catch-up.
   EpochPrepareRequest prepare;
   prepare.epoch = epoch;
   prepare.updates.assign(updates.begin(), updates.end());
   const std::string prepare_payload = prepare.Encode();
+  const auto& prepare_hook = options_.remote.before_prepare_hook;
   apply_pool_->ParallelFor(
-      workers_.size(), /*chunk=*/1, [&](unsigned, size_t si) {
-        Worker& worker = *workers_[si];
-        if (worker.alive.load(std::memory_order_acquire)) {
-          std::string reply_payload;
-          Status called;
-          {
-            std::lock_guard<std::mutex> worker_lock(worker.mu);
-            called = worker.client->Call(
-                MessageType::kEpochPrepareRequest, prepare_payload,
-                MessageType::kEpochPrepareReply, &reply_payload,
-                options_.remote.apply_deadline_ms);
-          }
-          EpochPrepareReply reply;
-          if (called.ok()) {
-            called = EpochPrepareReply::Decode(reply_payload, &reply);
-          }
-          if (called.ok() && reply.epoch != epoch) {
-            called = Status::Internal("worker acknowledged the wrong epoch");
-          }
-          if (called.ok() && reply.updates_applied != expected_of_shard[si]) {
-            called = Status::Internal(
-                "worker " + std::to_string(si) + " applied " +
-                std::to_string(reply.updates_applied) + " updates where the " +
-                "coordinator expected " +
-                std::to_string(expected_of_shard[si]) +
-                " (divergent shard state)");
-          }
-          if (called.ok()) {
-            worker.epoch.store(epoch, std::memory_order_release);
-            if (shard_touched[si] != 0) {
-              worker.weights_epoch.store(epoch, std::memory_order_release);
-            }
-          } else {
-            MarkWorkerDead(worker);
-          }
+      workers_.size(), /*chunk=*/1, [&](unsigned, size_t wi) {
+        Worker& worker = *workers_[wi];
+        if (!worker.alive.load(std::memory_order_acquire)) return;
+        if (worker.epoch.load(std::memory_order_acquire) != epoch - 1) return;
+        if (prepare_hook) {
+          ReplicaFaultPoint point{worker.shard, worker.replica,
+                                  worker.pid.load(std::memory_order_relaxed),
+                                  epoch};
+          // A dropped prepare models a lost RPC: the replica stays alive
+          // but silently misses this epoch (and leaves the read rotation
+          // via the epoch check until caught up).
+          if (!prepare_hook(point)) return;
         }
-        epochs_->PublishShard(si, epoch);
+        std::string reply_payload;
+        Status called;
+        {
+          std::lock_guard<std::mutex> worker_lock(worker.mu);
+          called = worker.client->Call(
+              MessageType::kEpochPrepareRequest, prepare_payload,
+              MessageType::kEpochPrepareReply, &reply_payload,
+              options_.remote.apply_deadline_ms);
+        }
+        EpochPrepareReply reply;
+        if (called.ok()) {
+          called = EpochPrepareReply::Decode(reply_payload, &reply);
+        }
+        if (called.ok() && reply.epoch != epoch) {
+          called = Status::Internal("worker acknowledged the wrong epoch");
+        }
+        if (called.ok() &&
+            reply.updates_applied != expected_of_shard[worker.shard]) {
+          called = Status::Internal(
+              "worker " + std::to_string(worker.shard) + " replica " +
+              std::to_string(worker.replica) + " applied " +
+              std::to_string(reply.updates_applied) + " updates where the " +
+              "coordinator expected " +
+              std::to_string(expected_of_shard[worker.shard]) +
+              " (divergent shard state)");
+        }
+        if (called.ok()) {
+          worker.epoch.store(epoch, std::memory_order_release);
+        } else {
+          MarkWorkerDead(worker);
+        }
       });
+  for (ShardId si = 0; si < assignment_.num_shards; ++si) {
+    if (shard_touched[si] != 0) {
+      slices_[si]->weights_epoch.store(epoch, std::memory_order_release);
+    }
+    epochs_->PublishShard(si, epoch);
+  }
 
   // Master apply: identical to RoutingService::ApplyTrafficBatch, so the
   // filter step (bounds, skeleton, CANDS) stays answer-identical batch for
@@ -951,16 +1117,35 @@ Result<TrafficBatchResult> RemoteShardedRoutingService::ApplyTrafficBatch(
   epochs_->Commit(epoch);
   // Only committed batches enter the replay log (== the epoch sequence).
   history_.emplace_back(updates.begin(), updates.end());
+  if (history_.size() >= options_.max_history_batches) {
+    // Bound the retained history with a checkpoint: snapshot the committed
+    // master weights and truncate the log. A replica restarting later loads
+    // this snapshot and replays only the batches committed after it — the
+    // partition is weight-independent, so checkpoint + replay reconstructs
+    // bit-identical worker state.
+    checkpoint_graph_ = graph_;
+    checkpoint_epoch_ = epoch;
+    history_.clear();
+  }
 
   // Phase two: best-effort commit acknowledgements (pure bookkeeping — a
-  // worker that misses one learns the epoch from its next prepare).
+  // worker that misses one learns the epoch from its next prepare; a
+  // replica that skipped the prepare is skipped here too).
   EpochCommitRequest commit;
   commit.epoch = epoch;
   const std::string commit_payload = commit.Encode();
+  const auto& commit_hook = options_.remote.before_commit_hook;
   apply_pool_->ParallelFor(
-      workers_.size(), /*chunk=*/1, [&](unsigned, size_t si) {
-        Worker& worker = *workers_[si];
+      workers_.size(), /*chunk=*/1, [&](unsigned, size_t wi) {
+        Worker& worker = *workers_[wi];
         if (!worker.alive.load(std::memory_order_acquire)) return;
+        if (worker.epoch.load(std::memory_order_acquire) != epoch) return;
+        if (commit_hook) {
+          ReplicaFaultPoint point{worker.shard, worker.replica,
+                                  worker.pid.load(std::memory_order_relaxed),
+                                  epoch};
+          if (!commit_hook(point)) return;
+        }
         std::string reply_payload;
         Status called;
         {
@@ -977,6 +1162,18 @@ Result<TrafficBatchResult> RemoteShardedRoutingService::ApplyTrafficBatch(
   return result;
 }
 
+uint64_t RemoteShardedRoutingService::checkpoint_epoch() const {
+  // checkpoint_graph_/checkpoint_epoch_/history_ only mutate under the
+  // exclusive half of the global epoch lock; a shared pin is enough here.
+  std::shared_lock<EpochLock> pin(epochs_->global_lock());
+  return checkpoint_epoch_;
+}
+
+size_t RemoteShardedRoutingService::history_size() const {
+  std::shared_lock<EpochLock> pin(epochs_->global_lock());
+  return history_.size();
+}
+
 RemoteServiceCounters RemoteShardedRoutingService::counters() const {
   RemoteServiceCounters counters;
   counters.sharded.base.queries_ok = svc_metrics_.queries_ok.value();
@@ -989,15 +1186,19 @@ RemoteServiceCounters RemoteShardedRoutingService::counters() const {
   counters.sharded.direct_partial_requests = direct_partials_.value();
   counters.sharded.scattered_partial_requests = scattered_partials_.value();
   counters.partial_rpc_errors = partial_rpc_errors_.value();
+  for (const std::unique_ptr<ShardSlice>& slice : slices_) {
+    counters.sharded.partial_cache_hits += slice->cache_hits.value();
+    counters.sharded.partial_cache_skips += slice->cache_skips.value();
+    counters.sharded.partial_cache_flushes += slice->cache_flushes.value();
+  }
   for (const std::unique_ptr<Worker>& worker : workers_) {
-    counters.sharded.partial_cache_hits += worker->cache_hits.value();
-    counters.sharded.partial_cache_skips += worker->cache_skips.value();
-    counters.sharded.partial_cache_flushes += worker->cache_flushes.value();
     counters.rpc_calls += worker->client->calls();
     counters.rpc_retries += worker->client->retries();
     counters.rpc_deadline_expired += worker->client->deadline_expired();
     counters.worker_restarts +=
         worker->restarts.load(std::memory_order_relaxed);
+    counters.replica_catchups +=
+        worker->catchups.load(std::memory_order_relaxed);
   }
   return counters;
 }
@@ -1009,16 +1210,19 @@ std::vector<RemoteWorkerInfo> RemoteShardedRoutingService::WorkerInfos()
   for (const std::unique_ptr<Worker>& worker : workers_) {
     RemoteWorkerInfo info;
     info.shard = worker->shard;
+    info.replica = worker->replica;
     info.pid = worker->pid.load(std::memory_order_relaxed);
     info.socket_path = worker->socket_path;
     info.alive = worker->alive.load(std::memory_order_acquire);
     info.epoch = worker->epoch.load(std::memory_order_relaxed);
     info.restarts = worker->restarts.load(std::memory_order_relaxed);
+    info.catchups = worker->catchups.load(std::memory_order_relaxed);
+    info.reads = worker->reads.value();
     info.subgraphs = assignment_.subgraphs_of_shard[worker->shard].size();
     info.vertices = assignment_.vertices_of_shard[worker->shard];
     info.partial_requests = worker->partial_requests.value();
     info.yen_runs = worker->yen_runs.value();
-    info.partial_cache_hits = worker->cache_hits.value();
+    info.partial_cache_hits = slices_[worker->shard]->cache_hits.value();
     info.rpc_calls = worker->client->calls();
     info.rpc_retries = worker->client->retries();
     info.rpc_deadline_expired = worker->client->deadline_expired();

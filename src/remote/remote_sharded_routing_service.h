@@ -34,22 +34,38 @@
 //                   applies its master copy, Commits the global epoch, and
 //                   sends best-effort EpochCommit acknowledgements.
 //
+// Replication: each shard slice runs num_replicas workers (the YTsaurus
+// changelog/snapshot shape and the YugabyteDB tablet model — single writer
+// = this coordinator, so no consensus round is needed; the epoch sequence
+// IS the replication log). Every committed traffic batch is shipped to all
+// replicas of a shard in epoch order through the same prepare/commit RPCs;
+// queries load-balance partial fetches round-robin across the replicas
+// that have committed the pinned epoch, failing over to siblings when a
+// replica is dead or lagging. Only an all-replicas-dead shard degrades to
+// per-query kUnavailable. Because every replica re-derives its state from
+// the same deterministic replay, answers are byte-identical no matter
+// which replica serves the fetch.
+//
 // Fault model: every RPC has a per-attempt deadline and a bounded retry
 // budget (all protocol requests are idempotent — prepares replay their
 // stored reply, partials are reads), so a slow or dead worker degrades to a
 // clean kUnavailable/kDeadlineExceeded per-query status, never a hang and
 // never a wrong answer (a failed partial fetch poisons the query, and its
-// result is discarded). The coordinator keeps the committed batch history;
+// result is discarded). The coordinator retains the committed batch history
+// back to its latest checkpoint (a full weight snapshot taken every
+// max_history_batches commits, bounding replay cost and memory);
 // RestartDeadWorkers() (also run by ApplyTrafficBatch when auto_restart is
-// set) respawns a dead worker, reloads the initial graph, and replays the
-// history so the worker re-derives the exact incremental state every other
-// shard has.
+// set) respawns a dead replica with the checkpoint graph, replays the
+// retained history, and catches up an alive-but-lagging replica in place,
+// so every revived replica re-derives the exact incremental state its
+// siblings have before rejoining the read rotation.
 #ifndef KSPDG_REMOTE_REMOTE_SHARDED_ROUTING_SERVICE_H_
 #define KSPDG_REMOTE_REMOTE_SHARDED_ROUTING_SERVICE_H_
 
 #include <sys/types.h>
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -76,6 +92,16 @@
 
 namespace kspdg {
 
+/// Identity of one replica at a two-phase-commit fault point, handed to the
+/// fault-injection hooks below so a test harness can target a named replica
+/// deterministically (kill its pid, stop it, or drop the RPC).
+struct ReplicaFaultPoint {
+  ShardId shard = kInvalidShard;
+  uint32_t replica = 0;
+  pid_t pid = -1;
+  uint64_t epoch = 0;
+};
+
 /// Knobs for the worker fleet and its RPC transport.
 struct RemoteWorkerOptions {
   /// Path of the shard_worker binary. Empty = $KSPDG_WORKER_BIN if set,
@@ -100,6 +126,14 @@ struct RemoteWorkerOptions {
   /// Respawn + replay dead workers at the start of every ApplyTrafficBatch
   /// (RestartDeadWorkers can always be called explicitly).
   bool auto_restart = true;
+  /// Test-only fault injection: called immediately before the prepare RPC
+  /// (resp. the commit RPC) of each replica participating in an epoch
+  /// advance. Returning false drops the RPC — the replica silently misses
+  /// the epoch, exactly as a lost message would — and the hook may also
+  /// kill or stop the named pid to script a mid-two-phase-commit crash.
+  /// Never set in production.
+  std::function<bool(const ReplicaFaultPoint&)> before_prepare_hook;
+  std::function<bool(const ReplicaFaultPoint&)> before_commit_hook;
 };
 
 struct RemoteShardedRoutingServiceOptions {
@@ -111,8 +145,16 @@ struct RemoteShardedRoutingServiceOptions {
   /// Coordinator-owned CANDS baseline index (same contract as the other
   /// services).
   bool enable_cands = true;
-  /// Worker processes == shards of the subgraph partition (>= 1).
+  /// Shards of the subgraph partition (>= 1).
   uint32_t num_shards = 2;
+  /// Replica workers per shard (>= 1). The fleet runs
+  /// num_shards * num_replicas worker processes; reads load-balance across
+  /// a shard's replicas, writes go to all of them in epoch order.
+  uint32_t num_replicas = 1;
+  /// Commits retained in the replay history before the coordinator takes a
+  /// checkpoint (full weight snapshot) and truncates the log. Bounds the
+  /// catch-up cost of a replica restart; 0 is treated as 1.
+  size_t max_history_batches = 32;
   /// Threads fanning one ApplyTrafficBatch's prepare RPCs across workers
   /// (0 = one per worker, capped at the hardware thread count).
   unsigned apply_threads = 0;
@@ -126,6 +168,8 @@ struct RemoteShardedRoutingServiceOptions {
 /// Point-in-time view of one worker process (monitoring + tests).
 struct RemoteWorkerInfo {
   ShardId shard = kInvalidShard;
+  /// Which replica of `shard` this worker is (0..num_replicas-1).
+  uint32_t replica = 0;
   pid_t pid = -1;
   std::string socket_path;
   /// False once an RPC to this worker failed terminally (or a health check
@@ -135,6 +179,11 @@ struct RemoteWorkerInfo {
   uint64_t epoch = 0;
   /// Times this worker was respawned (0 for the original process).
   uint64_t restarts = 0;
+  /// Times this worker was caught back up to the committed epoch (respawn
+  /// replay or in-place replay) after missing one or more batches.
+  uint64_t catchups = 0;
+  /// Partial fetches this replica served (the read-rotation share).
+  uint64_t reads = 0;
   /// Static ownership and per-shard traffic, as in ShardInfo.
   size_t subgraphs = 0;
   size_t vertices = 0;
@@ -155,6 +204,9 @@ struct RemoteServiceCounters {
   uint64_t rpc_retries = 0;
   uint64_t rpc_deadline_expired = 0;
   uint64_t worker_restarts = 0;
+  /// Replicas brought back to the committed epoch by a history replay
+  /// (respawn or in-place catch-up).
+  uint64_t replica_catchups = 0;
   /// Queries that failed because a partial RPC failed (each also counts as
   /// a rejected query in `sharded.base`).
   uint64_t partial_rpc_errors = 0;
@@ -181,8 +233,10 @@ class RemoteShardedRoutingService : public RoutingServiceInterface {
 
   /// Answers q(source, target) — any QueryKind — on the current global
   /// snapshot. Byte-identical to ShardedRoutingService::Query over the same
-  /// graph and traffic history. A query whose partials live on a dead
-  /// worker returns kUnavailable/kDeadlineExceeded instead of hanging.
+  /// graph and traffic history, whichever replica serves each partial
+  /// fetch. A fetch fails over to sibling replicas; only a query whose
+  /// shard has no replica at the pinned epoch returns
+  /// kUnavailable/kDeadlineExceeded instead of hanging.
   Result<RouteResponse> Query(const RouteRequest& request) const override;
 
   /// Batch counterpart, same contract as ShardedRoutingService::QueryBatch
@@ -196,16 +250,18 @@ class RemoteShardedRoutingService : public RoutingServiceInterface {
                           BatchCallback callback = nullptr) const override;
 
   /// Applies one batch of weight updates atomically across the coordinator
-  /// and every worker via the two-phase epoch commit (see file comment).
+  /// and every replica via the two-phase epoch commit (see file comment).
   /// The batch succeeds as long as the coordinator's master state applies;
-  /// a worker that fails its prepare is marked dead (its shard degrades to
-  /// per-query errors until restarted) rather than failing the batch.
+  /// a replica that fails its prepare is marked dead (reads fail over to
+  /// its siblings until it is restarted) rather than failing the batch.
   Result<TrafficBatchResult> ApplyTrafficBatch(
       std::span<const WeightUpdate> updates) override;
 
-  /// Health-checks every worker and respawns + replays the dead ones.
-  /// Returns OK when every worker is alive afterwards; kUnavailable when
-  /// any worker could not be revived (the others still serve).
+  /// Health-checks every replica, respawns + replays the dead ones (from
+  /// the latest checkpoint), and replays an alive-but-lagging replica back
+  /// to the committed epoch in place. Returns OK when every replica is
+  /// alive at the committed epoch afterwards; kUnavailable when any could
+  /// not be revived (the others still serve).
   Status RestartDeadWorkers();
 
   /// Adds a custom backend (same freeze-on-first-query contract as the
@@ -229,11 +285,20 @@ class RemoteShardedRoutingService : public RoutingServiceInterface {
 
   RemoteServiceCounters counters() const;
 
-  /// Per-worker fleet snapshot, indexed by ShardId.
+  /// Per-worker fleet snapshot, shard-major: index = shard * num_replicas
+  /// + replica (at num_replicas == 1 this is indexed by ShardId, as
+  /// before).
   std::vector<RemoteWorkerInfo> WorkerInfos() const;
 
   uint32_t num_shards() const { return assignment_.num_shards; }
+  uint32_t num_replicas() const { return options_.num_replicas; }
   const ShardAssignment& assignment() const { return assignment_; }
+
+  /// Checkpoint bookkeeping (monitoring + tests): the epoch of the latest
+  /// full weight snapshot and the commits retained after it. The replay
+  /// cost of a replica restart is bounded by history_size().
+  uint64_t checkpoint_epoch() const;
+  size_t history_size() const;
 
   /// Read-only views of the coordinator's master state.
   const Graph& graph() const { return graph_; }
@@ -242,13 +307,15 @@ class RemoteShardedRoutingService : public RoutingServiceInterface {
   const RoutingOptions& defaults() const { return options_.defaults; }
 
  private:
-  /// One worker process: transport handle, liveness, and the per-shard
-  /// counters the in-process service keeps on its Shard struct. `mu`
-  /// serialises calls on the single connection; `epoch`/`pid` are written
-  /// only under the coordinator's global exclusive lock (or during Create)
-  /// and read through atomics for monitoring.
+  /// One replica worker process: transport handle, liveness, and its share
+  /// of the per-replica serving counters. `mu` serialises calls on the
+  /// single connection; `pid` is written only under the coordinator's
+  /// global exclusive lock (or during Create); `epoch` is additionally
+  /// refreshed from ping replies, and both are read through atomics for
+  /// monitoring and read routing.
   struct Worker {
     ShardId shard = kInvalidShard;
+    uint32_t replica = 0;
     std::string socket_path;
     std::atomic<pid_t> pid{-1};
     std::unique_ptr<RpcClient> client;
@@ -257,22 +324,35 @@ class RemoteShardedRoutingService : public RoutingServiceInterface {
     mutable std::mutex mu;
     /// Mutable: the const query path marks a worker dead on RPC failure.
     mutable std::atomic<bool> alive{false};
-    std::atomic<uint64_t> epoch{0};
+    /// Mutable: health checks on the const query/scrape paths refresh it
+    /// from the worker's own ping report.
+    mutable std::atomic<uint64_t> epoch{0};
     std::atomic<uint64_t> restarts{0};
-    /// Same cache-flush stamp semantics as Shard::weights_epoch.
-    std::atomic<uint64_t> weights_epoch{0};
-    /// Registry handles labelled {shard="<id>"}, wired at Create.
+    std::atomic<uint64_t> catchups{0};
+    /// Registry handles labelled {shard="<s>", replica="<r>"}.
     Counter partial_requests;
     Counter yen_runs;
-    Counter cache_hits;
-    Counter cache_skips;
-    Counter cache_flushes;
+    Counter reads;
     /// Last snapshot this worker shipped back in a ping reply (the
     /// fallback when the worker is unreachable at scrape time). Guarded by
     /// metrics_mu, never by `mu` — caching must not serialise with RPCs.
     mutable std::mutex metrics_mu;
     mutable MetricsSnapshot last_metrics;
     mutable bool has_metrics = false;
+  };
+
+  /// Per-shard state shared by the shard's replicas: the cache-flush stamp
+  /// (same semantics as Shard::weights_epoch — all replicas serve
+  /// byte-identical partials, so the caches are replica-agnostic) and the
+  /// read-rotation cursor. Heap-allocated because atomics are immovable.
+  struct ShardSlice {
+    std::atomic<uint64_t> weights_epoch{0};
+    /// Round-robin start offset for the next partial fetch of this shard.
+    mutable std::atomic<uint64_t> next_replica{0};
+    /// Cache telemetry labelled {shard="<s>"} (the caches are per shard).
+    Counter cache_hits;
+    Counter cache_skips;
+    Counter cache_flushes;
   };
 
   class RemotePartialProvider;
@@ -301,13 +381,32 @@ class RemoteShardedRoutingService : public RoutingServiceInterface {
     }
   }
 
+  /// Ships the latest checkpoint graph to `worker` and cross-checks the
+  /// deterministic rebuild. Caller holds the global exclusive lock (or is
+  /// inside Create).
+  Status LoadCheckpoint(Worker& worker) const;
+
+  /// Replays every retained batch with epoch > `from_epoch` onto `worker`.
+  Status ReplayRetainedHistory(Worker& worker, uint64_t from_epoch) const;
+
   /// Spawns the process for `worker` (which must not have a live child) and
-  /// ships it the initial graph + the committed history replay. On success
-  /// the worker is alive at the current epoch.
+  /// ships it the checkpoint graph + the retained history replay. On
+  /// success the worker is alive at the current epoch.
   Status SpawnAndLoadWorker(Worker& worker) const;
+
+  /// Replays the retained history onto an alive-but-lagging worker (or
+  /// reloads it from the checkpoint when it fell behind the checkpoint
+  /// epoch) so it rejoins the read rotation at the committed epoch. Caller
+  /// holds the global exclusive lock.
+  Status CatchUpWorker(Worker& worker) const;
 
   /// RestartDeadWorkers body; caller holds the global exclusive lock.
   Status RestartDeadWorkersLocked();
+
+  Worker& WorkerAt(ShardId shard, uint32_t replica) const {
+    return *workers_[static_cast<size_t>(shard) * options_.num_replicas +
+                     replica];
+  }
 
   /// Pings `worker`; marks it dead on failure.
   bool HealthCheckWorker(const Worker& worker) const;
@@ -326,11 +425,19 @@ class RemoteShardedRoutingService : public RoutingServiceInterface {
   /// before them so it is destroyed LAST — after submit_queue_, whose
   /// destructor still drains batches that bump counters.
   MetricsRegistry metrics_;
-  /// Pristine copy of the graph at Create time: what a (re)spawned worker
-  /// is loaded with before the committed history is replayed onto it.
-  Graph initial_graph_;
-  /// Committed traffic batches, in commit order — the worker-restart replay
-  /// log. Grows with the batch count; guarded by the global exclusive lock.
+  /// Latest checkpoint: a full copy of the graph as of checkpoint_epoch_
+  /// (the pristine Create-time graph at epoch 0 until the first checkpoint
+  /// is taken). What a (re)spawned worker is loaded with before the
+  /// retained history is replayed onto it. The partition is
+  /// weight-independent and worker partials read only subgraph weight
+  /// copies, so a checkpoint restart converges bit-identically to a
+  /// full-history replay. Guarded by the global exclusive lock.
+  Graph checkpoint_graph_;
+  uint64_t checkpoint_epoch_ = 0;
+  /// Traffic batches committed after checkpoint_epoch_, in commit order —
+  /// history_[b] is the batch of epoch checkpoint_epoch_ + b + 1. Bounded
+  /// by max_history_batches (a new checkpoint truncates it); guarded by
+  /// the global exclusive lock.
   std::vector<std::vector<WeightUpdate>> history_;
   std::unique_ptr<Dtlp> dtlp_;
   std::unique_ptr<CandsIndex> cands_;
@@ -339,7 +446,10 @@ class RemoteShardedRoutingService : public RoutingServiceInterface {
   ShardAssignment assignment_;
   /// Resolved worker binary path (see RemoteWorkerOptions::worker_binary).
   std::string worker_binary_;
+  /// The fleet, shard-major: workers_[shard * num_replicas + replica].
   std::vector<std::unique_ptr<Worker>> workers_;
+  /// Per-shard replica-shared state, indexed by ShardId.
+  std::vector<std::unique_ptr<ShardSlice>> slices_;
   std::unique_ptr<EpochCoordinator> epochs_;
   std::unique_ptr<ThreadPool> apply_pool_;
   std::unique_ptr<ThreadPool> batch_pool_;

@@ -202,6 +202,8 @@ std::string LoadGraphRequest::Encode() const {
   WireWriter w;
   w.U32(shard_id);
   w.U32(num_shards);
+  w.U32(replica_id);
+  w.U64(base_epoch);
   w.U32(dtlp.partition.max_vertices);
   w.U32(dtlp.index.xi);
   w.U32(dtlp.index.max_yen_pulls);
@@ -225,6 +227,8 @@ Status LoadGraphRequest::Decode(std::string_view payload,
   WireReader r(payload);
   KSPDG_RETURN_NOT_OK(r.U32(&out->shard_id));
   KSPDG_RETURN_NOT_OK(r.U32(&out->num_shards));
+  KSPDG_RETURN_NOT_OK(r.U32(&out->replica_id));
+  KSPDG_RETURN_NOT_OK(r.U64(&out->base_epoch));
   KSPDG_RETURN_NOT_OK(r.U32(&out->dtlp.partition.max_vertices));
   KSPDG_RETURN_NOT_OK(r.U32(&out->dtlp.index.xi));
   KSPDG_RETURN_NOT_OK(r.U32(&out->dtlp.index.max_yen_pulls));
@@ -415,6 +419,7 @@ std::string PingReply::Encode() const {
   w.U64(nonce);
   w.U64(epoch);
   w.U32(shard_id);
+  w.U32(replica_id);
   w.Str(metrics_blob);
   return w.Take();
 }
@@ -424,6 +429,7 @@ Status PingReply::Decode(std::string_view payload, PingReply* out) {
   KSPDG_RETURN_NOT_OK(r.U64(&out->nonce));
   KSPDG_RETURN_NOT_OK(r.U64(&out->epoch));
   KSPDG_RETURN_NOT_OK(r.U32(&out->shard_id));
+  KSPDG_RETURN_NOT_OK(r.U32(&out->replica_id));
   KSPDG_RETURN_NOT_OK(r.Str(&out->metrics_blob));
   return r.ExpectEnd();
 }

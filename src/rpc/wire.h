@@ -92,6 +92,12 @@ class WireReader {
 struct LoadGraphRequest {
   ShardId shard_id = 0;
   uint32_t num_shards = 1;
+  /// Which replica of the shard this worker is (diagnostics + ping echo).
+  uint32_t replica_id = 0;
+  /// Epoch the shipped weights correspond to. A freshly loaded worker
+  /// starts at this epoch, not zero — the coordinator ships its latest
+  /// checkpoint and replays only the batches committed after it.
+  uint64_t base_epoch = 0;
   DtlpOptions dtlp;
   /// The graph: topology + initial vfrag weights + current weights.
   bool directed = false;
@@ -201,6 +207,7 @@ struct PingReply {
   uint64_t nonce = 0;
   uint64_t epoch = 0;
   ShardId shard_id = kInvalidShard;
+  uint32_t replica_id = 0;
   /// The worker's metrics registry, encoded with
   /// MetricsSnapshot::EncodeWire (opaque at this layer — the rpc module
   /// ships it, src/obs owns the codec). Empty when the worker exports no

@@ -1,5 +1,7 @@
 #include "workload/bench_runner.h"
 
+#include <signal.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -300,6 +302,8 @@ std::string BenchReport::ToJson() const {
   out << "{\n";
   AppendJsonKey(out, "num_shards", "    ");
   out << remote_shard.num_shards << ",\n";
+  AppendJsonKey(out, "num_replicas", "    ");
+  out << remote_shard.num_replicas << ",\n";
   AppendJsonKey(out, "requests", "    ");
   out << remote_shard.requests << ",\n";
   AppendJsonKey(out, "diverse_requests", "    ");
@@ -324,6 +328,23 @@ std::string BenchReport::ToJson() const {
   out << remote_shard.rpc_deadline_expired << ",\n";
   AppendJsonKey(out, "worker_restarts", "    ");
   out << remote_shard.worker_restarts << ",\n";
+  AppendJsonKey(out, "replica_catchups", "    ");
+  out << remote_shard.replica_catchups << ",\n";
+  AppendJsonKey(out, "reads_by_replica", "    ");
+  out << "[";
+  for (size_t i = 0; i < remote_shard.reads_by_replica.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << remote_shard.reads_by_replica[i];
+  }
+  out << "],\n";
+  AppendJsonKey(out, "baseline_r1_qps", "    ");
+  out << remote_shard.baseline_r1_qps << ",\n";
+  AppendJsonKey(out, "failover_requests", "    ");
+  out << remote_shard.failover_requests << ",\n";
+  AppendJsonKey(out, "failover_errors", "    ");
+  out << remote_shard.failover_errors << ",\n";
+  AppendJsonKey(out, "failover_mismatches", "    ");
+  out << remote_shard.failover_mismatches << ",\n";
   AppendJsonKey(out, "partial_cache_hits", "    ");
   out << remote_shard.partial_cache_hits << ",\n";
   AppendJsonKey(out, "partial_cache_skips", "    ");
@@ -442,9 +463,12 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
   if (options.shards > 0) pristine_graph = graph;
   Graph remote_graph;
   Graph remote_reference_graph;
+  Graph remote_r1_graph;
   if (options.remote_shards > 0) {
     remote_graph = graph;
     remote_reference_graph = graph;
+    // The read-scaling baseline builds a third fleet at R=1.
+    if (options.replicas > 1) remote_r1_graph = graph;
   }
 
   RoutingServiceOptions service_options;
@@ -984,6 +1008,7 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
   if (options.remote_shards > 0) {
     RemoteShardPhaseStats& phase = report.remote_shard;
     phase.num_shards = options.remote_shards;
+    phase.num_replicas = options.replicas > 0 ? options.replicas : 1;
 
     ShardedRoutingServiceOptions reference_options;
     reference_options.defaults = service_options.defaults;
@@ -1002,6 +1027,7 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
     remote_options.defaults = service_options.defaults;
     remote_options.dtlp = service_options.dtlp;
     remote_options.num_shards = static_cast<uint32_t>(options.remote_shards);
+    remote_options.num_replicas = static_cast<uint32_t>(phase.num_replicas);
     remote_options.batch_threads = options.batch_threads;
     remote_options.remote.worker_binary = options.worker_binary;
     Result<std::unique_ptr<RemoteShardedRoutingService>> remote_or =
@@ -1014,11 +1040,14 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
     TrafficModelOptions replay_options = traffic_options;
     replay_options.seed = options.seed + 3;
     TrafficModel replay(reference->graph(), replay_options);
+    // Kept so the R=1 baseline fleet can replay the identical history.
+    std::vector<std::vector<WeightUpdate>> replay_batches;
     for (size_t b = 0; b < options.num_batches; ++b) {
       std::vector<WeightUpdate> batch = replay.NextBatch();
       bool ok = reference->ApplyTrafficBatch(batch).ok();
       ok = remote->ApplyTrafficBatch(batch).ok() && ok;
       if (ok) ++phase.batches_applied;
+      replay_batches.push_back(std::move(batch));
     }
 
     std::vector<RouteRequest> requests;
@@ -1087,6 +1116,65 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
     }
     phase.remote_batch_micros = batch_timer.ElapsedMicros();
 
+    // Replicated fleets only: read-scaling baseline + failover drill.
+    if (phase.num_replicas > 1) {
+      // Baseline: an identical fleet at R=1 over the same traffic history
+      // and request list — remote_qps vs baseline_r1_qps is the measured
+      // read-scaling of replication.
+      RemoteShardedRoutingServiceOptions r1_options = remote_options;
+      r1_options.num_replicas = 1;
+      Result<std::unique_ptr<RemoteShardedRoutingService>> r1_or =
+          RemoteShardedRoutingService::Create(std::move(remote_r1_graph),
+                                              r1_options);
+      if (!r1_or.ok()) {
+        ++phase.errors;
+      } else {
+        std::unique_ptr<RemoteShardedRoutingService> r1 =
+            std::move(r1_or).value();
+        bool r1_ok = true;
+        for (size_t b = 0; b < options.num_batches; ++b) {
+          if (!r1->ApplyTrafficBatch(replay_batches[b]).ok()) r1_ok = false;
+        }
+        if (r1_ok) {
+          QueryPassResult r1_pass = RunQueryPass(*r1, requests);
+          if (r1_pass.errors == 0 && r1_pass.elapsed_micros > 0) {
+            phase.baseline_r1_qps = static_cast<double>(requests.size()) /
+                                    (r1_pass.elapsed_micros / 1e6);
+          }
+        }
+      }
+
+      // Drill part one: kill the last replica of shard 0 and answer the
+      // whole list again — sibling failover must be error- and
+      // mismatch-free.
+      for (const RemoteWorkerInfo& info : remote->WorkerInfos()) {
+        if (info.shard == 0 && info.replica == phase.num_replicas - 1 &&
+            info.pid > 0) {
+          kill(info.pid, SIGKILL);
+        }
+      }
+      QueryPassResult failover_pass = RunQueryPass(*remote, requests);
+      phase.failover_requests += requests.size();
+      phase.failover_errors += failover_pass.errors;
+      phase.failover_mismatches += CountMismatches(expected, failover_pass);
+      remote_issued += requests.size();
+
+      // Drill part two: one more traffic batch auto-restarts the victim
+      // (checkpoint load + history replay), then the list is answered a
+      // third time against a freshly computed reference at the new epoch.
+      std::vector<WeightUpdate> drill_batch = replay.NextBatch();
+      bool drill_ok = reference->ApplyTrafficBatch(drill_batch).ok();
+      drill_ok = remote->ApplyTrafficBatch(drill_batch).ok() && drill_ok;
+      if (drill_ok) ++phase.batches_applied;
+      QueryPassResult healed_expected = RunQueryPass(*reference, requests);
+      QueryPassResult healed_pass = RunQueryPass(*remote, requests);
+      phase.failover_requests += requests.size();
+      phase.failover_errors += healed_expected.errors + healed_pass.errors;
+      phase.failover_mismatches +=
+          CountMismatches(healed_expected, healed_pass);
+      remote_issued += requests.size();
+    }
+
     phase.final_epoch = remote->CurrentEpoch();
     if (reference->CurrentEpoch() != remote->CurrentEpoch()) ++phase.errors;
 
@@ -1113,6 +1201,10 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
     phase.rpc_retries = counters.rpc_retries;
     phase.rpc_deadline_expired = counters.rpc_deadline_expired;
     phase.worker_restarts = counters.worker_restarts;
+    phase.replica_catchups = counters.replica_catchups;
+    for (const RemoteWorkerInfo& info : remote->WorkerInfos()) {
+      phase.reads_by_replica.push_back(info.reads);
+    }
     phase.partial_cache_hits = counters.sharded.partial_cache_hits;
     phase.partial_cache_skips = counters.sharded.partial_cache_skips;
     phase.direct_partials = counters.sharded.direct_partial_requests;

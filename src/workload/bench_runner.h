@@ -64,6 +64,15 @@ struct BenchOptions {
   /// is checked path-by-path against the in-process one ("remote_shard"
   /// JSON object).
   size_t remote_shards = 0;
+  /// Replica workers per remote shard (>= 1; only meaningful with
+  /// --remote-shards). At > 1 the remote phase additionally measures the
+  /// read-scaling baseline (an identical R=1 fleet answering the same
+  /// list) and runs a failover drill: one replica is killed, the full
+  /// request list is re-answered (sibling failover must yield zero errors
+  /// and zero mismatches), then one more traffic batch auto-restarts and
+  /// catches the victim up, and the list is answered a third time against
+  /// a freshly computed reference.
+  size_t replicas = 1;
   /// shard_worker binary for the remote phase (empty = auto-locate next to
   /// the current executable, or $KSPDG_WORKER_BIN).
   std::string worker_binary;
@@ -198,6 +207,8 @@ struct ShardBatchPhaseStats {
 struct RemoteShardPhaseStats {
   /// Worker processes of the remote service; 0 means the phase did not run.
   size_t num_shards = 0;
+  /// Replica workers per shard (1 = unreplicated fleet).
+  size_t num_replicas = 0;
   size_t requests = 0;
   /// kDiverseKsp requests inside `requests` (0 unless --diverse).
   size_t diverse_requests = 0;
@@ -218,8 +229,24 @@ struct RemoteShardPhaseStats {
   uint64_t rpc_calls = 0;
   uint64_t rpc_retries = 0;
   uint64_t rpc_deadline_expired = 0;
-  /// Workers respawned during the phase (must be 0: nobody dies in a bench).
+  /// Workers respawned during the phase (0 unless the failover drill ran,
+  /// which respawns its one victim).
   uint64_t worker_restarts = 0;
+  /// Replicas replayed back to the committed epoch (respawn or in-place;
+  /// >= 1 after the failover drill).
+  uint64_t replica_catchups = 0;
+  /// Partial fetches served per replica, fleet order (shard-major:
+  /// shard * num_replicas + replica) — the read-rotation share.
+  std::vector<uint64_t> reads_by_replica;
+  /// Sequential-leg throughput of an identical R=1 fleet over the same
+  /// traffic + request list (read-scaling baseline; 0 unless replicas > 1).
+  double baseline_r1_qps = 0;
+  /// Failover drill totals (0 unless replicas > 1): requests across the
+  /// kill pass and the post-catch-up pass; errors and mismatches must be 0
+  /// — a kill behind a live sibling is answer-invisible.
+  size_t failover_requests = 0;
+  size_t failover_errors = 0;
+  size_t failover_mismatches = 0;
   /// Per-(shard, worker) partial-cache traffic on the coordinator.
   uint64_t partial_cache_hits = 0;
   uint64_t partial_cache_skips = 0;

@@ -58,10 +58,11 @@ inline std::unique_ptr<ShardedRoutingService> MustCreateSharded(
 // keep the budget tight. The apply deadline stays generous — load-graph
 // rebuilds the DTLP index on the worker.
 inline std::unique_ptr<RemoteShardedRoutingService> MustCreateRemote(
-    Graph g, uint32_t z, uint32_t num_shards) {
+    Graph g, uint32_t z, uint32_t num_shards, uint32_t num_replicas = 1) {
   RemoteShardedRoutingServiceOptions options;
   options.dtlp.partition.max_vertices = z;
   options.num_shards = num_shards;
+  options.num_replicas = num_replicas;
   options.remote.rpc_deadline_ms = 2000;
   options.remote.rpc_max_retries = 1;
   options.remote.rpc_backoff_ms = 5;

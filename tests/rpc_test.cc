@@ -201,12 +201,18 @@ TEST(WireTest, LoadGraphRequestRoundTripsTheGraph) {
   LoadGraphRequest request =
       LoadGraphRequest::FromGraph(graph, /*shard_id=*/1, /*num_shards=*/3,
                                   dtlp);
+  // Checkpoint shipping: the weights above belong to epoch 4, and the new
+  // worker is replica 2 of its shard.
+  request.replica_id = 2;
+  request.base_epoch = 4;
   std::string payload = request.Encode();
 
   LoadGraphRequest decoded;
   ASSERT_TRUE(LoadGraphRequest::Decode(payload, &decoded).ok());
   EXPECT_EQ(decoded.shard_id, 1u);
   EXPECT_EQ(decoded.num_shards, 3u);
+  EXPECT_EQ(decoded.replica_id, 2u);
+  EXPECT_EQ(decoded.base_epoch, 4u);
   EXPECT_EQ(decoded.dtlp.partition.max_vertices, 8u);
   EXPECT_EQ(decoded.dtlp.index.xi, 3u);
   Result<Graph> rebuilt = decoded.BuildGraph();
@@ -329,6 +335,7 @@ TEST(WireTest, EpochAndPingMessagesRoundTrip) {
   pong.nonce = 77;
   pong.epoch = 3;
   pong.shard_id = 1;
+  pong.replica_id = 2;
   // The metrics blob is opaque at this layer but must survive the trip:
   // encode a real worker-style snapshot and decode it back on the far side.
   MetricsRegistry worker_registry;
@@ -340,6 +347,7 @@ TEST(WireTest, EpochAndPingMessagesRoundTrip) {
   EXPECT_EQ(got_pong.nonce, 77u);
   EXPECT_EQ(got_pong.epoch, 3u);
   EXPECT_EQ(got_pong.shard_id, 1u);
+  EXPECT_EQ(got_pong.replica_id, 2u);
   MetricsSnapshot carried;
   ASSERT_TRUE(
       MetricsSnapshot::DecodeWire(got_pong.metrics_blob, &carried).ok());

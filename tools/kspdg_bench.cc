@@ -6,7 +6,7 @@
 //               [--batches 6] [--threads 4] [--alpha 0.35] [--tau 0.30]
 //               [--z 0] [--seed 42] [--backends kspdg,yen,findksp]
 //               [--batch-size 0] [--batch-threads 0] [--shards 0]
-//               [--remote-shards 0] [--worker-binary PATH]
+//               [--remote-shards 0] [--replicas 1] [--worker-binary PATH]
 //               [--diverse] [--diverse-theta 0.5] [--diverse-overfetch 4]
 //               [--out BENCH_service.json] [--metrics-out METRICS.json]
 //
@@ -40,6 +40,15 @@
 // transport totals and all three throughputs land in the BENCH JSON under
 // "remote_shard". --worker-binary overrides the shard_worker auto-location
 // (next to the kspdg_bench executable, or $KSPDG_WORKER_BIN).
+//
+// --replicas R (R > 1, with --remote-shards) replicates each remote shard
+// across R workers. The remote phase then also measures the read-scaling
+// baseline (an identical R=1 fleet answering the same list →
+// "baseline_r1_qps", with the per-replica read split in
+// "reads_by_replica") and runs a failover drill: one replica is killed and
+// the list re-answered (failover_errors/failover_mismatches must be 0),
+// then one more traffic batch auto-restarts and catches the victim up
+// ("replica_catchups" >= 1) before a final parity pass.
 //
 // --diverse appends a diverse-vs-plain phase: the mixed request list is
 // answered once as plain kKsp and once as kDiverseKsp (over-fetch k' =
@@ -75,7 +84,7 @@ void Usage(const char* argv0) {
                "[--queries N] [--batches N] [--threads N] [--alpha F] "
                "[--tau F] [--z N] [--seed N] [--backends a,b,c] "
                "[--batch-size N] [--batch-threads N] [--shards N] "
-               "[--remote-shards N] [--worker-binary PATH] "
+               "[--remote-shards N] [--replicas R] [--worker-binary PATH] "
                "[--diverse] [--diverse-theta F] [--diverse-overfetch N] "
                "[--out FILE] [--metrics-out FILE]\n",
                argv0);
@@ -139,6 +148,8 @@ int main(int argc, char** argv) {
       options.shards = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--remote-shards") {
       options.remote_shards = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--replicas") {
+      options.replicas = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--worker-binary") {
       options.worker_binary = next();
     } else if (arg == "--diverse") {

@@ -5,10 +5,13 @@
 //
 // The worker listens on a unix socket and speaks the src/rpc protocol. A
 // LoadGraph request ships the full graph + DTLP knobs + (shard_id,
-// num_shards); the worker rebuilds the partition, the DTLP, and the shard
-// assignment with the same deterministic code the coordinator runs, so its
-// subgraph weight copies and level-1 indexes are identical to the
-// coordinator's by construction. From then on it serves the two requests
+// num_shards, replica_id, base_epoch); the worker rebuilds the partition,
+// the DTLP, and the shard assignment with the same deterministic code the
+// coordinator runs, so its subgraph weight copies and level-1 indexes are
+// identical to the coordinator's by construction. The shipped weights may
+// be a mid-stream checkpoint: the worker then starts at base_epoch and the
+// coordinator replays the batches committed after it, which is how a
+// replica that died (or fell behind) catches back up. From then on it serves the two requests
 // that matter:
 //
 //   Partials       the KSP-DG refine step for boundary pairs inside its
@@ -88,14 +91,19 @@ class WorkerState {
     dtlp_ = std::move(dtlp).value();
     assignment_ = std::move(assignment).value();
     shard_id_ = request.shard_id;
+    replica_id_ = request.replica_id;
     owned_.assign(dtlp_->NumSubgraphs(), 0);
     for (SubgraphId sgid : assignment_.subgraphs_of_shard[shard_id_]) {
       owned_[sgid] = 1;
     }
-    epoch_ = 0;
+    // The shipped weights are the coordinator's checkpoint: the worker
+    // starts at the checkpoint epoch and the coordinator replays only the
+    // batches committed after it (prepare still requires epoch_ + 1, so
+    // replay order is enforced the same way live batches are).
+    epoch_ = request.base_epoch;
     last_prepare_reply_.clear();
     graph_loads_.Increment();
-    epoch_gauge_.Set(0);
+    epoch_gauge_.Set(static_cast<int64_t>(epoch_));
 
     LoadGraphReply loaded;
     loaded.subgraphs_owned = assignment_.subgraphs_of_shard[shard_id_].size();
@@ -217,6 +225,7 @@ class WorkerState {
     pong.nonce = request.nonce;
     pong.epoch = epoch_;
     pong.shard_id = shard_id_;
+    pong.replica_id = replica_id_;
     // Every ping doubles as a metrics scrape: the whole worker registry
     // rides back in the reply, so the coordinator's fleet-wide export needs
     // no extra protocol message.
@@ -237,6 +246,7 @@ class WorkerState {
   std::unique_ptr<Dtlp> dtlp_;
   ShardAssignment assignment_;
   ShardId shard_id_ = kInvalidShard;
+  uint32_t replica_id_ = 0;
   std::vector<char> owned_;
   /// Last prepared epoch == number of traffic batches applied (the worker
   /// treats prepare as apply; commit is bookkeeping).

@@ -151,6 +151,55 @@ REMOTE_SHARD_SCHEMA = {
     "inprocess_qps": NUM,
 }
 
+# Per-priority slice of the overload phase: one object each for the
+# "interactive" / "normal" / "batch" keys of overload.per_priority.
+OVERLOAD_PRIORITY_SCHEMA = {
+    "issued": int,
+    "served": int,
+    "shed_deadline": int,
+    "shed_quota": int,
+    "errors": int,
+    "goodput_qps": NUM,
+    "p50_micros": NUM,
+    "p99_micros": NUM,
+}
+
+# Open-loop overload phase (--overload-factor F): the harness offers F x the
+# measured capacity with mixed priorities/deadlines/tenants and partitions
+# every request into admitted / shed_deadline / shed_quota ("accounted" is
+# their precomputed sum because --check cannot add paths). registry_* are
+# the AdmissionCounters deltas from the service's own metrics registry; CI
+# cross-checks them against the harness tallies.
+OVERLOAD_SCHEMA = {
+    "factor": NUM,
+    "requests": int,
+    "queue_capacity": int,
+    "per_tenant_quota": int,
+    "num_tenants": int,
+    "capacity_qps": NUM,
+    "offered_qps": NUM,
+    "admitted": int,
+    "shed_deadline": int,
+    "shed_quota": int,
+    "accounted": int,
+    "errors": int,
+    "mismatches": int,
+    "registry_admitted": int,
+    "registry_shed_deadline": int,
+    "registry_shed_quota": int,
+    "elapsed_micros": NUM,
+    "goodput_qps": NUM,
+    "interactive_goodput_qps": NUM,
+    "batch_goodput_qps": NUM,
+    "interactive_p99_micros": NUM,
+    "batch_p99_micros": NUM,
+    "per_priority": {
+        "interactive": OVERLOAD_PRIORITY_SCHEMA,
+        "normal": OVERLOAD_PRIORITY_SCHEMA,
+        "batch": OVERLOAD_PRIORITY_SCHEMA,
+    },
+}
+
 # Registry cross-check: each phase pairs what the harness issued with what
 # the service's metrics registry accounted for (queries_total must equal
 # issued_requests on a healthy run — CI asserts this via --check).
@@ -211,6 +260,7 @@ TOP_SCHEMA = {
     "shard": SHARD_SCHEMA,
     "shard_batch": SHARD_BATCH_SCHEMA,
     "remote_shard": REMOTE_SHARD_SCHEMA,
+    "overload": OVERLOAD_SCHEMA,
     "metrics": METRICS_SCHEMA,
     "backends": BACKEND_SCHEMA,  # list of objects
 }
@@ -344,6 +394,10 @@ PHASE_QPS_FIELDS = {
     "shard": ["sharded_qps", "unsharded_qps"],
     "shard_batch": ["sharded_batch_qps", "unsharded_sequential_qps"],
     "remote_shard": ["remote_qps", "remote_batch_qps", "inprocess_qps"],
+    # capacity_qps is measured, not offered, so only the no-pressure
+    # reference throughput is baseline-gated; shed-heavy goodput depends on
+    # the offered factor and is asserted via --check instead.
+    "overload": ["capacity_qps"],
 }
 
 PHASE_WORKLOAD_KEYS = {
@@ -355,6 +409,7 @@ PHASE_WORKLOAD_KEYS = {
     # R=1 baseline fleet and the failover drill, so its qps is only
     # comparable against another run at the same replica count.
     "remote_shard": ["num_shards", "num_replicas", "batch_size", "requests"],
+    "overload": ["factor", "requests", "queue_capacity", "per_tenant_quota"],
 }
 
 

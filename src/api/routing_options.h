@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "core/admission.h"
 #include "core/status.h"
 #include "core/types.h"
 #include "ksp/path.h"
@@ -115,12 +116,22 @@ struct RouteRequest {
   VertexId target = kInvalidVertex;
   /// Per-request knobs layered over the service defaults.
   RoutingOverrides options;
+  /// QoS envelope: priority class, optional absolute deadline, tenant id
+  /// (core/admission.h). A request whose deadline has already passed is
+  /// answered kDeadlineExceeded without being solved — at submission, at
+  /// dequeue, and once more when it reaches its solver. Default-constructed
+  /// contexts keep the original behaviour everywhere (including blocking
+  /// SubmitBatch backpressure); setting any field opts the request into
+  /// admission control, where submission sheds instead of blocking. For
+  /// SubmitBatch the first request's context is the batch's queue envelope
+  /// (see RoutingServiceInterface::SubmitBatch).
+  RequestContext context;
 };
 
 /// Compatibility shim for the pre-multi-kind surface: a KspRequest IS a
-/// RouteRequest whose kind defaults to kKsp. Prefer RouteRequest in new
-/// code.
-using KspRequest = RouteRequest;
+/// RouteRequest whose kind defaults to kKsp. Scheduled for removal; every
+/// in-tree call site now uses RouteRequest.
+using KspRequest [[deprecated("use RouteRequest")]] = RouteRequest;
 
 /// Per-query measurements, filled by every backend.
 struct QueryStats {
@@ -153,16 +164,21 @@ struct RouteResponse {
   std::optional<DiverseStats> diverse;
 };
 
-/// Compatibility shim (see KspRequest). Prefer RouteResponse in new code.
-using KspResponse = RouteResponse;
+/// Compatibility shim (see KspRequest). Scheduled for removal.
+using KspResponse [[deprecated("use RouteResponse")]] = RouteResponse;
 
-/// Outcome of one request inside a batch. A bad request never fails its
-/// batch: it gets a non-OK status here while its neighbours are answered.
+/// Outcome of one request inside a batch. A bad or shed request never
+/// fails its batch: it gets a non-OK status here while its neighbours are
+/// answered.
 struct RouteBatchItem {
   Status status;          // OK iff `response` holds an answer
   RouteResponse response; // meaningful only when status.ok()
+  /// What admission decided for this item (derived from `status`): served,
+  /// rejected (validation/solver error), shed on deadline
+  /// (kDeadlineExceeded), or shed by load control (kResourceExhausted).
+  AdmissionOutcome admission = AdmissionOutcome::kServed;
 };
-using KspBatchItem = RouteBatchItem;
+using KspBatchItem [[deprecated("use RouteBatchItem")]] = RouteBatchItem;
 
 /// Answer to RoutingService::QueryBatch. Items correspond 1:1 (same order)
 /// to the request span.
@@ -173,13 +189,19 @@ struct RouteBatchResponse {
   /// a different snapshot than its neighbours.
   uint64_t epoch = 0;
   size_t num_ok = 0;
+  /// Items that failed for a non-admission reason (validation or solver
+  /// errors). Shed items are tallied separately in num_shed.
   size_t num_rejected = 0;
+  /// Items admission answered without solving (deadline expired or load
+  /// control) — see RouteBatchItem::admission for the per-item reason.
+  size_t num_shed = 0;
   /// Wall time of the snapshot section (validation excluded).
   double batch_micros = 0;
 };
 
-/// Compatibility shim (see KspRequest). Prefer RouteBatchResponse.
-using KspBatchResponse = RouteBatchResponse;
+/// Compatibility shim (see KspRequest). Scheduled for removal.
+using KspBatchResponse [[deprecated("use RouteBatchResponse")]] =
+    RouteBatchResponse;
 
 }  // namespace kspdg
 

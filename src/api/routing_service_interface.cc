@@ -7,11 +7,13 @@ namespace kspdg {
 BatchTicket BatchTicket::SubmitTo(SubmissionQueue& queue,
                                   const RoutingServiceInterface& service,
                                   std::vector<RouteRequest> requests,
-                                  BatchCallback callback) {
+                                  BatchCallback callback,
+                                  const AdmissionMetricsView& metrics) {
   return SubmitTo(queue, std::move(requests), std::move(callback),
                   [&service](std::span<const RouteRequest> batch) {
                     return service.QueryBatch(batch);
-                  });
+                  },
+                  metrics);
 }
 
 }  // namespace kspdg

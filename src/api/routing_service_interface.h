@@ -20,6 +20,17 @@
 //                                      implementation's registry (for the
 //                                      remote service: master + the fleet
 //                                      of worker registries, shard-tagged)
+//
+// Admission control is part of the contract and identical on every
+// implementation, because it lives in two shared seams rather than per
+// service: requests carry a RequestContext (priority / deadline /
+// tenant_id, core/admission.h); expired work is answered with
+// kDeadlineExceeded instead of being solved (PrepareRoutingQuery);
+// SubmitBatch routes through BatchTicket::SubmitTo, where a QoS envelope
+// sheds instead of blocking (see batch_ticket.h). Every implementation
+// exports the same admission series — admission_admitted_total,
+// admission_shed_deadline_total, admission_shed_quota_total — readable
+// from Metrics() via AdmissionCountersFrom (api/service_metrics.h).
 #ifndef KSPDG_API_ROUTING_SERVICE_INTERFACE_H_
 #define KSPDG_API_ROUTING_SERVICE_INTERFACE_H_
 
@@ -68,9 +79,16 @@ class RoutingServiceInterface {
   virtual Result<RouteBatchResponse> QueryBatch(
       std::span<const RouteRequest> requests) const = 0;
 
-  /// Asynchronous QueryBatch: enqueues on the implementation's bounded
-  /// submission queue and returns a ticket immediately; blocks only when
-  /// the queue is full (backpressure).
+  /// Asynchronous QueryBatch: enqueues on the implementation's admission-
+  /// controlled submission queue and returns a ticket immediately. The
+  /// first request's RequestContext is the batch's queue envelope. A batch
+  /// with no QoS envelope keeps the original contract — blocks only when
+  /// the queue is full (backpressure), never shed. A batch with one never
+  /// blocks: under pressure it is shed instead (ticket fulfilled with an
+  /// OK response whose items carry kDeadlineExceeded / kResourceExhausted
+  /// statuses and AdmissionOutcomes — shedding never fails the batch).
+  /// Identical on every implementation by construction: all three route
+  /// through BatchTicket::SubmitTo.
   virtual BatchTicket SubmitBatch(std::vector<RouteRequest> requests,
                                   BatchCallback callback = nullptr) const = 0;
 

@@ -8,12 +8,25 @@ constexpr std::array<QueryKind, 3> kAllKinds = {
 
 }  // namespace
 
+AdmissionCounters AdmissionCountersFrom(const MetricsSnapshot& snapshot) {
+  AdmissionCounters counters;
+  counters.admitted = snapshot.CounterTotal("admission_admitted_total");
+  counters.shed_deadline =
+      snapshot.CounterTotal("admission_shed_deadline_total");
+  counters.shed_quota = snapshot.CounterTotal("admission_shed_quota_total");
+  return counters;
+}
+
 void ServiceMetrics::Init(MetricsRegistry& registry,
                           const std::vector<std::string>& backends) {
   queries_ok = registry.GetCounter("queries_ok_total");
   queries_rejected = registry.GetCounter("queries_rejected_total");
   traffic_batches = registry.GetCounter("traffic_batches_total");
   weight_updates = registry.GetCounter("weight_updates_total");
+  admission_admitted = registry.GetCounter("admission_admitted_total");
+  admission_shed_deadline =
+      registry.GetCounter("admission_shed_deadline_total");
+  admission_shed_quota = registry.GetCounter("admission_shed_quota_total");
   for (QueryKind kind : kAllKinds) {
     solve_latency[static_cast<size_t>(kind)] = registry.GetHistogram(
         "solve_latency_micros", {{"kind", QueryKindName(kind)}},
@@ -34,9 +47,54 @@ void ServiceMetrics::AddBackend(MetricsRegistry& registry,
   }
 }
 
+void ServiceMetrics::RecordQueryFailure(const Status& status) const {
+  queries_rejected.Increment();
+  switch (AdmissionOutcomeFromStatus(status)) {
+    case AdmissionOutcome::kShedDeadline:
+      admission_shed_deadline.Increment();
+      break;
+    case AdmissionOutcome::kShedQuota:
+      admission_shed_quota.Increment();
+      break;
+    default:
+      break;
+  }
+}
+
+void ServiceMetrics::FinalizeBatchAdmission(RouteBatchResponse& batch) const {
+  batch.num_ok = 0;
+  batch.num_rejected = 0;
+  batch.num_shed = 0;
+  for (RouteBatchItem& item : batch.items) {
+    item.admission = AdmissionOutcomeFromStatus(item.status);
+    switch (item.admission) {
+      case AdmissionOutcome::kServed:
+        // admission_admitted moved with queries_ok inside RecordQuery when
+        // the item solved; only the tally is settled here.
+        ++batch.num_ok;
+        break;
+      case AdmissionOutcome::kShedDeadline:
+        ++batch.num_shed;
+        admission_shed_deadline.Increment();
+        queries_rejected.Increment();
+        break;
+      case AdmissionOutcome::kShedQuota:
+        ++batch.num_shed;
+        admission_shed_quota.Increment();
+        queries_rejected.Increment();
+        break;
+      case AdmissionOutcome::kRejected:
+        ++batch.num_rejected;
+        queries_rejected.Increment();
+        break;
+    }
+  }
+}
+
 void ServiceMetrics::RecordQuery(QueryKind kind, std::string_view backend,
                                  double solve_micros) const {
   queries_ok.Increment();
+  admission_admitted.Increment();
   solve_latency[static_cast<size_t>(kind)].Observe(solve_micros);
   auto it = per_backend.find(backend);
   if (it != per_backend.end()) {

@@ -25,6 +25,33 @@
 
 namespace kspdg {
 
+/// Admission-decision totals every RoutingServiceInterface implementation
+/// exports under the SAME series names — admission_admitted_total,
+/// admission_shed_deadline_total, admission_shed_quota_total — so fleet
+/// dashboards and the overload bench read any service identically. The
+/// invariant: admitted + shed_deadline + shed_quota + rejected
+/// (queries_rejected_total minus the shed counters) accounts for every
+/// issued request.
+struct AdmissionCounters {
+  uint64_t admitted = 0;
+  uint64_t shed_deadline = 0;
+  uint64_t shed_quota = 0;
+};
+
+/// Reads the admission series out of any service's Metrics() snapshot.
+AdmissionCounters AdmissionCountersFrom(const MetricsSnapshot& snapshot);
+
+/// The counter-handle subset BatchTicket::SubmitTo needs so batches shed at
+/// the queue (never solved) settle the same series as solved batches.
+/// Default-constructed handles are no-ops.
+struct AdmissionMetricsView {
+  Counter shed_deadline;
+  Counter shed_quota;
+  /// queries_rejected_total: shed items also count here, so the coarse
+  /// ok/rejected accounting stays exact ("every issued item is ok or not").
+  Counter rejected;
+};
+
 struct ServiceMetrics {
   /// Registers the service-wide handles plus a queries_total{kind,backend}
   /// counter matrix for every backend name. Call once at Create, before
@@ -45,6 +72,27 @@ struct ServiceMetrics {
   /// `n` rejected queries (validation or solve failures).
   void RecordRejected(uint64_t n = 1) const { queries_rejected.Increment(n); }
 
+  /// One failed sync Query: bumps queries_rejected_total always, plus the
+  /// admission shed counter the status encodes (kDeadlineExceeded /
+  /// kResourceExhausted), so shed work is visible as shed, not just failed.
+  void RecordQueryFailure(const Status& status) const;
+
+  /// The one post-solve accounting step all three QueryBatch
+  /// implementations share: classifies every item (RouteBatchItem::
+  /// admission), tallies num_ok / num_rejected / num_shed, and settles the
+  /// admission + rejection counters. Served items were already recorded per
+  /// solve via RecordQuery.
+  void FinalizeBatchAdmission(RouteBatchResponse& batch) const;
+
+  /// Queue-level view for BatchTicket::SubmitTo.
+  AdmissionMetricsView admission_view() const {
+    AdmissionMetricsView view;
+    view.shed_deadline = admission_shed_deadline;
+    view.shed_quota = admission_shed_quota;
+    view.rejected = queries_rejected;
+    return view;
+  }
+
   /// One applied traffic batch of `updates` weight updates.
   void RecordTrafficBatch(uint64_t updates) const {
     traffic_batches.Increment();
@@ -55,6 +103,12 @@ struct ServiceMetrics {
   Counter queries_rejected;
   Counter traffic_batches;
   Counter weight_updates;
+  /// Admission decisions (see AdmissionCounters). admission_admitted tracks
+  /// queries_ok one-for-one; the shed counters are a refinement of
+  /// queries_rejected by admission reason.
+  Counter admission_admitted;
+  Counter admission_shed_deadline;
+  Counter admission_shed_quota;
   /// Indexed by static_cast<size_t>(QueryKind).
   std::array<Histogram, 3> solve_latency;
   /// queries_total{kind,backend}: one pre-registered counter per cell.

@@ -3,6 +3,7 @@
 // algorithms themselves live in src/kspdg and src/ksp.
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <utility>
 
 #include "api/ksp_solver.h"
@@ -62,6 +63,13 @@ KspDgOptions RoutingOptions::ToEngineOptions() const {
 Status PrepareRoutingQuery(const SolverRegistry& registry,
                            const RoutingOptions& defaults, const Graph& graph,
                            const RouteRequest& request, PreparedRoute* out) {
+  // Admission: expired work is answered, never solved. This is the last of
+  // the three deadline checks (submit, dequeue, solve) and the one that
+  // covers the sync Query/QueryBatch paths and per-item deadlines inside an
+  // admitted batch — all three services share this seam.
+  if (request.context.ExpiredAt(std::chrono::steady_clock::now())) {
+    return Status::DeadlineExceeded("deadline expired before solve; shed");
+  }
   out->kind = request.kind;
   out->merged = MergeOptions(defaults, request.options);
   // Kind semantics are applied before validation so kind-driven adjustments

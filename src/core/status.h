@@ -22,6 +22,9 @@ enum class StatusCode {
   kUnavailable,
   /// The per-call deadline expired before the peer answered.
   kDeadlineExceeded,
+  /// Admission control shed the work: a tenant exceeded its pending quota
+  /// or a full queue displaced it. Retryable after backing off.
+  kResourceExhausted,
 };
 
 /// Lightweight status object; cheap to return by value. `ok()` statuses carry
@@ -54,6 +57,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

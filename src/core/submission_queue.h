@@ -1,36 +1,90 @@
-// Bounded job queue backing the asynchronous batch-submission APIs.
+// Admission-controlled job queue backing the asynchronous batch-submission
+// APIs.
 //
-// SubmitBatch must let a caller overlap request production with solving
-// without letting it run unboundedly ahead: the queue holds at most
-// `capacity` pending jobs and Submit blocks once it is full, so a producer
-// that outpaces the solver is throttled to the solver's speed instead of
-// buffering an unbounded backlog. Dedicated worker threads drain the queue
-// in FIFO order; Shutdown stops intake, drains what was accepted, and joins
-// the workers — every accepted job runs exactly once.
+// Two submission contracts share one queue:
+//
+//   Submit(job)           — the original bounded-FIFO contract. Blocks while
+//                           the queue is full (backpressure), so a producer
+//                           that outpaces the solver is throttled instead of
+//                           buffering an unbounded backlog. Such jobs are
+//                           never shed or displaced.
+//   Submit(context, job)  — the QoS contract for work carrying a
+//                           RequestContext. NEVER blocks: work the queue
+//                           cannot take now is shed immediately with an
+//                           AdmissionOutcome instead of stalling the caller.
+//
+// Dequeue order is strict priority (kInteractive > kNormal > kBatch) with
+// FIFO within a class. Admission applies three policies to QoS work:
+//
+//   deadlines  — a job whose deadline has already passed is answered
+//                immediately (kShedDeadline) at submit time; a job whose
+//                deadline passes while queued is answered the moment a
+//                worker dequeues it, without running the solve.
+//   quotas     — a tenant with `per_tenant_quota` jobs already pending is
+//                shed (kShedQuota) instead of monopolising the queue.
+//   eviction   — when the queue is full, a strictly more urgent arrival
+//                displaces the newest queued job of the least urgent class
+//                (evicted job answered kShedQuota); if nothing less urgent
+//                is queued, the arrival itself is shed. Blocking-contract
+//                jobs are never displaced.
+//
+// Every admitted job's callback is invoked exactly once — with kServed when
+// it ran, or a shed outcome when admission answered for it. Shutdown stops
+// intake, drains what was accepted, and joins the workers.
 #ifndef KSPDG_CORE_SUBMISSION_QUEUE_H_
 #define KSPDG_CORE_SUBMISSION_QUEUE_H_
 
+#include <array>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
+#include "core/admission.h"
 #include "obs/metrics.h"
 
 namespace kspdg {
 
 /// Optional telemetry for one SubmissionQueue (no-op handles by default).
 /// Depth is exported by the owning service as a gauge callback over
-/// pending(); these cover the part only the queue can see — backpressure.
+/// pending(); these cover the events only the queue can see.
 struct SubmissionQueueMetrics {
-  /// Submit calls that found the queue full and had to wait.
+  /// Blocking-contract Submit calls that found the queue full and waited.
   Counter enqueue_blocked_total;
   /// How long each blocked Submit stalled before its job was accepted.
   Histogram enqueue_block_micros;
+  /// QoS jobs shed because their deadline expired (at submit or dequeue).
+  Counter shed_deadline_total;
+  /// QoS jobs shed by load control (tenant quota, full queue, eviction).
+  Counter shed_quota_total;
 };
+
+/// Admission-policy knobs for the QoS submission contract.
+struct AdmissionOptions {
+  /// Max jobs one tenant_id may hold pending at once (0 = unlimited).
+  /// Jobs with an empty tenant_id are unmetered.
+  size_t per_tenant_quota = 0;
+};
+
+/// What Submit(context, job) decided. On kAdmitted the job's callback fires
+/// later from a worker; on a shed outcome it already fired (on the calling
+/// thread) before Submit returned; on kRefused (shutdown) it never fires.
+enum class SubmitOutcome : uint8_t {
+  kAdmitted = 0,
+  kShedDeadline = 1,
+  kShedQuota = 2,
+  kRefused = 3,
+};
+
+/// A QoS job: invoked exactly once with the admission decision. kServed
+/// means "run now"; a shed outcome means "answer for yourself without
+/// doing the work".
+using AdmissionJob = std::function<void(AdmissionOutcome)>;
 
 /// Bounded multi-producer job queue with owned worker threads (see file
 /// comment). All methods are thread-safe.
@@ -39,7 +93,8 @@ class SubmissionQueue {
   /// A queue admitting up to `capacity` pending jobs (0 is treated as 1),
   /// drained by `num_workers` dedicated threads (0 is treated as 1).
   explicit SubmissionQueue(size_t capacity, unsigned num_workers = 1,
-                           SubmissionQueueMetrics metrics = {});
+                           SubmissionQueueMetrics metrics = {},
+                           AdmissionOptions admission = {});
 
   /// Shutdown() + join: blocks until every accepted job has run.
   ~SubmissionQueue();
@@ -47,37 +102,65 @@ class SubmissionQueue {
   SubmissionQueue(const SubmissionQueue&) = delete;
   SubmissionQueue& operator=(const SubmissionQueue&) = delete;
 
-  /// Enqueues one job. Blocks while the queue is full (backpressure).
+  /// Blocking contract: enqueues one job at kNormal priority. Blocks while
+  /// the queue is full (backpressure); the job is never shed or displaced.
   /// Returns true if the job was accepted; false if the queue has been shut
   /// down, in which case the job will never run.
   bool Submit(std::function<void()> job);
 
-  /// Stops accepting jobs. Already-accepted jobs still run to completion;
-  /// idempotent. Does not wait (the destructor joins).
+  /// QoS contract: admission-controlled, never blocks (see file comment).
+  SubmitOutcome Submit(const RequestContext& context, AdmissionJob job);
+
+  /// Stops accepting jobs. Already-accepted jobs still run to completion
+  /// (dequeue-time deadline shedding still applies); idempotent. Does not
+  /// wait (the destructor joins).
   void Shutdown();
 
-  /// Jobs accepted but not yet started (snapshot).
+  /// Jobs accepted but not yet started (snapshot), total / per class.
   size_t pending() const;
+  size_t pending(RequestPriority priority) const;
 
   size_t capacity() const { return capacity_; }
 
-  /// Jobs accepted / finished so far (monotone counters, for monitoring
-  /// and tests).
+  /// Monotone counters for monitoring and tests. `submitted` counts
+  /// admitted jobs; `completed` counts admitted jobs whose callback has
+  /// been invoked (served or shed after admission), so
+  /// pending() == submitted() - completed() - running. Jobs shed at submit
+  /// time count only in the shed counters.
   uint64_t submitted() const;
   uint64_t completed() const;
+  uint64_t shed_deadline() const;
+  uint64_t shed_quota() const;
 
  private:
+  struct Entry {
+    AdmissionJob job;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    std::string tenant;
+    /// Blocking-contract jobs are not evictable and never deadline-shed.
+    bool evictable = false;
+  };
+
   void WorkerLoop();
+  /// Total queued jobs across all classes. Requires mu_.
+  size_t TotalPendingLocked() const;
+  /// Removes one queued charge for `tenant`. Requires mu_.
+  void ReleaseTenantLocked(const std::string& tenant);
 
   const size_t capacity_;
   const SubmissionQueueMetrics metrics_;
+  const AdmissionOptions admission_;
   mutable std::mutex mu_;
-  std::condition_variable cv_not_full_;   // producers wait here
+  std::condition_variable cv_not_full_;   // blocking producers wait here
   std::condition_variable cv_not_empty_;  // workers wait here
-  std::deque<std::function<void()>> jobs_;
+  /// One FIFO per priority class, indexed by RequestPriority.
+  std::array<std::deque<Entry>, kNumPriorities> classes_;
+  std::map<std::string, size_t> tenant_pending_;
   bool shutdown_ = false;
   uint64_t submitted_ = 0;
   uint64_t completed_ = 0;
+  uint64_t shed_deadline_ = 0;
+  uint64_t shed_quota_ = 0;
   std::vector<std::thread> workers_;
 };
 

@@ -499,13 +499,29 @@ RemoteShardedRoutingService::Create(Graph graph,
       service->metrics_.GetCounter("submission_queue_enqueue_blocked_total");
   queue_metrics.enqueue_block_micros = service->metrics_.GetHistogram(
       "submission_queue_enqueue_block_micros", {}, LatencyBucketsMicros());
+  queue_metrics.shed_deadline_total =
+      service->metrics_.GetCounter("submission_queue_shed_deadline_total");
+  queue_metrics.shed_quota_total =
+      service->metrics_.GetCounter("submission_queue_shed_quota_total");
+  AdmissionOptions admission;
+  admission.per_tenant_quota = service->options_.per_tenant_quota;
   service->submit_queue_ = std::make_unique<SubmissionQueue>(
       service->options_.submit_queue_capacity, /*num_workers=*/1,
-      std::move(queue_metrics));
+      std::move(queue_metrics), admission);
   service->metrics_.AddGaugeCallback(
       "submission_queue_depth", {}, [queue = service->submit_queue_.get()] {
         return static_cast<int64_t>(queue->pending());
       });
+  for (RequestPriority priority :
+       {RequestPriority::kInteractive, RequestPriority::kNormal,
+        RequestPriority::kBatch}) {
+    service->metrics_.AddGaugeCallback(
+        "submission_queue_depth_by_priority",
+        {{"priority", PriorityName(priority)}},
+        [queue = service->submit_queue_.get(), priority] {
+          return static_cast<int64_t>(queue->pending(priority));
+        });
+  }
   service->metrics_.AddCounterCallback(
       "submission_queue_submitted_total", {},
       [queue = service->submit_queue_.get()] { return queue->submitted(); });
@@ -825,7 +841,7 @@ Result<RouteResponse> RemoteShardedRoutingService::Query(
   PreparedRoute prepared;
   Status status = PrepareQuery(request, &prepared);
   if (!status.ok()) {
-    svc_metrics_.RecordRejected();
+    svc_metrics_.RecordQueryFailure(status);
     return status;
   }
 
@@ -851,12 +867,12 @@ Result<RouteResponse> RemoteShardedRoutingService::Query(
   if (!provider.error().ok()) {
     // A partial fetch failed mid-solve: whatever the solver produced is
     // untrustworthy. Degrade to the transport error, never a wrong answer.
-    svc_metrics_.RecordRejected();
+    svc_metrics_.RecordQueryFailure(provider.error());
     partial_rpc_errors_.Increment();
     return provider.error();
   }
   if (!solved.ok()) {
-    svc_metrics_.RecordRejected();
+    svc_metrics_.RecordQueryFailure(solved.status());
     return solved.status();
   }
   RouteResponse response =
@@ -970,16 +986,9 @@ Result<RouteBatchResponse> RemoteShardedRoutingService::QueryBatch(
     batch.batch_micros = timer.ElapsedMicros();
   }
 
-  for (const KspBatchItem& item : batch.items) {
-    if (item.status.ok()) {
-      ++batch.num_ok;
-    } else {
-      ++batch.num_rejected;
-    }
-  }
-  // Accepted items were recorded per solve (kind/backend/latency); only the
-  // rejection total is settled here.
-  svc_metrics_.RecordRejected(batch.num_rejected);
+  // Accepted items were recorded per solve (kind/backend/latency); the
+  // admission classification and the rejection/shed totals settle here.
+  svc_metrics_.FinalizeBatchAdmission(batch);
   return batch;
 }
 
@@ -987,7 +996,8 @@ BatchTicket RemoteShardedRoutingService::SubmitBatch(
     std::vector<RouteRequest> requests, BatchCallback callback) const {
   MarkServing();
   return BatchTicket::SubmitTo(*submit_queue_, *this, std::move(requests),
-                               std::move(callback));
+                               std::move(callback),
+                               svc_metrics_.admission_view());
 }
 
 Result<TrafficBatchResult> RemoteShardedRoutingService::ApplyTrafficBatch(

@@ -160,8 +160,13 @@ struct RemoteShardedRoutingServiceOptions {
   unsigned apply_threads = 0;
   /// Threads answering one QueryBatch (0 = auto, capped at 16).
   unsigned batch_threads = 0;
-  /// SubmitBatch queue capacity (0 is treated as 1).
+  /// SubmitBatch queue capacity (0 is treated as 1). No-envelope submits
+  /// block when full (backpressure); QoS submits shed instead.
   size_t submit_queue_capacity = 8;
+  /// Max pending SubmitBatch envelopes one tenant_id may hold at once;
+  /// over-quota QoS submits are shed with kResourceExhausted instead of
+  /// blocking (0 = unlimited, tenants with an empty id are unmetered).
+  size_t per_tenant_quota = 0;
   RemoteWorkerOptions remote;
 };
 

@@ -461,6 +461,8 @@ Status ErrorReply::ToStatus() const {
       return Status::Unavailable(message);
     case StatusCode::kDeadlineExceeded:
       return Status::DeadlineExceeded(message);
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(message);
   }
   return Status::Internal(message);
 }
@@ -476,7 +478,7 @@ Status ErrorReply::Decode(std::string_view payload, ErrorReply* out) {
   WireReader r(payload);
   uint8_t code = 0;
   KSPDG_RETURN_NOT_OK(r.U8(&code));
-  if (code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
+  if (code > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
     return Status::InvalidArgument("error reply carries an unknown code");
   }
   out->code = static_cast<StatusCode>(code);

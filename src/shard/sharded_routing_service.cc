@@ -304,13 +304,29 @@ Result<std::unique_ptr<ShardedRoutingService>> ShardedRoutingService::Create(
       service->metrics_.GetCounter("submission_queue_enqueue_blocked_total");
   queue_metrics.enqueue_block_micros = service->metrics_.GetHistogram(
       "submission_queue_enqueue_block_micros", {}, LatencyBucketsMicros());
+  queue_metrics.shed_deadline_total =
+      service->metrics_.GetCounter("submission_queue_shed_deadline_total");
+  queue_metrics.shed_quota_total =
+      service->metrics_.GetCounter("submission_queue_shed_quota_total");
+  AdmissionOptions admission;
+  admission.per_tenant_quota = service->options_.per_tenant_quota;
   service->submit_queue_ = std::make_unique<SubmissionQueue>(
       service->options_.submit_queue_capacity, /*num_workers=*/1,
-      std::move(queue_metrics));
+      std::move(queue_metrics), admission);
   service->metrics_.AddGaugeCallback(
       "submission_queue_depth", {}, [queue = service->submit_queue_.get()] {
         return static_cast<int64_t>(queue->pending());
       });
+  for (RequestPriority priority :
+       {RequestPriority::kInteractive, RequestPriority::kNormal,
+        RequestPriority::kBatch}) {
+    service->metrics_.AddGaugeCallback(
+        "submission_queue_depth_by_priority",
+        {{"priority", PriorityName(priority)}},
+        [queue = service->submit_queue_.get(), priority] {
+          return static_cast<int64_t>(queue->pending(priority));
+        });
+  }
   service->metrics_.AddCounterCallback(
       "submission_queue_submitted_total", {},
       [queue = service->submit_queue_.get()] { return queue->submitted(); });
@@ -345,7 +361,7 @@ Result<RouteResponse> ShardedRoutingService::Query(
   PreparedRoute prepared;
   Status status = PrepareQuery(request, &prepared);
   if (!status.ok()) {
-    svc_metrics_.RecordRejected();
+    svc_metrics_.RecordQueryFailure(status);
     return status;
   }
 
@@ -369,7 +385,7 @@ Result<RouteResponse> ShardedRoutingService::Query(
   WallTimer timer;
   Result<KspQueryResult> solved = prepared.solver->Solve(input);
   if (!solved.ok()) {
-    svc_metrics_.RecordRejected();
+    svc_metrics_.RecordQueryFailure(solved.status());
     return solved.status();
   }
   RouteResponse response =
@@ -497,16 +513,9 @@ Result<RouteBatchResponse> ShardedRoutingService::QueryBatch(
     batch.batch_micros = timer.ElapsedMicros();
   }
 
-  for (const KspBatchItem& item : batch.items) {
-    if (item.status.ok()) {
-      ++batch.num_ok;
-    } else {
-      ++batch.num_rejected;
-    }
-  }
-  // Accepted items were recorded per solve (kind/backend/latency); only the
-  // rejection total is settled here.
-  svc_metrics_.RecordRejected(batch.num_rejected);
+  // Accepted items were recorded per solve (kind/backend/latency); the
+  // admission classification and the rejection/shed totals settle here.
+  svc_metrics_.FinalizeBatchAdmission(batch);
   return batch;
 }
 
@@ -514,7 +523,8 @@ BatchTicket ShardedRoutingService::SubmitBatch(
     std::vector<RouteRequest> requests, BatchCallback callback) const {
   MarkServing();
   return BatchTicket::SubmitTo(*submit_queue_, *this, std::move(requests),
-                               std::move(callback));
+                               std::move(callback),
+                               svc_metrics_.admission_view());
 }
 
 Result<TrafficBatchResult> ShardedRoutingService::ApplyTrafficBatch(

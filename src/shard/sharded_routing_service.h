@@ -83,9 +83,14 @@ struct ShardedRoutingServiceOptions {
   /// Threads answering one QueryBatch (0 = one per hardware thread, capped
   /// at 16; 1 = batches execute inline on the caller).
   unsigned batch_threads = 0;
-  /// Batches the async SubmitBatch queue buffers before Submit blocks for
-  /// backpressure (0 is treated as 1).
+  /// Batches the async SubmitBatch queue buffers before admission engages:
+  /// no-envelope submits block (backpressure), QoS submits shed or displace
+  /// queued batch-class work (0 is treated as 1).
   size_t submit_queue_capacity = 8;
+  /// Max pending SubmitBatch envelopes one tenant_id may hold at once;
+  /// over-quota QoS submits are shed with kResourceExhausted instead of
+  /// blocking (0 = unlimited, tenants with an empty id are unmetered).
+  size_t per_tenant_quota = 0;
 };
 
 /// Point-in-time view of one shard, for monitoring and the bench "shard"

@@ -366,6 +366,82 @@ std::string BenchReport::ToJson() const {
   AppendJsonKey(out, "inprocess_qps", "    ");
   out << remote_shard.inprocess_qps << "\n";
   out << "  },\n";
+  AppendJsonKey(out, "overload", "  ");
+  out << "{\n";
+  AppendJsonKey(out, "factor", "    ");
+  out << overload.factor << ",\n";
+  AppendJsonKey(out, "requests", "    ");
+  out << overload.requests << ",\n";
+  AppendJsonKey(out, "queue_capacity", "    ");
+  out << overload.queue_capacity << ",\n";
+  AppendJsonKey(out, "per_tenant_quota", "    ");
+  out << overload.per_tenant_quota << ",\n";
+  AppendJsonKey(out, "num_tenants", "    ");
+  out << overload.num_tenants << ",\n";
+  AppendJsonKey(out, "capacity_qps", "    ");
+  out << overload.capacity_qps << ",\n";
+  AppendJsonKey(out, "offered_qps", "    ");
+  out << overload.offered_qps << ",\n";
+  AppendJsonKey(out, "admitted", "    ");
+  out << overload.admitted << ",\n";
+  AppendJsonKey(out, "shed_deadline", "    ");
+  out << overload.shed_deadline << ",\n";
+  AppendJsonKey(out, "shed_quota", "    ");
+  out << overload.shed_quota << ",\n";
+  AppendJsonKey(out, "accounted", "    ");
+  out << overload.accounted << ",\n";
+  AppendJsonKey(out, "errors", "    ");
+  out << overload.errors << ",\n";
+  AppendJsonKey(out, "mismatches", "    ");
+  out << overload.mismatches << ",\n";
+  AppendJsonKey(out, "registry_admitted", "    ");
+  out << overload.registry_admitted << ",\n";
+  AppendJsonKey(out, "registry_shed_deadline", "    ");
+  out << overload.registry_shed_deadline << ",\n";
+  AppendJsonKey(out, "registry_shed_quota", "    ");
+  out << overload.registry_shed_quota << ",\n";
+  AppendJsonKey(out, "elapsed_micros", "    ");
+  out << overload.elapsed_micros << ",\n";
+  AppendJsonKey(out, "goodput_qps", "    ");
+  out << overload.goodput_qps << ",\n";
+  // Flattened copies of the headline per-priority numbers so single
+  // --check lines can compare them (the checker dereferences paths, it
+  // does not compute across objects).
+  AppendJsonKey(out, "interactive_goodput_qps", "    ");
+  out << overload.per_priority[0].goodput_qps << ",\n";
+  AppendJsonKey(out, "batch_goodput_qps", "    ");
+  out << overload.per_priority[2].goodput_qps << ",\n";
+  AppendJsonKey(out, "interactive_p99_micros", "    ");
+  out << overload.per_priority[0].p99_micros << ",\n";
+  AppendJsonKey(out, "batch_p99_micros", "    ");
+  out << overload.per_priority[2].p99_micros << ",\n";
+  AppendJsonKey(out, "per_priority", "    ");
+  out << "{\n";
+  for (size_t p = 0; p < 3; ++p) {
+    const OverloadPriorityStats& slice = overload.per_priority[p];
+    AppendJsonKey(out, PriorityName(static_cast<RequestPriority>(p)),
+                  "      ");
+    out << "{\n";
+    AppendJsonKey(out, "issued", "        ");
+    out << slice.issued << ",\n";
+    AppendJsonKey(out, "served", "        ");
+    out << slice.served << ",\n";
+    AppendJsonKey(out, "shed_deadline", "        ");
+    out << slice.shed_deadline << ",\n";
+    AppendJsonKey(out, "shed_quota", "        ");
+    out << slice.shed_quota << ",\n";
+    AppendJsonKey(out, "errors", "        ");
+    out << slice.errors << ",\n";
+    AppendJsonKey(out, "goodput_qps", "        ");
+    out << slice.goodput_qps << ",\n";
+    AppendJsonKey(out, "p50_micros", "        ");
+    out << slice.p50_micros << ",\n";
+    AppendJsonKey(out, "p99_micros", "        ");
+    out << slice.p99_micros << "\n";
+    out << "      }" << (p + 1 < 3 ? "," : "") << "\n";
+  }
+  out << "    }\n";
+  out << "  },\n";
   AppendJsonKey(out, "metrics", "  ");
   out << "{\n";
   AppendJsonKey(out, "mixed", "    ");
@@ -470,6 +546,10 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
     // The read-scaling baseline builds a third fleet at R=1.
     if (options.replicas > 1) remote_r1_graph = graph;
   }
+  // The overload phase needs an unperturbed service whose capacity pass
+  // doubles as the parity reference, so it too starts from pristine weights.
+  Graph overload_graph;
+  if (options.overload_factor > 0) overload_graph = graph;
 
   RoutingServiceOptions service_options;
   service_options.defaults.k = options.k;
@@ -545,11 +625,11 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
       size_t i = next_item.fetch_add(1, std::memory_order_relaxed);
       if (i >= work.size()) return;
       const WorkItem& item = work[i];
-      KspRequest request;
+      RouteRequest request;
       request.source = item.source;
       request.target = item.target;
       request.options.backend = options.backends[item.backend_index];
-      Result<KspResponse> response = service->Query(request);
+      Result<RouteResponse> response = service->Query(request);
       std::lock_guard<std::mutex> guard(stats_mu);
       BackendBenchStats& s = stats[item.backend_index];
       ++s.queries;
@@ -557,7 +637,7 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
         ++s.errors;
         continue;
       }
-      const KspResponse& r = response.value();
+      const RouteResponse& r = response.value();
       s.paths_returned += r.paths.size();
       latency_samples[item.backend_index].push_back(r.stats.solve_micros);
       s.total_micros += r.stats.solve_micros;
@@ -641,10 +721,10 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
   // difference isolates what batching buys (single lock acquisition,
   // pooled worker scratch, parallel execution).
   if (options.batch_size > 0) {
-    std::vector<KspRequest> requests;
+    std::vector<RouteRequest> requests;
     requests.reserve(work.size());
     for (const WorkItem& item : work) {
-      KspRequest request;
+      RouteRequest request;
       request.source = item.source;
       request.target = item.target;
       request.options.backend = options.backends[item.backend_index];
@@ -655,7 +735,7 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
     phase.requests = requests.size();
 
     WallTimer sequential_timer;
-    for (const KspRequest& request : requests) {
+    for (const RouteRequest& request : requests) {
       if (!service->Query(request).ok()) ++phase.errors;
     }
     phase.sequential_micros = sequential_timer.ElapsedMicros();
@@ -665,16 +745,16 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
     for (size_t begin = 0; begin < requests.size();
          begin += options.batch_size) {
       size_t count = std::min(options.batch_size, requests.size() - begin);
-      Result<KspBatchResponse> batched = service->QueryBatch(
-          std::span<const KspRequest>(requests.data() + begin, count));
+      Result<RouteBatchResponse> batched = service->QueryBatch(
+          std::span<const RouteRequest>(requests.data() + begin, count));
       if (!batched.ok()) {
         phase.errors += count;
         continue;
       }
       mixed_issued += count;
-      const KspBatchResponse& b = batched.value();
+      const RouteBatchResponse& b = batched.value();
       phase.errors += b.num_rejected;
-      for (const KspBatchItem& item : b.items) {
+      for (const RouteBatchItem& item : b.items) {
         if (item.status.ok() && item.response.epoch != b.epoch) {
           ++phase.non_uniform_batches;
           break;
@@ -833,10 +913,10 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
       if (ok) ++phase.batches_applied;
     }
 
-    std::vector<KspRequest> requests;
+    std::vector<RouteRequest> requests;
     requests.reserve(work.size() * (options.diverse ? 2 : 1));
     for (const WorkItem& item : work) {
-      KspRequest request;
+      RouteRequest request;
       request.source = item.source;
       request.target = item.target;
       request.options.backend = options.backends[item.backend_index];
@@ -919,7 +999,7 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
       for (size_t begin = 0; begin < requests.size();
            begin += options.batch_size) {
         size_t count = std::min(options.batch_size, requests.size() - begin);
-        tickets.push_back(sharded->SubmitBatch(std::vector<KspRequest>(
+        tickets.push_back(sharded->SubmitBatch(std::vector<RouteRequest>(
             requests.begin() + begin, requests.begin() + begin + count)));
       }
       combined.batches_submitted = tickets.size();
@@ -927,17 +1007,17 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
       item_samples.reserve(requests.size());
       size_t next = 0;
       for (const BatchTicket& ticket : tickets) {
-        const Result<KspBatchResponse>& outcome = ticket.Wait();
+        const Result<RouteBatchResponse>& outcome = ticket.Wait();
         size_t count = std::min(options.batch_size, requests.size() - next);
         if (!outcome.ok()) {
           combined.errors += count;
           next += count;
           continue;
         }
-        const KspBatchResponse& b = outcome.value();
+        const RouteBatchResponse& b = outcome.value();
         combined_issued += b.items.size();
         bool uniform = true;
-        for (const KspBatchItem& item : b.items) {
+        for (const RouteBatchItem& item : b.items) {
           size_t i = next++;
           if (!item.status.ok() || i >= requests.size()) {
             ++combined.errors;
@@ -1221,6 +1301,224 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
       phase.remote_batch_qps = static_cast<double>(phase.requests) /
                                (phase.remote_batch_micros / 1e6);
     }
+  }
+
+  // Overload phase: make admission control choose. A fresh service first
+  // answers the distinct request list sequentially — that pass measures its
+  // capacity AND records the no-pressure reference answers — then the same
+  // requests, dressed with rotating priorities / tenants / per-priority
+  // deadlines, are offered open-loop at factor x capacity through
+  // SubmitBatch. The pacer never blocks (QoS submits shed instead), so the
+  // offered rate really is open-loop; the accounting must be exact
+  // (served + shed_deadline + shed_quota == offered) and every served
+  // answer must match the reference path-for-path.
+  if (options.overload_factor > 0) {
+    OverloadPhaseStats& phase = report.overload;
+    phase.factor = options.overload_factor;
+
+    RoutingServiceOptions overload_options = service_options;
+    // Small queue + per-tenant quota so both shed reasons and the
+    // priority-eviction path engage at modest offered loads.
+    overload_options.submit_queue_capacity = 8;
+    overload_options.per_tenant_quota = 4;
+    constexpr size_t kNumTenants = 4;
+    phase.queue_capacity = overload_options.submit_queue_capacity;
+    phase.per_tenant_quota = overload_options.per_tenant_quota;
+    phase.num_tenants = kNumTenants;
+
+    Result<std::unique_ptr<RoutingService>> overload_or =
+        RoutingService::Create(std::move(overload_graph), overload_options);
+    if (!overload_or.ok()) return overload_or.status();
+    std::unique_ptr<RoutingService> overload_svc =
+        std::move(overload_or).value();
+
+    std::vector<RouteRequest> distinct;
+    distinct.reserve(work.size());
+    for (const WorkItem& item : work) {
+      RouteRequest request;
+      request.source = item.source;
+      request.target = item.target;
+      request.options.backend = options.backends[item.backend_index];
+      distinct.push_back(std::move(request));
+    }
+
+    // Capacity pass (no pressure, no QoS): reference answers + the rate the
+    // offered load is a multiple of.
+    QueryPassResult reference = RunQueryPass(*overload_svc, distinct);
+    phase.errors += reference.errors;
+    double mean_micros =
+        reference.elapsed_micros / static_cast<double>(distinct.size());
+    if (mean_micros <= 0) mean_micros = 1;
+    phase.capacity_qps =
+        static_cast<double>(distinct.size()) /
+        (reference.elapsed_micros > 0 ? reference.elapsed_micros / 1e6 : 1e-6);
+    AdmissionCounters admission_before =
+        AdmissionCountersFrom(overload_svc->Metrics());
+
+    // Offered load: every distinct request four times over, priorities
+    // drawn from a repeating interactive-light / batch-heavy pattern
+    // (3 : 1 : 6 per ten requests). Under strict priority a uniform mix at
+    // sustained overload starves the batch class completely (every batch
+    // entry is displaced before the queue ever drains down to it); with
+    // this mix interactive + normal under-fill capacity, so the leftover
+    // trickle serves batch work late — which is exactly the contrast the
+    // phase exists to measure (interactive p99 far below batch p99, both
+    // real). Tenants rotate so each one sees the same mix. Deadlines scale
+    // with the measured mean solve time — generous for interactive (it
+    // jumps the queue, so it should nearly always make it), tight for
+    // normal, none for batch (batch is displaced or quota-shed, never
+    // deadline-shed).
+    constexpr RequestPriority kPriorityPattern[] = {
+        RequestPriority::kInteractive, RequestPriority::kInteractive,
+        RequestPriority::kInteractive, RequestPriority::kNormal,
+        RequestPriority::kBatch,       RequestPriority::kBatch,
+        RequestPriority::kBatch,       RequestPriority::kBatch,
+        RequestPriority::kBatch,       RequestPriority::kBatch};
+    constexpr size_t kPatternSize =
+        sizeof(kPriorityPattern) / sizeof(kPriorityPattern[0]);
+    const size_t total = distinct.size() * 4;
+    phase.requests = total;
+    const double interval_micros =
+        1e6 / (options.overload_factor * phase.capacity_qps);
+    const auto interactive_budget = std::chrono::microseconds(
+        static_cast<int64_t>(mean_micros * 64));
+    const auto normal_budget =
+        std::chrono::microseconds(static_cast<int64_t>(mean_micros * 16));
+    std::vector<std::string> tenants;
+    for (size_t t = 0; t < kNumTenants; ++t) {
+      tenants.push_back(std::string("t") + std::to_string(t));
+    }
+
+    struct OverloadOutcome {
+      AdmissionOutcome admission = AdmissionOutcome::kRejected;
+      bool ok = false;
+      bool mismatch = false;
+      double latency_micros = 0;
+    };
+    std::vector<OverloadOutcome> outcomes(total);
+    std::vector<BatchTicket> tickets;
+    tickets.reserve(total);
+    // Tickets are fulfilled BEFORE their callbacks run, so Wait() alone
+    // does not order the slot writes below against the reads after the
+    // loop; this counter does.
+    std::atomic<size_t> callbacks_done{0};
+
+    WallTimer overload_timer;
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < total; ++i) {
+      std::this_thread::sleep_until(
+          start + std::chrono::microseconds(
+                      static_cast<int64_t>(interval_micros * i)));
+      const size_t distinct_index = i % distinct.size();
+      RouteRequest request = distinct[distinct_index];
+      request.context.priority = kPriorityPattern[i % kPatternSize];
+      request.context.tenant_id = tenants[i % kNumTenants];
+      const auto now = std::chrono::steady_clock::now();
+      if (request.context.priority == RequestPriority::kInteractive) {
+        request.context.deadline = now + interactive_budget;
+      } else if (request.context.priority == RequestPriority::kNormal) {
+        request.context.deadline = now + normal_budget;
+      }
+      OverloadOutcome* slot = &outcomes[i];
+      const std::vector<Path>* want =
+          reference.answered[distinct_index] ? &reference.paths[distinct_index]
+                                             : nullptr;
+      std::vector<RouteRequest> one;
+      one.push_back(std::move(request));
+      tickets.push_back(overload_svc->SubmitBatch(
+          std::move(one),
+          [slot, want, now,
+           &callbacks_done](const Result<RouteBatchResponse>& result) {
+            slot->latency_micros =
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - now)
+                    .count();
+            if (result.ok() && result.value().items.size() == 1) {
+              const RouteBatchItem& item = result.value().items.front();
+              slot->admission = item.admission;
+              slot->ok = item.status.ok();
+              if (slot->ok && want != nullptr &&
+                  !SamePaths(item.response.paths, *want)) {
+                slot->mismatch = true;
+              }
+            }
+            callbacks_done.fetch_add(1, std::memory_order_release);
+          }));
+    }
+    for (const BatchTicket& ticket : tickets) ticket.Wait();
+    while (callbacks_done.load(std::memory_order_acquire) < total) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    phase.elapsed_micros = overload_timer.ElapsedMicros();
+    phase.offered_qps =
+        static_cast<double>(total) / (phase.elapsed_micros / 1e6);
+
+    std::vector<std::vector<double>> latency_by_priority(kNumPriorities);
+    for (size_t i = 0; i < total; ++i) {
+      const OverloadOutcome& got = outcomes[i];
+      const size_t priority =
+          static_cast<size_t>(kPriorityPattern[i % kPatternSize]);
+      OverloadPriorityStats& slice = phase.per_priority[priority];
+      ++slice.issued;
+      switch (got.admission) {
+        case AdmissionOutcome::kServed:
+          if (got.ok) {
+            ++phase.admitted;
+            ++slice.served;
+            latency_by_priority[priority].push_back(got.latency_micros);
+            if (got.mismatch) ++phase.mismatches;
+          } else {
+            // Admitted but failed to solve: not an admission outcome at
+            // all — a real error.
+            ++phase.errors;
+            ++slice.errors;
+          }
+          break;
+        case AdmissionOutcome::kShedDeadline:
+          ++phase.shed_deadline;
+          ++slice.shed_deadline;
+          break;
+        case AdmissionOutcome::kShedQuota:
+          ++phase.shed_quota;
+          ++slice.shed_quota;
+          break;
+        case AdmissionOutcome::kRejected:
+          ++phase.errors;
+          ++slice.errors;
+          break;
+      }
+    }
+    phase.accounted = phase.admitted + phase.shed_deadline + phase.shed_quota;
+    if (phase.elapsed_micros > 0) {
+      phase.goodput_qps =
+          static_cast<double>(phase.admitted) / (phase.elapsed_micros / 1e6);
+      for (size_t p = 0; p < kNumPriorities; ++p) {
+        phase.per_priority[p].goodput_qps =
+            static_cast<double>(phase.per_priority[p].served) /
+            (phase.elapsed_micros / 1e6);
+      }
+    }
+    for (size_t p = 0; p < kNumPriorities; ++p) {
+      phase.per_priority[p].p50_micros =
+          Percentile(latency_by_priority[p], 50);
+      phase.per_priority[p].p99_micros =
+          Percentile(latency_by_priority[p], 99);
+    }
+
+    // The service's own registry must tell the same story as the harness
+    // tallies (delta over the overload window; the capacity pass already
+    // bumped admitted once per reference answer).
+    MetricsSnapshot overload_snapshot = overload_svc->Metrics();
+    AdmissionCounters admission_after =
+        AdmissionCountersFrom(overload_snapshot);
+    phase.registry_admitted =
+        admission_after.admitted - admission_before.admitted;
+    phase.registry_shed_deadline =
+        admission_after.shed_deadline - admission_before.shed_deadline;
+    phase.registry_shed_quota =
+        admission_after.shed_quota - admission_before.shed_quota;
+    overload_snapshot.AddLabel("service", "overload");
+    fleet_export.Merge(overload_snapshot);
   }
 
   report.metrics_export = fleet_export.ToJson();

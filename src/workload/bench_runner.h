@@ -76,6 +76,16 @@ struct BenchOptions {
   /// shard_worker binary for the remote phase (empty = auto-locate next to
   /// the current executable, or $KSPDG_WORKER_BIN).
   std::string worker_binary;
+  /// When > 0, an open-loop overload phase runs after the other phases: a
+  /// fresh RoutingService (pristine graph copy, own registry) first answers
+  /// the request list sequentially to measure its capacity (and record the
+  /// reference answers), then the same requests — with rotating priorities,
+  /// tenants, and per-priority deadlines — are offered open-loop at this
+  /// factor times the measured capacity through SubmitBatch. The phase
+  /// reports goodput, shed counts by reason, per-priority latency
+  /// percentiles, and checks every served answer against the reference
+  /// ("overload" JSON object).
+  double overload_factor = 0;
   /// When true, a diversity phase runs after the batch phase: the mixed
   /// request list is answered once as plain kKsp and once as kDiverseKsp
   /// (over-fetch + MFP/MinHash filter), contrasting the two throughputs
@@ -303,6 +313,71 @@ struct DiversePhaseStats {
   double overhead = 0;
 };
 
+/// One priority class's slice of the overload phase.
+struct OverloadPriorityStats {
+  /// Requests offered with this priority.
+  size_t issued = 0;
+  /// Requests admitted, solved, and answered OK.
+  size_t served = 0;
+  /// Requests shed because their deadline expired before solving.
+  size_t shed_deadline = 0;
+  /// Requests shed by quota/queue pressure (kResourceExhausted).
+  size_t shed_quota = 0;
+  /// Any other failure (must be 0).
+  size_t errors = 0;
+  /// served / elapsed seconds of the overload window.
+  double goodput_qps = 0;
+  /// Submit-to-completion latency percentiles over served requests.
+  double p50_micros = 0;
+  double p99_micros = 0;
+};
+
+/// Open-loop overload phase ("overload" JSON object): load is offered at
+/// `factor` x the service's measured sequential capacity, with mixed
+/// priorities, per-tenant quotas, and per-priority deadlines, so admission
+/// control has to choose. The accounting is exact: every offered request is
+/// served, shed-on-deadline, or shed-on-quota — never silently dropped and
+/// never blocked — and every served answer must match the no-pressure
+/// reference path-for-path.
+struct OverloadPhaseStats {
+  /// Offered-load multiplier; 0 means the phase did not run.
+  double factor = 0;
+  /// Requests offered during the overload window.
+  size_t requests = 0;
+  /// Queue capacity / per-tenant quota / tenant count the phase ran with.
+  size_t queue_capacity = 0;
+  size_t per_tenant_quota = 0;
+  size_t num_tenants = 0;
+  /// Sequential no-pressure throughput measured before the overload window
+  /// (the capacity the offered load is a multiple of).
+  double capacity_qps = 0;
+  /// requests / elapsed seconds actually achieved by the open-loop pacer.
+  double offered_qps = 0;
+  /// Admission outcomes; admitted + shed_deadline + shed_quota == requests.
+  size_t admitted = 0;
+  size_t shed_deadline = 0;
+  size_t shed_quota = 0;
+  /// admitted + shed_deadline + shed_quota, so the identity above is
+  /// checkable with one `--check overload.accounted == overload.requests`.
+  size_t accounted = 0;
+  /// Non-admission failures (must be 0).
+  size_t errors = 0;
+  /// Served answers that differed from the no-pressure reference (must be
+  /// 0: pressure may shed work, never corrupt it).
+  size_t mismatches = 0;
+  /// The service registry's own admission counters over the phase
+  /// (AdmissionCountersFrom); must agree with the harness tallies above.
+  uint64_t registry_admitted = 0;
+  uint64_t registry_shed_deadline = 0;
+  uint64_t registry_shed_quota = 0;
+  double elapsed_micros = 0;
+  /// admitted / elapsed seconds across all priorities.
+  double goodput_qps = 0;
+  /// Per-priority slices, indexed by RequestPriority (interactive, normal,
+  /// batch).
+  OverloadPriorityStats per_priority[3];
+};
+
 /// Registry-derived counter deltas for one bench phase, paired with the
 /// number of requests the harness actually handed to that service, so the
 /// invariant "every issued request is accounted exactly once as ok or
@@ -370,6 +445,8 @@ struct BenchReport {
   ShardBatchPhaseStats shard_batch;
   /// Remote-vs-in-process sharded phase (num_shards 0 when not requested).
   RemoteShardPhaseStats remote_shard;
+  /// Open-loop admission-control phase (factor 0 when not requested).
+  OverloadPhaseStats overload;
   /// Registry cross-check over the phases above ("metrics" JSON object).
   BenchMetricsSummary metrics;
   /// Full merged metrics snapshot of every service the bench built, each

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cmath>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -40,9 +41,9 @@ std::unique_ptr<RoutingService> MustCreate(Graph g, uint32_t z = 0,
   return std::move(service).value();
 }
 
-KspRequest MakeRequest(VertexId s, VertexId t, const std::string& backend,
+RouteRequest MakeRequest(VertexId s, VertexId t, const std::string& backend,
                        uint32_t k) {
-  KspRequest request;
+  RouteRequest request;
   request.source = s;
   request.target = t;
   request.options.backend = backend;
@@ -53,7 +54,7 @@ KspRequest MakeRequest(VertexId s, VertexId t, const std::string& backend,
 std::vector<Path> MustSolve(const RoutingService& service, VertexId s,
                             VertexId t, const std::string& backend,
                             uint32_t k) {
-  Result<KspResponse> response =
+  Result<RouteResponse> response =
       service.Query(MakeRequest(s, t, backend, k));
   if (!response.ok()) {
     ADD_FAILURE() << response.status().ToString();
@@ -142,7 +143,7 @@ TEST(RoutingServiceTest, InvalidRequestsAreRejected) {
   EXPECT_EQ(
       service->Query(MakeRequest(0, 5, kBackendDijkstra, 3)).status().code(),
       StatusCode::kInvalidArgument);
-  KspRequest bad_iters = MakeRequest(0, 5, kBackendKspDg, 2);
+  RouteRequest bad_iters = MakeRequest(0, 5, kBackendKspDg, 2);
   bad_iters.options.max_iterations = 0;
   EXPECT_EQ(service->Query(bad_iters).status().code(),
             StatusCode::kInvalidArgument);
@@ -230,20 +231,20 @@ TEST(RoutingServiceTest, DefaultsAndOverridesLayer) {
   ASSERT_TRUE(service != nullptr);
 
   // No overrides: service defaults apply.
-  KspRequest plain;
+  RouteRequest plain;
   plain.source = 0;
   plain.target = 19;
-  Result<KspResponse> response = service->Query(plain);
+  Result<RouteResponse> response = service->Query(plain);
   ASSERT_TRUE(response.ok()) << response.status().ToString();
   EXPECT_EQ(response.value().backend, kBackendYen);
   EXPECT_EQ(response.value().k, 3u);
   EXPECT_LE(response.value().paths.size(), 3u);
 
   // Per-request override wins without disturbing the defaults.
-  KspRequest override_request = plain;
+  RouteRequest override_request = plain;
   override_request.options.k = 1;
   override_request.options.backend = kBackendDijkstra;
-  Result<KspResponse> overridden = service->Query(override_request);
+  Result<RouteResponse> overridden = service->Query(override_request);
   ASSERT_TRUE(overridden.ok()) << overridden.status().ToString();
   EXPECT_EQ(overridden.value().backend, kBackendDijkstra);
   EXPECT_EQ(overridden.value().k, 1u);
@@ -312,7 +313,7 @@ TEST(RoutingServiceTest, RegisterSolverAfterServingIsRejected) {
   Graph g2 = MakeRandomConnected(12, 14, 1, 9, 62);
   std::unique_ptr<RoutingService> batch_service = MustCreate(std::move(g2));
   ASSERT_TRUE(batch_service != nullptr);
-  std::vector<KspRequest> requests = {MakeRequest(0, 11, kBackendYen, 2)};
+  std::vector<RouteRequest> requests = {MakeRequest(0, 11, kBackendYen, 2)};
   ASSERT_TRUE(batch_service->QueryBatch(requests).ok());
   EXPECT_EQ(
       batch_service->RegisterSolver(std::make_unique<NullSolver>()).code(),
@@ -324,7 +325,7 @@ TEST(RoutingServiceTest, CustomSolverServesQueries) {
   std::unique_ptr<RoutingService> service = MustCreate(std::move(g));
   ASSERT_TRUE(service != nullptr);
   ASSERT_TRUE(service->RegisterSolver(std::make_unique<NullSolver>()).ok());
-  Result<KspResponse> response = service->Query(MakeRequest(0, 9, "null", 2));
+  Result<RouteResponse> response = service->Query(MakeRequest(0, 9, "null", 2));
   ASSERT_TRUE(response.ok()) << response.status().ToString();
   EXPECT_TRUE(response.value().paths.empty());
   EXPECT_EQ(response.value().backend, "null");
@@ -360,13 +361,13 @@ TEST(RoutingServiceTest, ConcurrentQueriesAndUpdatesSeeConsistentEpochs) {
       VertexId t = static_cast<VertexId>((i * 13 + 19) % 40);
       ++i;
       if (s == t) continue;
-      Result<KspResponse> response =
+      Result<RouteResponse> response =
           service->Query(MakeRequest(s, t, backends[i % 3], 4));
       if (!response.ok()) {
         failures.fetch_add(1);
         continue;
       }
-      const KspResponse& r = response.value();
+      const RouteResponse& r = response.value();
       if (r.epoch < last_epoch) failures.fetch_add(1);  // must be monotone
       last_epoch = r.epoch;
       if (r.epoch > kBatches) failures.fetch_add(1);
@@ -419,7 +420,7 @@ TEST(QueryBatchTest, MatchesSequentialAcrossAllBackends) {
     // All four backends over several endpoint pairs in one batch.
     const std::pair<VertexId, VertexId> endpoints[] = {
         {0, 25}, {3, 21}, {7, 14}, {1, 24}};
-    std::vector<KspRequest> requests;
+    std::vector<RouteRequest> requests;
     for (const auto& [s, t] : endpoints) {
       for (const char* backend :
            {kBackendKspDg, kBackendYen, kBackendFindKsp, kBackendDijkstra}) {
@@ -427,17 +428,17 @@ TEST(QueryBatchTest, MatchesSequentialAcrossAllBackends) {
         requests.push_back(MakeRequest(s, t, backend, k));
       }
     }
-    Result<KspBatchResponse> batched = service->QueryBatch(requests);
+    Result<RouteBatchResponse> batched = service->QueryBatch(requests);
     ASSERT_TRUE(batched.ok()) << batched.status().ToString();
-    const KspBatchResponse& b = batched.value();
+    const RouteBatchResponse& b = batched.value();
     ASSERT_EQ(b.items.size(), requests.size());
     EXPECT_EQ(b.num_ok, requests.size());
     EXPECT_EQ(b.num_rejected, 0u);
 
     for (size_t i = 0; i < requests.size(); ++i) {
-      const KspBatchItem& item = b.items[i];
+      const RouteBatchItem& item = b.items[i];
       ASSERT_TRUE(item.status.ok()) << i << ": " << item.status.ToString();
-      Result<KspResponse> sequential = service->Query(requests[i]);
+      Result<RouteResponse> sequential = service->Query(requests[i]);
       ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
       EXPECT_EQ(item.response.backend, sequential.value().backend);
       ExpectSameDistances(item.response.paths, sequential.value().paths,
@@ -452,7 +453,7 @@ TEST(QueryBatchTest, MixedValidAndInvalidRequestsInOneBatch) {
   std::unique_ptr<RoutingService> service = MustCreate(std::move(g), /*z=*/8);
   ASSERT_TRUE(service != nullptr);
 
-  std::vector<KspRequest> requests;
+  std::vector<RouteRequest> requests;
   requests.push_back(MakeRequest(0, 19, kBackendYen, 3));           // ok
   requests.push_back(MakeRequest(0, 19, kBackendYen, 0));           // k = 0
   requests.push_back(MakeRequest(0, 99, kBackendYen, 2));           // range
@@ -461,9 +462,9 @@ TEST(QueryBatchTest, MixedValidAndInvalidRequestsInOneBatch) {
   requests.push_back(MakeRequest(0, 19, kBackendDijkstra, 3));      // k != 1
   requests.push_back(MakeRequest(2, 17, kBackendKspDg, 4));         // ok
 
-  Result<KspBatchResponse> batched = service->QueryBatch(requests);
+  Result<RouteBatchResponse> batched = service->QueryBatch(requests);
   ASSERT_TRUE(batched.ok()) << batched.status().ToString();
-  const KspBatchResponse& b = batched.value();
+  const RouteBatchResponse& b = batched.value();
   ASSERT_EQ(b.items.size(), 7u);
   EXPECT_EQ(b.num_ok, 2u);
   EXPECT_EQ(b.num_rejected, 5u);
@@ -496,17 +497,17 @@ TEST(QueryBatchTest, EveryItemAnsweredAtOneEpoch) {
     ASSERT_TRUE(service->ApplyTrafficBatch(updates).ok());
   }
 
-  std::vector<KspRequest> requests;
+  std::vector<RouteRequest> requests;
   for (VertexId s = 0; s < 8; ++s) {
     requests.push_back(MakeRequest(s, 23 - s, kBackendYen, 3));
     requests.push_back(MakeRequest(s, 23 - s, kBackendKspDg, 3));
   }
-  Result<KspBatchResponse> batched = service->QueryBatch(requests);
+  Result<RouteBatchResponse> batched = service->QueryBatch(requests);
   ASSERT_TRUE(batched.ok()) << batched.status().ToString();
-  const KspBatchResponse& b = batched.value();
+  const RouteBatchResponse& b = batched.value();
   EXPECT_EQ(b.epoch, 3u);
   EXPECT_EQ(b.num_ok, requests.size());
-  for (const KspBatchItem& item : b.items) {
+  for (const RouteBatchItem& item : b.items) {
     ASSERT_TRUE(item.status.ok()) << item.status.ToString();
     EXPECT_EQ(item.response.epoch, b.epoch);
   }
@@ -516,7 +517,7 @@ TEST(QueryBatchTest, EmptyBatchIsOk) {
   Graph g = MakeRandomConnected(12, 12, 1, 9, 21);
   std::unique_ptr<RoutingService> service = MustCreate(std::move(g));
   ASSERT_TRUE(service != nullptr);
-  Result<KspBatchResponse> batched = service->QueryBatch({});
+  Result<RouteBatchResponse> batched = service->QueryBatch({});
   ASSERT_TRUE(batched.ok()) << batched.status().ToString();
   EXPECT_TRUE(batched.value().items.empty());
   EXPECT_EQ(batched.value().num_ok, 0u);
@@ -532,11 +533,11 @@ TEST(QueryBatchTest, SharedScratchReusesPartialsAcrossBatchItems) {
       MustCreate(std::move(g), /*z=*/8, RoutingOptions{}, /*batch_threads=*/1);
   ASSERT_TRUE(service != nullptr);
 
-  std::vector<KspRequest> requests = {MakeRequest(0, 25, kBackendKspDg, 5),
+  std::vector<RouteRequest> requests = {MakeRequest(0, 25, kBackendKspDg, 5),
                                       MakeRequest(0, 25, kBackendKspDg, 5)};
-  Result<KspBatchResponse> batched = service->QueryBatch(requests);
+  Result<RouteBatchResponse> batched = service->QueryBatch(requests);
   ASSERT_TRUE(batched.ok()) << batched.status().ToString();
-  const KspBatchResponse& b = batched.value();
+  const RouteBatchResponse& b = batched.value();
   ASSERT_EQ(b.num_ok, 2u);
   ASSERT_FALSE(b.items[0].response.paths.empty());
   ExpectSameDistances(b.items[1].response.paths, b.items[0].response.paths,
@@ -551,8 +552,8 @@ TEST(QueryBatchTest, SharedScratchReusesPartialsAcrossBatchItems) {
 
   // The arena persists across batches while the epoch holds still: a later
   // batch repeating the query is served from the still-warm cache.
-  Result<KspBatchResponse> later = service->QueryBatch(
-      std::span<const KspRequest>(requests.data(), 1));
+  Result<RouteBatchResponse> later = service->QueryBatch(
+      std::span<const RouteRequest>(requests.data(), 1));
   ASSERT_TRUE(later.ok()) << later.status().ToString();
   ASSERT_EQ(later.value().num_ok, 1u);
   EXPECT_EQ(
@@ -569,9 +570,9 @@ TEST(QueryBatchTest, ArenaCachesAreInvalidatedWhenTheEpochMoves) {
       MustCreate(std::move(g), /*z=*/8, RoutingOptions{}, /*batch_threads=*/1);
   ASSERT_TRUE(service != nullptr);
 
-  std::vector<KspRequest> requests = {MakeRequest(0, 25, kBackendKspDg, 4),
+  std::vector<RouteRequest> requests = {MakeRequest(0, 25, kBackendKspDg, 4),
                                       MakeRequest(0, 25, kBackendYen, 4)};
-  Result<KspBatchResponse> before = service->QueryBatch(requests);
+  Result<RouteBatchResponse> before = service->QueryBatch(requests);
   ASSERT_TRUE(before.ok()) << before.status().ToString();
   ASSERT_EQ(before.value().num_ok, 2u);
 
@@ -581,7 +582,7 @@ TEST(QueryBatchTest, ArenaCachesAreInvalidatedWhenTheEpochMoves) {
   for (EdgeId e = 0; e < num_edges; ++e) updates.push_back({e, 2.0, 2.0});
   ASSERT_TRUE(service->ApplyTrafficBatch(updates).ok());
 
-  Result<KspBatchResponse> after = service->QueryBatch(requests);
+  Result<RouteBatchResponse> after = service->QueryBatch(requests);
   ASSERT_TRUE(after.ok()) << after.status().ToString();
   ASSERT_EQ(after.value().num_ok, 2u);
   EXPECT_EQ(after.value().epoch, before.value().epoch + 1);
@@ -620,7 +621,7 @@ TEST(QueryBatchTest, ConcurrentBatchesAndUpdatesStayUniform) {
     uint64_t last_epoch = 0;
     size_t i = thread_seed;
     while (!done.load(std::memory_order_acquire)) {
-      std::vector<KspRequest> requests;
+      std::vector<RouteRequest> requests;
       for (size_t r = 0; r < 8; ++r) {
         VertexId s = static_cast<VertexId>((i * 7 + r * 11) % 40);
         VertexId t = static_cast<VertexId>((i * 13 + r * 17 + 19) % 40);
@@ -628,16 +629,16 @@ TEST(QueryBatchTest, ConcurrentBatchesAndUpdatesStayUniform) {
         requests.push_back(MakeRequest(s, t, backends[(i + r) % 3], 4));
       }
       ++i;
-      Result<KspBatchResponse> batched = service->QueryBatch(requests);
+      Result<RouteBatchResponse> batched = service->QueryBatch(requests);
       if (!batched.ok()) {
         failures.fetch_add(1);
         continue;
       }
-      const KspBatchResponse& b = batched.value();
+      const RouteBatchResponse& b = batched.value();
       if (b.epoch < last_epoch) failures.fetch_add(1);  // must be monotone
       last_epoch = b.epoch;
       const double w = level(b.epoch);
-      for (const KspBatchItem& item : b.items) {
+      for (const RouteBatchItem& item : b.items) {
         if (!item.status.ok()) {
           failures.fetch_add(1);
           continue;
@@ -683,20 +684,20 @@ TEST(SubmitBatchTest, TicketMatchesSynchronousQueryBatch) {
   std::unique_ptr<RoutingService> service = MustCreate(std::move(g), /*z=*/8);
   ASSERT_TRUE(service != nullptr);
 
-  std::vector<KspRequest> requests = {MakeRequest(0, 23, kBackendKspDg, 4),
+  std::vector<RouteRequest> requests = {MakeRequest(0, 23, kBackendKspDg, 4),
                                       MakeRequest(2, 19, kBackendYen, 3),
                                       MakeRequest(0, 23, kBackendYen, 0)};
-  Result<KspBatchResponse> sync = service->QueryBatch(requests);
+  Result<RouteBatchResponse> sync = service->QueryBatch(requests);
   ASSERT_TRUE(sync.ok());
 
   std::atomic<int> callbacks{0};
   BatchTicket ticket = service->SubmitBatch(
-      requests, [&](const Result<KspBatchResponse>& outcome) {
+      requests, [&](const Result<RouteBatchResponse>& outcome) {
         EXPECT_TRUE(outcome.ok());
         callbacks.fetch_add(1);
       });
   ASSERT_TRUE(ticket.valid());
-  const Result<KspBatchResponse>& outcome = ticket.Wait();
+  const Result<RouteBatchResponse>& outcome = ticket.Wait();
   ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
   EXPECT_TRUE(ticket.Ready());
   // The callback fires after the ticket is fulfilled, so Wait() returning
@@ -705,7 +706,7 @@ TEST(SubmitBatchTest, TicketMatchesSynchronousQueryBatch) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   EXPECT_EQ(callbacks.load(), 1);
-  const KspBatchResponse& b = outcome.value();
+  const RouteBatchResponse& b = outcome.value();
   ASSERT_EQ(b.items.size(), 3u);
   EXPECT_EQ(b.num_ok, 2u);
   EXPECT_EQ(b.num_rejected, 1u);  // the k = 0 item, as in the sync batch
@@ -725,14 +726,14 @@ TEST(SubmitBatchTest, TicketsCompleteInSubmissionOrderWithMonotoneEpochs) {
 
   std::vector<BatchTicket> tickets;
   for (int round = 0; round < 6; ++round) {
-    std::vector<KspRequest> requests = {
+    std::vector<RouteRequest> requests = {
         MakeRequest(0, 23, kBackendYen, 3),
         MakeRequest(3, 20, kBackendFindKsp, 3)};
     tickets.push_back(service->SubmitBatch(std::move(requests)));
   }
   uint64_t last_epoch = 0;
   for (const BatchTicket& ticket : tickets) {
-    const Result<KspBatchResponse>& outcome = ticket.Wait();
+    const Result<RouteBatchResponse>& outcome = ticket.Wait();
     ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
     EXPECT_EQ(outcome.value().num_ok, 2u);
     EXPECT_GE(outcome.value().epoch, last_epoch);  // FIFO execution
@@ -761,7 +762,7 @@ TEST(SubmitBatchTest, ConcurrentSubmitAndUpdatesStayUniform) {
     std::vector<BatchTicket> inflight;
     size_t i = 1;
     while (!done.load(std::memory_order_acquire)) {
-      std::vector<KspRequest> requests;
+      std::vector<RouteRequest> requests;
       for (size_t r = 0; r < 4; ++r) {
         VertexId s = static_cast<VertexId>((i * 5 + r * 9) % 32);
         VertexId t = static_cast<VertexId>((i * 11 + r * 13 + 7) % 32);
@@ -772,12 +773,12 @@ TEST(SubmitBatchTest, ConcurrentSubmitAndUpdatesStayUniform) {
       ++i;
       inflight.push_back(service->SubmitBatch(std::move(requests)));
       if (inflight.size() < 3) continue;
-      const Result<KspBatchResponse>& outcome = inflight.front().Wait();
+      const Result<RouteBatchResponse>& outcome = inflight.front().Wait();
       if (!outcome.ok()) {
         failures.fetch_add(1);
       } else {
         const double w = level(outcome.value().epoch);
-        for (const KspBatchItem& item : outcome.value().items) {
+        for (const RouteBatchItem& item : outcome.value().items) {
           if (!item.status.ok() ||
               item.response.epoch != outcome.value().epoch) {
             failures.fetch_add(1);
@@ -826,10 +827,209 @@ TEST(SubmitBatchTest, DestructionDrainsAcceptedBatches) {
   }
   service.reset();  // drains the submission queue before tearing down
   for (const BatchTicket& ticket : tickets) {
-    const Result<KspBatchResponse>& outcome = ticket.Wait();
+    const Result<RouteBatchResponse>& outcome = ticket.Wait();
     ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
     EXPECT_EQ(outcome.value().num_ok, 1u);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Admission control (RequestContext: priority / deadline / tenant quota).
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionTest, ExpiredDeadlineQueryIsShedNotSolved) {
+  Graph g = MakeRandomConnected(20, 26, 1, 9, 61);
+  std::unique_ptr<RoutingService> service = MustCreate(std::move(g), /*z=*/8);
+  ASSERT_TRUE(service != nullptr);
+
+  RouteRequest expired = MakeRequest(0, 19, kBackendYen, 3);
+  expired.context.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(5);
+  Result<RouteResponse> response = service->Query(expired);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+
+  AdmissionCounters counters = AdmissionCountersFrom(service->Metrics());
+  EXPECT_EQ(counters.admitted, 0u);
+  EXPECT_EQ(counters.shed_deadline, 1u);
+  EXPECT_EQ(counters.shed_quota, 0u);
+
+  // A still-live deadline solves normally and counts as admitted.
+  RouteRequest live = MakeRequest(0, 19, kBackendYen, 3);
+  live.context.deadline =
+      std::chrono::steady_clock::now() + std::chrono::minutes(5);
+  ASSERT_TRUE(service->Query(live).ok());
+  counters = AdmissionCountersFrom(service->Metrics());
+  EXPECT_EQ(counters.admitted, 1u);
+  EXPECT_EQ(counters.shed_deadline, 1u);
+}
+
+TEST(AdmissionTest, ExpiredEnvelopeSubmitIsAnsweredWithoutSolving) {
+  Graph g = MakeRandomConnected(20, 26, 1, 9, 63);
+  std::unique_ptr<RoutingService> service = MustCreate(std::move(g), /*z=*/8);
+  ASSERT_TRUE(service != nullptr);
+
+  std::vector<RouteRequest> requests = {MakeRequest(0, 19, kBackendYen, 3),
+                                        MakeRequest(2, 17, kBackendYen, 3)};
+  requests.front().context.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(5);
+  BatchTicket ticket = service->SubmitBatch(requests);
+  const Result<RouteBatchResponse>& outcome = ticket.Wait();
+  // Shedding never fails the surrounding batch: the ticket carries an OK
+  // envelope whose items hold the shed status + outcome, and no item was
+  // ever solved (epoch 0 — no snapshot was read).
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  const RouteBatchResponse& batch = outcome.value();
+  ASSERT_EQ(batch.items.size(), 2u);
+  EXPECT_EQ(batch.num_shed, 2u);
+  EXPECT_EQ(batch.num_ok, 0u);
+  EXPECT_EQ(batch.epoch, 0u);
+  for (const RouteBatchItem& item : batch.items) {
+    EXPECT_EQ(item.status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(item.admission, AdmissionOutcome::kShedDeadline);
+    EXPECT_TRUE(item.response.paths.empty());
+  }
+  AdmissionCounters counters = AdmissionCountersFrom(service->Metrics());
+  EXPECT_EQ(counters.admitted, 0u);
+  EXPECT_EQ(counters.shed_deadline, 2u);
+}
+
+TEST(AdmissionTest, TenantOverQuotaSubmitIsShed) {
+  Graph g = MakeRandomConnected(20, 26, 1, 9, 65);
+  RoutingServiceOptions options;
+  options.per_tenant_quota = 1;
+  Result<std::unique_ptr<RoutingService>> service_or =
+      RoutingService::Create(std::move(g), std::move(options));
+  ASSERT_TRUE(service_or.ok()) << service_or.status().ToString();
+  std::unique_ptr<RoutingService> service = std::move(service_or).value();
+
+  // Park the submission worker inside the first batch's callback so the
+  // tenant's next envelope stays pending deterministically.
+  std::mutex gate;
+  gate.lock();
+  std::atomic<bool> parked{false};
+  BatchTicket first = service->SubmitBatch(
+      {MakeRequest(0, 19, kBackendYen, 3)},
+      [&](const Result<RouteBatchResponse>&) {
+        parked.store(true, std::memory_order_release);
+        std::lock_guard<std::mutex> guard(gate);
+      });
+  while (!parked.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::vector<RouteRequest> pending = {MakeRequest(2, 17, kBackendYen, 3)};
+  pending.front().context.tenant_id = "acme";
+  BatchTicket second = service->SubmitBatch(pending);
+
+  std::vector<RouteRequest> over = {MakeRequest(3, 16, kBackendYen, 3)};
+  over.front().context.tenant_id = "acme";
+  BatchTicket third = service->SubmitBatch(over);
+  // Over quota: answered immediately (no blocking), OK envelope, item shed
+  // with kResourceExhausted.
+  const Result<RouteBatchResponse>& shed = third.Wait();
+  ASSERT_TRUE(shed.ok()) << shed.status().ToString();
+  ASSERT_EQ(shed.value().items.size(), 1u);
+  EXPECT_EQ(shed.value().items.front().status.code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(shed.value().items.front().admission,
+            AdmissionOutcome::kShedQuota);
+
+  gate.unlock();
+  ASSERT_TRUE(first.Wait().ok());
+  const Result<RouteBatchResponse>& served = second.Wait();
+  ASSERT_TRUE(served.ok());
+  EXPECT_EQ(served.value().num_ok, 1u);
+
+  AdmissionCounters counters = AdmissionCountersFrom(service->Metrics());
+  EXPECT_EQ(counters.admitted, 2u);  // first + second batches, one item each
+  EXPECT_EQ(counters.shed_quota, 1u);
+  EXPECT_EQ(counters.shed_deadline, 0u);
+}
+
+// QoS submits racing traffic batches (the tsan job repeats all *Concurrent*
+// tests): every ticket must be fulfilled with an exact admission outcome,
+// and the service registry must tell the same story as the tickets.
+TEST(AdmissionTest, ConcurrentQosOverloadAndTrafficAccountExactly) {
+  Graph g = MakeRandomConnected(28, 36, 1, 9, 67);
+  const size_t num_edges = g.NumEdges();
+  RoutingServiceOptions options;
+  options.submit_queue_capacity = 4;
+  options.per_tenant_quota = 2;
+  Result<std::unique_ptr<RoutingService>> service_or =
+      RoutingService::Create(std::move(g), std::move(options));
+  ASSERT_TRUE(service_or.ok()) << service_or.status().ToString();
+  std::unique_ptr<RoutingService> service = std::move(service_or).value();
+
+  constexpr size_t kSubmits = 48;
+  std::atomic<size_t> served{0};
+  std::atomic<size_t> shed_deadline{0};
+  std::atomic<size_t> shed_quota{0};
+  std::atomic<size_t> errors{0};
+
+  std::thread producer([&] {
+    std::vector<BatchTicket> tickets;
+    for (size_t i = 0; i < kSubmits; ++i) {
+      RouteRequest request = MakeRequest(
+          static_cast<VertexId>(i % 28),
+          static_cast<VertexId>((i * 7 + 11) % 28),
+          i % 2 == 0 ? kBackendKspDg : kBackendYen, 3);
+      if (request.source == request.target) request.target = 27;
+      request.context.priority = static_cast<RequestPriority>(i % 3);
+      request.context.tenant_id = i % 2 == 0 ? "even" : "odd";
+      if (i % 4 == 0) {
+        // A quarter of the load runs on a tight deadline: some of these
+        // expire in the queue under contention, exercising both deadline
+        // checks concurrently with the traffic writer.
+        request.context.deadline = std::chrono::steady_clock::now() +
+                                   std::chrono::milliseconds(2);
+      }
+      std::vector<RouteRequest> one;
+      one.push_back(std::move(request));
+      tickets.push_back(service->SubmitBatch(std::move(one)));
+    }
+    for (const BatchTicket& ticket : tickets) {
+      const Result<RouteBatchResponse>& outcome = ticket.Wait();
+      if (!outcome.ok() || outcome.value().items.size() != 1) {
+        errors.fetch_add(1);
+        continue;
+      }
+      const RouteBatchItem& item = outcome.value().items.front();
+      switch (item.admission) {
+        case AdmissionOutcome::kServed:
+          item.status.ok() ? served.fetch_add(1) : errors.fetch_add(1);
+          break;
+        case AdmissionOutcome::kShedDeadline:
+          shed_deadline.fetch_add(1);
+          break;
+        case AdmissionOutcome::kShedQuota:
+          shed_quota.fetch_add(1);
+          break;
+        case AdmissionOutcome::kRejected:
+          errors.fetch_add(1);
+          break;
+      }
+    }
+  });
+
+  for (int batch = 0; batch < 5; ++batch) {
+    std::vector<WeightUpdate> updates;
+    for (EdgeId e = 0; e < num_edges; e += 3) {
+      updates.push_back({e, 2.0 + batch, 2.0 + batch});
+    }
+    ASSERT_TRUE(service->ApplyTrafficBatch(updates).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  producer.join();
+
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_EQ(served.load() + shed_deadline.load() + shed_quota.load(),
+            kSubmits)
+      << "every QoS submit must be accounted exactly once";
+  AdmissionCounters counters = AdmissionCountersFrom(service->Metrics());
+  EXPECT_EQ(counters.admitted, served.load());
+  EXPECT_EQ(counters.shed_deadline, shed_deadline.load());
+  EXPECT_EQ(counters.shed_quota, shed_quota.load());
 }
 
 // ---------------------------------------------------------------------------

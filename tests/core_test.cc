@@ -8,6 +8,7 @@
 #include <mutex>
 #include <queue>
 #include <shared_mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -533,6 +534,208 @@ TEST(SubmissionQueueTest, CountersTrackSubmittedAndCompleted) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   EXPECT_EQ(queue.pending(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SubmissionQueue admission control (QoS submits).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Parks the queue's worker on `gate` (held locked by the caller) so tests
+/// can stack up pending entries deterministically, then release them all at
+/// once by unlocking.
+void ParkWorker(SubmissionQueue& queue, std::mutex& gate,
+                std::atomic<bool>& started) {
+  ASSERT_TRUE(queue.Submit([&gate, &started] {
+    started.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> guard(gate);
+  }));
+  while (!started.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace
+
+TEST(SubmissionQueueTest, StrictPriorityDequeueFifoWithinClass) {
+  std::mutex gate;
+  gate.lock();
+  std::atomic<bool> started{false};
+  std::vector<std::string> order;
+  std::mutex order_mu;
+  {
+    SubmissionQueue queue(/*capacity=*/16);
+    ParkWorker(queue, gate, started);
+    // Stack up a deliberately inverted arrival order while the worker is
+    // parked: batch first, interactive last. Dequeue must run interactive
+    // first, batch last, FIFO within each class.
+    auto submit = [&](RequestPriority priority, const std::string& tag) {
+      RequestContext ctx;
+      ctx.priority = priority;
+      EXPECT_EQ(queue.Submit(ctx,
+                             [tag, &order, &order_mu](AdmissionOutcome got) {
+                               EXPECT_EQ(got, AdmissionOutcome::kServed);
+                               std::lock_guard<std::mutex> guard(order_mu);
+                               order.push_back(tag);
+                             }),
+                SubmitOutcome::kAdmitted);
+    };
+    submit(RequestPriority::kBatch, "b0");
+    submit(RequestPriority::kBatch, "b1");
+    submit(RequestPriority::kNormal, "n0");
+    submit(RequestPriority::kInteractive, "i0");
+    submit(RequestPriority::kNormal, "n1");
+    submit(RequestPriority::kInteractive, "i1");
+    EXPECT_EQ(queue.pending(RequestPriority::kInteractive), 2u);
+    EXPECT_EQ(queue.pending(RequestPriority::kNormal), 2u);
+    EXPECT_EQ(queue.pending(RequestPriority::kBatch), 2u);
+    gate.unlock();
+  }  // destructor drains and joins
+  std::vector<std::string> want = {"i0", "i1", "n0", "n1", "b0", "b1"};
+  EXPECT_EQ(order, want);
+}
+
+TEST(SubmissionQueueTest, PerTenantQuotaShedsInsteadOfBlocking) {
+  std::mutex gate;
+  gate.lock();
+  std::atomic<bool> started{false};
+  AdmissionOptions admission;
+  admission.per_tenant_quota = 2;
+  SubmissionQueue queue(/*capacity=*/16, /*num_workers=*/1, {}, admission);
+  ParkWorker(queue, gate, started);
+  RequestContext tenant_a;
+  tenant_a.tenant_id = "a";
+  std::atomic<int> shed{0};
+  auto tally = [&shed](AdmissionOutcome got) {
+    if (got != AdmissionOutcome::kServed) shed.fetch_add(1);
+  };
+  EXPECT_EQ(queue.Submit(tenant_a, tally), SubmitOutcome::kAdmitted);
+  EXPECT_EQ(queue.Submit(tenant_a, tally), SubmitOutcome::kAdmitted);
+  // Third pending entry for "a" exceeds the quota: shed immediately (the
+  // job hears kShedQuota on this thread), never blocked.
+  EXPECT_EQ(queue.Submit(tenant_a, tally), SubmitOutcome::kShedQuota);
+  EXPECT_EQ(shed.load(), 1);
+  // A different tenant is unaffected, as is the unmetered empty id.
+  RequestContext tenant_b;
+  tenant_b.tenant_id = "b";
+  EXPECT_EQ(queue.Submit(tenant_b, tally), SubmitOutcome::kAdmitted);
+  EXPECT_EQ(queue.shed_quota(), 1u);
+  gate.unlock();
+  // The charge releases at dequeue: once drained, "a" can submit again.
+  while (queue.pending() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(queue.Submit(tenant_a, tally), SubmitOutcome::kAdmitted);
+  queue.Shutdown();
+}
+
+TEST(SubmissionQueueTest, ExpiredSubmitIsAnsweredWithoutRunning) {
+  SubmissionQueue queue(/*capacity=*/4);
+  RequestContext ctx;
+  ctx.deadline = std::chrono::steady_clock::now() -
+                 std::chrono::milliseconds(5);
+  std::atomic<bool> answered{false};
+  EXPECT_EQ(queue.Submit(ctx,
+                         [&answered](AdmissionOutcome got) {
+                           EXPECT_EQ(got, AdmissionOutcome::kShedDeadline);
+                           answered.store(true, std::memory_order_release);
+                         }),
+            SubmitOutcome::kShedDeadline);
+  // Shed at enqueue: answered synchronously on the submitting thread, never
+  // queued, never counted as submitted work.
+  EXPECT_TRUE(answered.load(std::memory_order_acquire));
+  EXPECT_EQ(queue.pending(), 0u);
+  EXPECT_EQ(queue.submitted(), 0u);
+  EXPECT_EQ(queue.shed_deadline(), 1u);
+}
+
+TEST(SubmissionQueueTest, DeadlineExpiringInQueueShedsAtDequeue) {
+  std::mutex gate;
+  gate.lock();
+  std::atomic<bool> started{false};
+  SubmissionQueue queue(/*capacity=*/4);
+  ParkWorker(queue, gate, started);
+  RequestContext ctx;
+  ctx.deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(10);
+  std::atomic<bool> served{false};
+  std::atomic<bool> shed{false};
+  EXPECT_EQ(queue.Submit(ctx,
+                         [&](AdmissionOutcome got) {
+                           if (got == AdmissionOutcome::kServed) {
+                             served.store(true);
+                           } else if (got == AdmissionOutcome::kShedDeadline) {
+                             shed.store(true);
+                           }
+                         }),
+            SubmitOutcome::kAdmitted);
+  // Let the deadline lapse while the entry waits behind the parked worker;
+  // the dequeue-time check must answer it instead of solving it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  gate.unlock();
+  while (queue.completed() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(served.load());
+  EXPECT_TRUE(shed.load());
+  EXPECT_EQ(queue.shed_deadline(), 1u);
+  queue.Shutdown();
+}
+
+TEST(SubmissionQueueTest, UrgentArrivalDisplacesQueuedBatchWork) {
+  std::mutex gate;
+  gate.lock();
+  std::atomic<bool> started{false};
+  SubmissionQueue queue(/*capacity=*/2);
+  ParkWorker(queue, gate, started);
+  RequestContext batch_ctx;
+  batch_ctx.priority = RequestPriority::kBatch;
+  std::vector<AdmissionOutcome> batch_outcomes(2, AdmissionOutcome::kServed);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(queue.Submit(batch_ctx,
+                           [i, &batch_outcomes](AdmissionOutcome got) {
+                             batch_outcomes[i] = got;
+                           }),
+              SubmitOutcome::kAdmitted);
+  }
+  EXPECT_EQ(queue.pending(), queue.capacity());
+  // A full queue sheds the NEWEST entry of the least-urgent strictly-lower
+  // class to admit a more urgent arrival — never blocks it.
+  RequestContext interactive_ctx;
+  interactive_ctx.priority = RequestPriority::kInteractive;
+  std::atomic<bool> interactive_served{false};
+  EXPECT_EQ(queue.Submit(interactive_ctx,
+                         [&interactive_served](AdmissionOutcome got) {
+                           if (got == AdmissionOutcome::kServed) {
+                             interactive_served.store(true);
+                           }
+                         }),
+            SubmitOutcome::kAdmitted);
+  EXPECT_EQ(queue.pending(), queue.capacity());
+  // A batch arrival into the still-full queue has nothing lower to
+  // displace: IT is shed.
+  std::atomic<bool> late_batch_shed{false};
+  EXPECT_EQ(queue.Submit(batch_ctx,
+                         [&late_batch_shed](AdmissionOutcome got) {
+                           if (got == AdmissionOutcome::kShedQuota) {
+                             late_batch_shed.store(true);
+                           }
+                         }),
+            SubmitOutcome::kShedQuota);
+  EXPECT_TRUE(late_batch_shed.load());
+  gate.unlock();
+  // Parked job + served batch + evicted batch + interactive all count as
+  // completed admitted work; wait for the drain before reading outcomes.
+  while (queue.completed() < 4) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  queue.Shutdown();
+  EXPECT_TRUE(interactive_served.load());
+  EXPECT_EQ(batch_outcomes[0], AdmissionOutcome::kServed) << "older survives";
+  EXPECT_EQ(batch_outcomes[1], AdmissionOutcome::kShedQuota)
+      << "newest batch entry is the victim";
+  EXPECT_EQ(queue.shed_quota(), 2u);
 }
 
 }  // namespace

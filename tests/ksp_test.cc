@@ -31,12 +31,12 @@ std::vector<Path> SolveViaService(Graph g, VertexId s, VertexId t, size_t k,
     ADD_FAILURE() << service.status().ToString();
     return {};
   }
-  KspRequest request;
+  RouteRequest request;
   request.source = s;
   request.target = t;
   request.options.k = static_cast<uint32_t>(k);
   request.options.backend = backend;
-  Result<KspResponse> response = service.value()->Query(request);
+  Result<RouteResponse> response = service.value()->Query(request);
   if (!response.ok()) {
     ADD_FAILURE() << response.status().ToString();
     return {};
@@ -262,12 +262,12 @@ TEST(YenTest, PathsAreSimpleSortedDistinct) {
   Result<std::unique_ptr<RoutingService>> service =
       RoutingService::Create(std::move(g));
   ASSERT_TRUE(service.ok()) << service.status().ToString();
-  KspRequest request;
+  RouteRequest request;
   request.source = 0;
   request.target = 24;
   request.options.k = 12;
   request.options.backend = kBackendYen;
-  Result<KspResponse> response = service.value()->Query(request);
+  Result<RouteResponse> response = service.value()->Query(request);
   ASSERT_TRUE(response.ok()) << response.status().ToString();
   const Graph& graph = service.value()->graph();
   const std::vector<Path>& ksp = response.value().paths;
@@ -331,14 +331,14 @@ TEST(FindKspTest, MatchesYenDistances) {
     Result<std::unique_ptr<RoutingService>> service =
         RoutingService::Create(std::move(g));
     ASSERT_TRUE(service.ok()) << service.status().ToString();
-    KspRequest request;
+    RouteRequest request;
     request.source = 2;
     request.target = 27;
     request.options.k = 8;
     request.options.backend = kBackendYen;
-    Result<KspResponse> yen = service.value()->Query(request);
+    Result<RouteResponse> yen = service.value()->Query(request);
     request.options.backend = kBackendFindKsp;
-    Result<KspResponse> fks = service.value()->Query(request);
+    Result<RouteResponse> fks = service.value()->Query(request);
     ASSERT_TRUE(yen.ok() && fks.ok());
     ExpectSameDistances(fks.value().paths, yen.value().paths);
   }
@@ -366,14 +366,14 @@ TEST(FindKspTest, WorksAfterWeightChanges) {
   Result<TrafficBatchResult> applied =
       service.value()->ApplyTrafficBatch(updates);
   ASSERT_TRUE(applied.ok()) << applied.status().ToString();
-  KspRequest request;
+  RouteRequest request;
   request.source = 1;
   request.target = 20;
   request.options.k = 6;
   request.options.backend = kBackendYen;
-  Result<KspResponse> yen = service.value()->Query(request);
+  Result<RouteResponse> yen = service.value()->Query(request);
   request.options.backend = kBackendFindKsp;
-  Result<KspResponse> fks = service.value()->Query(request);
+  Result<RouteResponse> fks = service.value()->Query(request);
   ASSERT_TRUE(yen.ok() && fks.ok());
   EXPECT_EQ(yen.value().epoch, 1u);
   EXPECT_EQ(fks.value().epoch, 1u);

@@ -523,5 +523,29 @@ TEST(BenchRunnerTest, RemoteShardPhaseReportsParity) {
   EXPECT_NE(json.find("\"worker_restarts\": 0"), std::string::npos);
 }
 
+// The admission surface crosses the process boundary unchanged: the remote
+// coordinator sheds expired work before any RPC leaves the master, and its
+// Metrics() exports the same admission series names as the in-process
+// services, readable through the same AdmissionCountersFrom view.
+TEST(RemoteShardedRoutingServiceTest, AdmissionSeriesMatchInProcessServices) {
+  Graph g = MakeRandomConnected(30, 38, 1, 9, 313);
+  std::unique_ptr<RemoteShardedRoutingService> remote =
+      MustCreateRemote(std::move(g), /*z=*/10, /*num_shards=*/2);
+  ASSERT_TRUE(remote != nullptr);
+
+  RouteRequest expired = MakeRequest(0, 29, kBackendYen, 3);
+  expired.context.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(5);
+  Result<RouteResponse> response = remote->Query(expired);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+  ASSERT_TRUE(remote->Query(MakeRequest(0, 29, kBackendYen, 3)).ok());
+
+  AdmissionCounters counters = AdmissionCountersFrom(remote->Metrics());
+  EXPECT_EQ(counters.admitted, 1u);
+  EXPECT_EQ(counters.shed_deadline, 1u);
+  EXPECT_EQ(counters.shed_quota, 0u);
+}
+
 }  // namespace
 }  // namespace kspdg

@@ -378,6 +378,7 @@ TEST(WireTest, ErrorReplyCarriesEveryStatusCode) {
       Status::OutOfRange("c"),      Status::FailedPrecondition("d"),
       Status::Internal("e"),        Status::IOError("f"),
       Status::Unavailable("g"),     Status::DeadlineExceeded("h"),
+      Status::ResourceExhausted("i"),
   };
   for (const Status& status : statuses) {
     ErrorReply reply = ErrorReply::FromStatus(status);

@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cmath>
 #include <memory>
+#include <mutex>
 #include <numeric>
 #include <span>
 #include <string>
@@ -176,9 +177,9 @@ TEST(ShardedRoutingServiceTest, CrossShardParityAfterTrafficBatches) {
       for (const auto& [s, t] : std::vector<std::pair<VertexId, VertexId>>{
                {1, 46}, {7, 40}, {13, 29}}) {
         for (const char* backend : {kBackendKspDg, kBackendYen}) {
-          KspRequest request = MakeRequest(s, t, backend, 5);
-          Result<KspResponse> want = plain->Query(request);
-          Result<KspResponse> got = sharded->Query(request);
+          RouteRequest request = MakeRequest(s, t, backend, 5);
+          Result<RouteResponse> want = plain->Query(request);
+          Result<RouteResponse> got = sharded->Query(request);
           ASSERT_TRUE(want.ok() && got.ok());
           EXPECT_EQ(got.value().epoch, static_cast<uint64_t>(step + 1));
           ExpectIdenticalPaths(got.value().paths, want.value().paths,
@@ -255,7 +256,7 @@ TEST(ShardedRoutingServiceTest, ShardInfosAndRoutingCountersAreCoherent) {
 
   // A spread of KSP-DG queries must exercise the partial routing.
   for (VertexId s = 0; s < 12; ++s) {
-    KspRequest request = MakeRequest(s, 59 - s, kBackendKspDg, 4);
+    RouteRequest request = MakeRequest(s, 59 - s, kBackendKspDg, 4);
     ASSERT_TRUE(service->Query(request).ok());
   }
 
@@ -299,7 +300,7 @@ TEST(ShardedRoutingServiceTest, CustomSolversPlugIntoShardedService) {
       MustCreateSharded(std::move(g), /*z=*/8, /*num_shards=*/2);
   ASSERT_TRUE(service != nullptr);
   ASSERT_TRUE(service->RegisterSolver(std::make_unique<EmptySolver>()).ok());
-  Result<KspResponse> response = service->Query(MakeRequest(0, 9, "empty", 2));
+  Result<RouteResponse> response = service->Query(MakeRequest(0, 9, "empty", 2));
   ASSERT_TRUE(response.ok()) << response.status().ToString();
   EXPECT_TRUE(response.value().paths.empty());
   // Once the first query has been served, the registry is frozen — the
@@ -450,13 +451,13 @@ TEST(ShardedRoutingServiceTest, ConcurrentScatterGatherAndUpdatesStayUniform) {
       VertexId t = static_cast<VertexId>((i * 13 + 19) % 40);
       ++i;
       if (s == t) continue;
-      Result<KspResponse> response =
+      Result<RouteResponse> response =
           service->Query(MakeRequest(s, t, backends[i % 3], 4));
       if (!response.ok()) {
         failures.fetch_add(1);
         continue;
       }
-      const KspResponse& r = response.value();
+      const RouteResponse& r = response.value();
       if (r.epoch < last_epoch) failures.fetch_add(1);  // must be monotone
       last_epoch = r.epoch;
       const double w = level(r.epoch);
@@ -522,7 +523,7 @@ TEST(ShardedQueryBatchTest, ParityWithUnshardedSequentialOnAllBackends) {
       ASSERT_TRUE(plain->ApplyTrafficBatch(updates).ok());
       ASSERT_TRUE(sharded->ApplyTrafficBatch(updates).ok());
 
-      std::vector<KspRequest> requests;
+      std::vector<RouteRequest> requests;
       for (const char* backend : backends) {
         uint32_t k = backend == kBackendDijkstra ? 1 : 5;
         for (const auto& [s, t] : std::vector<std::pair<VertexId, VertexId>>{
@@ -531,8 +532,8 @@ TEST(ShardedQueryBatchTest, ParityWithUnshardedSequentialOnAllBackends) {
         }
       }
       std::vector<std::vector<Path>> expected;
-      for (const KspRequest& request : requests) {
-        Result<KspResponse> want = plain->Query(request);
+      for (const RouteRequest& request : requests) {
+        Result<RouteResponse> want = plain->Query(request);
         ASSERT_TRUE(want.ok()) << want.status().ToString();
         expected.push_back(std::move(want).value().paths);
       }
@@ -540,13 +541,13 @@ TEST(ShardedQueryBatchTest, ParityWithUnshardedSequentialOnAllBackends) {
       size_t next = 0;
       for (size_t begin = 0; begin < requests.size(); begin += batch_size) {
         size_t count = std::min(batch_size, requests.size() - begin);
-        Result<KspBatchResponse> batched = sharded->QueryBatch(
-            std::span<const KspRequest>(requests.data() + begin, count));
+        Result<RouteBatchResponse> batched = sharded->QueryBatch(
+            std::span<const RouteRequest>(requests.data() + begin, count));
         ASSERT_TRUE(batched.ok()) << batched.status().ToString();
-        const KspBatchResponse& b = batched.value();
+        const RouteBatchResponse& b = batched.value();
         EXPECT_EQ(b.num_ok, count);
         EXPECT_EQ(b.epoch, 1u);
-        for (const KspBatchItem& item : b.items) {
+        for (const RouteBatchItem& item : b.items) {
           ASSERT_TRUE(item.status.ok()) << item.status.ToString();
           EXPECT_EQ(item.response.epoch, b.epoch);
           ExpectIdenticalPaths(
@@ -568,7 +569,7 @@ TEST(ShardedQueryBatchTest, MixedValidAndInvalidRequests) {
       MustCreateSharded(std::move(g), /*z=*/8, /*num_shards=*/2);
   ASSERT_TRUE(service != nullptr);
 
-  std::vector<KspRequest> requests;
+  std::vector<RouteRequest> requests;
   requests.push_back(MakeRequest(0, 19, kBackendYen, 3));        // ok
   requests.push_back(MakeRequest(0, 19, kBackendYen, 0));        // k = 0
   requests.push_back(MakeRequest(0, 99, kBackendYen, 2));        // range
@@ -576,9 +577,9 @@ TEST(ShardedQueryBatchTest, MixedValidAndInvalidRequests) {
   requests.push_back(MakeRequest(4, 4, kBackendYen, 2));         // s == t
   requests.push_back(MakeRequest(2, 17, kBackendKspDg, 4));      // ok
 
-  Result<KspBatchResponse> batched = service->QueryBatch(requests);
+  Result<RouteBatchResponse> batched = service->QueryBatch(requests);
   ASSERT_TRUE(batched.ok()) << batched.status().ToString();
-  const KspBatchResponse& b = batched.value();
+  const RouteBatchResponse& b = batched.value();
   ASSERT_EQ(b.items.size(), 6u);
   EXPECT_EQ(b.num_ok, 2u);
   EXPECT_EQ(b.num_rejected, 4u);
@@ -604,11 +605,11 @@ TEST(ShardedQueryBatchTest, PerShardScratchServesDuplicateInBatch) {
                         /*apply_threads=*/0, /*batch_threads=*/1);
   ASSERT_TRUE(service != nullptr);
 
-  std::vector<KspRequest> requests = {MakeRequest(0, 25, kBackendKspDg, 5),
+  std::vector<RouteRequest> requests = {MakeRequest(0, 25, kBackendKspDg, 5),
                                       MakeRequest(0, 25, kBackendKspDg, 5)};
-  Result<KspBatchResponse> batched = service->QueryBatch(requests);
+  Result<RouteBatchResponse> batched = service->QueryBatch(requests);
   ASSERT_TRUE(batched.ok()) << batched.status().ToString();
-  const KspBatchResponse& b = batched.value();
+  const RouteBatchResponse& b = batched.value();
   ASSERT_EQ(b.num_ok, 2u);
   ASSERT_FALSE(b.items[0].response.paths.empty());
   ExpectIdenticalPaths(b.items[1].response.paths, b.items[0].response.paths,
@@ -628,8 +629,8 @@ TEST(ShardedQueryBatchTest, PerShardScratchServesDuplicateInBatch) {
 
   // The caches persist across batches while the epoch holds still: a later
   // batch repeating the query is served warm as well.
-  Result<KspBatchResponse> later =
-      service->QueryBatch(std::span<const KspRequest>(requests.data(), 1));
+  Result<RouteBatchResponse> later =
+      service->QueryBatch(std::span<const RouteRequest>(requests.data(), 1));
   ASSERT_TRUE(later.ok()) << later.status().ToString();
   ASSERT_EQ(later.value().num_ok, 1u);
   EXPECT_EQ(
@@ -647,9 +648,9 @@ TEST(ShardedQueryBatchTest, PerShardCachesFlushWhenShardEpochBumps) {
                         /*apply_threads=*/0, /*batch_threads=*/1);
   ASSERT_TRUE(service != nullptr);
 
-  std::vector<KspRequest> requests = {MakeRequest(0, 25, kBackendKspDg, 4),
+  std::vector<RouteRequest> requests = {MakeRequest(0, 25, kBackendKspDg, 4),
                                       MakeRequest(0, 25, kBackendYen, 4)};
-  Result<KspBatchResponse> before = service->QueryBatch(requests);
+  Result<RouteBatchResponse> before = service->QueryBatch(requests);
   ASSERT_TRUE(before.ok()) << before.status().ToString();
   ASSERT_EQ(before.value().num_ok, 2u);
 
@@ -659,7 +660,7 @@ TEST(ShardedQueryBatchTest, PerShardCachesFlushWhenShardEpochBumps) {
   for (EdgeId e = 0; e < num_edges; ++e) updates.push_back({e, 2.0, 2.0});
   ASSERT_TRUE(service->ApplyTrafficBatch(updates).ok());
 
-  Result<KspBatchResponse> after = service->QueryBatch(requests);
+  Result<RouteBatchResponse> after = service->QueryBatch(requests);
   ASSERT_TRUE(after.ok()) << after.status().ToString();
   ASSERT_EQ(after.value().num_ok, 2u);
   EXPECT_EQ(after.value().epoch, before.value().epoch + 1);
@@ -690,7 +691,7 @@ TEST(ShardedQueryBatchTest, UntouchedShardsKeepTheirCachesAcrossTraffic) {
   ASSERT_TRUE(sharded != nullptr && plain != nullptr);
 
   // Warm the per-shard caches with a spread of KSP-DG queries.
-  std::vector<KspRequest> requests;
+  std::vector<RouteRequest> requests;
   for (VertexId s = 0; s < 8; ++s) {
     requests.push_back(MakeRequest(s, 47 - s, kBackendKspDg, 4));
   }
@@ -712,7 +713,7 @@ TEST(ShardedQueryBatchTest, UntouchedShardsKeepTheirCachesAcrossTraffic) {
   EXPECT_EQ(sharded->CurrentEpoch(), 1u);
 
   std::vector<ShardInfo> before = sharded->ShardInfos();
-  Result<KspBatchResponse> repeat = sharded->QueryBatch(requests);
+  Result<RouteBatchResponse> repeat = sharded->QueryBatch(requests);
   ASSERT_TRUE(repeat.ok()) << repeat.status().ToString();
   ASSERT_EQ(repeat.value().num_ok, requests.size());
   std::vector<ShardInfo> after_noop = sharded->ShardInfos();
@@ -729,11 +730,11 @@ TEST(ShardedQueryBatchTest, UntouchedShardsKeepTheirCachesAcrossTraffic) {
   ASSERT_TRUE(sharded->ApplyTrafficBatch(update).ok());
   ASSERT_TRUE(plain->ApplyTrafficBatch(noop).ok());
   ASSERT_TRUE(plain->ApplyTrafficBatch(update).ok());
-  Result<KspBatchResponse> after = sharded->QueryBatch(requests);
+  Result<RouteBatchResponse> after = sharded->QueryBatch(requests);
   ASSERT_TRUE(after.ok()) << after.status().ToString();
   ASSERT_EQ(after.value().num_ok, requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
-    Result<KspResponse> want = plain->Query(requests[i]);
+    Result<RouteResponse> want = plain->Query(requests[i]);
     ASSERT_TRUE(want.ok());
     ExpectIdenticalPaths(after.value().items[i].response.paths,
                          want.value().paths,
@@ -753,19 +754,19 @@ TEST(ShardedSubmitBatchTest, TicketMatchesSynchronousQueryBatch) {
       MustCreateSharded(std::move(g), /*z=*/8, /*num_shards=*/2);
   ASSERT_TRUE(service != nullptr);
 
-  std::vector<KspRequest> requests = {MakeRequest(0, 29, kBackendKspDg, 4),
+  std::vector<RouteRequest> requests = {MakeRequest(0, 29, kBackendKspDg, 4),
                                       MakeRequest(3, 21, kBackendYen, 3)};
-  Result<KspBatchResponse> sync = service->QueryBatch(requests);
+  Result<RouteBatchResponse> sync = service->QueryBatch(requests);
   ASSERT_TRUE(sync.ok());
 
   std::atomic<int> callbacks{0};
   BatchTicket ticket = service->SubmitBatch(
-      requests, [&](const Result<KspBatchResponse>& outcome) {
+      requests, [&](const Result<RouteBatchResponse>& outcome) {
         EXPECT_TRUE(outcome.ok());
         callbacks.fetch_add(1);
       });
   ASSERT_TRUE(ticket.valid());
-  const Result<KspBatchResponse>& outcome = ticket.Wait();
+  const Result<RouteBatchResponse>& outcome = ticket.Wait();
   ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
   EXPECT_TRUE(ticket.Ready());
   // The callback fires after the ticket is fulfilled, so Wait() returning
@@ -806,7 +807,7 @@ TEST(ShardedSubmitBatchTest, ConcurrentSubmitAndTrafficStayUniform) {
     std::vector<BatchTicket> inflight;
     size_t i = 1;
     while (!done.load(std::memory_order_acquire)) {
-      std::vector<KspRequest> requests;
+      std::vector<RouteRequest> requests;
       for (size_t r = 0; r < 6; ++r) {
         VertexId s = static_cast<VertexId>((i * 7 + r * 11) % 40);
         VertexId t = static_cast<VertexId>((i * 13 + r * 17 + 19) % 40);
@@ -816,13 +817,13 @@ TEST(ShardedSubmitBatchTest, ConcurrentSubmitAndTrafficStayUniform) {
       ++i;
       inflight.push_back(service->SubmitBatch(std::move(requests)));
       if (inflight.size() < 3) continue;  // keep a few tickets in flight
-      const Result<KspBatchResponse>& outcome = inflight.front().Wait();
+      const Result<RouteBatchResponse>& outcome = inflight.front().Wait();
       if (!outcome.ok()) {
         failures.fetch_add(1);
       } else {
-        const KspBatchResponse& b = outcome.value();
+        const RouteBatchResponse& b = outcome.value();
         const double w = level(b.epoch);
-        for (const KspBatchItem& item : b.items) {
+        for (const RouteBatchItem& item : b.items) {
           if (!item.status.ok()) {
             failures.fetch_add(1);
             continue;
@@ -920,6 +921,70 @@ TEST(BenchRunnerTest, ShardBatchPhaseReportsParity) {
   std::string json = report.value().ToJson();
   EXPECT_NE(json.find("\"shard_batch\""), std::string::npos);
   EXPECT_NE(json.find("\"batches_submitted\": 4"), std::string::npos);
+}
+
+// The admission surface is part of the shared serving contract: the
+// sharded service answers deadline/quota pressure exactly like the plain
+// one and exports the same admission series names, readable through the
+// same AdmissionCountersFrom view.
+TEST(ShardedRoutingServiceTest, AdmissionSeriesMatchThePlainService) {
+  Graph g = MakeRandomConnected(30, 38, 1, 9, 101);
+  ShardedRoutingServiceOptions options;
+  options.dtlp.partition.max_vertices = 10;
+  options.num_shards = 2;
+  options.per_tenant_quota = 1;
+  Result<std::unique_ptr<ShardedRoutingService>> service_or =
+      ShardedRoutingService::Create(std::move(g), std::move(options));
+  ASSERT_TRUE(service_or.ok()) << service_or.status().ToString();
+  std::unique_ptr<ShardedRoutingService> service =
+      std::move(service_or).value();
+
+  RouteRequest expired = MakeRequest(0, 29, kBackendYen, 3);
+  expired.context.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(5);
+  Result<RouteResponse> response = service->Query(expired);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+  ASSERT_TRUE(service->Query(MakeRequest(0, 29, kBackendYen, 3)).ok());
+
+  // Quota shed through the shared SubmitBatch seam: park the submission
+  // worker inside the first batch's callback so the tenant's next envelope
+  // stays pending, then exceed the quota.
+  std::mutex gate;
+  gate.lock();
+  std::atomic<bool> parked{false};
+  BatchTicket first = service->SubmitBatch(
+      {MakeRequest(3, 21, kBackendYen, 3)},
+      [&](const Result<RouteBatchResponse>&) {
+        parked.store(true, std::memory_order_release);
+        std::lock_guard<std::mutex> guard(gate);
+      });
+  while (!parked.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::vector<RouteRequest> pending = {MakeRequest(3, 21, kBackendYen, 3)};
+  pending.front().context.tenant_id = "acme";
+  BatchTicket second = service->SubmitBatch(pending);
+  std::vector<RouteRequest> over = {MakeRequest(5, 19, kBackendYen, 3)};
+  over.front().context.tenant_id = "acme";
+  BatchTicket third = service->SubmitBatch(over);
+  const Result<RouteBatchResponse>& shed = third.Wait();
+  ASSERT_TRUE(shed.ok()) << shed.status().ToString();
+  ASSERT_EQ(shed.value().items.size(), 1u);
+  EXPECT_EQ(shed.value().items.front().status.code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(shed.value().items.front().admission,
+            AdmissionOutcome::kShedQuota);
+  gate.unlock();
+  ASSERT_TRUE(first.Wait().ok());
+  ASSERT_TRUE(second.Wait().ok());
+
+  // Same series names as RoutingService (AdmissionCountersFrom reads the
+  // exact admission_* totals), same accounting.
+  AdmissionCounters counters = AdmissionCountersFrom(service->Metrics());
+  EXPECT_EQ(counters.admitted, 3u);  // ok query + first + second batches
+  EXPECT_EQ(counters.shed_deadline, 1u);
+  EXPECT_EQ(counters.shed_quota, 1u);
 }
 
 }  // namespace

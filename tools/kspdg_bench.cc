@@ -8,6 +8,7 @@
 //               [--batch-size 0] [--batch-threads 0] [--shards 0]
 //               [--remote-shards 0] [--replicas 1] [--worker-binary PATH]
 //               [--diverse] [--diverse-theta 0.5] [--diverse-overfetch 4]
+//               [--overload-factor 0]
 //               [--out BENCH_service.json] [--metrics-out METRICS.json]
 //
 // --batch-size N (N > 0) appends a batch-vs-sequential throughput phase:
@@ -58,6 +59,16 @@
 // BENCH JSON under "diverse". With --shards N, the shard parity phase also
 // answers a kDiverseKsp copy of its request list on both services.
 //
+// --overload-factor F (F > 0) appends the open-loop overload phase: a
+// fresh service answers the request list sequentially (measuring its
+// capacity and recording the no-pressure reference answers), then the same
+// requests — priorities rotating interactive/normal/batch, four tenants,
+// per-priority deadlines — are offered through SubmitBatch at F times the
+// measured capacity against a small submission queue with per-tenant
+// quotas. Admission accounting (admitted + shed_deadline + shed_quota ==
+// requests, errors must be 0), goodput, per-priority p50/p99 and the
+// service-registry cross-check land in the BENCH JSON under "overload".
+//
 // --metrics-out FILE writes the merged metrics-registry snapshot of every
 // service the bench built (each sample tagged service="mixed"/"sharded"/
 // "remote"; the remote fleet's worker registries ride along with shard
@@ -86,7 +97,7 @@ void Usage(const char* argv0) {
                "[--batch-size N] [--batch-threads N] [--shards N] "
                "[--remote-shards N] [--replicas R] [--worker-binary PATH] "
                "[--diverse] [--diverse-theta F] [--diverse-overfetch N] "
-               "[--out FILE] [--metrics-out FILE]\n",
+               "[--overload-factor F] [--out FILE] [--metrics-out FILE]\n",
                argv0);
 }
 
@@ -159,6 +170,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--diverse-overfetch") {
       options.diverse_overfetch =
           static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--overload-factor") {
+      options.overload_factor = std::strtod(next(), nullptr);
     } else if (arg == "--out") {
       out_file = next();
     } else if (arg == "--metrics-out") {

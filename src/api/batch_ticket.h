@@ -27,10 +27,8 @@
 #define KSPDG_API_BATCH_TICKET_H_
 
 #include <cassert>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -39,8 +37,10 @@
 
 #include "api/routing_options.h"
 #include "api/service_metrics.h"
+#include "core/mutex.h"
 #include "core/status.h"
 #include "core/submission_queue.h"
+#include "core/thread_annotations.h"
 
 namespace kspdg {
 
@@ -89,10 +89,10 @@ class BatchTicket {
   /// a refused submission (queue shut down) fulfils it with
   /// FailedPrecondition. Either way the callback still fires (on the
   /// shedding thread), so no waiter can hang on a dropped batch.
-  static BatchTicket SubmitTo(SubmissionQueue& queue,
-                              std::vector<RouteRequest> requests,
-                              BatchCallback callback, Solve solve,
-                              const AdmissionMetricsView& metrics = {}) {
+  [[nodiscard]] static BatchTicket SubmitTo(
+      SubmissionQueue& queue, std::vector<RouteRequest> requests,
+      BatchCallback callback, Solve solve,
+      const AdmissionMetricsView& metrics = {}) {
     auto state = std::make_shared<State>();
     BatchTicket ticket(state);
     const RequestContext envelope =
@@ -104,12 +104,12 @@ class BatchTicket {
           [state, requests = std::move(requests), callback,
            solve = std::move(solve)] {
             state->Fulfill(solve(requests));
-            if (callback) callback(*state->outcome);
+            if (callback) callback(state->Get());
           });
       if (!accepted) {
         state->Fulfill(Status::FailedPrecondition(
             "service is shutting down; batch was not accepted"));
-        if (callback) callback(*state->outcome);
+        if (callback) callback(state->Get());
       }
       return ticket;
     }
@@ -131,12 +131,12 @@ class BatchTicket {
             metrics.rejected.Increment(num_items);
             state->Fulfill(MakeShedBatchResponse(num_items, outcome));
           }
-          if (callback) callback(*state->outcome);
+          if (callback) callback(state->Get());
         });
     if (submitted == SubmitOutcome::kRefused) {
       state->Fulfill(Status::FailedPrecondition(
           "service is shutting down; batch was not accepted"));
-      if (callback) callback(*state->outcome);
+      if (callback) callback(state->Get());
     }
     return ticket;
   }
@@ -148,11 +148,10 @@ class BatchTicket {
   /// the interface is incomplete here. `service` must outlive the queue it
   /// hands in, which every implementation guarantees by owning the queue as
   /// its last member.
-  static BatchTicket SubmitTo(SubmissionQueue& queue,
-                              const RoutingServiceInterface& service,
-                              std::vector<RouteRequest> requests,
-                              BatchCallback callback,
-                              const AdmissionMetricsView& metrics = {});
+  [[nodiscard]] static BatchTicket SubmitTo(
+      SubmissionQueue& queue, const RoutingServiceInterface& service,
+      std::vector<RouteRequest> requests, BatchCallback callback,
+      const AdmissionMetricsView& metrics = {});
 
   /// False only for default-constructed (placeholder) tickets; SubmitBatch
   /// always returns a valid ticket, even when the submission was refused.
@@ -162,7 +161,7 @@ class BatchTicket {
   /// never ready.
   bool Ready() const {
     if (state_ == nullptr) return false;
-    std::lock_guard<std::mutex> guard(state_->mu);
+    MutexLock guard(state_->mu);
     return state_->outcome.has_value();
   }
 
@@ -175,25 +174,34 @@ class BatchTicket {
   /// repeatedly and from several threads.
   const Result<RouteBatchResponse>& Wait() const {
     assert(valid() && "Wait() on an invalid BatchTicket");
-    std::unique_lock<std::mutex> guard(state_->mu);
-    state_->cv.wait(guard, [&] { return state_->outcome.has_value(); });
+    MutexLock guard(state_->mu);
+    while (!state_->outcome.has_value()) state_->cv.Wait(state_->mu);
     return *state_->outcome;
   }
 
  private:
   /// Shared promise half; SubmitTo fulfils it exactly once.
   struct State {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::optional<Result<RouteBatchResponse>> outcome;
+    Mutex mu{"BatchTicket::State::mu"};
+    CondVar cv;
+    std::optional<Result<RouteBatchResponse>> outcome GUARDED_BY(mu);
 
     void Fulfill(Result<RouteBatchResponse> result) {
       {
-        std::lock_guard<std::mutex> guard(mu);
+        MutexLock guard(mu);
         assert(!outcome.has_value() && "BatchTicket fulfilled twice");
         outcome.emplace(std::move(result));
       }
-      cv.notify_all();
+      cv.NotifyAll();
+    }
+
+    /// The fulfilled outcome; callable only after Fulfill (the completion
+    /// paths call it on the fulfilling thread). Once set, the outcome is
+    /// immutable, so the returned reference outlives the internal lock.
+    const Result<RouteBatchResponse>& Get() {
+      MutexLock guard(mu);
+      assert(outcome.has_value() && "Get() before Fulfill()");
+      return *outcome;
     }
   };
 

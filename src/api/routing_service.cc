@@ -1,8 +1,6 @@
 #include "api/routing_service.h"
 
 #include <algorithm>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -125,7 +123,7 @@ Result<RouteResponse> RoutingService::Query(const RouteRequest& request) const {
   // Snapshot section: weights and DTLP are frozen until the lock drops, so
   // the whole solve (including the kDiverseKsp filter, which is a pure
   // function of the candidate list) sees one consistent epoch.
-  std::shared_lock<EpochLock> lock(mu_);
+  EpochReaderLock lock(mu_);
   WallTimer timer;
   Result<KspQueryResult> solved = prepared.solver->Solve(input);
   if (!solved.ok()) {
@@ -182,8 +180,8 @@ Result<RouteBatchResponse> RoutingService::QueryBatch(
   // the reader lock so queued batches wait outside the snapshot section — a
   // waiting traffic writer then drains at most one in-flight batch, not the
   // whole queue.
-  std::lock_guard<std::mutex> batch_guard(batch_mu_);
-  std::shared_lock<EpochLock> lock(mu_);
+  MutexLock batch_guard(batch_mu_);
+  EpochReaderLock lock(mu_);
   WallTimer timer;
   const uint64_t epoch = epoch_.load(std::memory_order_relaxed);
   batch.epoch = epoch;
@@ -193,6 +191,11 @@ Result<RouteBatchResponse> RoutingService::QueryBatch(
     for (SolverScratchArena& arena : arenas_) arena.OnSnapshotChange();
     arena_epoch_ = epoch;
   }
+  // The pool threads do not hold batch_mu_ — they are handed disjoint
+  // arena slots while this thread keeps the whole batch section locked,
+  // which the analysis cannot see through the lambda. The raw pointer is
+  // the deliberate escape hatch.
+  SolverScratchArena* const pool_arenas = arenas_.data();
   // Chunks large enough to amortise claiming, small enough to balance the
   // (highly skewed) per-query solve costs across workers.
   size_t chunk =
@@ -211,8 +214,8 @@ Result<RouteBatchResponse> RoutingService::QueryBatch(
         input.options = std::move(p.route.merged);
         RouteBatchItem& item = batch.items[p.index];
         WallTimer solve_timer;
-        Result<KspQueryResult> solved =
-            p.route.solver->Solve(input, arenas_[worker].Get(p.route.solver));
+        Result<KspQueryResult> solved = p.route.solver->Solve(
+            input, pool_arenas[worker].Get(p.route.solver));
         if (!solved.ok()) {
           item.status = solved.status();
           return;
@@ -225,7 +228,7 @@ Result<RouteBatchResponse> RoutingService::QueryBatch(
         svc_metrics_.RecordQuery(p.route.kind, item.response.backend,
                                  item.response.stats.solve_micros);
       });
-  lock.unlock();
+  lock.Unlock();
   batch.batch_micros = timer.ElapsedMicros();
 
   // Accepted items were recorded per solve (kind/backend/latency); the
@@ -257,7 +260,7 @@ Result<TrafficBatchResult> RoutingService::ApplyTrafficBatch(
       return Status::InvalidArgument("updated weights must be positive");
     }
   }
-  std::unique_lock<EpochLock> lock(mu_);
+  EpochWriterLock lock(mu_);
   for (const WeightUpdate& update : updates) graph_.SetWeight(update);
   TrafficBatchResult result;
   result.dtlp = dtlp_->ApplyUpdates(updates);
@@ -277,7 +280,7 @@ Result<TrafficBatchResult> RoutingService::ApplyTrafficBatch(
 }
 
 uint64_t RoutingService::CurrentEpoch() const {
-  std::shared_lock<EpochLock> lock(mu_);
+  EpochReaderLock lock(mu_);
   return epoch_.load(std::memory_order_relaxed);
 }
 

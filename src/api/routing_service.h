@@ -32,8 +32,10 @@
 #include "api/service_metrics.h"
 #include "cands/cands.h"
 #include "core/epoch_lock.h"
+#include "core/mutex.h"
 #include "core/status.h"
 #include "core/submission_queue.h"
+#include "core/thread_annotations.h"
 #include "core/thread_pool.h"
 #include "dtlp/dtlp.h"
 #include "graph/graph.h"
@@ -111,7 +113,7 @@ class RoutingService : public RoutingServiceInterface {
   /// submission worker thread once the ticket is fulfilled. Thread-safe;
   /// batches execute in submission order and every accepted batch completes
   /// before the service finishes destruction.
-  BatchTicket SubmitBatch(std::vector<RouteRequest> requests,
+  [[nodiscard]] BatchTicket SubmitBatch(std::vector<RouteRequest> requests,
                           BatchCallback callback = nullptr) const override;
 
   /// Applies one batch of weight updates atomically: the graph's current
@@ -194,15 +196,15 @@ class RoutingService : public RoutingServiceInterface {
   /// warm while the epoch holds still. Guarded by batch_mu_, which also
   /// serialises the parallel section of concurrent QueryBatch calls (the
   /// pool would serialise them anyway).
-  mutable std::mutex batch_mu_;
-  mutable std::vector<SolverScratchArena> arenas_;
+  mutable Mutex batch_mu_{"RoutingService::batch_mu_"};
+  mutable std::vector<SolverScratchArena> arenas_ GUARDED_BY(batch_mu_);
   /// Epoch the arenas were last used at; a mismatch triggers
   /// SolverScratch::OnSnapshotChange() before the batch runs.
-  mutable uint64_t arena_epoch_ = 0;
+  mutable uint64_t arena_epoch_ GUARDED_BY(batch_mu_) = 0;
 
   /// Guards graph_ weights, the DTLP, and epoch_ (readers shared, updates
   /// exclusive; write-preferring so traffic batches cannot starve).
-  mutable EpochLock mu_;
+  mutable EpochLock mu_{"RoutingService::mu_"};
   /// Written under the exclusive lock, read under the shared lock; atomic
   /// so the registry's epoch gauge callback can sample it during a scrape
   /// without joining the lock protocol.

@@ -89,8 +89,9 @@ class RoutingServiceInterface {
   /// statuses and AdmissionOutcomes — shedding never fails the batch).
   /// Identical on every implementation by construction: all three route
   /// through BatchTicket::SubmitTo.
-  virtual BatchTicket SubmitBatch(std::vector<RouteRequest> requests,
-                                  BatchCallback callback = nullptr) const = 0;
+  [[nodiscard]] virtual BatchTicket SubmitBatch(
+      std::vector<RouteRequest> requests,
+      BatchCallback callback = nullptr) const = 0;
 
   /// Applies one batch of weight updates atomically; validated up front
   /// and rejected as a whole on any bad entry.

@@ -35,10 +35,10 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <vector>
 
 #include "core/epoch_lock.h"
+#include "core/thread_annotations.h"
 
 namespace kspdg {
 
@@ -49,7 +49,12 @@ class EpochCoordinator {
       : shard_epochs_(std::make_unique<std::atomic<uint64_t>[]>(num_shards)),
         shard_locks_(std::make_unique<EpochLock[]>(num_shards)),
         num_shards_(num_shards) {
-    for (size_t i = 0; i < num_shards; ++i) shard_epochs_[i] = 0;
+    for (size_t i = 0; i < num_shards; ++i) {
+      shard_epochs_[i] = 0;
+      // One role, one lock-order node: an inversion against ANY shard lock
+      // is caught, while sibling shard locks stay unordered (lock_order.h).
+      shard_locks_[i].set_name("EpochCoordinator::shard_lock");
+    }
   }
 
   size_t num_shards() const { return num_shards_; }
@@ -85,13 +90,21 @@ class EpochCoordinator {
   /// pin must simply outlive those uses.
   class ReadPin {
    public:
+    // The shared hold spans the pin's lifetime — an object-lifetime
+    // contract that function-scope thread-safety analysis cannot express,
+    // hence the explicit lock calls with the analysis off. The lock-order
+    // checker still sees both operations.
     explicit ReadPin(const EpochCoordinator& coordinator)
-        : coordinator_(coordinator),
-          lock_(coordinator.global_lock()),
-          epoch_(coordinator.global()) {
+        NO_THREAD_SAFETY_ANALYSIS : coordinator_(coordinator) {
+      coordinator.global_lock().lock_shared();
+      epoch_ = coordinator.global();
       // A committed snapshot is consistent by construction; a failure here
       // means a writer touched shard state outside the advance protocol.
       assert(coordinator.Consistent());
+    }
+
+    ~ReadPin() NO_THREAD_SAFETY_ANALYSIS {
+      coordinator_.global_lock().unlock_shared();
     }
 
     ReadPin(const ReadPin&) = delete;
@@ -107,14 +120,16 @@ class EpochCoordinator {
 
     /// Shared hold on one shard's slice for the duration of a partial
     /// computation — the in-process stand-in for shipping the request to
-    /// the shard's worker with its state frozen while it computes.
-    std::shared_lock<EpochLock> LockShard(size_t shard) const {
-      return std::shared_lock<EpochLock>(coordinator_.shard_lock(shard));
+    /// the shard's worker with its state frozen while it computes. Returned
+    /// by value (guaranteed copy elision); the ACQUIRE_SHARED annotation
+    /// tells the analysis the returned guard holds the shard's lock.
+    EpochReaderLock LockShard(size_t shard) const
+        ACQUIRE_SHARED(coordinator_.shard_lock(shard)) {
+      return EpochReaderLock(coordinator_.shard_lock(shard));
     }
 
    private:
     const EpochCoordinator& coordinator_;
-    std::shared_lock<EpochLock> lock_;
     uint64_t epoch_;
   };
 
@@ -164,7 +179,7 @@ class EpochCoordinator {
   std::unique_ptr<std::atomic<uint64_t>[]> shard_epochs_;
   /// Mutable so const service query paths can pin the snapshot; the locks
   /// carry no logical state of the coordinator.
-  mutable EpochLock global_lock_;
+  mutable EpochLock global_lock_{"EpochCoordinator::global_lock"};
   mutable std::unique_ptr<EpochLock[]> shard_locks_;
   size_t num_shards_;
   bool advancing_ = false;  // debug-only: guards against overlapping advances

@@ -29,7 +29,12 @@ enum class StatusCode {
 
 /// Lightweight status object; cheap to return by value. `ok()` statuses carry
 /// no message and perform no allocation.
-class Status {
+///
+/// [[nodiscard]] at class scope: every function returning a Status makes a
+/// claim the caller must check; an ignored return is a compile error
+/// (-Werror). The sanctioned opt-out is an explicit `(void)` cast at the
+/// call site, which tools/kspdg_lint.py treats as deliberate.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 
@@ -78,8 +83,10 @@ class Status {
 };
 
 /// A value-or-error pair. Access to `value()` requires `ok()`.
+/// [[nodiscard]] for the same reason as Status: dropping one on the floor
+/// silently swallows the error half.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
   Result(Status status) : status_(std::move(status)) {  // NOLINT

@@ -27,15 +27,15 @@ SubmissionQueue::~SubmissionQueue() {
 
 bool SubmissionQueue::Submit(std::function<void()> job) {
   {
-    std::unique_lock<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     if (!shutdown_ && TotalPendingLocked() >= capacity_) {
       // Backpressure engaged: count the stall and time it, so queue sizing
       // decisions can be made from exported metrics instead of guesswork.
       metrics_.enqueue_blocked_total.Increment();
       WallTimer stall_timer;
-      cv_not_full_.wait(guard, [&] {
-        return shutdown_ || TotalPendingLocked() < capacity_;
-      });
+      while (!shutdown_ && TotalPendingLocked() >= capacity_) {
+        cv_not_full_.Wait(mu_);
+      }
       metrics_.enqueue_block_micros.Observe(stall_timer.ElapsedMicros());
     }
     if (shutdown_) return false;
@@ -48,7 +48,7 @@ bool SubmissionQueue::Submit(std::function<void()> job) {
         std::move(entry));
     ++submitted_;
   }
-  cv_not_empty_.notify_one();
+  cv_not_empty_.NotifyOne();
   return true;
 }
 
@@ -58,12 +58,12 @@ SubmitOutcome SubmissionQueue::Submit(const RequestContext& context,
   // queue mutex (the callback may be arbitrarily heavy).
   AdmissionJob evicted_job;
   {
-    std::unique_lock<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     if (shutdown_) return SubmitOutcome::kRefused;
     if (context.ExpiredAt(std::chrono::steady_clock::now())) {
       ++shed_deadline_;
       metrics_.shed_deadline_total.Increment();
-      guard.unlock();
+      guard.Unlock();
       job(AdmissionOutcome::kShedDeadline);
       return SubmitOutcome::kShedDeadline;
     }
@@ -73,7 +73,7 @@ SubmitOutcome SubmissionQueue::Submit(const RequestContext& context,
           it->second >= admission_.per_tenant_quota) {
         ++shed_quota_;
         metrics_.shed_quota_total.Increment();
-        guard.unlock();
+        guard.Unlock();
         job(AdmissionOutcome::kShedQuota);
         return SubmitOutcome::kShedQuota;
       }
@@ -99,7 +99,7 @@ SubmitOutcome SubmissionQueue::Submit(const RequestContext& context,
       ++shed_quota_;
       metrics_.shed_quota_total.Increment();
       if (evicted_job == nullptr) {
-        guard.unlock();
+        guard.Unlock();
         job(AdmissionOutcome::kShedQuota);
         return SubmitOutcome::kShedQuota;
       }
@@ -116,7 +116,7 @@ SubmitOutcome SubmissionQueue::Submit(const RequestContext& context,
         std::move(entry));
     ++submitted_;
   }
-  cv_not_empty_.notify_one();
+  cv_not_empty_.NotifyOne();
   // Displacement kept the queue at capacity, so no cv_not_full_ signal: the
   // evicted job just answers for itself, on this thread.
   if (evicted_job != nullptr) evicted_job(AdmissionOutcome::kShedQuota);
@@ -125,42 +125,42 @@ SubmitOutcome SubmissionQueue::Submit(const RequestContext& context,
 
 void SubmissionQueue::Shutdown() {
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     shutdown_ = true;
   }
   // Wake blocked producers (they return false) and idle workers (they see
   // shutdown once the backlog is drained, and exit).
-  cv_not_full_.notify_all();
-  cv_not_empty_.notify_all();
+  cv_not_full_.NotifyAll();
+  cv_not_empty_.NotifyAll();
 }
 
 size_t SubmissionQueue::pending() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return TotalPendingLocked();
 }
 
 size_t SubmissionQueue::pending(RequestPriority priority) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return classes_[static_cast<size_t>(priority)].size();
 }
 
 uint64_t SubmissionQueue::submitted() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return submitted_;
 }
 
 uint64_t SubmissionQueue::completed() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return completed_;
 }
 
 uint64_t SubmissionQueue::shed_deadline() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return shed_deadline_;
 }
 
 uint64_t SubmissionQueue::shed_quota() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return shed_quota_;
 }
 
@@ -181,9 +181,10 @@ void SubmissionQueue::WorkerLoop() {
   for (;;) {
     Entry entry;
     {
-      std::unique_lock<std::mutex> guard(mu_);
-      cv_not_empty_.wait(
-          guard, [&] { return shutdown_ || TotalPendingLocked() > 0; });
+      MutexLock guard(mu_);
+      while (!shutdown_ && TotalPendingLocked() == 0) {
+        cv_not_empty_.Wait(mu_);
+      }
       // Strict priority: drain a more urgent class to empty before
       // touching a less urgent one. FIFO within the class.
       std::deque<Entry>* queue = nullptr;
@@ -203,18 +204,18 @@ void SubmissionQueue::WorkerLoop() {
         // Expired while queued: answer immediately, never solve.
         ++shed_deadline_;
         metrics_.shed_deadline_total.Increment();
-        guard.unlock();
-        cv_not_full_.notify_one();
+        guard.Unlock();
+        cv_not_full_.NotifyOne();
         entry.job(AdmissionOutcome::kShedDeadline);
-        std::lock_guard<std::mutex> done(mu_);
+        guard.Lock();
         ++completed_;
         continue;
       }
     }
-    cv_not_full_.notify_one();
+    cv_not_full_.NotifyOne();
     entry.job(AdmissionOutcome::kServed);
     {
-      std::lock_guard<std::mutex> guard(mu_);
+      MutexLock guard(mu_);
       ++completed_;
     }
   }

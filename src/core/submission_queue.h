@@ -35,17 +35,17 @@
 #define KSPDG_CORE_SUBMISSION_QUEUE_H_
 
 #include <array>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
 #include "core/admission.h"
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace kspdg {
@@ -106,10 +106,11 @@ class SubmissionQueue {
   /// the queue is full (backpressure); the job is never shed or displaced.
   /// Returns true if the job was accepted; false if the queue has been shut
   /// down, in which case the job will never run.
-  bool Submit(std::function<void()> job);
+  [[nodiscard]] bool Submit(std::function<void()> job);
 
   /// QoS contract: admission-controlled, never blocks (see file comment).
-  SubmitOutcome Submit(const RequestContext& context, AdmissionJob job);
+  [[nodiscard]] SubmitOutcome Submit(const RequestContext& context,
+                                     AdmissionJob job);
 
   /// Stops accepting jobs. Already-accepted jobs still run to completion
   /// (dequeue-time deadline shedding still applies); idempotent. Does not
@@ -142,25 +143,25 @@ class SubmissionQueue {
   };
 
   void WorkerLoop();
-  /// Total queued jobs across all classes. Requires mu_.
-  size_t TotalPendingLocked() const;
-  /// Removes one queued charge for `tenant`. Requires mu_.
-  void ReleaseTenantLocked(const std::string& tenant);
+  /// Total queued jobs across all classes.
+  size_t TotalPendingLocked() const REQUIRES(mu_);
+  /// Removes one queued charge for `tenant`.
+  void ReleaseTenantLocked(const std::string& tenant) REQUIRES(mu_);
 
   const size_t capacity_;
   const SubmissionQueueMetrics metrics_;
   const AdmissionOptions admission_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_not_full_;   // blocking producers wait here
-  std::condition_variable cv_not_empty_;  // workers wait here
+  mutable Mutex mu_{"SubmissionQueue::mu_"};
+  CondVar cv_not_full_;   // blocking producers wait here
+  CondVar cv_not_empty_;  // workers wait here
   /// One FIFO per priority class, indexed by RequestPriority.
-  std::array<std::deque<Entry>, kNumPriorities> classes_;
-  std::map<std::string, size_t> tenant_pending_;
-  bool shutdown_ = false;
-  uint64_t submitted_ = 0;
-  uint64_t completed_ = 0;
-  uint64_t shed_deadline_ = 0;
-  uint64_t shed_quota_ = 0;
+  std::array<std::deque<Entry>, kNumPriorities> classes_ GUARDED_BY(mu_);
+  std::map<std::string, size_t> tenant_pending_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  uint64_t submitted_ GUARDED_BY(mu_) = 0;
+  uint64_t completed_ GUARDED_BY(mu_) = 0;
+  uint64_t shed_deadline_ GUARDED_BY(mu_) = 0;
+  uint64_t shed_quota_ GUARDED_BY(mu_) = 0;
   std::vector<std::thread> workers_;
 };
 

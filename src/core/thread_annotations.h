@@ -1,0 +1,86 @@
+// Clang Thread Safety Analysis annotations, compiled away everywhere else.
+//
+// These macros attach compile-time concurrency contracts to the repo's lock
+// wrappers (core/mutex.h, core/epoch_lock.h) and to the state they guard:
+// GUARDED_BY names the lock a member needs, REQUIRES names the lock a
+// function's caller must already hold, ACQUIRE/RELEASE mark the lock
+// operations themselves. Under `clang++ -Wthread-safety` a violated
+// contract — touching guarded state without the lock, releasing a lock that
+// is not held, double-acquiring a non-reentrant mutex — is a compile error
+// (the CI `analysis` job builds with -Werror). Under gcc (and any compiler
+// without the attributes) every macro expands to nothing, so annotations
+// cost nothing to carry.
+//
+// Annotation how-to for new code is in docs/STATIC_ANALYSIS.md. The macro
+// set and spellings follow the Clang TSA documentation; only annotate
+// types that are themselves CAPABILITY-annotated (core::Mutex, EpochLock) —
+// GUARDED_BY(some_std_mutex) is invisible to the analysis and rots.
+#ifndef KSPDG_CORE_THREAD_ANNOTATIONS_H_
+#define KSPDG_CORE_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define KSPDG_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define KSPDG_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+/// Marks a class as a lock-like capability; `x` names it in diagnostics
+/// (e.g. CAPABILITY("mutex")).
+#define CAPABILITY(x) KSPDG_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability (core::MutexLock, EpochWriterLock, ...).
+#define SCOPED_CAPABILITY KSPDG_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the named capability.
+#define GUARDED_BY(x) KSPDG_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the named capability (the
+/// pointer itself may be read freely).
+#define PT_GUARDED_BY(x) KSPDG_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that may only be called while holding the capability
+/// exclusively (resp. shared). The function does not acquire it.
+#define REQUIRES(...) KSPDG_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  KSPDG_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the capability exclusively (resp. shared) and
+/// holds it past return.
+#define ACQUIRE(...) KSPDG_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  KSPDG_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function that releases a capability held on entry (exclusive, shared, or
+/// either for the _GENERIC form — RAII guard destructors use the latter).
+#define RELEASE(...) KSPDG_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  KSPDG_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  KSPDG_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns the given value.
+#define TRY_ACQUIRE(...) \
+  KSPDG_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  KSPDG_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function that must NOT be entered holding the capability (catches
+/// self-deadlock on non-reentrant locks).
+#define EXCLUDES(...) KSPDG_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Asserts (without acquiring) that the calling thread holds the
+/// capability — for helpers reached only under a lock taken far away.
+#define ASSERT_CAPABILITY(x) KSPDG_THREAD_ANNOTATION(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  KSPDG_THREAD_ANNOTATION(assert_shared_capability(x))
+
+/// Declares which lock a getter returns, so callers can lock through it.
+#define RETURN_CAPABILITY(x) KSPDG_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: turns the analysis off for one function. Every use must
+/// carry a comment explaining why the contract cannot be expressed.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  KSPDG_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // KSPDG_CORE_THREAD_ANNOTATIONS_H_

@@ -14,10 +14,10 @@ ThreadPool::ThreadPool(unsigned num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     stop_ = true;
   }
-  cv_start_.notify_all();
+  cv_start_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -26,10 +26,10 @@ void ThreadPool::WorkerLoop(unsigned worker) {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> guard(mu_);
-      cv_start_.wait(guard, [&] {
-        return stop_ || (job_ != nullptr && generation_ != seen);
-      });
+      MutexLock guard(mu_);
+      while (!stop_ && (job_ == nullptr || generation_ == seen)) {
+        cv_start_.Wait(mu_);
+      }
       if (stop_) return;
       job = job_;
       seen = generation_;
@@ -50,8 +50,8 @@ void ThreadPool::RunChunks(Job& job, unsigned worker) {
       // Last chunk in the loop: wake the blocked caller. Taking the mutex
       // keeps the notify from slipping between the caller's predicate check
       // and its wait.
-      std::lock_guard<std::mutex> guard(mu_);
-      cv_done_.notify_all();
+      MutexLock guard(mu_);
+      cv_done_.NotifyAll();
     }
   }
 }
@@ -67,22 +67,22 @@ void ThreadPool::ParallelFor(
     for (size_t i = 0; i < count; ++i) fn(0, i);
     return;
   }
-  std::lock_guard<std::mutex> serialize(serialize_mu_);
+  MutexLock serialize(serialize_mu_);
   std::shared_ptr<Job> job = std::make_shared<Job>();
   job->fn = &fn;
   job->count = count;
   job->chunk = chunk;
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     job_ = job;
     ++generation_;
   }
-  cv_start_.notify_all();
+  cv_start_.NotifyAll();
   RunChunks(*job, /*worker=*/0);
-  std::unique_lock<std::mutex> guard(mu_);
-  cv_done_.wait(guard, [&] {
-    return job->done.load(std::memory_order_acquire) == job->count;
-  });
+  MutexLock guard(mu_);
+  while (job->done.load(std::memory_order_acquire) != job->count) {
+    cv_done_.Wait(mu_);
+  }
   // Unpublish so late-waking workers see no runnable job. Stragglers still
   // holding the shared_ptr observe next >= count and touch fn no further.
   job_ = nullptr;

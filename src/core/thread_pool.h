@@ -10,14 +10,15 @@
 #define KSPDG_CORE_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 
 namespace kspdg {
 
@@ -75,13 +76,16 @@ class ThreadPool {
   void WorkerLoop(unsigned worker);
   void RunChunks(Job& job, unsigned worker);
 
-  std::mutex mu_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  std::shared_ptr<Job> job_;  // non-null while a loop is being executed
-  uint64_t generation_ = 0;   // bumped per published job; workers join once
-  bool stop_ = false;
-  std::mutex serialize_mu_;   // admits one ParallelFor caller at a time
+  Mutex mu_{"ThreadPool::mu_"};
+  CondVar cv_start_;
+  CondVar cv_done_;
+  /// Non-null while a loop is being executed.
+  std::shared_ptr<Job> job_ GUARDED_BY(mu_);
+  /// Bumped per published job; workers join each loop at most once.
+  uint64_t generation_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
+  /// Admits one ParallelFor caller at a time.
+  Mutex serialize_mu_{"ThreadPool::serialize_mu_"};
   std::vector<std::thread> workers_;
 };
 

@@ -452,7 +452,7 @@ Status MetricsSnapshot::DecodeWire(std::string_view payload,
 Counter MetricsRegistry::GetCounter(std::string_view name,
                                     MetricLabels labels) {
   SortLabels(labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& entry : counters_) {
     if (SameKey(name, labels, entry.name, entry.labels)) {
       return Counter(&entry.cell);
@@ -466,7 +466,7 @@ Counter MetricsRegistry::GetCounter(std::string_view name,
 
 Gauge MetricsRegistry::GetGauge(std::string_view name, MetricLabels labels) {
   SortLabels(labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& entry : gauges_) {
     if (SameKey(name, labels, entry.name, entry.labels)) {
       return Gauge(&entry.cell);
@@ -482,7 +482,7 @@ Histogram MetricsRegistry::GetHistogram(std::string_view name,
                                         MetricLabels labels,
                                         std::vector<double> bounds) {
   SortLabels(labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& entry : histograms_) {
     if (SameKey(name, labels, entry.name, entry.labels)) {
       return Histogram(&entry.cell);
@@ -505,7 +505,7 @@ void MetricsRegistry::AddCounterCallback(std::string_view name,
                                          MetricLabels labels,
                                          std::function<uint64_t()> fn) {
   SortLabels(labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counter_callbacks_.push_back(
       {std::string(name), std::move(labels), std::move(fn)});
 }
@@ -514,14 +514,14 @@ void MetricsRegistry::AddGaugeCallback(std::string_view name,
                                        MetricLabels labels,
                                        std::function<int64_t()> fn) {
   SortLabels(labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   gauge_callbacks_.push_back(
       {std::string(name), std::move(labels), std::move(fn)});
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   snap.counters.reserve(counters_.size() + counter_callbacks_.size());
   for (const auto& entry : counters_) {
     snap.counters.push_back(

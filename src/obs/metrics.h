@@ -23,13 +23,14 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "core/mutex.h"
 #include "core/status.h"
+#include "core/thread_annotations.h"
 
 namespace kspdg {
 
@@ -269,12 +270,15 @@ class MetricsRegistry {
 
   /// Guards registration and snapshot only; Increment/Observe never take
   /// it. Deques keep cell addresses stable as entries are appended.
-  mutable std::mutex mu_;
-  std::deque<CounterEntry> counters_;
-  std::deque<GaugeEntry> gauges_;
-  std::deque<HistogramEntry> histograms_;
-  std::vector<CounterCallback> counter_callbacks_;
-  std::vector<GaugeCallback> gauge_callbacks_;
+  /// Snapshot() invokes the registered callbacks under mu_, so callbacks
+  /// must not register metrics (lock order: MetricsRegistry::mu_ before
+  /// whatever the callback reads, e.g. SubmissionQueue::mu_).
+  mutable Mutex mu_{"MetricsRegistry::mu_"};
+  std::deque<CounterEntry> counters_ GUARDED_BY(mu_);
+  std::deque<GaugeEntry> gauges_ GUARDED_BY(mu_);
+  std::deque<HistogramEntry> histograms_ GUARDED_BY(mu_);
+  std::vector<CounterCallback> counter_callbacks_ GUARDED_BY(mu_);
+  std::vector<GaugeCallback> gauge_callbacks_ GUARDED_BY(mu_);
 };
 
 }  // namespace kspdg

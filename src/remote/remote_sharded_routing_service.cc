@@ -9,8 +9,6 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -275,7 +273,7 @@ class RemoteShardedRoutingService::RemotePartialProvider
     std::string reply_payload;
     Status called;
     {
-      std::lock_guard<std::mutex> lock(worker.mu);
+      MutexLock lock(worker.mu);
       called = worker.client->Call(MessageType::kPartialsRequest,
                                    request.Encode(),
                                    MessageType::kPartialsReply,
@@ -427,7 +425,8 @@ RemoteShardedRoutingService::Create(Graph graph,
           service->metrics_.GetCounter("partial_requests_total", labels);
       worker->yen_runs =
           service->metrics_.GetCounter("yen_runs_total", labels);
-      worker->reads = service->metrics_.GetCounter("reads_by_replica", labels);
+      worker->reads =
+          service->metrics_.GetCounter("reads_by_replica_total", labels);
       RpcClient* client = worker->client.get();
       service->metrics_.AddCounterCallback(
           "rpc_calls_total", labels, [client] { return client->calls(); });
@@ -488,11 +487,14 @@ RemoteShardedRoutingService::Create(Graph graph,
       });
 
   // Providers size their caches off workers_, so build them after the fleet.
-  service->batch_workers_.reserve(service->batch_pool_->num_threads());
-  for (unsigned w = 0; w < service->batch_pool_->num_threads(); ++w) {
-    BatchWorker worker;
-    worker.provider = std::make_unique<RemotePartialProvider>(*service);
-    service->batch_workers_.push_back(std::move(worker));
+  {
+    MutexLock batch_guard(service->batch_mu_);
+    service->batch_workers_.reserve(service->batch_pool_->num_threads());
+    for (unsigned w = 0; w < service->batch_pool_->num_threads(); ++w) {
+      BatchWorker worker;
+      worker.provider = std::make_unique<RemotePartialProvider>(*service);
+      service->batch_workers_.push_back(std::move(worker));
+    }
   }
   SubmissionQueueMetrics queue_metrics;
   queue_metrics.enqueue_blocked_total =
@@ -556,7 +558,7 @@ Status RemoteShardedRoutingService::LoadCheckpoint(Worker& worker) const {
   std::string reply_payload;
   Status called;
   {
-    std::lock_guard<std::mutex> lock(worker.mu);
+    MutexLock lock(worker.mu);
     called = worker.client->Call(
         MessageType::kLoadGraphRequest, load.Encode(),
         MessageType::kLoadGraphReply, &reply_payload,
@@ -590,7 +592,7 @@ Status RemoteShardedRoutingService::ReplayRetainedHistory(
     prepare.updates = history_[b];
     std::string prepare_reply;
     {
-      std::lock_guard<std::mutex> lock(worker.mu);
+      MutexLock lock(worker.mu);
       called = worker.client->Call(
           MessageType::kEpochPrepareRequest, prepare.Encode(),
           MessageType::kEpochPrepareReply, &prepare_reply,
@@ -669,7 +671,7 @@ bool RemoteShardedRoutingService::HealthCheckWorker(
   std::string reply_payload;
   Status called;
   {
-    std::lock_guard<std::mutex> lock(worker.mu);
+    MutexLock lock(worker.mu);
     called = worker.client->Call(MessageType::kPingRequest, ping.Encode(),
                                  MessageType::kPingReply, &reply_payload);
   }
@@ -693,7 +695,7 @@ bool RemoteShardedRoutingService::HealthCheckWorker(
   // the fleet-wide export falls back to it when the worker is unreachable.
   MetricsSnapshot worker_metrics;
   if (MetricsSnapshot::DecodeWire(pong.metrics_blob, &worker_metrics).ok()) {
-    std::lock_guard<std::mutex> metrics_lock(worker.metrics_mu);
+    MutexLock metrics_lock(worker.metrics_mu);
     worker.last_metrics = std::move(worker_metrics);
     worker.has_metrics = true;
   }
@@ -711,7 +713,7 @@ MetricsSnapshot RemoteShardedRoutingService::Metrics() const {
     MetricsSnapshot worker_metrics;
     bool have = false;
     {
-      std::lock_guard<std::mutex> metrics_lock(worker->metrics_mu);
+      MutexLock metrics_lock(worker->metrics_mu);
       if (worker->has_metrics) {
         worker_metrics = worker->last_metrics;
         have = true;
@@ -790,7 +792,7 @@ Status RemoteShardedRoutingService::RestartDeadWorkersLocked() {
 
 Status RemoteShardedRoutingService::RestartDeadWorkers() {
   // Exclusive: restarting swaps worker state under queries' feet otherwise.
-  std::unique_lock<EpochLock> lock(epochs_->global_lock());
+  EpochWriterLock lock(epochs_->global_lock());
   return RestartDeadWorkersLocked();
 }
 
@@ -800,7 +802,7 @@ void RemoteShardedRoutingService::StopWorker(Worker& worker) {
     // Graceful half: ask the worker to exit. Short deadline — SIGKILL below
     // backs it up, and a dead worker should not stall teardown.
     std::string reply_payload;
-    std::lock_guard<std::mutex> lock(worker.mu);
+    MutexLock lock(worker.mu);
     (void)worker.client->Call(MessageType::kShutdownRequest, std::string(),
                               MessageType::kShutdownReply, &reply_payload,
                               /*deadline_ms_override=*/500);
@@ -926,7 +928,7 @@ Result<RouteBatchResponse> RemoteShardedRoutingService::QueryBatch(
   // Phase 3 (snapshot section): ONE read pin covers every solve — see
   // ShardedRoutingService::QueryBatch, whose structure this mirrors
   // exactly; only the provider behind the seam differs.
-  std::lock_guard<std::mutex> batch_guard(batch_mu_);
+  MutexLock batch_guard(batch_mu_);
   {
     EpochCoordinator::ReadPin pin(*epochs_);
     WallTimer timer;
@@ -937,12 +939,17 @@ Result<RouteBatchResponse> RemoteShardedRoutingService::QueryBatch(
       arena_epoch_ = epoch;
     }
     for (BatchWorker& worker : batch_workers_) worker.provider->BindPin(&pin);
+    // The pool threads do not hold batch_mu_ — they are handed disjoint
+    // worker slots while this thread keeps the whole batch section locked,
+    // which the analysis cannot see through the lambda. The raw pointer is
+    // the deliberate escape hatch.
+    BatchWorker* const pool_workers = batch_workers_.data();
     size_t chunk = std::max<size_t>(
         1, work.size() / (4 * size_t{batch_pool_->num_threads()}));
     batch_pool_->ParallelFor(
         work.size(), chunk, [&](unsigned worker_id, size_t j) {
           Prepared& p = work[j];
-          BatchWorker& worker = batch_workers_[worker_id];
+          BatchWorker& worker = pool_workers[worker_id];
           SolverInput input;
           input.graph = &graph_;
           input.dtlp = dtlp_.get();
@@ -1037,7 +1044,7 @@ Result<TrafficBatchResult> RemoteShardedRoutingService::ApplyTrafficBatch(
 
   // Exclusive snapshot section: drain every read pin, then move the master
   // state and every replica to the next global epoch together.
-  std::unique_lock<EpochLock> lock(epochs_->global_lock());
+  EpochWriterLock lock(epochs_->global_lock());
   if (options_.remote.auto_restart) {
     // Revive dead replicas and catch up lagging ones first so they
     // participate in this epoch instead of falling another batch behind.
@@ -1077,7 +1084,7 @@ Result<TrafficBatchResult> RemoteShardedRoutingService::ApplyTrafficBatch(
         std::string reply_payload;
         Status called;
         {
-          std::lock_guard<std::mutex> worker_lock(worker.mu);
+          MutexLock worker_lock(worker.mu);
           called = worker.client->Call(
               MessageType::kEpochPrepareRequest, prepare_payload,
               MessageType::kEpochPrepareReply, &reply_payload,
@@ -1159,7 +1166,7 @@ Result<TrafficBatchResult> RemoteShardedRoutingService::ApplyTrafficBatch(
         std::string reply_payload;
         Status called;
         {
-          std::lock_guard<std::mutex> worker_lock(worker.mu);
+          MutexLock worker_lock(worker.mu);
           called = worker.client->Call(
               MessageType::kEpochCommitRequest, commit_payload,
               MessageType::kEpochCommitReply, &reply_payload);
@@ -1175,12 +1182,12 @@ Result<TrafficBatchResult> RemoteShardedRoutingService::ApplyTrafficBatch(
 uint64_t RemoteShardedRoutingService::checkpoint_epoch() const {
   // checkpoint_graph_/checkpoint_epoch_/history_ only mutate under the
   // exclusive half of the global epoch lock; a shared pin is enough here.
-  std::shared_lock<EpochLock> pin(epochs_->global_lock());
+  EpochReaderLock pin(epochs_->global_lock());
   return checkpoint_epoch_;
 }
 
 size_t RemoteShardedRoutingService::history_size() const {
-  std::shared_lock<EpochLock> pin(epochs_->global_lock());
+  EpochReaderLock pin(epochs_->global_lock());
   return history_.size();
 }
 

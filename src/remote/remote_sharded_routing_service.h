@@ -67,7 +67,6 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -80,8 +79,10 @@
 #include "api/service_metrics.h"
 #include "core/epoch_coordinator.h"
 #include "core/epoch_lock.h"
+#include "core/mutex.h"
 #include "core/status.h"
 #include "core/submission_queue.h"
+#include "core/thread_annotations.h"
 #include "core/thread_pool.h"
 #include "dtlp/dtlp.h"
 #include "graph/graph.h"
@@ -251,7 +252,7 @@ class RemoteShardedRoutingService : public RoutingServiceInterface {
       std::span<const RouteRequest> requests) const override;
 
   /// Asynchronous QueryBatch (same ticket contract as the other services).
-  BatchTicket SubmitBatch(std::vector<RouteRequest> requests,
+  [[nodiscard]] BatchTicket SubmitBatch(std::vector<RouteRequest> requests,
                           BatchCallback callback = nullptr) const override;
 
   /// Applies one batch of weight updates atomically across the coordinator
@@ -326,7 +327,7 @@ class RemoteShardedRoutingService : public RoutingServiceInterface {
     std::unique_ptr<RpcClient> client;
     /// Serialises RPCs on this worker's connection (several batch-pool
     /// threads may need the same worker).
-    mutable std::mutex mu;
+    mutable Mutex mu{"RemoteShardedRoutingService::Worker::mu"};
     /// Mutable: the const query path marks a worker dead on RPC failure.
     mutable std::atomic<bool> alive{false};
     /// Mutable: health checks on the const query/scrape paths refresh it
@@ -341,9 +342,9 @@ class RemoteShardedRoutingService : public RoutingServiceInterface {
     /// Last snapshot this worker shipped back in a ping reply (the
     /// fallback when the worker is unreachable at scrape time). Guarded by
     /// metrics_mu, never by `mu` — caching must not serialise with RPCs.
-    mutable std::mutex metrics_mu;
-    mutable MetricsSnapshot last_metrics;
-    mutable bool has_metrics = false;
+    mutable Mutex metrics_mu{"RemoteShardedRoutingService::Worker::metrics_mu"};
+    mutable MetricsSnapshot last_metrics GUARDED_BY(metrics_mu);
+    mutable bool has_metrics GUARDED_BY(metrics_mu) = false;
   };
 
   /// Per-shard state shared by the shard's replicas: the cache-flush stamp
@@ -459,9 +460,9 @@ class RemoteShardedRoutingService : public RoutingServiceInterface {
   std::unique_ptr<ThreadPool> apply_pool_;
   std::unique_ptr<ThreadPool> batch_pool_;
 
-  mutable std::mutex batch_mu_;
-  mutable std::vector<BatchWorker> batch_workers_;
-  mutable uint64_t arena_epoch_ = 0;
+  mutable Mutex batch_mu_{"RemoteShardedRoutingService::batch_mu_"};
+  mutable std::vector<BatchWorker> batch_workers_ GUARDED_BY(batch_mu_);
+  mutable uint64_t arena_epoch_ GUARDED_BY(batch_mu_) = 0;
 
   /// Query/update handles into metrics_ (RemoteServiceCounters is a view
   /// over these plus the per-worker handles and the RPC client atomics).

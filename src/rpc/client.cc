@@ -70,6 +70,11 @@ Status RpcClient::EnsureConnected(RpcDeadline deadline) {
 }
 
 void RpcClient::Disconnect() {
+  MutexLock guard(mu_);
+  DisconnectLocked();
+}
+
+void RpcClient::DisconnectLocked() {
   if (fd_ >= 0) {
     close(fd_);
     fd_ = -1;
@@ -81,6 +86,7 @@ Status RpcClient::Call(MessageType request_type,
                        MessageType expected_reply_type,
                        std::string* reply_payload,
                        int64_t deadline_ms_override) {
+  MutexLock guard(mu_);
   calls_.fetch_add(1, std::memory_order_relaxed);
   const int64_t deadline_ms = deadline_ms_override > 0 ? deadline_ms_override
                                                        : options_.deadline_ms;
@@ -100,7 +106,7 @@ Status RpcClient::Call(MessageType request_type,
       if (last.code() == StatusCode::kDeadlineExceeded) {
         deadline_expired_.fetch_add(1, std::memory_order_relaxed);
       }
-      Disconnect();
+      DisconnectLocked();
       continue;
     }
     bytes_sent_.fetch_add(kFrameHeaderBytes + request_payload.size(),
@@ -111,7 +117,7 @@ Status RpcClient::Call(MessageType request_type,
       if (last.code() == StatusCode::kDeadlineExceeded) {
         deadline_expired_.fetch_add(1, std::memory_order_relaxed);
       }
-      Disconnect();
+      DisconnectLocked();
       continue;
     }
     bytes_received_.fetch_add(kFrameHeaderBytes + reply_payload->size(),
@@ -122,7 +128,7 @@ Status RpcClient::Call(MessageType request_type,
       ErrorReply error;
       Status decoded = ErrorReply::Decode(*reply_payload, &error);
       if (!decoded.ok()) {
-        Disconnect();
+        DisconnectLocked();
         return decoded;
       }
       return error.ToStatus();
@@ -134,7 +140,7 @@ Status RpcClient::Call(MessageType request_type,
                               std::to_string(reply_type) + ", expected " +
                               std::to_string(static_cast<uint8_t>(
                                   expected_reply_type)));
-      Disconnect();
+      DisconnectLocked();
       continue;
     }
     return Status::OK();

@@ -1,9 +1,11 @@
 // Blocking RPC client for one shard-worker connection.
 //
 // One client owns one unix-domain-socket connection to one worker and
-// serialises calls over it (the worker's loop is single-threaded anyway;
-// callers that share a client across threads must hold their own lock —
-// the remote service keeps one client + mutex per worker). Every Call
+// serialises calls over it (the worker's loop is single-threaded anyway):
+// an internal mutex guards the connection, so concurrent Calls queue up
+// rather than interleave frames — callers that need a wider critical
+// section (the remote service batches several calls per worker) still hold
+// their own lock around the client. Every Call
 // observes a per-attempt deadline and a bounded retry budget with
 // exponential backoff: a slow or dead worker degrades to a clean
 // kDeadlineExceeded / kUnavailable status, never a hang. Reconnection is
@@ -18,7 +20,9 @@
 #include <cstdint>
 #include <string>
 
+#include "core/mutex.h"
 #include "core/status.h"
+#include "core/thread_annotations.h"
 #include "rpc/frame.h"
 #include "rpc/wire.h"
 
@@ -56,6 +60,7 @@ class RpcClient {
   /// Drops the connection; the next Call reconnects.
   void Disconnect();
 
+
   const std::string& socket_path() const { return socket_path_; }
 
   // Transport counters. All of them are strictly monotonic for the lifetime
@@ -82,11 +87,16 @@ class RpcClient {
  private:
   /// Connects (non-blocking) if not already connected, waiting for the
   /// socket to appear/accept until the deadline — covers worker startup.
-  Status EnsureConnected(RpcDeadline deadline);
+  Status EnsureConnected(RpcDeadline deadline) REQUIRES(mu_);
+  /// Disconnect body, for call sites already inside a Call round trip.
+  void DisconnectLocked() REQUIRES(mu_);
 
   std::string socket_path_;
   RpcClientOptions options_;
-  int fd_ = -1;
+  /// Serialises round trips and guards the connection. Strict leaf: held
+  /// across socket I/O but never while acquiring another lock.
+  Mutex mu_{"RpcClient::mu_"};
+  int fd_ GUARDED_BY(mu_) = -1;
   std::atomic<uint64_t> calls_{0};
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> deadline_expired_{0};

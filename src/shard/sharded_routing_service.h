@@ -42,7 +42,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -54,8 +53,10 @@
 #include "api/service_metrics.h"
 #include "core/epoch_coordinator.h"
 #include "core/epoch_lock.h"
+#include "core/mutex.h"
 #include "core/status.h"
 #include "core/submission_queue.h"
+#include "core/thread_annotations.h"
 #include "core/thread_pool.h"
 #include "dtlp/dtlp.h"
 #include "graph/graph.h"
@@ -176,7 +177,7 @@ class ShardedRoutingService : public RoutingServiceInterface {
   /// Asynchronous QueryBatch: enqueues the batch on the service's bounded
   /// submission queue and returns a ticket immediately (see
   /// RoutingService::SubmitBatch — identical contract).
-  BatchTicket SubmitBatch(std::vector<RouteRequest> requests,
+  [[nodiscard]] BatchTicket SubmitBatch(std::vector<RouteRequest> requests,
                           BatchCallback callback = nullptr) const override;
 
   /// Applies one batch of weight updates atomically across every shard: the
@@ -315,12 +316,12 @@ class ShardedRoutingService : public RoutingServiceInterface {
   /// guards the persistent worker state below (the pool would serialise
   /// them anyway). Taken BEFORE the read pin so queued batches wait outside
   /// the snapshot section.
-  mutable std::mutex batch_mu_;
-  mutable std::vector<BatchWorker> batch_workers_;
+  mutable Mutex batch_mu_{"ShardedRoutingService::batch_mu_"};
+  mutable std::vector<BatchWorker> batch_workers_ GUARDED_BY(batch_mu_);
   /// Global epoch the worker arenas were last used at; a mismatch triggers
   /// SolverScratch::OnSnapshotChange() before the batch runs. The per-shard
   /// partial caches flush themselves per shard, against that shard's epoch.
-  mutable uint64_t arena_epoch_ = 0;
+  mutable uint64_t arena_epoch_ GUARDED_BY(batch_mu_) = 0;
 
   /// Query/update handles into metrics_ (shared bundle; the counters()
   /// view reads these).

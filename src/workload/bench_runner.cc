@@ -7,7 +7,6 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
-#include <mutex>
 #include <span>
 #include <sstream>
 #include <thread>
@@ -15,6 +14,7 @@
 
 #include "api/routing_service.h"
 #include "api/routing_service_interface.h"
+#include "core/mutex.h"
 #include "core/strings.h"
 #include "core/timer.h"
 #include "graph/traffic_model.h"
@@ -617,7 +617,7 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
     stats[b].min_epoch = std::numeric_limits<uint64_t>::max();
     latency_samples[b].reserve(options.queries_per_backend);
   }
-  std::mutex stats_mu;
+  Mutex stats_mu{"bench_runner::stats_mu"};
   std::atomic<size_t> next_item{0};
 
   auto reader = [&]() {
@@ -630,7 +630,7 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
       request.target = item.target;
       request.options.backend = options.backends[item.backend_index];
       Result<RouteResponse> response = service->Query(request);
-      std::lock_guard<std::mutex> guard(stats_mu);
+      MutexLock guard(stats_mu);
       BackendBenchStats& s = stats[item.backend_index];
       ++s.queries;
       if (!response.ok()) {
@@ -658,6 +658,7 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
   size_t cands_subgraphs_rebuilt = 0;
   size_t cands_pair_paths = 0;
   double cands_micros = 0;
+  // kspdg-lint: allow(raw-thread) — bench load generators, joined below.
   std::thread writer([&]() {
     for (size_t batch = 0; batch < options.num_batches; ++batch) {
       while (next_item.load(std::memory_order_relaxed) <
@@ -685,11 +686,11 @@ Result<BenchReport> RunMixedBench(const BenchOptions& options) {
     }
   });
 
-  std::vector<std::thread> readers;
+  std::vector<std::thread> readers;  // kspdg-lint: allow(raw-thread)
   size_t num_threads = std::max<size_t>(1, options.query_threads);
   readers.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) readers.emplace_back(reader);
-  for (std::thread& t : readers) t.join();
+  for (std::thread& t : readers) t.join();  // kspdg-lint: allow(raw-thread)
   writer.join();
   mixed_issued += work.size();
 

@@ -417,7 +417,7 @@ TEST(EpochCoordinatorTest, ReadPinObservesOneCoherentSnapshot) {
   EXPECT_EQ(pin.epoch(), 1u);
   for (size_t shard = 0; shard < 3; ++shard) {
     EXPECT_EQ(pin.shard_epoch(shard), pin.epoch()) << shard;
-    std::shared_lock<EpochLock> lock = pin.LockShard(shard);
+    EpochReaderLock lock = pin.LockShard(shard);
     EXPECT_TRUE(lock.owns_lock());
   }
 }

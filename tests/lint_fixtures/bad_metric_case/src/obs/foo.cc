@@ -1,0 +1,10 @@
+// Fixture: a CamelCase metric name must trip metric-names.
+#include "obs/metrics.h"
+
+namespace kspdg {
+
+void Register(MetricsRegistry& registry) {
+  (void)registry.GetGauge("QueueDepth");
+}
+
+}  // namespace kspdg

@@ -1,0 +1,10 @@
+// Fixture: a counter without the `_total` suffix must trip metric-names.
+#include "obs/metrics.h"
+
+namespace kspdg {
+
+void Register(MetricsRegistry& registry) {
+  (void)registry.GetCounter("queries_ok");
+}
+
+}  // namespace kspdg

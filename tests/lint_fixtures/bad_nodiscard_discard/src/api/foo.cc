@@ -1,0 +1,14 @@
+// Fixture: a Submit result dropped on the floor as a bare statement must
+// trip nodiscard. The assignment and the (void) cast below are both legal.
+#include "core/submission_queue.h"
+
+namespace kspdg {
+
+void Drive(SubmissionQueue& queue) {
+  bool accepted = queue.Submit([] {});
+  (void)accepted;
+  (void)queue.Submit([] {});
+  queue.Submit([] {});
+}
+
+}  // namespace kspdg

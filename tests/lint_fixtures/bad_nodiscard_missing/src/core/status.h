@@ -1,0 +1,16 @@
+// Fixture: Status/Result without class-level [[nodiscard]] must trip
+// nodiscard — the whole discard-checking scheme hangs off these two
+// attributes.
+#ifndef FIXTURE_STATUS_H_
+#define FIXTURE_STATUS_H_
+
+namespace kspdg {
+
+class Status {};
+
+template <typename T>
+class Result {};
+
+}  // namespace kspdg
+
+#endif  // FIXTURE_STATUS_H_

@@ -1,0 +1,10 @@
+// Fixture: a naked std::mutex outside src/core/ must trip raw-mutex.
+#include <mutex>
+
+namespace kspdg {
+
+struct Foo {
+  std::mutex mu;
+};
+
+}  // namespace kspdg

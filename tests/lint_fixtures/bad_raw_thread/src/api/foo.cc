@@ -1,0 +1,15 @@
+// Fixture: a naked std::thread outside src/core/ must trip raw-thread.
+// Note std::thread::hardware_concurrency() below is legal — it queries the
+// machine, it does not spawn.
+#include <thread>
+
+namespace kspdg {
+
+inline unsigned Cores() { return std::thread::hardware_concurrency(); }
+
+inline void Spawn() {
+  std::thread t([] {});
+  t.join();
+}
+
+}  // namespace kspdg

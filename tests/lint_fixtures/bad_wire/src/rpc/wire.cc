@@ -1,0 +1,27 @@
+// Fixture: FooRequest encodes two U32 fields but decodes only one — the
+// classic added-a-field-to-one-side bug wire-symmetry exists to catch.
+#include "rpc/wire.h"
+
+namespace kspdg {
+
+std::string FooRequest::Encode() const {
+  WireWriter w;
+  w.U32(x);
+  w.U32(y);
+  return w.Take();
+}
+
+Status FooRequest::Decode(std::string_view payload, FooRequest* out) {
+  WireReader r(payload);
+  KSPDG_RETURN_NOT_OK(r.U32(&out->x));
+  return r.ExpectEnd();
+}
+
+// And an encoder with no decoder at all.
+std::string OrphanReply::Encode() const {
+  WireWriter w;
+  w.U64(epoch);
+  return w.Take();
+}
+
+}  // namespace kspdg

@@ -125,7 +125,7 @@ TEST(ReplicaTest, ReplicaReadsRotateRoundRobin) {
   MetricsSnapshot fleet = remote->Metrics();
   std::set<std::pair<std::string, std::string>> labeled;
   for (const CounterSample& counter : fleet.counters) {
-    if (counter.name != "reads_by_replica") continue;
+    if (counter.name != "reads_by_replica_total") continue;
     std::string shard, replica;
     for (const auto& [key, value] : counter.labels) {
       if (key == "shard") shard = value;
